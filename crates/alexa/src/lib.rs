@@ -1,0 +1,19 @@
+//! Ranked site lists and the 2010–2011 IPv6 adoption timeline.
+//!
+//! The study monitors "the top 1 Million web sites list maintained by
+//! Alexa", re-fetched before each round; sites never seen before join the
+//! monitored set permanently (Section 3). Churn alone grew the monitored
+//! set past 2 million sites within a year. Penn additionally imported a
+//! multi-million-site tail from its DNS cache (Fig 3b's "5M sites" series).
+//!
+//! * [`list`] — list snapshots with churn and the accumulate-only
+//!   monitored set;
+//! * [`timeline`] — the adoption calendar with the two events visible as
+//!   jumps in Fig 1: the IANA IPv4 pool depletion (2011-02-03) and World
+//!   IPv6 Day (2011-06-08).
+
+pub mod list;
+pub mod timeline;
+
+pub use list::{MonitoredSet, TopList};
+pub use timeline::{AdoptionTimeline, IANA_DEPLETION_WEEK, WORLD_IPV6_DAY_WEEK};

@@ -1,0 +1,178 @@
+//! The campaign calendar and IPv6 adoption curve.
+//!
+//! Week 0 of the simulated campaign is 2010-08-12; weekly rounds follow.
+//! Two events shape the adoption curve, exactly as in Fig 1:
+//!
+//! * week 25 — 2011-02-03, IANA's IPv4 free pool depletion announcement;
+//! * week 43 — 2011-06-08, World IPv6 Day.
+//!
+//! Between events adoption grows slowly; at each event a cohort of sites
+//! publishes AAAA records within a week or two.
+
+use serde::{Deserialize, Serialize};
+
+/// Campaign week of the IANA depletion announcement (2011-02-03).
+pub const IANA_DEPLETION_WEEK: u32 = 25;
+
+/// Campaign week of World IPv6 Day (2011-06-08).
+pub const WORLD_IPV6_DAY_WEEK: u32 = 43;
+
+/// Default campaign length in weeks (2010-08-12 … 2011-08-11).
+pub const DEFAULT_CAMPAIGN_WEEKS: u32 = 52;
+
+/// The adoption timeline: maps campaign weeks to calendar labels and
+/// produces the cumulative AAAA-publication curve used by the population
+/// generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdoptionTimeline {
+    /// Total campaign length, weeks.
+    pub total_weeks: u32,
+    /// Week of the IANA depletion jump.
+    pub iana_week: u32,
+    /// Week of the World IPv6 Day jump.
+    pub ipv6_day_week: u32,
+    /// Fraction of eventually-dual sites already published at week 0.
+    pub base_fraction: f64,
+    /// Fraction of eventually-dual sites publishing in the IANA jump.
+    pub iana_jump: f64,
+    /// Fraction publishing in the World IPv6 Day jump.
+    pub ipv6_day_jump: f64,
+}
+
+impl AdoptionTimeline {
+    /// The paper's timeline (Fig 1 shape).
+    pub fn paper() -> Self {
+        AdoptionTimeline {
+            total_weeks: DEFAULT_CAMPAIGN_WEEKS,
+            iana_week: IANA_DEPLETION_WEEK,
+            ipv6_day_week: WORLD_IPV6_DAY_WEEK,
+            base_fraction: 0.18,
+            iana_jump: 0.12,
+            ipv6_day_jump: 0.35,
+        }
+    }
+
+    /// Cumulative fraction of eventually-dual sites with AAAA published by
+    /// the end of `week`: a slow linear ramp with two step jumps, reaching
+    /// 1.0 at the campaign end.
+    pub fn cumulative(&self, week: u32) -> f64 {
+        let w = week.min(self.total_weeks) as f64;
+        let total = self.total_weeks as f64;
+        // linear background absorbing whatever the jumps don't cover
+        let background = 1.0 - self.base_fraction - self.iana_jump - self.ipv6_day_jump;
+        let mut cum = self.base_fraction + background * (w / total);
+        if week >= self.iana_week {
+            cum += self.iana_jump;
+        }
+        if week >= self.ipv6_day_week {
+            cum += self.ipv6_day_jump;
+        }
+        cum.min(1.0)
+    }
+
+    /// The curve as `(week, cumulative)` pairs, suitable for the population
+    /// generator's sampler.
+    pub fn curve(&self) -> Vec<(u32, f64)> {
+        (0..=self.total_weeks).map(|w| (w, self.cumulative(w))).collect()
+    }
+
+    /// Calendar label of a campaign week, `YY/MM/DD` like Fig 1's axis.
+    /// Week 0 is 2010-08-12; the Gregorian arithmetic handles the year
+    /// boundary and 2012 would-be leap weeks (the campaign ends before).
+    pub fn date_label(&self, week: u32) -> String {
+        // days since 2010-08-12
+        let days = week as u64 * 7;
+        let (mut y, mut m, mut d) = (2010u64, 8u64, 12u64);
+        let mut left = days;
+        let dim = |y: u64, m: u64| -> u64 {
+            match m {
+                1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+                4 | 6 | 9 | 11 => 30,
+                2 if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 => 29,
+                _ => 28,
+            }
+        };
+        while left > 0 {
+            let step = left.min(dim(y, m) - d + 1);
+            d += step;
+            left -= step;
+            if d > dim(y, m) {
+                d = 1;
+                m += 1;
+                if m > 12 {
+                    m = 1;
+                    y += 1;
+                }
+            }
+        }
+        format!("{:02}/{:02}/{:02}", y % 100, m, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_is_monotone_and_reaches_one() {
+        let t = AdoptionTimeline::paper();
+        let mut prev = 0.0;
+        for w in 0..=t.total_weeks {
+            let c = t.cumulative(w);
+            assert!(c >= prev - 1e-12, "non-monotone at week {w}");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!((t.cumulative(t.total_weeks) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jumps_visible_at_events() {
+        let t = AdoptionTimeline::paper();
+        let before_iana = t.cumulative(t.iana_week - 1);
+        let at_iana = t.cumulative(t.iana_week);
+        assert!(at_iana - before_iana > 0.10, "IANA jump must be a step");
+        let before_day = t.cumulative(t.ipv6_day_week - 1);
+        let at_day = t.cumulative(t.ipv6_day_week);
+        assert!(at_day - before_day > 0.30, "IPv6 Day jump must be the big one");
+        // between events growth is slow
+        let mid_growth = t.cumulative(t.iana_week + 5) - t.cumulative(t.iana_week + 1);
+        assert!(mid_growth < 0.05);
+    }
+
+    #[test]
+    fn cumulative_saturates_beyond_end() {
+        let t = AdoptionTimeline::paper();
+        assert_eq!(t.cumulative(10_000), 1.0);
+    }
+
+    #[test]
+    fn curve_matches_pointwise() {
+        let t = AdoptionTimeline::paper();
+        let c = t.curve();
+        assert_eq!(c.len(), t.total_weeks as usize + 1);
+        for (w, v) in c {
+            assert_eq!(v, t.cumulative(w));
+        }
+    }
+
+    #[test]
+    fn date_labels_hit_known_events() {
+        let t = AdoptionTimeline::paper();
+        assert_eq!(t.date_label(0), "10/08/12");
+        // week 25 = 175 days after 2010-08-12 = 2011-02-03
+        assert_eq!(t.date_label(IANA_DEPLETION_WEEK), "11/02/03");
+        // week 43 = 301 days = 2011-06-09 (IPv6 day was June 8, rounds ran
+        // through the event week)
+        assert_eq!(t.date_label(WORLD_IPV6_DAY_WEEK), "11/06/09");
+        assert_eq!(t.date_label(52), "11/08/11");
+    }
+
+    #[test]
+    fn date_label_year_rollover() {
+        let t = AdoptionTimeline::paper();
+        // week 20 = 140 days after 2010-08-12 = 2010-12-30
+        assert_eq!(t.date_label(20), "10/12/30");
+        assert_eq!(t.date_label(21), "11/01/06");
+    }
+}

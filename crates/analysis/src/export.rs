@@ -1,0 +1,174 @@
+//! CSV export of figures and tables, for external plotting.
+//!
+//! The paper's group promised public data access ("we plan to make the
+//! full data sets available … e.g., such as Google's BigQuery"); this
+//! module is that promise for the reproduction: every figure series and
+//! the headline tables render to plain CSV that gnuplot/pandas ingest
+//! directly.
+
+use crate::figures::Fig1Point;
+use crate::tables::{HopTable, Table11, Table8};
+use crate::types::VantageAnalysis;
+
+/// Escapes one CSV field (quotes when needed).
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Fig 1 as `week,date,reachable_pct`.
+pub fn fig1_csv(points: &[Fig1Point]) -> String {
+    let mut out = String::from("week,date,reachable_pct\n");
+    for p in points {
+        out.push_str(&format!("{},{},{:.4}\n", p.week, field(&p.label), p.reachable_pct));
+    }
+    out
+}
+
+/// Fig 3a as `bucket,reachable_pct`.
+pub fn fig3a_csv(series: &[(String, f64)]) -> String {
+    let mut out = String::from("bucket,reachable_pct\n");
+    for (label, pct) in series {
+        out.push_str(&format!("{},{pct:.4}\n", field(label)));
+    }
+    out
+}
+
+/// Table 8/10 as `vantage,pct_comparable,pct_zero_mode,pct_small,pct_bad,n_ases`.
+pub fn table8_csv(t: &Table8) -> String {
+    let mut out = String::from("vantage,pct_comparable,pct_zero_mode,pct_small,pct_bad,n_ases\n");
+    for i in 0..t.vantages.len() {
+        out.push_str(&format!(
+            "{},{:.2},{:.2},{:.2},{:.2},{}\n",
+            field(&t.vantages[i]),
+            t.pct_comparable[i],
+            t.pct_zero_mode[i],
+            t.pct_small[i],
+            t.pct_bad[i],
+            t.n_ases[i],
+        ));
+    }
+    out
+}
+
+/// Table 11/12 as `vantage,pct_comparable,pct_zero_mode,n_ases`.
+pub fn table11_csv(t: &Table11) -> String {
+    let mut out = String::from("vantage,pct_comparable,pct_zero_mode,n_ases\n");
+    for i in 0..t.vantages.len() {
+        out.push_str(&format!(
+            "{},{:.2},{:.2},{}\n",
+            field(&t.vantages[i]),
+            t.pct_comparable[i],
+            t.pct_zero_mode[i],
+            t.n_ases[i],
+        ));
+    }
+    out
+}
+
+/// Hop tables (7/9) in long form:
+/// `vantage,family,hop_bucket,mean_kbps,n_sites`.
+pub fn hop_table_csv(t: &HopTable) -> String {
+    let mut out = String::from("vantage,family,hop_bucket,mean_kbps,n_sites\n");
+    for (vi, v) in t.vantages.iter().enumerate() {
+        for (fam, data) in [("IPv4", &t.v4[vi]), ("IPv6", &t.v6[vi])] {
+            for (b, (mean, n)) in data.iter().enumerate() {
+                out.push_str(&format!(
+                    "{},{fam},{},{:.2},{}\n",
+                    field(v),
+                    crate::tables::HOP_BUCKETS[b],
+                    mean,
+                    n
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Per-site long-form dump of kept sites:
+/// `vantage,site,class,v4_mean,v6_mean,v4_hops,v6_hops` — the raw material
+/// for any custom analysis.
+pub fn kept_sites_csv(analyses: &[VantageAnalysis]) -> String {
+    let mut out = String::from("vantage,site,class,v4_mean_kbps,v6_mean_kbps,v4_hops,v6_hops\n");
+    for a in analyses {
+        for s in &a.kept {
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.3},{},{}\n",
+                field(&a.vantage),
+                s.site,
+                s.class,
+                s.v4_mean,
+                s.v6_mean,
+                s.v4_hops,
+                s.v6_hops,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AnalysisConfig, SiteClass};
+
+    #[test]
+    fn fig1_csv_shape() {
+        let points = vec![
+            Fig1Point { week: 0, label: "10/08/12".into(), reachable_pct: 0.5 },
+            Fig1Point { week: 1, label: "10/08/19".into(), reachable_pct: 0.6 },
+        ];
+        let csv = fig1_csv(&points);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "week,date,reachable_pct");
+        assert!(lines[1].starts_with("0,10/08/12,0.5"));
+    }
+
+    #[test]
+    fn field_escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("has,comma"), "\"has,comma\"");
+        assert_eq!(field("has\"quote"), "\"has\"\"quote\"");
+    }
+
+    #[test]
+    fn full_pipeline_csvs_parse_back() {
+        let c = crate::classify::tests::shared_campaign();
+        let a = crate::classify::analyze_vantage(
+            &AnalysisConfig::paper(),
+            &c.sites,
+            &c.db,
+            &c.table_v4,
+            &c.table_v6,
+        );
+        let analyses = vec![a];
+
+        let t8 = Table8::build(&analyses);
+        let csv = table8_csv(&t8);
+        assert!(csv.lines().count() == t8.vantages.len() + 1);
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 6);
+        }
+
+        let t11 = Table11::build(&analyses);
+        assert!(table11_csv(&t11).lines().count() == t11.vantages.len() + 1);
+
+        let t7 = HopTable::table7(&analyses);
+        let hop_csv = hop_table_csv(&t7);
+        // header + 2 families x 5 buckets per vantage
+        assert_eq!(hop_csv.lines().count(), 1 + t7.vantages.len() * 10);
+
+        let sites_csv = kept_sites_csv(&analyses);
+        assert_eq!(sites_csv.lines().count(), 1 + analyses[0].kept.len());
+        // classes render as their display names
+        let has_class = analyses[0].kept.iter().any(|s| s.class == SiteClass::Dp);
+        if has_class {
+            assert!(sites_csv.contains(",DP,"));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Figure series (Figs 1, 3a, 3b).
+
+use crate::types::SitePerf;
+use ipv6web_alexa::AdoptionTimeline;
+use ipv6web_monitor::MonitorDb;
+use ipv6web_web::SiteId;
+
+/// One point of the Fig 1 series.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig1Point {
+    /// Campaign week.
+    pub week: u32,
+    /// Calendar label (`YY/MM/DD`).
+    pub label: String,
+    /// IPv6-reachable share of monitored sites, percent.
+    pub reachable_pct: f64,
+}
+
+/// Fig 1: weekly IPv6 reachability of the monitored list, from `from_week`
+/// (the figure starts Dec 2010, i.e. partway into the campaign).
+pub fn fig1_series(db: &MonitorDb, timeline: &AdoptionTimeline, from_week: u32) -> Vec<Fig1Point> {
+    (from_week..=timeline.total_weeks)
+        .map(|week| Fig1Point {
+            week,
+            label: timeline.date_label(week),
+            reachable_pct: 100.0 * db.reachability_at(week),
+        })
+        .collect()
+}
+
+/// Fig 3a's rank buckets (top-k prefixes).
+pub const RANK_BUCKETS: [(u32, &str); 6] = [
+    (10, "Top 10"),
+    (100, "Top 100"),
+    (1_000, "Top 1k"),
+    (10_000, "Top 10k"),
+    (100_000, "Top 100k"),
+    (1_000_000, "Top 1M"),
+];
+
+/// Fig 3a: IPv6 reachability by rank bucket at `week`. `rank_of` maps a
+/// site id to its list rank. Buckets beyond the largest rank repeat the
+/// full-list value (our scaled list stands in for the 1M list). Returns
+/// `(label, reachable_pct)` per bucket.
+pub fn fig3a_series(
+    db: &MonitorDb,
+    rank_of: impl Fn(SiteId) -> Option<u32>,
+    week: u32,
+) -> Vec<(String, f64)> {
+    let mut per_bucket: Vec<(usize, usize)> = vec![(0, 0); RANK_BUCKETS.len()];
+    for (site, rec) in db.iter() {
+        if rec.added_week > week {
+            continue;
+        }
+        let Some(rank) = rank_of(site) else { continue };
+        let dual = rec.dual_since.is_some_and(|w| w <= week);
+        for (i, (k, _)) in RANK_BUCKETS.iter().enumerate() {
+            if rank <= *k {
+                per_bucket[i].0 += 1;
+                if dual {
+                    per_bucket[i].1 += 1;
+                }
+            }
+        }
+    }
+    RANK_BUCKETS
+        .iter()
+        .zip(per_bucket)
+        .map(|((_, label), (total, dual))| {
+            let pct = if total == 0 { 0.0 } else { 100.0 * dual as f64 / total as f64 };
+            (label.to_string(), pct)
+        })
+        .collect()
+}
+
+/// Fig 3b: how often IPv6 download is faster, for the ranked-list subset
+/// vs the full (list + DNS-cache tail) population. `in_top_list` selects
+/// the ranked subset. Returns `(pct_top_list, pct_all)`.
+pub fn fig3b_series(kept: &[SitePerf], in_top_list: impl Fn(SiteId) -> bool) -> (f64, f64) {
+    let faster = |subset: &[&SitePerf]| -> f64 {
+        if subset.is_empty() {
+            return 0.0;
+        }
+        let n = subset.iter().filter(|s| s.v6_mean > s.v4_mean).count();
+        100.0 * n as f64 / subset.len() as f64
+    };
+    let top: Vec<&SitePerf> = kept.iter().filter(|s| in_top_list(s.site)).collect();
+    let all: Vec<&SitePerf> = kept.iter().collect();
+    (faster(&top), faster(&all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SiteClass;
+    use ipv6web_topology::AsId;
+
+    fn db_with(dual_weeks: &[(u32, Option<u32>)]) -> MonitorDb {
+        let mut db = MonitorDb::new("t");
+        for (i, (added, dual)) in dual_weeks.iter().enumerate() {
+            let rec = db.record_mut(SiteId(i as u32), *added);
+            rec.dual_since = *dual;
+        }
+        db
+    }
+
+    #[test]
+    fn fig1_reflects_reachability_growth() {
+        let db = db_with(&[(0, Some(2)), (0, None), (0, None), (0, Some(10))]);
+        let tl = AdoptionTimeline::paper();
+        let series = fig1_series(&db, &tl, 0);
+        assert_eq!(series.len(), tl.total_weeks as usize + 1);
+        assert_eq!(series[0].reachable_pct, 0.0);
+        assert_eq!(series[2].reachable_pct, 25.0);
+        assert_eq!(series[10].reachable_pct, 50.0);
+        assert_eq!(series[0].label, "10/08/12");
+        // monotone here (no churn in this toy db)
+        for w in series.windows(2) {
+            assert!(w[1].reachable_pct >= w[0].reachable_pct);
+        }
+    }
+
+    #[test]
+    fn fig1_from_week_truncates() {
+        let db = db_with(&[(0, Some(0))]);
+        let tl = AdoptionTimeline::paper();
+        let series = fig1_series(&db, &tl, 40);
+        assert_eq!(series.len(), 13);
+        assert_eq!(series[0].week, 40);
+    }
+
+    #[test]
+    fn fig3a_buckets_nest() {
+        // ranks 1..=20, dual iff rank <= 2 (top-heavy adoption)
+        let mut db = MonitorDb::new("t");
+        for i in 0..20u32 {
+            let rec = db.record_mut(SiteId(i), 0);
+            rec.dual_since = (i < 2).then_some(0);
+        }
+        let series = fig3a_series(&db, |s| Some(s.0 + 1), 10);
+        assert_eq!(series[0].0, "Top 10");
+        assert_eq!(series[0].1, 20.0, "2 dual of top 10");
+        assert_eq!(series[1].1, 10.0, "2 dual of 20 present (Top 100 bucket)");
+        // declining with bucket size
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn fig3b_partitions() {
+        let mk = |id: u32, v4: f64, v6: f64| SitePerf {
+            site: SiteId(id),
+            class: SiteClass::Sp,
+            v4_mean: v4,
+            v6_mean: v6,
+            v4_hops: 1,
+            v6_hops: 1,
+            dest_v4: AsId(0),
+            dest_v6: AsId(0),
+        };
+        // ids < 10 are "top list": 1 of 2 faster; all 4: 2 of 4 faster
+        let kept = vec![
+            mk(1, 100.0, 120.0),
+            mk(2, 100.0, 80.0),
+            mk(100, 100.0, 130.0),
+            mk(101, 100.0, 70.0),
+        ];
+        let (top, all) = fig3b_series(&kept, |s| s.0 < 10);
+        assert_eq!(top, 50.0);
+        assert_eq!(all, 50.0);
+        let (top2, _) = fig3b_series(&kept, |s| s.0 == 2);
+        assert_eq!(top2, 0.0);
+    }
+
+    #[test]
+    fn fig3b_empty_sets_zero() {
+        let (a, b) = fig3b_series(&[], |_| true);
+        assert_eq!((a, b), (0.0, 0.0));
+    }
+}

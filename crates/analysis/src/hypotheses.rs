@@ -1,0 +1,396 @@
+//! Hypothesis machinery: AS categorization, cross-checks, good-AS
+//! coverage, and the H1/H2 verdicts.
+
+use crate::types::{AnalysisConfig, AsCategory, SitePerf, VantageAnalysis};
+use ipv6web_stats::zero_mode;
+use ipv6web_topology::AsId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Applies the Fig 4 decision procedure to one destination AS's sites.
+///
+/// Returns `(category, sites_at_zero, v4_mean, v6_mean)`.
+pub fn categorize(
+    members: &[&SitePerf],
+    cfg: &AnalysisConfig,
+) -> (AsCategory, usize, f64, f64) {
+    assert!(!members.is_empty(), "empty AS group");
+    let n = members.len() as f64;
+    let v4_mean = members.iter().map(|s| s.v4_mean).sum::<f64>() / n;
+    let v6_mean = members.iter().map(|s| s.v6_mean).sum::<f64>() / n;
+    let diffs: Vec<f64> = members.iter().map(|s| s.rel_diff()).collect();
+    let zm = zero_mode(&diffs, cfg.tolerance);
+
+    let comparable = v6_mean >= v4_mean * (1.0 - cfg.tolerance);
+    let category = if comparable {
+        AsCategory::Comparable
+    } else if zm.present {
+        AsCategory::ZeroMode
+    } else if members.len() < cfg.small_as_sites {
+        AsCategory::SmallN
+    } else {
+        AsCategory::Bad
+    };
+    (category, zm.sites_at_zero, v4_mean, v6_mean)
+}
+
+/// Cross-vantage checks on SP destination ASes (Table 8's last rows): an
+/// AS observed in SP from several vantage points checks **positive** when
+/// every vantage point put it in the same category, **negative** otherwise.
+pub fn cross_checks(analyses: &[VantageAnalysis]) -> (usize, usize) {
+    let mut seen: BTreeMap<AsId, BTreeSet<AsCategory>> = BTreeMap::new();
+    let mut count: BTreeMap<AsId, usize> = BTreeMap::new();
+    for a in analyses {
+        for (dest, g) in &a.sp_groups {
+            seen.entry(*dest).or_default().insert(g.category);
+            *count.entry(*dest).or_default() += 1;
+        }
+    }
+    let mut positive = 0;
+    let mut negative = 0;
+    for (dest, cats) in seen {
+        if count[&dest] < 2 {
+            continue; // not checkable
+        }
+        if cats.len() == 1 {
+            positive += 1;
+        } else {
+            negative += 1;
+        }
+    }
+    (positive, negative)
+}
+
+/// The set of "good" IPv6 ASes: every AS appearing on some comparable-SP
+/// IPv6 path from any vantage point (Section 4's data-plane exoneration
+/// step).
+pub fn good_as_set(analyses: &[VantageAnalysis]) -> BTreeSet<AsId> {
+    analyses
+        .iter()
+        .flat_map(|a| a.good_v6_paths.values())
+        .flat_map(|p| p.iter().copied())
+        .collect()
+}
+
+/// Bucket labels for Table 13, in row order.
+pub const COVERAGE_BUCKETS: [&str; 5] =
+    ["100%", "[75% , 100%)", "[50% , 75%)", "[25% , 50%)", "[0% , 25%)"];
+
+/// Table 13's row for one vantage point: the share of DP IPv6 paths whose
+/// crossed ASes (source excluded) fall in each good-coverage bucket.
+/// Returns percentages summing to ~100 (empty DP set gives all zeros).
+pub fn good_coverage_buckets(a: &VantageAnalysis, good: &BTreeSet<AsId>) -> [f64; 5] {
+    let mut counts = [0usize; 5];
+    let mut total = 0usize;
+    for path in a.dp_v6_paths.values() {
+        let crossed = &path[1..];
+        if crossed.is_empty() {
+            continue;
+        }
+        let good_n = crossed.iter().filter(|x| good.contains(x)).count();
+        let frac = good_n as f64 / crossed.len() as f64;
+        let bucket = if frac >= 1.0 {
+            0
+        } else if frac >= 0.75 {
+            1
+        } else if frac >= 0.5 {
+            2
+        } else if frac >= 0.25 {
+            3
+        } else {
+            4
+        };
+        counts[bucket] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return [0.0; 5];
+    }
+    let mut out = [0.0; 5];
+    for i in 0..5 {
+        out[i] = 100.0 * counts[i] as f64 / total as f64;
+    }
+    out
+}
+
+/// Summary verdict on a hypothesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypothesisVerdict {
+    /// Whether the data supports the hypothesis.
+    pub holds: bool,
+    /// The share of SP (H1) or DP (H2-contrast) destination ASes whose
+    /// IPv6 performance is comparable-or-explained, per vantage point.
+    pub per_vantage_share: Vec<(String, f64)>,
+    /// One-line summary.
+    pub summary: String,
+}
+
+/// Fraction of groups that are Comparable or ZeroMode or SmallN, i.e. not
+/// network-blamed.
+fn explained_share(groups: &BTreeMap<AsId, crate::types::AsGroup>) -> f64 {
+    if groups.is_empty() {
+        return f64::NAN;
+    }
+    let explained = groups
+        .values()
+        .filter(|g| g.category != AsCategory::Bad)
+        .count();
+    explained as f64 / groups.len() as f64
+}
+
+/// Fraction of groups that are Comparable or ZeroMode (similar performance
+/// for the AS or at least some of its sites).
+fn similar_share(groups: &BTreeMap<AsId, crate::types::AsGroup>) -> f64 {
+    if groups.is_empty() {
+        return f64::NAN;
+    }
+    let similar = groups
+        .values()
+        .filter(|g| matches!(g.category, AsCategory::Comparable | AsCategory::ZeroMode))
+        .count();
+    similar as f64 / groups.len() as f64
+}
+
+/// H1: "the IPv6 data plane performance is mostly on par with IPv4."
+/// Validated when, at every vantage point, the overwhelming majority of SP
+/// destination ASes are comparable / zero-mode / small-N (i.e. no
+/// network-attributable deficit) and cross-checks show no contradiction.
+pub fn h1_verdict(analyses: &[VantageAnalysis]) -> HypothesisVerdict {
+    // vantages without any SP destination AS carry no evidence either way
+    let per_vantage: Vec<(String, f64)> = analyses
+        .iter()
+        .filter(|a| !a.sp_groups.is_empty())
+        .map(|a| (a.vantage.clone(), explained_share(&a.sp_groups)))
+        .collect();
+    let (pos, neg) = cross_checks(analyses);
+    // an AS straddling the 10% comparability boundary can legitimately land
+    // in different categories from different vantage points; require
+    // negatives to be rare rather than absent
+    let holds = per_vantage.iter().all(|(_, s)| *s >= 0.9) && neg <= (pos / 5).max(1);
+    let summary = format!(
+        "H1 {}: SP destination ASes without network-attributable IPv6 deficit per vantage: {}; cross-checks +{pos}/-{neg}",
+        if holds { "holds" } else { "REJECTED" },
+        per_vantage
+            .iter()
+            .map(|(v, s)| format!("{v}={:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    HypothesisVerdict { holds, per_vantage_share: per_vantage, summary }
+}
+
+/// H2: "differences in routing choices are a major cause of poorer IPv6
+/// performance." Validated by contrast: the share of destination ASes with
+/// similar IPv6/IPv4 performance is much higher for SP than for DP.
+pub fn h2_verdict(analyses: &[VantageAnalysis]) -> HypothesisVerdict {
+    let mut per_vantage = Vec::new();
+    let mut holds = true;
+    for a in analyses {
+        // no groups on one side means the vantage cannot contribute to the
+        // SP/DP contrast
+        if a.sp_groups.is_empty() || a.dp_groups.is_empty() {
+            continue;
+        }
+        let sp = similar_share(&a.sp_groups);
+        let dp = similar_share(&a.dp_groups);
+        per_vantage.push((a.vantage.clone(), dp));
+        // the paper's contrast: ~70-80% similar in SP vs ~10-20% in DP
+        if dp > sp - 0.2 {
+            holds = false;
+        }
+    }
+    let summary = format!(
+        "H2 {}: DP destination ASes with similar IPv6/IPv4 performance per vantage: {} (vs SP shares far higher)",
+        if holds { "holds" } else { "REJECTED" },
+        per_vantage
+            .iter()
+            .map(|(v, s)| format!("{v}={:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    HypothesisVerdict { holds, per_vantage_share: per_vantage, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AsGroup, SiteClass};
+    use ipv6web_web::SiteId;
+
+    fn perf(v4: f64, v6: f64) -> SitePerf {
+        SitePerf {
+            site: SiteId(0),
+            class: SiteClass::Sp,
+            v4_mean: v4,
+            v6_mean: v6,
+            v4_hops: 2,
+            v6_hops: 2,
+            dest_v4: AsId(5),
+            dest_v6: AsId(5),
+        }
+    }
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::paper()
+    }
+
+    #[test]
+    fn comparable_group() {
+        let sites = [perf(100.0, 98.0), perf(50.0, 51.0)];
+        let refs: Vec<&SitePerf> = sites.iter().collect();
+        let (cat, _, v4m, v6m) = categorize(&refs, &cfg());
+        assert_eq!(cat, AsCategory::Comparable);
+        assert_eq!(v4m, 75.0);
+        assert!((v6m - 74.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_mode_group() {
+        // AS-level v6 much worse, but one site at parity => servers blamed
+        let sites = [perf(100.0, 100.0), perf(100.0, 30.0), perf(100.0, 25.0), perf(100.0, 20.0)];
+        let refs: Vec<&SitePerf> = sites.iter().collect();
+        let (cat, at_zero, _, _) = categorize(&refs, &cfg());
+        assert_eq!(cat, AsCategory::ZeroMode);
+        assert_eq!(at_zero, 1);
+    }
+
+    #[test]
+    fn small_group_without_zero_mode() {
+        let sites = [perf(100.0, 40.0), perf(100.0, 50.0)];
+        let refs: Vec<&SitePerf> = sites.iter().collect();
+        let (cat, _, _, _) = categorize(&refs, &cfg());
+        assert_eq!(cat, AsCategory::SmallN);
+    }
+
+    #[test]
+    fn bad_group_when_large_and_uniformly_worse() {
+        let sites: Vec<SitePerf> = (0..6).map(|_| perf(100.0, 50.0)).collect();
+        let refs: Vec<&SitePerf> = sites.iter().collect();
+        let (cat, _, _, _) = categorize(&refs, &cfg());
+        assert_eq!(cat, AsCategory::Bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_group_panics() {
+        categorize(&[], &cfg());
+    }
+
+    fn mk_analysis(name: &str, sp: Vec<(u32, AsCategory)>, dp: Vec<(u32, AsCategory)>) -> VantageAnalysis {
+        let mk_group = |dest: u32, cat: AsCategory| AsGroup {
+            dest: AsId(dest),
+            site_idx: vec![0],
+            v4_mean: 100.0,
+            v6_mean: if cat == AsCategory::Comparable { 100.0 } else { 50.0 },
+            category: cat,
+            sites_at_zero: 0,
+        };
+        VantageAnalysis {
+            vantage: name.into(),
+            sites_total: 10,
+            kept: vec![],
+            removed: vec![],
+            dest_ases_v4: Default::default(),
+            dest_ases_v6: Default::default(),
+            crossed_v4: Default::default(),
+            crossed_v6: Default::default(),
+            sp_groups: sp.into_iter().map(|(d, c)| (AsId(d), mk_group(d, c))).collect(),
+            dp_groups: dp.into_iter().map(|(d, c)| (AsId(d), mk_group(d, c))).collect(),
+            dp_v6_paths: Default::default(),
+            good_v6_paths: Default::default(),
+        }
+    }
+
+    #[test]
+    fn cross_checks_positive_when_consistent() {
+        let a = mk_analysis("A", vec![(1, AsCategory::Comparable), (2, AsCategory::ZeroMode)], vec![]);
+        let b = mk_analysis("B", vec![(1, AsCategory::Comparable), (3, AsCategory::Comparable)], vec![]);
+        let (pos, neg) = cross_checks(&[a, b]);
+        assert_eq!((pos, neg), (1, 0), "only AS 1 is checkable and agrees");
+    }
+
+    #[test]
+    fn cross_checks_negative_on_disagreement() {
+        let a = mk_analysis("A", vec![(1, AsCategory::Comparable)], vec![]);
+        let b = mk_analysis("B", vec![(1, AsCategory::Bad)], vec![]);
+        assert_eq!(cross_checks(&[a, b]), (0, 1));
+    }
+
+    #[test]
+    fn h1_holds_with_explained_groups() {
+        let a = mk_analysis(
+            "A",
+            vec![(1, AsCategory::Comparable), (2, AsCategory::ZeroMode), (3, AsCategory::SmallN)],
+            vec![],
+        );
+        let v = h1_verdict(&[a]);
+        assert!(v.holds, "{}", v.summary);
+    }
+
+    #[test]
+    fn h1_rejected_when_bad_ases_abound() {
+        let a = mk_analysis(
+            "A",
+            vec![(1, AsCategory::Bad), (2, AsCategory::Bad), (3, AsCategory::Comparable)],
+            vec![],
+        );
+        let v = h1_verdict(&[a]);
+        assert!(!v.holds, "{}", v.summary);
+    }
+
+    #[test]
+    fn h2_holds_on_sp_dp_contrast() {
+        let a = mk_analysis(
+            "A",
+            vec![(1, AsCategory::Comparable), (2, AsCategory::Comparable), (3, AsCategory::ZeroMode)],
+            vec![(10, AsCategory::Bad), (11, AsCategory::Bad), (12, AsCategory::SmallN), (13, AsCategory::Bad)],
+        );
+        let v = h2_verdict(&[a]);
+        assert!(v.holds, "{}", v.summary);
+    }
+
+    #[test]
+    fn h2_rejected_when_dp_looks_like_sp() {
+        let a = mk_analysis(
+            "A",
+            vec![(1, AsCategory::Comparable)],
+            vec![(10, AsCategory::Comparable), (11, AsCategory::Comparable)],
+        );
+        let v = h2_verdict(&[a]);
+        assert!(!v.holds, "{}", v.summary);
+    }
+
+    #[test]
+    fn good_as_set_unions_paths() {
+        let mut a = mk_analysis("A", vec![], vec![]);
+        a.good_v6_paths.insert(AsId(9), vec![AsId(1), AsId(2), AsId(9)]);
+        let mut b = mk_analysis("B", vec![], vec![]);
+        b.good_v6_paths.insert(AsId(8), vec![AsId(3), AsId(8)]);
+        let set = good_as_set(&[a, b]);
+        assert_eq!(set.len(), 5);
+        assert!(set.contains(&AsId(2)) && set.contains(&AsId(3)));
+    }
+
+    #[test]
+    fn coverage_buckets_partition() {
+        let mut a = mk_analysis("A", vec![], vec![]);
+        // path fully good
+        a.dp_v6_paths.insert(AsId(1), vec![AsId(0), AsId(10), AsId(11)]);
+        // path half good
+        a.dp_v6_paths.insert(AsId(2), vec![AsId(0), AsId(10), AsId(99)]);
+        // path not good at all
+        a.dp_v6_paths.insert(AsId(3), vec![AsId(0), AsId(98), AsId(99)]);
+        let good: BTreeSet<AsId> = [AsId(10), AsId(11)].into_iter().collect();
+        let buckets = good_coverage_buckets(&a, &good);
+        assert!((buckets.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((buckets[0] - 33.33).abs() < 0.1, "one fully-good path");
+        assert!((buckets[2] - 33.33).abs() < 0.1, "one 50% path");
+        assert!((buckets[4] - 33.33).abs() < 0.1, "one 0% path");
+    }
+
+    #[test]
+    fn coverage_empty_dp_all_zero() {
+        let a = mk_analysis("A", vec![], vec![]);
+        assert_eq!(good_coverage_buckets(&a, &BTreeSet::new()), [0.0; 5]);
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's analysis methodology (Section 4, Fig 4).
+//!
+//! Pipeline, per vantage point with `AS_PATH` data:
+//!
+//! 1. **Sanitization** ([`sanitize`]) — drop sites whose month-scale series
+//!    cannot support an average: too few samples, a sharp step (length-11
+//!    median filter, ≥30% for 6+ samples), or a steady drift (linear
+//!    regression). Produces Table 3, and the removed-site bias check of
+//!    Table 5.
+//! 2. **Classification** ([`classify`]) — split kept sites into DL
+//!    (different IPv6/IPv4 destination AS — CDN users and 6to4), and for
+//!    same-location sites SP (same AS path both families) vs DP (different
+//!    paths). Produces Table 4.
+//! 3. **Hypothesis validation** ([`hypotheses`]) — per-destination-AS
+//!    comparison of IPv6 and IPv4 performance with zero-mode detection and
+//!    cross-vantage checks (Tables 8/10 for H1 on SP, Tables 11/12 for H2
+//!    on DP, Table 13's good-AS coverage), plus hop-count breakdowns
+//!    (Tables 7 and 9) and the DL view (Table 6).
+//! 4. **Figures** ([`figures`]) — the reachability timeline (Fig 1), the
+//!    rank dependence (Fig 3a), and the top-1M vs 5M comparison (Fig 3b).
+//!
+//! [`tables`] holds one struct per paper table, each with a text renderer,
+//! so the `repro` harness regenerates the paper's exact artifact list.
+
+pub mod classify;
+pub mod export;
+pub mod figures;
+pub mod hypotheses;
+pub mod misc;
+pub mod sanitize;
+pub mod tables;
+pub mod types;
+
+pub use classify::analyze_vantage;
+pub use export::{fig1_csv, fig3a_csv, hop_table_csv, kept_sites_csv, table11_csv, table8_csv};
+pub use figures::{fig1_series, fig3a_series, fig3b_series};
+pub use hypotheses::{h1_verdict, h2_verdict, HypothesisVerdict};
+pub use misc::{better_v6_profile, BetterV6Profile};
+pub use sanitize::{sanitize_site, RemovalCause};
+pub use types::{
+    AnalysisConfig, AsCategory, AsGroup, RemovedSite, SiteClass, SitePerf, VantageAnalysis,
+};

@@ -1,0 +1,224 @@
+//! Section 5.5's "miscellaneous finding": do sites/ASes with *better* IPv6
+//! performance share a common trait?
+//!
+//! The paper looked for dominance by class (DL/SP/DP) and by geography and
+//! found none — a negative result it reports explicitly. This module runs
+//! the same investigation over the simulated campaign.
+
+use crate::types::VantageAnalysis;
+use ipv6web_topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Share of better-IPv6 sites vs the base rate, for one grouping value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraitShare {
+    /// Sites in this group where IPv6 outperformed IPv4.
+    pub better: usize,
+    /// All kept sites in this group.
+    pub total: usize,
+}
+
+impl TraitShare {
+    /// Better-share within the group; 0 for empty groups.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.better as f64 / self.total as f64
+        }
+    }
+}
+
+/// The Section 5.5 investigation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BetterV6Profile {
+    /// Sites where IPv6 outperformed IPv4, across all analyses.
+    pub total_better: usize,
+    /// All kept sites considered.
+    pub total_sites: usize,
+    /// Breakdown by site class.
+    pub by_class: BTreeMap<String, TraitShare>,
+    /// Breakdown by destination-AS region.
+    pub by_region: BTreeMap<String, TraitShare>,
+    /// A trait whose group is both enriched (≥2× the overall rate) and
+    /// covers a majority of the better-IPv6 sites — `None` reproduces the
+    /// paper's negative finding.
+    pub dominant_trait: Option<String>,
+}
+
+fn enriched_and_majority(
+    shares: &BTreeMap<String, TraitShare>,
+    overall_rate: f64,
+    total_better: usize,
+) -> Option<String> {
+    for (name, s) in shares {
+        if s.total < 10 {
+            continue; // too small to call dominant
+        }
+        let covers_majority = 2 * s.better > total_better;
+        let enriched = s.rate() > 2.0 * overall_rate;
+        if covers_majority && enriched {
+            return Some(name.clone());
+        }
+    }
+    None
+}
+
+/// Runs the investigation over all vantage analyses.
+pub fn better_v6_profile(topo: &Topology, analyses: &[VantageAnalysis]) -> BetterV6Profile {
+    let mut by_class: BTreeMap<String, TraitShare> = BTreeMap::new();
+    let mut by_region: BTreeMap<String, TraitShare> = BTreeMap::new();
+    let mut total_better = 0usize;
+    let mut total_sites = 0usize;
+    for a in analyses {
+        for s in &a.kept {
+            let better = s.v6_mean > s.v4_mean;
+            total_sites += 1;
+            total_better += usize::from(better);
+            let class_key = s.class.to_string();
+            let region_key = format!("{:?}", topo.node(s.dest_v6).region);
+            for (map, key) in [(&mut by_class, class_key), (&mut by_region, region_key)] {
+                let e = map.entry(key).or_insert(TraitShare { better: 0, total: 0 });
+                e.total += 1;
+                e.better += usize::from(better);
+            }
+        }
+    }
+    let overall_rate = if total_sites == 0 {
+        0.0
+    } else {
+        total_better as f64 / total_sites as f64
+    };
+    let dominant_trait = enriched_and_majority(&by_class, overall_rate, total_better)
+        .or_else(|| enriched_and_majority(&by_region, overall_rate, total_better));
+    BetterV6Profile { total_better, total_sites, by_class, by_region, dominant_trait }
+}
+
+impl std::fmt::Display for BetterV6Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Section 5.5: traits of better-IPv6 performers ({} of {} kept sites)",
+            self.total_better, self.total_sites
+        )?;
+        for (label, map) in [("class", &self.by_class), ("region", &self.by_region)] {
+            for (k, s) in map {
+                writeln!(f, "  by {label}: {k:<14} {}/{} ({:.0}%)", s.better, s.total, 100.0 * s.rate())?;
+            }
+        }
+        match &self.dominant_trait {
+            Some(t) => writeln!(f, "  dominant trait: {t} (deviates from the paper's negative finding)"),
+            None => writeln!(f, "  no dominant trait — the paper's negative finding reproduces"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{SiteClass, SitePerf};
+    use ipv6web_topology::{generate, AsId, Region, TopologyConfig};
+    use ipv6web_web::SiteId;
+
+    fn analysis_with(kept: Vec<SitePerf>) -> VantageAnalysis {
+        VantageAnalysis {
+            vantage: "T".into(),
+            sites_total: kept.len(),
+            kept,
+            removed: vec![],
+            dest_ases_v4: Default::default(),
+            dest_ases_v6: Default::default(),
+            crossed_v4: Default::default(),
+            crossed_v6: Default::default(),
+            sp_groups: Default::default(),
+            dp_groups: Default::default(),
+            dp_v6_paths: Default::default(),
+            good_v6_paths: Default::default(),
+        }
+    }
+
+    fn perf(id: u32, class: SiteClass, dest: u32, v4: f64, v6: f64) -> SitePerf {
+        SitePerf {
+            site: SiteId(id),
+            class,
+            v4_mean: v4,
+            v6_mean: v6,
+            v4_hops: 2,
+            v6_hops: 2,
+            dest_v4: AsId(dest),
+            dest_v6: AsId(dest),
+        }
+    }
+
+    #[test]
+    fn balanced_world_has_no_dominant_trait() {
+        let topo = generate(&TopologyConfig::test_small(), 1);
+        // better-v6 sites spread evenly over classes and (via different dest
+        // ASes) regions
+        let mut kept = Vec::new();
+        for i in 0..60u32 {
+            let class = match i % 3 {
+                0 => SiteClass::Sp,
+                1 => SiteClass::Dp,
+                _ => SiteClass::Dl,
+            };
+            let better = i % 4 == 0; // 25% better, uniformly
+            let dest = 100 + (i % 30);
+            kept.push(perf(i, class, dest, 100.0, if better { 120.0 } else { 80.0 }));
+        }
+        let p = better_v6_profile(&topo, &[analysis_with(kept)]);
+        assert_eq!(p.total_sites, 60);
+        assert_eq!(p.total_better, 15);
+        assert_eq!(p.dominant_trait, None, "{p}");
+        assert_eq!(p.by_class.len(), 3);
+    }
+
+    #[test]
+    fn concentrated_world_flags_the_trait() {
+        let topo = generate(&TopologyConfig::test_small(), 1);
+        // ALL better-v6 sites are DL; DL's rate is far above overall
+        let mut kept = Vec::new();
+        for i in 0..40u32 {
+            kept.push(perf(i, SiteClass::Dp, 100 + (i % 20), 100.0, 80.0));
+        }
+        for i in 40..60u32 {
+            kept.push(perf(i, SiteClass::Dl, 100 + (i % 20), 100.0, 150.0));
+        }
+        let p = better_v6_profile(&topo, &[analysis_with(kept)]);
+        assert_eq!(p.dominant_trait, Some("DL".to_string()), "{p}");
+    }
+
+    #[test]
+    fn empty_input_is_negative() {
+        let topo = generate(&TopologyConfig::test_small(), 1);
+        let p = better_v6_profile(&topo, &[]);
+        assert_eq!(p.total_sites, 0);
+        assert_eq!(p.dominant_trait, None);
+    }
+
+    #[test]
+    fn display_mentions_verdict() {
+        let topo = generate(&TopologyConfig::test_small(), 1);
+        let p = better_v6_profile(&topo, &[]);
+        assert!(p.to_string().contains("negative finding"));
+        let _ = Region::Europe;
+    }
+
+    #[test]
+    fn quick_campaign_reproduces_negative_finding() {
+        // the real pipeline: in the calibrated world, better-IPv6 sites
+        // must not concentrate in one class or region
+        let c = crate::classify::tests::shared_campaign();
+        let a = crate::classify::analyze_vantage(
+            &crate::types::AnalysisConfig::paper(),
+            &c.sites,
+            &c.db,
+            &c.table_v4,
+            &c.table_v6,
+        );
+        let p = better_v6_profile(&c.topo, &[a]);
+        assert!(p.total_sites > 0);
+        assert_eq!(p.dominant_trait, None, "{p}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Shared analysis data types.
+
+use ipv6web_topology::AsId;
+use ipv6web_web::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Analysis thresholds (all from the paper's text).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Minimum paired (same-week v4+v6) samples for a usable average.
+    pub min_paired_samples: usize,
+    /// Performance comparability tolerance — "do not differ by more than
+    /// 10%; the range of our confidence interval".
+    pub tolerance: f64,
+    /// ASes with fewer sites than this count as "small number of sites"
+    /// (the paper says less than four).
+    pub small_as_sites: usize,
+}
+
+impl AnalysisConfig {
+    /// The paper's thresholds.
+    pub fn paper() -> Self {
+        AnalysisConfig { min_paired_samples: 8, tolerance: 0.10, small_as_sites: 4 }
+    }
+
+    /// Looser thresholds for the World IPv6 Day data (a single day of
+    /// 30-minute rounds instead of months of weekly ones).
+    pub fn ipv6_day() -> Self {
+        AnalysisConfig { min_paired_samples: 3, tolerance: 0.10, small_as_sites: 4 }
+    }
+}
+
+/// The paper's site classes (Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SiteClass {
+    /// Different locations: IPv6 and IPv4 destination ASes differ.
+    Dl,
+    /// Same location, same AS path in both families.
+    Sp,
+    /// Same location, different AS paths.
+    Dp,
+}
+
+impl std::fmt::Display for SiteClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SiteClass::Dl => write!(f, "DL"),
+            SiteClass::Sp => write!(f, "SP"),
+            SiteClass::Dp => write!(f, "DP"),
+        }
+    }
+}
+
+/// Why a site was removed by sanitization (Table 3 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RemovalCause {
+    /// Not enough samples for the confidence target.
+    InsufficientSamples,
+    /// Sharp upward transition (↑).
+    TransitionUp,
+    /// Sharp downward transition (↓).
+    TransitionDown,
+    /// Steady upward trend (↗).
+    TrendUp,
+    /// Steady downward trend (↘).
+    TrendDown,
+}
+
+/// A sanitization-removed site, with enough context for Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemovedSite {
+    /// Which site.
+    pub site: SiteId,
+    /// Why it was removed.
+    pub cause: RemovalCause,
+    /// Its class, when classifiable (needs AS paths).
+    pub class: Option<SiteClass>,
+    /// Whether its IPv6 performance (over whatever samples existed) was
+    /// good relative to IPv4 — `None` when too few samples to say.
+    pub good_v6_perf: Option<bool>,
+}
+
+/// A kept site's summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SitePerf {
+    /// Which site.
+    pub site: SiteId,
+    /// DL / SP / DP.
+    pub class: SiteClass,
+    /// Mean IPv4 download speed over kept samples, kB/s.
+    pub v4_mean: f64,
+    /// Mean IPv6 download speed, kB/s.
+    pub v6_mean: f64,
+    /// IPv4 AS-path hop count from this vantage.
+    pub v4_hops: usize,
+    /// IPv6 AS-path hop count.
+    pub v6_hops: usize,
+    /// IPv4 destination AS.
+    pub dest_v4: AsId,
+    /// IPv6 destination AS.
+    pub dest_v6: AsId,
+}
+
+impl SitePerf {
+    /// Relative IPv6−IPv4 difference, `(v6 − v4) / v4`.
+    pub fn rel_diff(&self) -> f64 {
+        (self.v6_mean - self.v4_mean) / self.v4_mean
+    }
+
+    /// The paper's comparability test: IPv6 within `tol` of IPv4, or
+    /// better.
+    pub fn v6_comparable(&self, tol: f64) -> bool {
+        self.v6_mean >= self.v4_mean * (1.0 - tol)
+    }
+}
+
+/// Category of a destination AS after the Fig 4 decision procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AsCategory {
+    /// IPv6 ≈ IPv4 (or better) across the AS's sites.
+    Comparable,
+    /// Worse at AS level, but the per-site difference distribution has a
+    /// zero-mode — servers, not the network, explain the deficit.
+    ZeroMode,
+    /// Worse, no zero-mode, and too few sites to tell (paper: < 4).
+    SmallN,
+    /// Worse, no zero-mode, enough sites — a genuine network-level deficit.
+    Bad,
+}
+
+/// One destination AS's site group and verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsGroup {
+    /// The destination AS.
+    pub dest: AsId,
+    /// Indices into the kept vector of sites in this AS.
+    pub site_idx: Vec<usize>,
+    /// Average of per-site mean IPv4 speeds.
+    pub v4_mean: f64,
+    /// Average of per-site mean IPv6 speeds.
+    pub v6_mean: f64,
+    /// Fig 4 verdict.
+    pub category: AsCategory,
+    /// Sites within tolerance of zero difference (zero-mode support).
+    pub sites_at_zero: usize,
+}
+
+/// Everything the tables need from one vantage point's campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VantageAnalysis {
+    /// Vantage point name.
+    pub vantage: String,
+    /// Dual-stack sites that produced at least one paired measurement.
+    pub sites_total: usize,
+    /// Sites surviving sanitization, with summaries.
+    pub kept: Vec<SitePerf>,
+    /// Sites removed by sanitization.
+    pub removed: Vec<RemovedSite>,
+    /// Distinct IPv4 destination ASes of kept sites.
+    pub dest_ases_v4: BTreeSet<AsId>,
+    /// Distinct IPv6 destination ASes of kept sites.
+    pub dest_ases_v6: BTreeSet<AsId>,
+    /// ASes crossed by IPv4 paths (dest included, vantage AS excluded).
+    pub crossed_v4: BTreeSet<AsId>,
+    /// ASes crossed by IPv6 paths.
+    pub crossed_v6: BTreeSet<AsId>,
+    /// SP destination AS groups.
+    pub sp_groups: BTreeMap<AsId, AsGroup>,
+    /// DP destination AS groups.
+    pub dp_groups: BTreeMap<AsId, AsGroup>,
+    /// IPv6 AS paths (vantage first) to each DP destination — Table 13.
+    pub dp_v6_paths: BTreeMap<AsId, Vec<AsId>>,
+    /// IPv6 AS paths to each *comparable* SP destination — the "good"
+    /// paths whose member ASes are certified good.
+    pub good_v6_paths: BTreeMap<AsId, Vec<AsId>>,
+}
+
+impl VantageAnalysis {
+    /// Kept sites of one class.
+    pub fn kept_of(&self, class: SiteClass) -> impl Iterator<Item = &SitePerf> {
+        self.kept.iter().filter(move |s| s.class == class)
+    }
+
+    /// Count of kept sites of one class (Table 4 cells).
+    pub fn count_of(&self, class: SiteClass) -> usize {
+        self.kept_of(class).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf(v4: f64, v6: f64) -> SitePerf {
+        SitePerf {
+            site: SiteId(0),
+            class: SiteClass::Sp,
+            v4_mean: v4,
+            v6_mean: v6,
+            v4_hops: 3,
+            v6_hops: 3,
+            dest_v4: AsId(1),
+            dest_v6: AsId(1),
+        }
+    }
+
+    #[test]
+    fn comparability_rule() {
+        assert!(perf(100.0, 95.0).v6_comparable(0.10));
+        assert!(perf(100.0, 90.0).v6_comparable(0.10), "exactly at tolerance");
+        assert!(!perf(100.0, 89.9).v6_comparable(0.10));
+        assert!(perf(100.0, 150.0).v6_comparable(0.10), "better is comparable");
+    }
+
+    #[test]
+    fn rel_diff_sign() {
+        assert!(perf(100.0, 80.0).rel_diff() < 0.0);
+        assert!(perf(100.0, 120.0).rel_diff() > 0.0);
+        assert_eq!(perf(100.0, 100.0).rel_diff(), 0.0);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(SiteClass::Dl.to_string(), "DL");
+        assert_eq!(SiteClass::Sp.to_string(), "SP");
+        assert_eq!(SiteClass::Dp.to_string(), "DP");
+    }
+
+    #[test]
+    fn configs_sane() {
+        let p = AnalysisConfig::paper();
+        assert_eq!(p.tolerance, 0.10);
+        assert_eq!(p.small_as_sites, 4);
+        assert!(AnalysisConfig::ipv6_day().min_paired_samples < p.min_paired_samples);
+    }
+}

@@ -1,0 +1,58 @@
+//! One Criterion bench per paper figure, plus a print-once of the series
+//! so `cargo bench` output doubles as a sanity check of the shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipv6web_analysis::figures::{fig1_series, fig3a_series, fig3b_series};
+use ipv6web_bench::shared_quick_study;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let study = shared_quick_study();
+    let w = &study.world;
+    let penn_idx = w.vantages.iter().position(|v| v.name == "Penn").unwrap();
+    let db = &study.dbs[penn_idx];
+    let timeline = &w.scenario.timeline;
+    let n_list = w.scenario.population.n_sites;
+    let sites = &w.sites;
+    let last_week = w.scenario.campaign.total_weeks - 1;
+    let penn = study
+        .analyses
+        .iter()
+        .find(|a| a.vantage == "Penn")
+        .expect("penn analyzed");
+
+    // print the series once so bench logs show the shape
+    let r = &study.report;
+    println!(
+        "fig1: {:.2}% -> {:.2}%  fig3a: {:?}  fig3b: {:?}",
+        r.fig1.first().map(|p| p.reachable_pct).unwrap_or(0.0),
+        r.fig1.last().map(|p| p.reachable_pct).unwrap_or(0.0),
+        r.fig3a,
+        r.fig3b
+    );
+
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig1_reachability_timeline", |b| {
+        b.iter(|| black_box(fig1_series(db, timeline, 0)))
+    });
+    g.bench_function("fig3a_rank_buckets", |b| {
+        b.iter(|| {
+            black_box(fig3a_series(
+                db,
+                |s| (s.index() < n_list).then(|| sites[s.index()].rank),
+                last_week,
+            ))
+        })
+    });
+    g.bench_function("fig3b_top_vs_tail", |b| {
+        b.iter(|| black_box(fig3b_series(&penn.kept, |s| s.index() < n_list)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Microbenchmarks of the substrates the study is built on: wire codecs,
+//! route computation, the TCP model, DNS resolution, topology generation,
+//! and a single end-to-end site probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipv6web_bgp::{routes_to_dest, BgpTable};
+use ipv6web_dns::{Resolver, ZoneDb, ZoneEntry};
+use ipv6web_netsim::{download_time, DataPlane, TcpConfig};
+use ipv6web_packet::{Icmpv6Message, Ipv4Header, Ipv6Header, TcpHeader, UdpHeader};
+use ipv6web_stats::derive_rng;
+use ipv6web_topology::{generate, AsId, Family, Tier, TopologyConfig};
+use std::hint::black_box;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn bench_packet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    let v4 = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 6, 1000);
+    g.bench_function("ipv4_encode", |b| b.iter(|| black_box(v4.to_vec())));
+    let wire4 = v4.to_vec();
+    g.bench_function("ipv4_decode", |b| {
+        b.iter(|| black_box(Ipv4Header::decode(&mut &wire4[..]).unwrap()))
+    });
+    let v6 = Ipv6Header::new("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap(), 6, 1000);
+    g.bench_function("ipv6_encode", |b| b.iter(|| black_box(v6.to_vec())));
+    let s6: Ipv6Addr = "2001:db8::1".parse().unwrap();
+    let d6: Ipv6Addr = "2001:db8::2".parse().unwrap();
+    let icmp = Icmpv6Message::echo_request(1, 1, vec![0u8; 56]);
+    g.bench_function("icmpv6_echo_roundtrip", |b| {
+        b.iter(|| {
+            let wire = icmp.to_vec(s6, d6);
+            black_box(Icmpv6Message::decode(&wire, s6, d6).unwrap())
+        })
+    });
+    let tcp = TcpHeader::syn(49152, 80, 1, 1460);
+    let payload = vec![0u8; 512];
+    g.bench_function("tcp_segment_roundtrip_v4", |b| {
+        b.iter(|| {
+            let wire = tcp.to_vec_v4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), &payload);
+            let (hdr, _) =
+                TcpHeader::decode_v4(&wire, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+                    .unwrap();
+            black_box(hdr)
+        })
+    });
+    let udp = UdpHeader::new(33434, 33435, 8);
+    g.bench_function("udp_encode_v6", |b| {
+        b.iter(|| black_box(udp.to_vec_v6(s6, d6, &[0u8; 8])))
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::scaled(1000), 5);
+    let dest = topo
+        .nodes()
+        .iter()
+        .find(|n| n.tier == Tier::Content)
+        .unwrap()
+        .id;
+    let vantage = topo.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
+    let dests: Vec<AsId> = topo
+        .nodes()
+        .iter()
+        .filter(|n| n.tier == Tier::Content)
+        .map(|n| n.id)
+        .take(50)
+        .collect();
+    let mut g = c.benchmark_group("bgp");
+    g.bench_function("routes_to_dest_1k_ases", |b| {
+        b.iter(|| black_box(routes_to_dest(&topo, dest, Family::V4)))
+    });
+    g.sample_size(10);
+    g.bench_function("table_build_50_dests", |b| {
+        b.iter(|| black_box(BgpTable::build(&topo, vantage, Family::V4, &dests)))
+    });
+    g.finish();
+
+    c.bench_function("topology_generate_1k", |b| {
+        b.iter(|| black_box(generate(&TopologyConfig::scaled(1000), 5)))
+    });
+}
+
+fn bench_dataplane(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::test_small(), 9);
+    let vantage = topo
+        .nodes()
+        .iter()
+        .find(|n| n.tier == Tier::Access && n.is_dual_stack())
+        .unwrap()
+        .id;
+    let dests: Vec<AsId> = topo
+        .nodes()
+        .iter()
+        .filter(|n| n.tier == Tier::Content)
+        .map(|n| n.id)
+        .take(10)
+        .collect();
+    let table = BgpTable::build(&topo, vantage, Family::V4, &dests);
+    let route = table.iter().next().unwrap().clone();
+    let dp = DataPlane::new(&topo);
+    c.bench_function("path_metrics", |b| b.iter(|| black_box(dp.metrics(&route, Family::V4))));
+
+    let metrics = dp.metrics(&route, Family::V4);
+    let cfg = TcpConfig::paper();
+    let mut rng = derive_rng(1, "bench");
+    c.bench_function("tcp_download_60kB", |b| {
+        b.iter(|| black_box(download_time(&mut rng, 60_000, &metrics, 20.0, &cfg)))
+    });
+}
+
+fn bench_dns(c: &mut Criterion) {
+    let mut zone = ZoneDb::new();
+    for i in 0..1000 {
+        zone.insert(
+            format!("site{i}.web.example"),
+            ZoneEntry {
+                v4: Ipv4Addr::new(16, (i / 256) as u8, (i % 256) as u8, 1),
+                v6: Some("2400:1::1".parse().unwrap()),
+                v6_from_week: 0,
+                ttl: 300,
+            },
+        );
+    }
+    let mut resolver = Resolver::new();
+    let mut i = 0u64;
+    c.bench_function("dns_resolve_wire_roundtrip", |b| {
+        b.iter(|| {
+            // rotate names so the cache doesn't absorb everything
+            let name = format!("site{}.web.example", i % 1000);
+            i += 1;
+            resolver.flush();
+            black_box(resolver.resolve(&zone, &name, ipv6web_dns::RecordType::Aaaa, 10, i))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_packet, bench_routing, bench_dataplane, bench_dns
+}
+criterion_main!(benches);

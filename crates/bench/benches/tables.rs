@@ -1,0 +1,56 @@
+//! One Criterion bench per paper table: measures regenerating the table
+//! from the shared campaign's analyses (the pure analysis stage, which is
+//! what a user re-runs when exploring the data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipv6web_analysis::tables::{HopTable, Table11, Table13, Table2, Table3, Table4, Table5, Table6, Table8};
+use ipv6web_analysis::{analyze_vantage, AnalysisConfig};
+use ipv6web_bench::shared_quick_study;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let study = shared_quick_study();
+    let analyses = &study.analyses;
+    let day = &study.day_analyses;
+
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table2_profiles", |b| b.iter(|| black_box(Table2::build(analyses))));
+    g.bench_function("table3_failure_causes", |b| b.iter(|| black_box(Table3::build(analyses))));
+    g.bench_function("table4_classification", |b| b.iter(|| black_box(Table4::build(analyses))));
+    g.bench_function("table5_removed_bias", |b| b.iter(|| black_box(Table5::build(analyses))));
+    g.bench_function("table6_dl", |b| b.iter(|| black_box(Table6::build(analyses))));
+    g.bench_function("table7_dl_dp_hops", |b| b.iter(|| black_box(HopTable::table7(analyses))));
+    g.bench_function("table8_sp_h1", |b| b.iter(|| black_box(Table8::build(analyses))));
+    g.bench_function("table9_sp_hops", |b| b.iter(|| black_box(HopTable::table9(analyses))));
+    g.bench_function("table10_ipv6day_sp", |b| {
+        b.iter(|| black_box(Table8::build_ipv6_day(day)))
+    });
+    g.bench_function("table11_dp_h2", |b| b.iter(|| black_box(Table11::build(analyses))));
+    g.bench_function("table12_ipv6day_dp", |b| {
+        b.iter(|| black_box(Table11::build_ipv6_day(day)))
+    });
+    g.bench_function("table13_good_coverage", |b| b.iter(|| black_box(Table13::build(analyses))));
+    g.finish();
+
+    // the stage that feeds all tables: a full vantage analysis
+    let w = &study.world;
+    let penn_idx = w.vantages.iter().position(|v| v.name == "Penn").unwrap();
+    c.bench_function("analyze_vantage_penn", |b| {
+        b.iter(|| {
+            black_box(analyze_vantage(
+                &AnalysisConfig::paper(),
+                &w.sites,
+                &study.dbs[penn_idx],
+                &w.tables[penn_idx].0,
+                &w.tables[penn_idx].1,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tables
+}
+criterion_main!(benches);

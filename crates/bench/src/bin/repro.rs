@@ -1,0 +1,121 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro all                      # everything, quick scale
+//! repro tab8 fig1                # specific artifacts
+//! repro all --scale paper        # full-scale run (minutes)
+//! repro all --seed 7 --json out.json
+//! ```
+
+use ipv6web_bench::Scale;
+use ipv6web_core::run_study;
+
+const ARTIFACTS: &[&str] = &[
+    "fig1", "fig3a", "fig3b", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8",
+    "tab9", "tab10", "tab11", "tab12", "tab13", "verdicts", "compare",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <artifact...|all> [--scale quick|paper] [--seed N] [--json FILE] [--csv DIR]\n\
+         artifacts: {}",
+        ARTIFACTS.join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut wanted: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut seed = 42u64;
+    let mut json_out: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--json" => {
+                json_out = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "all" => wanted.extend(ARTIFACTS.iter().map(|s| s.to_string())),
+            other if ARTIFACTS.contains(&other) => wanted.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    wanted.dedup();
+
+    eprintln!("running study (scale {scale:?}, seed {seed})...");
+    let t0 = std::time::Instant::now();
+    let study = run_study(&scale.scenario(seed));
+    eprintln!("study complete in {:.1}s\n", t0.elapsed().as_secs_f64());
+    let r = &study.report;
+
+    for artifact in &wanted {
+        let text = match artifact.as_str() {
+            "fig1" => r.render_fig1(),
+            "fig3a" => r.render_fig3a(),
+            "fig3b" => r.render_fig3b(),
+            "tab1" => r.render_table1(),
+            "tab2" => r.table2.to_string(),
+            "tab3" => r.table3.to_string(),
+            "tab4" => r.table4.to_string(),
+            "tab5" => r.table5.to_string(),
+            "tab6" => r.table6.to_string(),
+            "tab7" => r.table7.to_string(),
+            "tab8" => r.table8.to_string(),
+            "tab9" => r.table9.to_string(),
+            "tab10" => r.table10.to_string(),
+            "tab11" => r.table11.to_string(),
+            "tab12" => r.table12.to_string(),
+            "tab13" => r.table13.to_string(),
+            "verdicts" => format!("{}\n{}\n{}", r.better_v6, r.h1.summary, r.h2.summary),
+            "compare" => ipv6web_bench::render_comparison(r),
+            _ => unreachable!("filtered above"),
+        };
+        println!("{text}");
+    }
+
+    if let Some(dir) = csv_dir {
+        use ipv6web_analysis::export;
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        let files = [
+            ("fig1.csv", export::fig1_csv(&r.fig1)),
+            ("fig3a.csv", export::fig3a_csv(&r.fig3a)),
+            ("table7.csv", export::hop_table_csv(&r.table7)),
+            ("table8.csv", export::table8_csv(&r.table8)),
+            ("table9.csv", export::hop_table_csv(&r.table9)),
+            ("table10.csv", export::table8_csv(&r.table10)),
+            ("table11.csv", export::table11_csv(&r.table11)),
+            ("table12.csv", export::table11_csv(&r.table12)),
+            ("kept_sites.csv", export::kept_sites_csv(&study.analyses)),
+        ];
+        for (name, content) in files {
+            std::fs::write(dir.join(name), content).expect("write csv");
+        }
+        eprintln!("wrote CSVs to {}", dir.display());
+    }
+
+    if let Some(path) = json_out {
+        let json = serde_json::to_string_pretty(r).expect("report serializes");
+        std::fs::write(&path, json).expect("write json report");
+        eprintln!("wrote JSON report to {path}");
+    }
+}

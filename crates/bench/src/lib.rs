@@ -1,0 +1,61 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+use ipv6web_core::{run_study, Scenario, StudyResult};
+use std::sync::OnceLock;
+
+pub mod reference;
+pub use reference::{render_comparison, shape_checks, ShapeCheck};
+
+/// Scale of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale world; shapes hold, absolute counts are small.
+    Quick,
+    /// The full paper-scale world (minutes).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `quick` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The scenario for this scale.
+    pub fn scenario(self, seed: u64) -> Scenario {
+        match self {
+            Scale::Quick => Scenario::quick(seed),
+            Scale::Paper => Scenario::paper(seed),
+        }
+    }
+}
+
+/// Runs (or reuses) the quick study for the current process — benches call
+/// this so each bench target measures *its* stage, not the shared campaign.
+pub fn shared_quick_study() -> &'static StudyResult {
+    static STUDY: OnceLock<StudyResult> = OnceLock::new();
+    STUDY.get_or_init(|| run_study(&Scenario::quick(42)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scenarios_differ_by_scale() {
+        assert!(
+            Scale::Paper.scenario(1).total_sites() > Scale::Quick.scenario(1).total_sites()
+        );
+    }
+}

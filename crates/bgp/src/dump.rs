@@ -1,0 +1,187 @@
+//! Router-style table dumps.
+//!
+//! The paper's operators pulled `AS_PATH`s by dumping the routing table of
+//! a router near each monitor ("we had access to the BGP routing tables of
+//! one of the routers in the GigaPoP"). This module renders a [`BgpTable`]
+//! the way such a dump reads — one line per destination with its AS path —
+//! and parses the format back, so table snapshots can be archived as plain
+//! text and re-ingested (the workflow the paper's repository used).
+
+use crate::path::AsPath;
+use crate::table::BgpTable;
+use ipv6web_topology::{AsId, Family};
+
+/// Renders the table as a `show ip bgp`-flavoured dump:
+///
+/// ```text
+/// # vantage AS1077 family IPv6 entries 42
+/// AS1203  AS1077 AS1046 AS1203
+/// ...
+/// ```
+pub fn dump(table: &BgpTable) -> String {
+    let mut out = format!(
+        "# vantage {} family {} entries {}\n",
+        table.vantage_as, table.family, table.len()
+    );
+    for route in table.iter() {
+        out.push_str(&format!("{}  {}\n", route.dest, route.as_path));
+    }
+    out
+}
+
+/// Errors from [`parse_dump`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DumpParseError {
+    /// The header line is missing or malformed.
+    BadHeader,
+    /// A data line could not be parsed (payload = line number, 1-based).
+    BadLine(usize),
+    /// The entry count in the header does not match the body.
+    CountMismatch {
+        /// Count promised by the header.
+        expected: usize,
+        /// Lines actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for DumpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DumpParseError::BadHeader => write!(f, "missing or malformed dump header"),
+            DumpParseError::BadLine(n) => write!(f, "malformed dump line {n}"),
+            DumpParseError::CountMismatch { expected, got } => {
+                write!(f, "header promises {expected} entries, found {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DumpParseError {}
+
+fn parse_as(tok: &str) -> Option<AsId> {
+    let n: u32 = tok.strip_prefix("AS")?.parse().ok()?;
+    n.checked_sub(1000).map(AsId)
+}
+
+/// Parses a dump produced by [`dump`] back into `(vantage, family, paths)`.
+pub fn parse_dump(text: &str) -> Result<(AsId, Family, Vec<AsPath>), DumpParseError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(DumpParseError::BadHeader)?;
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    // "# vantage ASx family IPvN entries K"
+    if toks.len() != 7 || toks[0] != "#" || toks[1] != "vantage" || toks[3] != "family" {
+        return Err(DumpParseError::BadHeader);
+    }
+    let vantage = parse_as(toks[2]).ok_or(DumpParseError::BadHeader)?;
+    let family = match toks[4] {
+        "IPv4" => Family::V4,
+        "IPv6" => Family::V6,
+        _ => return Err(DumpParseError::BadHeader),
+    };
+    let expected: usize = toks[6].parse().map_err(|_| DumpParseError::BadHeader)?;
+
+    let mut paths = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let dest = toks
+            .next()
+            .and_then(parse_as)
+            .ok_or(DumpParseError::BadLine(i + 2))?;
+        let ases: Option<Vec<AsId>> = toks.map(parse_as).collect();
+        let ases = ases.ok_or(DumpParseError::BadLine(i + 2))?;
+        if ases.is_empty() || *ases.last().expect("non-empty") != dest {
+            return Err(DumpParseError::BadLine(i + 2));
+        }
+        paths.push(AsPath::new(ases));
+    }
+    if paths.len() != expected {
+        return Err(DumpParseError::CountMismatch { expected, got: paths.len() });
+    }
+    Ok((vantage, family, paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6web_topology::{generate, Tier, TopologyConfig};
+
+    fn table() -> BgpTable {
+        let topo = generate(&TopologyConfig::test_small(), 29);
+        let vantage = topo.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
+        let dests: Vec<AsId> = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content)
+            .map(|n| n.id)
+            .take(25)
+            .collect();
+        BgpTable::build(&topo, vantage, Family::V4, &dests)
+    }
+
+    #[test]
+    fn dump_roundtrips() {
+        let t = table();
+        let text = dump(&t);
+        let (vantage, family, paths) = parse_dump(&text).unwrap();
+        assert_eq!(vantage, t.vantage_as);
+        assert_eq!(family, Family::V4);
+        assert_eq!(paths.len(), t.len());
+        for (parsed, route) in paths.iter().zip(t.iter()) {
+            assert!(parsed.same_route(&route.as_path));
+        }
+    }
+
+    #[test]
+    fn header_carries_metadata() {
+        let t = table();
+        let text = dump(&t);
+        let header = text.lines().next().unwrap();
+        assert!(header.contains(&t.vantage_as.to_string()));
+        assert!(header.contains("IPv4"));
+        assert!(header.contains(&t.len().to_string()));
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        assert_eq!(parse_dump(""), Err(DumpParseError::BadHeader));
+        assert_eq!(parse_dump("hello world"), Err(DumpParseError::BadHeader));
+        assert_eq!(
+            parse_dump("# vantage AS1000 family IPv9 entries 0"),
+            Err(DumpParseError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn rejects_corrupt_line() {
+        let t = table();
+        let mut text = dump(&t);
+        text.push_str("AS1005  banana\n");
+        assert!(matches!(parse_dump(&text), Err(DumpParseError::BadLine(_))));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let t = table();
+        let text = dump(&t);
+        // drop the last data line
+        let truncated: String = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n")
+        };
+        assert!(matches!(
+            parse_dump(&truncated),
+            Err(DumpParseError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dest_path_mismatch() {
+        let text = "# vantage AS1000 family IPv4 entries 1\nAS1005  AS1000 AS1006\n";
+        assert!(matches!(parse_dump(text), Err(DumpParseError::BadLine(2))));
+    }
+}

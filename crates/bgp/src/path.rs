@@ -1,0 +1,131 @@
+//! AS-level paths.
+
+use ipv6web_topology::AsId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An AS-level path from a source AS to a destination AS, inclusive of both
+/// endpoints (so a direct adjacency has length 2 and hop count 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AsPath(Vec<AsId>);
+
+impl AsPath {
+    /// Builds a path from the ordered list of ASes (source first).
+    ///
+    /// # Panics
+    /// Panics on an empty list or repeated consecutive ASes (which BGP's
+    /// loop detection would never produce).
+    pub fn new(ases: Vec<AsId>) -> Self {
+        assert!(!ases.is_empty(), "empty AS path");
+        for w in ases.windows(2) {
+            assert_ne!(w[0], w[1], "repeated AS in path");
+        }
+        AsPath(ases)
+    }
+
+    /// Source AS (the vantage point's AS).
+    pub fn source(&self) -> AsId {
+        self.0[0]
+    }
+
+    /// Destination (origin) AS.
+    pub fn dest(&self) -> AsId {
+        *self.0.last().expect("non-empty")
+    }
+
+    /// Number of AS hops (edges). A path within one AS has 0 hops.
+    pub fn hops(&self) -> usize {
+        self.0.len() - 1
+    }
+
+    /// All ASes in order, source first.
+    pub fn ases(&self) -> &[AsId] {
+        &self.0
+    }
+
+    /// Whether the path traverses `asn` (including endpoints).
+    pub fn contains(&self, asn: AsId) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// The ASes *crossed* by the path: everything except the source
+    /// (the paper's Table 2 counts destination ASes as crossed).
+    pub fn crossed(&self) -> &[AsId] {
+        &self.0[1..]
+    }
+
+    /// True if both paths visit exactly the same ASes in the same order —
+    /// the paper's SP (same path) criterion.
+    pub fn same_route(&self, other: &AsPath) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ids: &[u32]) -> AsPath {
+        AsPath::new(ids.iter().map(|&i| AsId(i)).collect())
+    }
+
+    #[test]
+    fn endpoints_and_hops() {
+        let path = p(&[1, 5, 9]);
+        assert_eq!(path.source(), AsId(1));
+        assert_eq!(path.dest(), AsId(9));
+        assert_eq!(path.hops(), 2);
+    }
+
+    #[test]
+    fn single_as_path_zero_hops() {
+        let path = p(&[3]);
+        assert_eq!(path.source(), path.dest());
+        assert_eq!(path.hops(), 0);
+        assert!(path.crossed().is_empty());
+    }
+
+    #[test]
+    fn crossed_excludes_source() {
+        let path = p(&[1, 5, 9]);
+        assert_eq!(path.crossed(), &[AsId(5), AsId(9)]);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let path = p(&[1, 5, 9]);
+        assert!(path.contains(AsId(5)));
+        assert!(!path.contains(AsId(7)));
+    }
+
+    #[test]
+    fn same_route_is_exact_sequence_equality() {
+        assert!(p(&[1, 5, 9]).same_route(&p(&[1, 5, 9])));
+        assert!(!p(&[1, 5, 9]).same_route(&p(&[1, 6, 9])));
+        assert!(!p(&[1, 5, 9]).same_route(&p(&[1, 9])));
+    }
+
+    #[test]
+    fn display_joins_as_numbers() {
+        assert_eq!(p(&[0, 2]).to_string(), "AS1000 AS1002");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_path_panics() {
+        AsPath::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn repeated_as_panics() {
+        p(&[1, 1, 2]);
+    }
+}

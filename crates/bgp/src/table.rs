@@ -1,0 +1,230 @@
+//! The vantage-point view: a BGP table snapshot.
+//!
+//! The paper reads `AS_PATH`s from "the (core) routing table of a router
+//! close to the machine running the monitoring software" — e.g. Penn's
+//! GigaPoP router. [`BgpTable`] is that artifact: the best routes of a
+//! single AS toward a set of destinations, per family.
+
+use crate::compute::{routes_to_dest, RouteKind};
+use crate::path::AsPath;
+use ipv6web_topology::{AsId, EdgeId, Family, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One installed route in a vantage point's table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination (origin) AS of the route.
+    pub dest: AsId,
+    /// The AS-level path, vantage AS first.
+    pub as_path: AsPath,
+    /// Edges traversed, in order — consumed by the data-plane simulator.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Route {
+    /// AS hop count of the route.
+    pub fn hops(&self) -> usize {
+        self.as_path.hops()
+    }
+}
+
+/// The routing table of one AS (the vantage point's upstream router) for
+/// one address family, restricted to the destinations of interest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BgpTable {
+    /// The AS whose view this is.
+    pub vantage_as: AsId,
+    /// Address family of the table.
+    pub family: Family,
+    routes: BTreeMap<AsId, Route>,
+}
+
+impl BgpTable {
+    /// Builds the table by running per-destination route computation for
+    /// every AS in `dests` and keeping the vantage point's entries.
+    pub fn build(topo: &Topology, vantage_as: AsId, family: Family, dests: &[AsId]) -> Self {
+        let mut routes = BTreeMap::new();
+        for &dest in dests {
+            let r = routes_to_dest(topo, dest, family);
+            if let (Some(as_path), Some(edges)) = (r.as_path(vantage_as), r.edge_path(vantage_as)) {
+                routes.insert(dest, Route { dest, as_path, edges });
+            }
+        }
+        BgpTable { vantage_as, family, routes }
+    }
+
+    /// Builds tables for several vantage points while computing each
+    /// destination's routes only once (the expensive step).
+    pub fn build_many(
+        topo: &Topology,
+        vantage_ases: &[AsId],
+        family: Family,
+        dests: &[AsId],
+    ) -> Vec<BgpTable> {
+        let mut tables: Vec<BgpTable> = vantage_ases
+            .iter()
+            .map(|&v| BgpTable {
+                vantage_as: v,
+                family,
+                routes: BTreeMap::new(),
+            })
+            .collect();
+        for &dest in dests {
+            let r = routes_to_dest(topo, dest, family);
+            for t in tables.iter_mut() {
+                if let (Some(as_path), Some(edges)) =
+                    (r.as_path(t.vantage_as), r.edge_path(t.vantage_as))
+                {
+                    t.routes.insert(dest, Route { dest, as_path, edges });
+                }
+            }
+        }
+        tables
+    }
+
+    /// The `AS_PATH` to `dest`, if routed.
+    pub fn as_path(&self, dest: AsId) -> Option<&AsPath> {
+        self.routes.get(&dest).map(|r| &r.as_path)
+    }
+
+    /// Full route entry to `dest`, if routed.
+    pub fn route(&self, dest: AsId) -> Option<&Route> {
+        self.routes.get(&dest)
+    }
+
+    /// Number of routed destinations.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no destination is routed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Iterates over all routes in destination order.
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values()
+    }
+
+    /// The set of distinct ASes crossed by any route in the table,
+    /// destination ASes included, vantage AS excluded (Table 2 semantics).
+    pub fn ases_crossed(&self) -> std::collections::BTreeSet<AsId> {
+        self.routes
+            .values()
+            .flat_map(|r| r.as_path.crossed().iter().copied())
+            .collect()
+    }
+}
+
+// re-export for doc linking convenience
+pub use crate::compute::RouteKind as _RouteKindForDocs;
+const _: Option<RouteKind> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6web_topology::{generate, Tier, TopologyConfig};
+
+    fn topo() -> ipv6web_topology::Topology {
+        generate(&TopologyConfig::test_small(), 23)
+    }
+
+    #[test]
+    fn table_contains_reachable_dests() {
+        let t = topo();
+        let dests: Vec<AsId> = t
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content)
+            .map(|n| n.id)
+            .take(20)
+            .collect();
+        let vantage = t.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
+        let table = BgpTable::build(&t, vantage, Family::V4, &dests);
+        assert_eq!(table.len(), dests.len(), "v4 reaches everything");
+        for r in table.iter() {
+            assert_eq!(r.as_path.source(), vantage);
+            assert_eq!(r.as_path.dest(), r.dest);
+            assert_eq!(r.edges.len(), r.hops());
+        }
+    }
+
+    #[test]
+    fn v6_table_smaller_than_v4() {
+        let t = topo();
+        let dests: Vec<AsId> = t
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content)
+            .map(|n| n.id)
+            .collect();
+        let vantage = t
+            .nodes()
+            .iter()
+            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
+            .unwrap()
+            .id;
+        let t4 = BgpTable::build(&t, vantage, Family::V4, &dests);
+        let t6 = BgpTable::build(&t, vantage, Family::V6, &dests);
+        assert!(t6.len() < t4.len(), "v6 {} !< v4 {}", t6.len(), t4.len());
+        assert!(!t6.is_empty(), "some dual-stack content reachable");
+    }
+
+    #[test]
+    fn build_many_matches_individual_builds() {
+        let t = topo();
+        let dests: Vec<AsId> = t
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content)
+            .map(|n| n.id)
+            .take(10)
+            .collect();
+        let vantages: Vec<AsId> = t
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Access)
+            .map(|n| n.id)
+            .take(3)
+            .collect();
+        let many = BgpTable::build_many(&t, &vantages, Family::V4, &dests);
+        for (i, &v) in vantages.iter().enumerate() {
+            let single = BgpTable::build(&t, v, Family::V4, &dests);
+            assert_eq!(many[i].len(), single.len());
+            for r in single.iter() {
+                assert_eq!(many[i].route(r.dest), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn ases_crossed_excludes_vantage_includes_dest() {
+        let t = topo();
+        let dests: Vec<AsId> = t
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content)
+            .map(|n| n.id)
+            .take(15)
+            .collect();
+        let vantage = t.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
+        let table = BgpTable::build(&t, vantage, Family::V4, &dests);
+        let crossed = table.ases_crossed();
+        assert!(!crossed.contains(&vantage));
+        for r in table.iter() {
+            assert!(crossed.contains(&r.dest));
+        }
+    }
+
+    #[test]
+    fn missing_dest_returns_none() {
+        let t = topo();
+        let vantage = t.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
+        let table = BgpTable::build(&t, vantage, Family::V4, &[]);
+        assert!(table.is_empty());
+        assert_eq!(table.as_path(AsId(1)), None);
+        assert_eq!(table.route(AsId(1)), None);
+    }
+}

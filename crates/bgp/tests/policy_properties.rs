@@ -1,0 +1,132 @@
+//! Property tests: Gao–Rexford invariants over randomly generated
+//! topologies. These are the guarantees the whole study rests on — if
+//! policy routing ever produced a valley, a loop, or an unreachable
+//! destination in IPv4, every downstream table would be wrong.
+
+use ipv6web_bgp::compute::{is_valley_free, routes_to_dest, RouteKind};
+use ipv6web_bgp::BgpTable;
+use ipv6web_topology::{generate, AsId, Family, Relationship, Tier, TopologyConfig};
+use proptest::prelude::*;
+
+fn arb_world() -> impl Strategy<Value = (ipv6web_topology::Topology, u64)> {
+    (0u64..50, 60usize..200).prop_map(|(seed, n)| {
+        let cfg = TopologyConfig::scaled(n.max(60));
+        (generate(&cfg, seed), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn v4_routes_complete_valley_free_loop_free((topo, _) in arb_world(), dest_pick in 0usize..1000) {
+        let contents: Vec<AsId> = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content)
+            .map(|n| n.id)
+            .collect();
+        prop_assume!(!contents.is_empty());
+        let dest = contents[dest_pick % contents.len()];
+        let routes = routes_to_dest(&topo, dest, Family::V4);
+        for n in topo.nodes() {
+            let path = routes.as_path(n.id).expect("v4 world is connected");
+            // loop-free: AsPath::new rejects consecutive repeats; check all
+            let mut seen = std::collections::BTreeSet::new();
+            for a in path.ases() {
+                prop_assert!(seen.insert(*a), "loop through {a} in {path}");
+            }
+            prop_assert!(is_valley_free(&topo, &path, Family::V4), "{path}");
+            prop_assert_eq!(path.source(), n.id);
+            prop_assert_eq!(path.dest(), dest);
+        }
+    }
+
+    #[test]
+    fn v6_paths_use_only_v6_edges((topo, _) in arb_world(), dest_pick in 0usize..1000) {
+        let duals: Vec<AsId> = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content && n.is_dual_stack())
+            .map(|n| n.id)
+            .collect();
+        prop_assume!(!duals.is_empty());
+        let dest = duals[dest_pick % duals.len()];
+        let routes = routes_to_dest(&topo, dest, Family::V6);
+        for n in topo.nodes() {
+            if let Some(edges) = routes.edge_path(n.id) {
+                for eid in edges {
+                    prop_assert!(topo.edge(eid).v6, "v6 route crossed a v4-only edge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_pref_ordering_respected((topo, _) in arb_world(), dest_pick in 0usize..1000) {
+        // If an AS has ANY customer offering a route to dest, its chosen
+        // route must be customer-learned (never peer/provider).
+        let contents: Vec<AsId> = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content)
+            .map(|n| n.id)
+            .collect();
+        prop_assume!(!contents.is_empty());
+        let dest = contents[dest_pick % contents.len()];
+        let routes = routes_to_dest(&topo, dest, Family::V4);
+        for n in topo.nodes() {
+            // Gao–Rexford export: a customer re-exports upward only its
+            // OWN prefixes and its customer-learned routes — never routes
+            // it learned from peers or its other providers. So a customer
+            // "offers" us the destination iff it is the destination or
+            // holds a customer route itself.
+            let has_customer_offer = topo.neighbors(n.id, Family::V4).iter().any(|&(nbr, rel, _)| {
+                rel == Relationship::ProviderOf
+                    && (nbr == dest || routes.kind(nbr) == Some(RouteKind::Customer))
+            });
+            if has_customer_offer && n.id != dest {
+                prop_assert_eq!(
+                    routes.kind(n.id),
+                    Some(RouteKind::Customer),
+                    "{} must prefer its customer-learned route",
+                    n.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v6_tables_subset_of_v4_reach((topo, _) in arb_world()) {
+        let vantage = topo
+            .nodes()
+            .iter()
+            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
+            .map(|n| n.id);
+        prop_assume!(vantage.is_some());
+        let vantage = vantage.unwrap();
+        let dests: Vec<AsId> = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content)
+            .map(|n| n.id)
+            .take(30)
+            .collect();
+        let t4 = BgpTable::build(&topo, vantage, Family::V4, &dests);
+        let t6 = BgpTable::build(&topo, vantage, Family::V6, &dests);
+        prop_assert!(t6.len() <= t4.len());
+        for r in t6.iter() {
+            prop_assert!(t4.route(r.dest).is_some(), "v6-reachable implies v4-reachable");
+        }
+    }
+
+    #[test]
+    fn paths_deterministic_across_recomputation((topo, _) in arb_world(), dest_pick in 0usize..1000) {
+        let dest = AsId((dest_pick % topo.num_ases()) as u32);
+        let a = routes_to_dest(&topo, dest, Family::V4);
+        let b = routes_to_dest(&topo, dest, Family::V4);
+        for n in topo.nodes() {
+            prop_assert_eq!(a.as_path(n.id), b.as_path(n.id));
+        }
+    }
+}

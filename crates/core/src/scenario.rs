@@ -1,0 +1,184 @@
+//! Scenario configuration: every knob of the study in one place.
+
+use ipv6web_alexa::AdoptionTimeline;
+use ipv6web_analysis::AnalysisConfig;
+use ipv6web_monitor::{CampaignConfig, DisturbanceConfig};
+use ipv6web_netsim::TcpConfig;
+use ipv6web_stats::RelativeCiRule;
+use ipv6web_topology::TopologyConfig;
+use ipv6web_web::PopulationConfig;
+use serde::{Deserialize, Serialize};
+
+/// A complete, reproducible study configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Master seed; every component derives its own stream from it.
+    pub seed: u64,
+    /// AS-level topology parameters.
+    pub topology: TopologyConfig,
+    /// Site population parameters (its adoption curve is overwritten from
+    /// `timeline` at build time).
+    pub population: PopulationConfig,
+    /// Number of extra "DNS-cache tail" sites appended beyond the ranked
+    /// list (Penn's external inputs, Fig 3b's 5M-sites series).
+    pub tail_sites: usize,
+    /// The adoption calendar (Fig 1's jumps).
+    pub timeline: AdoptionTimeline,
+    /// Campaign execution parameters.
+    pub campaign: CampaignConfig,
+    /// Injected performance messiness (Table 3's causes).
+    pub disturbances: DisturbanceConfig,
+    /// TCP model.
+    pub tcp: TcpConfig,
+    /// The monitor's repeat-until-confident rule.
+    pub ci_rule: RelativeCiRule,
+    /// Page identity threshold (paper: 0.06).
+    pub identity_threshold: f64,
+    /// Cross-round congestion noise (log-normal σ).
+    pub round_noise_sigma: f64,
+    /// Analysis thresholds.
+    pub analysis: AnalysisConfig,
+    /// Campaign week Fig 1's plot starts at (Dec 2010 in the paper).
+    pub fig1_from_week: u32,
+    /// Mid-campaign IPv6 route changes: `(epoch week, gain fraction, loss
+    /// fraction)`. At the epoch week, that fraction of eligible v4-only
+    /// edges starts carrying IPv6 and that fraction of native v6 edges
+    /// stops — the real path changes behind part of Table 3's transitions.
+    pub route_change: Option<(u32, f64, f64)>,
+}
+
+impl Scenario {
+    /// The full paper-scale scenario: ≈4000 ASes, 120k ranked sites plus a
+    /// 30k tail, 52 weekly rounds from six vantage points. Takes minutes;
+    /// use [`Scenario::quick`] for tests and examples.
+    pub fn paper(seed: u64) -> Self {
+        let timeline = AdoptionTimeline::paper();
+        let population =
+            PopulationConfig::paper_scale(timeline.total_weeks, timeline.curve());
+        Scenario {
+            seed,
+            topology: TopologyConfig::paper_scale(),
+            population,
+            tail_sites: 30_000,
+            timeline,
+            campaign: CampaignConfig::paper(),
+            disturbances: DisturbanceConfig::paper(),
+            tcp: TcpConfig::paper(),
+            ci_rule: RelativeCiRule::paper(),
+            identity_threshold: 0.06,
+            round_noise_sigma: 0.08,
+            analysis: AnalysisConfig::paper(),
+            fig1_from_week: 17, // 2010-12-09
+            route_change: Some((26, 0.03, 0.01)),
+        }
+    }
+
+    /// A laptop-seconds scenario preserving every mechanism at small scale
+    /// (elevated adoption so dual-stack analysis still has data).
+    pub fn quick(seed: u64) -> Self {
+        let mut timeline = AdoptionTimeline::paper();
+        timeline.total_weeks = 26;
+        timeline.iana_week = 8;
+        timeline.ipv6_day_week = 20;
+        let mut population = PopulationConfig::test_small(timeline.total_weeks)
+            .with_curve(timeline.curve());
+        population.n_sites = 2_500;
+        let mut campaign = CampaignConfig::paper();
+        campaign.total_weeks = timeline.total_weeks;
+        campaign.workers = 8;
+        campaign.ipv6_day_rounds = 6;
+        let mut analysis = AnalysisConfig::paper();
+        analysis.min_paired_samples = 6;
+        Scenario {
+            seed,
+            topology: TopologyConfig::test_small(),
+            population,
+            tail_sites: 600,
+            timeline,
+            campaign: CampaignConfig { ..campaign },
+            disturbances: DisturbanceConfig::paper(),
+            tcp: TcpConfig::paper(),
+            ci_rule: RelativeCiRule::paper(),
+            identity_threshold: 0.06,
+            round_noise_sigma: 0.08,
+            analysis,
+            fig1_from_week: 4,
+            route_change: Some((13, 0.03, 0.01)),
+        }
+    }
+
+    /// Validates cross-component consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.topology.validate()?;
+        if self.campaign.total_weeks != self.timeline.total_weeks {
+            return Err(format!(
+                "campaign weeks ({}) must match timeline weeks ({})",
+                self.campaign.total_weeks, self.timeline.total_weeks
+            ));
+        }
+        if self.timeline.ipv6_day_week >= self.timeline.total_weeks {
+            return Err("IPv6 day must fall inside the campaign".into());
+        }
+        if self.fig1_from_week >= self.timeline.total_weeks {
+            return Err("fig1_from_week beyond campaign end".into());
+        }
+        if !(0.0..1.0).contains(&self.identity_threshold) {
+            return Err("identity threshold outside [0,1)".into());
+        }
+        if let Some((week, gain, loss)) = self.route_change {
+            if week == 0 || week >= self.timeline.total_weeks {
+                return Err("route-change epoch must fall inside the campaign".into());
+            }
+            if !(0.0..=1.0).contains(&gain) || !(0.0..=1.0).contains(&loss) {
+                return Err("route-change fractions outside [0,1]".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Total site count including the tail.
+    pub fn total_sites(&self) -> usize {
+        self.population.n_sites + self.tail_sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert_eq!(Scenario::paper(1).validate(), Ok(()));
+        assert_eq!(Scenario::quick(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        let q = Scenario::quick(1);
+        let p = Scenario::paper(1);
+        assert!(q.total_sites() < p.total_sites() / 10);
+        assert!(q.campaign.total_weeks < p.campaign.total_weeks);
+    }
+
+    #[test]
+    fn mismatched_weeks_rejected() {
+        let mut s = Scenario::quick(1);
+        s.campaign.total_weeks += 1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn ipv6_day_must_be_inside_campaign() {
+        let mut s = Scenario::quick(1);
+        s.timeline.ipv6_day_week = s.timeline.total_weeks + 5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Scenario::quick(7);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,178 @@
+//! Full study execution.
+
+use crate::report::Report;
+use crate::scenario::Scenario;
+use crate::world::World;
+use ipv6web_analysis::{analyze_vantage, AnalysisConfig, VantageAnalysis};
+use ipv6web_monitor::{run_campaign, run_ipv6_day_rounds, MonitorDb, ProbeContext};
+
+/// Everything a study run produces.
+pub struct StudyResult {
+    /// The world it ran in.
+    pub world: World,
+    /// Per-vantage campaign databases, in `world.vantages` order.
+    pub dbs: Vec<MonitorDb>,
+    /// World IPv6 Day databases for the day-experiment vantage points
+    /// (Penn, Loughborough, UPCB), as `(vantage index, db)`.
+    pub day_dbs: Vec<(usize, MonitorDb)>,
+    /// Analyses for the vantage points with `AS_PATH` data.
+    pub analyses: Vec<VantageAnalysis>,
+    /// World IPv6 Day analyses (same vantage subset as `day_dbs`, minus
+    /// any without `AS_PATH`).
+    pub day_analyses: Vec<VantageAnalysis>,
+    /// The paper: every table and figure.
+    pub report: Report,
+}
+
+fn probe_ctx<'a>(world: &'a World, vantage_idx: usize) -> ProbeContext<'a> {
+    let s = &world.scenario;
+    ProbeContext {
+        topo: &world.topo,
+        sites: &world.sites,
+        zone: &world.zone,
+        table_v4: &world.tables[vantage_idx].0,
+        table_v6: &world.tables[vantage_idx].1,
+        disturbances: &world.disturbances,
+        tcp: s.tcp,
+        ci_rule: s.ci_rule,
+        identity_threshold: s.identity_threshold,
+        round_noise_sigma: s.round_noise_sigma,
+        seed: s.seed,
+        vantage_name: &world.vantages[vantage_idx].name,
+        white_listed: world.vantages[vantage_idx].white_listed,
+        v6_epoch: world
+            .v6_epoch
+            .as_ref()
+            .map(|(week, tables)| (*week, &tables[vantage_idx])),
+    }
+}
+
+/// Runs the complete study: weekly campaigns from all six vantage points,
+/// the World IPv6 Day experiment, analysis, and report assembly.
+pub fn run_study(scenario: &Scenario) -> StudyResult {
+    let world = World::build(scenario);
+
+    // --- weekly campaigns ---------------------------------------------------
+    let mut dbs = Vec::with_capacity(world.vantages.len());
+    for (i, vantage) in world.vantages.iter().enumerate() {
+        let ctx = probe_ctx(&world, i);
+        let sites = &world.sites;
+        let db = run_campaign(
+            &ctx,
+            vantage,
+            &world.list,
+            &world.tail_ids,
+            |id| sites[id as usize].first_seen_week,
+            &scenario.campaign,
+        );
+        dbs.push(db);
+    }
+
+    // --- World IPv6 Day (paper: all Table 8 vantage points except Comcast) --
+    let participants = world.ipv6_day_participants();
+    let mut day_dbs = Vec::new();
+    for (i, vantage) in world.vantages.iter().enumerate() {
+        if !vantage.has_as_path || vantage.name == "Comcast" {
+            continue;
+        }
+        let ctx = probe_ctx(&world, i);
+        let db = run_ipv6_day_rounds(
+            &ctx,
+            vantage,
+            &participants,
+            scenario.timeline.ipv6_day_week,
+            &scenario.campaign,
+        );
+        day_dbs.push((i, db));
+    }
+
+    // --- analysis ------------------------------------------------------------
+    let analyses: Vec<VantageAnalysis> = world
+        .vantages
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.has_as_path)
+        .map(|(i, _)| {
+            analyze_vantage(
+                &scenario.analysis,
+                &world.sites,
+                &dbs[i],
+                &world.tables[i].0,
+                &world.tables[i].1,
+            )
+        })
+        .collect();
+    let day_cfg = AnalysisConfig::ipv6_day();
+    let day_analyses: Vec<VantageAnalysis> = day_dbs
+        .iter()
+        .map(|(i, db)| {
+            analyze_vantage(&day_cfg, &world.sites, db, &world.tables[*i].0, &world.tables[*i].1)
+        })
+        .collect();
+
+    let report = Report::build(&world, &dbs, &analyses, &day_analyses);
+    StudyResult { world, dbs, day_dbs, analyses, day_analyses, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn study() -> &'static StudyResult {
+        static S: OnceLock<StudyResult> = OnceLock::new();
+        S.get_or_init(|| run_study(&Scenario::quick(2)))
+    }
+
+    #[test]
+    fn six_campaigns_run() {
+        let s = study();
+        assert_eq!(s.dbs.len(), 6);
+        for db in &s.dbs {
+            assert!(!db.is_empty(), "{} produced nothing", db.vantage);
+        }
+    }
+
+    #[test]
+    fn day_experiment_excludes_comcast_and_no_as_path() {
+        let s = study();
+        assert_eq!(s.day_dbs.len(), 3, "Penn, LU, UPCB");
+        for (i, _) in &s.day_dbs {
+            let v = &s.world.vantages[*i];
+            assert!(v.has_as_path);
+            assert_ne!(v.name, "Comcast");
+        }
+    }
+
+    #[test]
+    fn analyses_cover_as_path_vantages() {
+        let s = study();
+        assert_eq!(s.analyses.len(), 4);
+        let names: Vec<&str> = s.analyses.iter().map(|a| a.vantage.as_str()).collect();
+        assert!(names.contains(&"Penn"));
+        assert!(names.contains(&"Comcast"));
+        for a in &s.analyses {
+            assert!(a.sites_total > 0, "{} analyzed nothing", a.vantage);
+        }
+    }
+
+    #[test]
+    fn report_attached_and_renders() {
+        let s = study();
+        let text = s.report.render();
+        for needle in [
+            "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7",
+            "Table 8", "Table 9", "Table 10", "Table 11", "Table 12", "Table 13",
+            "Figure 1", "Figure 3a", "Figure 3b", "H1", "H2",
+        ] {
+            assert!(text.contains(needle), "report missing {needle}");
+        }
+    }
+
+    #[test]
+    fn headline_findings_hold_in_quick_world() {
+        let s = study();
+        assert!(s.report.h1.holds, "{}", s.report.h1.summary);
+        assert!(s.report.h2.holds, "{}", s.report.h2.summary);
+    }
+}

@@ -1,0 +1,282 @@
+//! World construction: topology, population, DNS, vantage points, tables.
+
+use crate::scenario::Scenario;
+use ipv6web_alexa::TopList;
+use ipv6web_bgp::BgpTable;
+use ipv6web_monitor::{Disturbances, VantagePoint};
+use ipv6web_stats::derive_rng;
+use ipv6web_topology::{generate as generate_topology, AsId, EdgeId, Family, Region, Tier, Topology};
+use rand::seq::SliceRandom;
+use ipv6web_web::{build_zone, population, Site};
+
+/// A fully built simulated world, ready for monitoring.
+pub struct World {
+    /// The scenario it was built from.
+    pub scenario: Scenario,
+    /// The dual-stack AS topology.
+    pub topo: Topology,
+    /// All sites: ranked-list sites first (`0..n_sites`), then the
+    /// DNS-cache tail.
+    pub sites: Vec<Site>,
+    /// Authoritative DNS for every site.
+    pub zone: ipv6web_dns::ZoneDb,
+    /// The ranked list (list sites only; the tail enters through Penn's
+    /// external inputs).
+    pub list: TopList,
+    /// Site ids of the tail.
+    pub tail_ids: Vec<u32>,
+    /// The six vantage points of Table 1.
+    pub vantages: Vec<VantagePoint>,
+    /// Per-vantage `(IPv4, IPv6)` BGP tables, in `vantages` order.
+    pub tables: Vec<(BgpTable, BgpTable)>,
+    /// Post-epoch IPv6 tables (same order), when the scenario schedules a
+    /// mid-campaign route change, plus the epoch week.
+    pub v6_epoch: Option<(u32, Vec<BgpTable>)>,
+    /// The post-epoch topology (for diagnostics and path-change
+    /// attribution), when scheduled.
+    pub topo_late: Option<Topology>,
+    /// Injected performance disturbances.
+    pub disturbances: Disturbances,
+}
+
+/// Picks six dual-stack access ASes for the vantage points, preferring the
+/// paper's regional spread (Table 1: two North America, three Europe, one
+/// Asia) and falling back to any dual-stack access AS when a region runs
+/// dry.
+fn pick_vantage_ases(topo: &Topology) -> [AsId; 6] {
+    let wanted = [
+        Region::NorthAmerica, // Comcast
+        Region::Europe,       // Go6 (Slovenia)
+        Region::Europe,       // Loughborough
+        Region::NorthAmerica, // Penn
+        Region::Asia,         // Tsinghua
+        Region::Europe,       // UPC Broadband
+    ];
+    // Section 4 of the paper: the monitors "had high quality native IPv6
+    // (and IPv4) connectivity" — so vantage points live in dual-stack
+    // access ASes whose v6 uplink is native (not a 6in4 tunnel).
+    let native_v6 = |id: AsId| {
+        topo.neighbors(id, ipv6web_topology::Family::V6)
+            .iter()
+            .any(|&(_, rel, eid)| {
+                rel == ipv6web_topology::Relationship::CustomerOf
+                    && topo.edge(eid).tunnel.is_none()
+            })
+    };
+    let mut picked: Vec<AsId> = Vec::with_capacity(6);
+    for want in wanted {
+        let candidate = |region_bound: bool| {
+            topo.nodes().iter().find(|n| {
+                n.tier == Tier::Access
+                    && n.is_dual_stack()
+                    && (!region_bound || n.region == want)
+                    && native_v6(n.id)
+                    && !picked.contains(&n.id)
+            })
+        };
+        let found = candidate(true)
+            .or_else(|| candidate(false))
+            .or_else(|| {
+                // last resort: any dual-stack access AS, tunneled or not
+                topo.nodes().iter().find(|n| {
+                    n.tier == Tier::Access && n.is_dual_stack() && !picked.contains(&n.id)
+                })
+            })
+            .unwrap_or_else(|| panic!("not enough dual-stack access ASes for 6 vantage points"));
+        picked.push(found.id);
+    }
+    picked.try_into().expect("exactly six")
+}
+
+impl World {
+    /// Builds a world from a scenario.
+    ///
+    /// # Panics
+    /// Panics when the scenario fails validation or the topology cannot
+    /// host six vantage points.
+    pub fn build(scenario: &Scenario) -> World {
+        scenario.validate().expect("invalid scenario");
+        let topo = generate_topology(&scenario.topology, scenario.seed);
+
+        let mut pop_cfg = scenario.population.clone();
+        pop_cfg.n_sites = scenario.total_sites();
+        pop_cfg.adoption_curve = scenario.timeline.curve();
+        let sites = population::generate(&pop_cfg, &topo, scenario.seed);
+        let zone = build_zone(&topo, &sites);
+
+        let n_list = scenario.population.n_sites;
+        let list = TopList::from_parts(
+            sites[..n_list].iter().map(|s| (s.id.0, s.rank, s.first_seen_week)),
+        );
+        let tail_ids: Vec<u32> = (n_list as u32..scenario.total_sites() as u32).collect();
+
+        let vantage_ases = pick_vantage_ases(&topo);
+        let vantages = VantagePoint::paper_table1(&vantage_ases);
+        // Start weeks in Table 1 are calibrated to a 52-week campaign;
+        // rescale for shorter scenarios.
+        let vantages: Vec<VantagePoint> = vantages
+            .into_iter()
+            .map(|mut v| {
+                v.start_week = v.start_week * scenario.campaign.total_weeks / 52;
+                v
+            })
+            .collect();
+
+        let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
+        dests.extend(sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
+        dests.sort();
+        dests.dedup();
+        let vantage_ids: Vec<AsId> = vantages.iter().map(|v| v.as_id).collect();
+        let t4 = BgpTable::build_many(&topo, &vantage_ids, Family::V4, &dests);
+        let t6 = BgpTable::build_many(&topo, &vantage_ids, Family::V6, &dests);
+        let tables: Vec<(BgpTable, BgpTable)> = t4.into_iter().zip(t6).collect();
+
+        // Mid-campaign IPv6 route changes: flip a slice of edges and
+        // recompute the IPv6 tables for the second epoch. IPv4 stays put —
+        // the paper's transitions were an IPv6-deployment phenomenon.
+        let (v6_epoch, topo_late) = match scenario.route_change {
+            None => (None, None),
+            Some((week, gain_frac, loss_frac)) => {
+                let mut rng = derive_rng(scenario.seed, "route-change");
+                let mut gain_candidates: Vec<EdgeId> = topo
+                    .edges()
+                    .iter()
+                    .filter(|e| {
+                        e.v4
+                            && !e.v6
+                            && topo.node(e.a).is_dual_stack()
+                            && topo.node(e.b).is_dual_stack()
+                    })
+                    .map(|e| e.id)
+                    .collect();
+                let mut loss_candidates: Vec<EdgeId> = topo
+                    .edges()
+                    .iter()
+                    .filter(|e| e.v6 && e.v4 && e.tunnel.is_none())
+                    .map(|e| e.id)
+                    .collect();
+                gain_candidates.shuffle(&mut rng);
+                loss_candidates.shuffle(&mut rng);
+                let n_gain = (gain_candidates.len() as f64 * gain_frac).round() as usize;
+                let n_loss = (loss_candidates.len() as f64 * loss_frac).round() as usize;
+                let late = topo.with_v6_flips(&gain_candidates[..n_gain], &loss_candidates[..n_loss]);
+                let t6_late = BgpTable::build_many(&late, &vantage_ids, Family::V6, &dests);
+                (Some((week, t6_late)), Some(late))
+            }
+        };
+
+        let disturbances = Disturbances::generate(
+            &scenario.disturbances,
+            sites.len(),
+            scenario.campaign.total_weeks,
+            scenario.seed,
+        );
+
+        World {
+            scenario: scenario.clone(),
+            topo,
+            sites,
+            zone,
+            list,
+            tail_ids,
+            vantages,
+            tables,
+            v6_epoch,
+            topo_late,
+            disturbances,
+        }
+    }
+
+    /// Sites participating in World IPv6 Day that are dual-stack and
+    /// present by the event week.
+    pub fn ipv6_day_participants(&self) -> Vec<ipv6web_web::SiteId> {
+        let day = self.scenario.timeline.ipv6_day_week;
+        self.sites
+            .iter()
+            .filter(|s| {
+                s.first_seen_week <= day
+                    && s.v6
+                        .as_ref()
+                        .is_some_and(|v| v.ipv6_day_participant && v.from_week <= day)
+            })
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static W: OnceLock<World> = OnceLock::new();
+        W.get_or_init(|| World::build(&Scenario::quick(11)))
+    }
+
+    #[test]
+    fn world_has_expected_shape() {
+        let w = world();
+        assert_eq!(w.sites.len(), w.scenario.total_sites());
+        assert_eq!(w.list.len(), w.scenario.population.n_sites);
+        assert_eq!(w.tail_ids.len(), w.scenario.tail_sites);
+        assert_eq!(w.vantages.len(), 6);
+        assert_eq!(w.tables.len(), 6);
+        assert_eq!(w.zone.len(), w.sites.len());
+    }
+
+    #[test]
+    fn vantage_ases_distinct_dual_access() {
+        let w = world();
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &w.vantages {
+            assert!(seen.insert(v.as_id), "vantage ASes must be distinct");
+            let node = w.topo.node(v.as_id);
+            assert_eq!(node.tier, Tier::Access);
+            assert!(node.is_dual_stack(), "vantage needs native v6");
+        }
+    }
+
+    #[test]
+    fn start_weeks_rescaled_into_campaign() {
+        let w = world();
+        for v in &w.vantages {
+            assert!(v.start_week < w.scenario.campaign.total_weeks);
+        }
+        // Penn still starts at 0
+        assert_eq!(w.vantages[3].start_week, 0);
+    }
+
+    #[test]
+    fn tables_indexed_like_vantages() {
+        let w = world();
+        for (v, (t4, t6)) in w.vantages.iter().zip(&w.tables) {
+            assert_eq!(t4.vantage_as, v.as_id);
+            assert_eq!(t6.vantage_as, v.as_id);
+            assert!(t4.len() >= t6.len(), "v6 table cannot exceed v4");
+            assert!(!t4.is_empty());
+        }
+    }
+
+    #[test]
+    fn participants_subset_of_dual_sites() {
+        let w = world();
+        let parts = w.ipv6_day_participants();
+        assert!(!parts.is_empty(), "some participants expected");
+        let day = w.scenario.timeline.ipv6_day_week;
+        for p in parts {
+            let s = &w.sites[p.index()];
+            assert!(s.is_dual_stack(day));
+            assert!(s.v6.as_ref().unwrap().ipv6_day_participant);
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = World::build(&Scenario::quick(5));
+        let b = World::build(&Scenario::quick(5));
+        assert_eq!(a.sites, b.sites);
+        assert_eq!(a.vantages, b.vantages);
+    }
+}

@@ -1,0 +1,23 @@
+//! Simulated DNS for the monitoring pipeline.
+//!
+//! The first phase of every site's monitoring round is "a DNS query for the
+//! A and AAAA records of the site" (Section 3, Fig 2). This crate provides:
+//!
+//! * [`zone`] — the authoritative view: which names have A records, which
+//!   have AAAA records, and what addresses they resolve to. Sites becoming
+//!   IPv6-accessible over the campaign is modeled as AAAA records appearing
+//!   at a given week.
+//! * [`resolver`] — a caching stub resolver with TTL expiry, mirroring the
+//!   resolver each vantage point used.
+//! * [`wire`] — an RFC 1035 message codec (header, question, answer with
+//!   A/AAAA RDATA) so queries and responses exist as real bytes.
+
+pub mod records;
+pub mod resolver;
+pub mod wire;
+pub mod zone;
+
+pub use records::{Record, RecordData, RecordType};
+pub use resolver::{Resolver, ResolverStats};
+pub use wire::{DnsHeader, DnsMessage, DnsQuestion, DnsRecordWire};
+pub use zone::{ZoneDb, ZoneEntry};

@@ -1,0 +1,251 @@
+//! Caching stub resolver.
+//!
+//! Each vantage point resolves names through a local caching resolver; the
+//! monitor's randomized query order means cache state varies round to
+//! round. The resolver speaks the wire format end to end: every lookup
+//! encodes a query, the zone side builds a response, and both are parsed
+//! back — keeping the codec on the hot path.
+
+use crate::records::{Record, RecordType};
+use crate::wire::{DnsMessage, RCODE_NXDOMAIN};
+use crate::zone::ZoneDb;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Resolver statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolverStats {
+    /// Queries answered from cache.
+    pub cache_hits: u64,
+    /// Queries forwarded to the authority.
+    pub cache_misses: u64,
+    /// NXDOMAIN answers seen.
+    pub nxdomain: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheLine {
+    records: Vec<Record>,
+    expires_at: u64,
+}
+
+/// Negative-cache TTL for NXDOMAIN answers (RFC 2308 suggests the SOA
+/// minimum; the simulated zones use a flat value).
+const NEGATIVE_TTL_S: u64 = 300;
+
+/// A caching stub resolver bound to a [`ZoneDb`] authority.
+#[derive(Debug, Clone)]
+pub struct Resolver {
+    cache: HashMap<(String, RecordType), CacheLine>,
+    negative: HashMap<String, u64>,
+    stats: ResolverStats,
+    next_id: u16,
+}
+
+impl Default for Resolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Resolver {
+    /// Fresh resolver with an empty cache.
+    pub fn new() -> Self {
+        Resolver {
+            cache: HashMap::new(),
+            negative: HashMap::new(),
+            stats: ResolverStats::default(),
+            next_id: 1,
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Number of live cache lines (expired lines may still be counted until
+    /// touched).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Resolves `(name, qtype)` at simulated time `now_s` (seconds) during
+    /// campaign `week`. Returns the answer records (empty = NODATA) or
+    /// `None` for NXDOMAIN.
+    pub fn resolve(
+        &mut self,
+        zone: &ZoneDb,
+        name: &str,
+        qtype: RecordType,
+        week: u32,
+        now_s: u64,
+    ) -> Option<Vec<Record>> {
+        let key = (name.to_string(), qtype);
+        // RFC 2308 negative caching: a fresh NXDOMAIN answers any qtype.
+        if let Some(&until) = self.negative.get(name) {
+            if until > now_s {
+                self.stats.cache_hits += 1;
+                return None;
+            }
+            self.negative.remove(name);
+        }
+        if let Some(line) = self.cache.get(&key) {
+            if line.expires_at > now_s {
+                self.stats.cache_hits += 1;
+                return Some(line.records.clone());
+            }
+            self.cache.remove(&key);
+        }
+        self.stats.cache_misses += 1;
+
+        // Full wire round trip.
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let qmsg = DnsMessage::query(id, name, qtype);
+        let qwire = qmsg.to_vec();
+        let parsed_q = DnsMessage::decode(&qwire).expect("own query parses");
+        let auth = zone.query(&parsed_q.questions[0].name, qtype, week);
+        let resp = match &auth {
+            Some(records) => DnsMessage::response(&parsed_q, records, false),
+            None => DnsMessage::response(&parsed_q, &[], true),
+        };
+        let parsed_r = DnsMessage::decode(&resp.to_vec()).expect("own response parses");
+        assert_eq!(parsed_r.header.id, id, "transaction id must match");
+
+        if parsed_r.header.rcode == RCODE_NXDOMAIN {
+            self.stats.nxdomain += 1;
+            self.negative.insert(name.to_string(), now_s + NEGATIVE_TTL_S);
+            return None;
+        }
+        let records: Vec<Record> = parsed_r
+            .answers
+            .iter()
+            .map(|a| Record { name: a.name.clone(), data: a.data, ttl: a.ttl })
+            .collect();
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(60);
+        self.cache.insert(key, CacheLine { records: records.clone(), expires_at: now_s + ttl as u64 });
+        Some(records)
+    }
+
+    /// Drops all cached entries — the monitor's "proper resetting to avoid
+    /// local caching effects" between repeated downloads.
+    pub fn flush(&mut self) {
+        self.cache.clear();
+        self.negative.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneEntry;
+    use std::net::Ipv4Addr;
+
+    fn zone() -> ZoneDb {
+        let mut db = ZoneDb::new();
+        db.insert(
+            "a.example",
+            ZoneEntry {
+                v4: Ipv4Addr::new(192, 0, 2, 1),
+                v6: Some("2001:db8::1".parse().unwrap()),
+                v6_from_week: 5,
+                ttl: 100,
+            },
+        );
+        db
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let db = zone();
+        let mut r = Resolver::new();
+        let a1 = r.resolve(&db, "a.example", RecordType::A, 0, 1000).unwrap();
+        assert_eq!(a1.len(), 1);
+        assert_eq!(r.stats().cache_misses, 1);
+        let a2 = r.resolve(&db, "a.example", RecordType::A, 0, 1050).unwrap();
+        assert_eq!(a2, a1);
+        assert_eq!(r.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_causes_refetch() {
+        let db = zone();
+        let mut r = Resolver::new();
+        r.resolve(&db, "a.example", RecordType::A, 0, 1000);
+        // ttl 100 => expires at 1100
+        r.resolve(&db, "a.example", RecordType::A, 0, 1100);
+        assert_eq!(r.stats().cache_misses, 2);
+        assert_eq!(r.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn nxdomain_negatively_cached() {
+        let db = zone();
+        let mut r = Resolver::new();
+        assert_eq!(r.resolve(&db, "nope.example", RecordType::A, 0, 0), None);
+        assert_eq!(r.stats().nxdomain, 1);
+        assert_eq!(r.cache_len(), 0, "no positive cache line");
+        // the negative answer is served from cache within its TTL...
+        assert_eq!(r.resolve(&db, "nope.example", RecordType::A, 0, 100), None);
+        assert_eq!(r.resolve(&db, "nope.example", RecordType::Aaaa, 0, 100), None);
+        assert_eq!(r.stats().nxdomain, 1, "authority contacted only once");
+        assert_eq!(r.stats().cache_hits, 2);
+        // ...and re-resolved after expiry
+        assert_eq!(r.resolve(&db, "nope.example", RecordType::A, 0, 301), None);
+        assert_eq!(r.stats().nxdomain, 2);
+    }
+
+    #[test]
+    fn negative_cache_cleared_by_flush() {
+        let db = zone();
+        let mut r = Resolver::new();
+        r.resolve(&db, "nope.example", RecordType::A, 0, 0);
+        r.flush();
+        r.resolve(&db, "nope.example", RecordType::A, 0, 1);
+        assert_eq!(r.stats().nxdomain, 2, "flush must drop negative entries too");
+    }
+
+    #[test]
+    fn nodata_cached_as_empty() {
+        let db = zone();
+        let mut r = Resolver::new();
+        // AAAA before week 5: NODATA
+        let ans = r.resolve(&db, "a.example", RecordType::Aaaa, 0, 0).unwrap();
+        assert!(ans.is_empty());
+        // cached: second query is a hit even though empty
+        r.resolve(&db, "a.example", RecordType::Aaaa, 0, 10).unwrap();
+        assert_eq!(r.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn week_gating_visible_through_resolver() {
+        let db = zone();
+        let mut r = Resolver::new();
+        assert!(r.resolve(&db, "a.example", RecordType::Aaaa, 4, 0).unwrap().is_empty());
+        r.flush();
+        assert_eq!(r.resolve(&db, "a.example", RecordType::Aaaa, 5, 0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn flush_clears_cache() {
+        let db = zone();
+        let mut r = Resolver::new();
+        r.resolve(&db, "a.example", RecordType::A, 0, 0);
+        assert_eq!(r.cache_len(), 1);
+        r.flush();
+        assert_eq!(r.cache_len(), 0);
+        r.resolve(&db, "a.example", RecordType::A, 0, 1);
+        assert_eq!(r.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn separate_cache_per_qtype() {
+        let db = zone();
+        let mut r = Resolver::new();
+        r.resolve(&db, "a.example", RecordType::A, 10, 0);
+        r.resolve(&db, "a.example", RecordType::Aaaa, 10, 0);
+        assert_eq!(r.stats().cache_misses, 2);
+        assert_eq!(r.cache_len(), 2);
+    }
+}

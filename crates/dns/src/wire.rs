@@ -1,0 +1,360 @@
+//! RFC 1035 message codec (query/response, A and AAAA answers).
+//!
+//! Names are encoded as uncompressed label sequences; the decoder also
+//! understands (and rejects cleanly) compression pointers, which this
+//! encoder never emits.
+
+use crate::records::{Record, RecordData, RecordType};
+use bytes::{Buf, BufMut};
+use ipv6web_packet::PacketError;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Message header (12 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnsHeader {
+    /// Transaction id.
+    pub id: u16,
+    /// True for responses, false for queries.
+    pub response: bool,
+    /// RCODE (0 = NOERROR, 3 = NXDOMAIN).
+    pub rcode: u8,
+    /// Question count.
+    pub qdcount: u16,
+    /// Answer count.
+    pub ancount: u16,
+}
+
+/// RCODE for NXDOMAIN.
+pub const RCODE_NXDOMAIN: u8 = 3;
+
+/// One question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsQuestion {
+    /// Queried name.
+    pub name: String,
+    /// Queried type.
+    pub qtype: RecordType,
+}
+
+/// One answer resource record, wire-level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnsRecordWire {
+    /// Owner name.
+    pub name: String,
+    /// TTL seconds.
+    pub ttl: u32,
+    /// Address payload.
+    pub data: RecordData,
+}
+
+/// A parsed or to-be-encoded DNS message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnsMessage {
+    /// Header fields.
+    pub header: DnsHeader,
+    /// Questions (the study always sends exactly one).
+    pub questions: Vec<DnsQuestion>,
+    /// Answers.
+    pub answers: Vec<DnsRecordWire>,
+}
+
+impl DnsMessage {
+    /// Builds a single-question query.
+    pub fn query(id: u16, name: impl Into<String>, qtype: RecordType) -> Self {
+        DnsMessage {
+            header: DnsHeader { id, response: false, rcode: 0, qdcount: 1, ancount: 0 },
+            questions: vec![DnsQuestion { name: name.into(), qtype }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Builds the response to `query` carrying `records` (empty = NODATA),
+    /// or NXDOMAIN when `nxdomain` is set.
+    pub fn response(query: &DnsMessage, records: &[Record], nxdomain: bool) -> Self {
+        DnsMessage {
+            header: DnsHeader {
+                id: query.header.id,
+                response: true,
+                rcode: if nxdomain { RCODE_NXDOMAIN } else { 0 },
+                qdcount: query.questions.len() as u16,
+                ancount: records.len() as u16,
+            },
+            questions: query.questions.clone(),
+            answers: records
+                .iter()
+                .map(|r| DnsRecordWire { name: r.name.clone(), ttl: r.ttl, data: r.data })
+                .collect(),
+        }
+    }
+
+    /// Encodes to wire bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        v.put_u16(self.header.id);
+        let mut flags: u16 = 0;
+        if self.header.response {
+            flags |= 0x8000;
+        }
+        flags |= 0x0100; // RD
+        flags |= self.header.rcode as u16 & 0x000f;
+        v.put_u16(flags);
+        v.put_u16(self.questions.len() as u16);
+        v.put_u16(self.answers.len() as u16);
+        v.put_u16(0); // NSCOUNT
+        v.put_u16(0); // ARCOUNT
+        for q in &self.questions {
+            encode_name(&mut v, &q.name);
+            v.put_u16(q.qtype.code());
+            v.put_u16(1); // IN
+        }
+        for a in &self.answers {
+            encode_name(&mut v, &a.name);
+            v.put_u16(a.data.record_type().code());
+            v.put_u16(1); // IN
+            v.put_u32(a.ttl);
+            match a.data {
+                RecordData::V4(ip) => {
+                    v.put_u16(4);
+                    v.put_slice(&ip.octets());
+                }
+                RecordData::V6(ip) => {
+                    v.put_u16(16);
+                    v.put_slice(&ip.octets());
+                }
+            }
+        }
+        v
+    }
+
+    /// Decodes a message.
+    pub fn decode(data: &[u8]) -> Result<Self, PacketError> {
+        let mut buf = data;
+        if buf.remaining() < 12 {
+            return Err(PacketError::Truncated { what: "dns header", needed: 12, got: buf.remaining() });
+        }
+        let id = buf.get_u16();
+        let flags = buf.get_u16();
+        let qdcount = buf.get_u16();
+        let ancount = buf.get_u16();
+        let _ns = buf.get_u16();
+        let _ar = buf.get_u16();
+        let header = DnsHeader {
+            id,
+            response: flags & 0x8000 != 0,
+            rcode: (flags & 0x000f) as u8,
+            qdcount,
+            ancount,
+        };
+        let mut questions = Vec::with_capacity(qdcount as usize);
+        for _ in 0..qdcount {
+            let name = decode_name(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(PacketError::Truncated { what: "dns question", needed: 4, got: buf.remaining() });
+            }
+            let code = buf.get_u16();
+            let _class = buf.get_u16();
+            let qtype = RecordType::from_code(code)
+                .ok_or(PacketError::BadField { what: "dns qtype" })?;
+            questions.push(DnsQuestion { name, qtype });
+        }
+        let mut answers = Vec::with_capacity(ancount as usize);
+        for _ in 0..ancount {
+            let name = decode_name(&mut buf)?;
+            if buf.remaining() < 10 {
+                return Err(PacketError::Truncated { what: "dns answer", needed: 10, got: buf.remaining() });
+            }
+            let code = buf.get_u16();
+            let _class = buf.get_u16();
+            let ttl = buf.get_u32();
+            let rdlen = buf.get_u16() as usize;
+            if buf.remaining() < rdlen {
+                return Err(PacketError::Truncated { what: "dns rdata", needed: rdlen, got: buf.remaining() });
+            }
+            let rtype = RecordType::from_code(code)
+                .ok_or(PacketError::BadField { what: "dns answer type" })?;
+            let data = match (rtype, rdlen) {
+                (RecordType::A, 4) => {
+                    let mut o = [0u8; 4];
+                    buf.copy_to_slice(&mut o);
+                    RecordData::V4(Ipv4Addr::from(o))
+                }
+                (RecordType::Aaaa, 16) => {
+                    let mut o = [0u8; 16];
+                    buf.copy_to_slice(&mut o);
+                    RecordData::V6(Ipv6Addr::from(o))
+                }
+                _ => return Err(PacketError::BadLength { what: "dns rdata length", value: rdlen }),
+            };
+            answers.push(DnsRecordWire { name, ttl, data });
+        }
+        Ok(DnsMessage { header, questions, answers })
+    }
+}
+
+fn encode_name(v: &mut Vec<u8>, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        debug_assert!(label.len() < 64, "label too long: {label}");
+        v.put_u8(label.len() as u8);
+        v.put_slice(label.as_bytes());
+    }
+    v.put_u8(0);
+}
+
+fn decode_name(buf: &mut &[u8]) -> Result<String, PacketError> {
+    let mut labels: Vec<String> = Vec::new();
+    loop {
+        if buf.remaining() < 1 {
+            return Err(PacketError::Truncated { what: "dns name", needed: 1, got: 0 });
+        }
+        let len = buf.get_u8();
+        if len == 0 {
+            break;
+        }
+        if len & 0xc0 != 0 {
+            return Err(PacketError::BadField { what: "dns compression pointer (unsupported)" });
+        }
+        if buf.remaining() < len as usize {
+            return Err(PacketError::Truncated {
+                what: "dns label",
+                needed: len as usize,
+                got: buf.remaining(),
+            });
+        }
+        let mut bytes = vec![0u8; len as usize];
+        buf.copy_to_slice(&mut bytes);
+        labels.push(
+            String::from_utf8(bytes)
+                .map_err(|_| PacketError::BadField { what: "dns label utf8" })?,
+        );
+        if labels.len() > 32 {
+            return Err(PacketError::BadField { what: "dns name too deep" });
+        }
+    }
+    Ok(labels.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = DnsMessage::query(0x1234, "www.site7.example", RecordType::Aaaa);
+        let d = DnsMessage::decode(&q.to_vec()).unwrap();
+        assert_eq!(q, d);
+        assert!(!d.header.response);
+        assert_eq!(d.questions[0].name, "www.site7.example");
+        assert_eq!(d.questions[0].qtype, RecordType::Aaaa);
+    }
+
+    #[test]
+    fn response_roundtrip_with_answers() {
+        let q = DnsMessage::query(7, "s.example", RecordType::A);
+        let recs = vec![Record::a("s.example", Ipv4Addr::new(192, 0, 2, 9), 120)];
+        let r = DnsMessage::response(&q, &recs, false);
+        let d = DnsMessage::decode(&r.to_vec()).unwrap();
+        assert!(d.header.response);
+        assert_eq!(d.header.id, 7);
+        assert_eq!(d.header.rcode, 0);
+        assert_eq!(d.answers.len(), 1);
+        assert_eq!(d.answers[0].data, RecordData::V4(Ipv4Addr::new(192, 0, 2, 9)));
+        assert_eq!(d.answers[0].ttl, 120);
+    }
+
+    #[test]
+    fn aaaa_answer_roundtrip() {
+        let q = DnsMessage::query(8, "s.example", RecordType::Aaaa);
+        let recs = vec![Record::aaaa("s.example", "2001:db8::42".parse().unwrap(), 60)];
+        let d = DnsMessage::decode(&DnsMessage::response(&q, &recs, false).to_vec()).unwrap();
+        assert_eq!(
+            d.answers[0].data,
+            RecordData::V6("2001:db8::42".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn nxdomain_response() {
+        let q = DnsMessage::query(9, "gone.example", RecordType::A);
+        let r = DnsMessage::response(&q, &[], true);
+        let d = DnsMessage::decode(&r.to_vec()).unwrap();
+        assert_eq!(d.header.rcode, RCODE_NXDOMAIN);
+        assert!(d.answers.is_empty());
+    }
+
+    #[test]
+    fn nodata_response_has_rcode_zero() {
+        let q = DnsMessage::query(9, "v4only.example", RecordType::Aaaa);
+        let d = DnsMessage::decode(&DnsMessage::response(&q, &[], false).to_vec()).unwrap();
+        assert_eq!(d.header.rcode, 0);
+        assert!(d.answers.is_empty());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let q = DnsMessage::query(1, "x.example", RecordType::A).to_vec();
+        for cut in [0, 5, 11, q.len() - 1] {
+            assert!(DnsMessage::decode(&q[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn compression_pointer_rejected() {
+        let mut v = DnsMessage::query(1, "x.example", RecordType::A).to_vec();
+        v[12] = 0xc0; // pointer marker where the first label length was
+        assert_eq!(
+            DnsMessage::decode(&v).unwrap_err(),
+            PacketError::BadField { what: "dns compression pointer (unsupported)" }
+        );
+    }
+
+    #[test]
+    fn unknown_qtype_rejected() {
+        let mut v = DnsMessage::query(1, "x.example", RecordType::A).to_vec();
+        let n = v.len();
+        v[n - 4] = 0;
+        v[n - 3] = 15; // MX
+        assert_eq!(
+            DnsMessage::decode(&v).unwrap_err(),
+            PacketError::BadField { what: "dns qtype" }
+        );
+    }
+
+    #[test]
+    fn empty_name_roundtrips_as_root() {
+        let q = DnsMessage::query(2, "", RecordType::A);
+        let d = DnsMessage::decode(&q.to_vec()).unwrap();
+        assert_eq!(d.questions[0].name, "");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_names(
+            labels in proptest::collection::vec("[a-z0-9-]{1,20}", 1..5),
+            id in any::<u16>(),
+        ) {
+            let name = labels.join(".");
+            let q = DnsMessage::query(id, name.clone(), RecordType::Aaaa);
+            let d = DnsMessage::decode(&q.to_vec()).unwrap();
+            prop_assert_eq!(d.questions[0].name.clone(), name);
+            prop_assert_eq!(d.header.id, id);
+        }
+
+        #[test]
+        fn roundtrip_many_answers(
+            n in 0usize..10,
+            ttl in any::<u32>(),
+        ) {
+            let q = DnsMessage::query(3, "multi.example", RecordType::A);
+            let recs: Vec<Record> = (0..n)
+                .map(|i| Record::a("multi.example", Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8), ttl))
+                .collect();
+            let d = DnsMessage::decode(&DnsMessage::response(&q, &recs, false).to_vec()).unwrap();
+            prop_assert_eq!(d.answers.len(), n);
+            for (a, r) in d.answers.iter().zip(&recs) {
+                prop_assert_eq!(a.data, r.data);
+                prop_assert_eq!(a.ttl, ttl);
+            }
+        }
+    }
+}

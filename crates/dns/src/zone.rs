@@ -1,0 +1,172 @@
+//! Authoritative zone database.
+//!
+//! A site's IPv6 accessibility is, at DNS level, the presence of a AAAA
+//! record. The database is *time-aware*: each entry records the campaign
+//! week from which its AAAA record exists, so reachability timelines
+//! (Fig 1) fall out of plain DNS queries at different times.
+
+use crate::records::{Record, RecordData, RecordType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Authoritative data for one name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneEntry {
+    /// IPv4 address (every monitored site has one).
+    pub v4: Ipv4Addr,
+    /// IPv6 address, if the site ever becomes IPv6-accessible.
+    pub v6: Option<Ipv6Addr>,
+    /// Week index from which the AAAA record is published.
+    pub v6_from_week: u32,
+    /// Record TTL in seconds.
+    pub ttl: u32,
+}
+
+/// The simulated global DNS: name → entry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ZoneDb {
+    entries: HashMap<String, ZoneEntry>,
+}
+
+impl ZoneDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a name.
+    pub fn insert(&mut self, name: impl Into<String>, entry: ZoneEntry) {
+        self.entries.insert(name.into(), entry);
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no names are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Raw entry lookup.
+    pub fn entry(&self, name: &str) -> Option<&ZoneEntry> {
+        self.entries.get(name)
+    }
+
+    /// Authoritative answer for `(name, qtype)` as of campaign `week`.
+    /// Returns an empty vec for NODATA (name exists, no such record) and
+    /// `None` for NXDOMAIN.
+    pub fn query(&self, name: &str, qtype: RecordType, week: u32) -> Option<Vec<Record>> {
+        let e = self.entries.get(name)?;
+        let mut answers = Vec::new();
+        match qtype {
+            RecordType::A => answers.push(Record {
+                name: name.to_string(),
+                data: RecordData::V4(e.v4),
+                ttl: e.ttl,
+            }),
+            RecordType::Aaaa => {
+                if let Some(v6) = e.v6 {
+                    if week >= e.v6_from_week {
+                        answers.push(Record {
+                            name: name.to_string(),
+                            data: RecordData::V6(v6),
+                            ttl: e.ttl,
+                        });
+                    }
+                }
+            }
+        }
+        Some(answers)
+    }
+
+    /// Whether `name` has both A and AAAA as of `week` — the study's
+    /// dual-stack criterion.
+    pub fn is_dual_stack(&self, name: &str, week: u32) -> bool {
+        matches!(self.query(name, RecordType::Aaaa, week), Some(v) if !v.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> ZoneDb {
+        let mut db = ZoneDb::new();
+        db.insert(
+            "dual.example",
+            ZoneEntry {
+                v4: Ipv4Addr::new(192, 0, 2, 1),
+                v6: Some("2001:db8::1".parse().unwrap()),
+                v6_from_week: 10,
+                ttl: 300,
+            },
+        );
+        db.insert(
+            "v4only.example",
+            ZoneEntry {
+                v4: Ipv4Addr::new(192, 0, 2, 2),
+                v6: None,
+                v6_from_week: 0,
+                ttl: 300,
+            },
+        );
+        db
+    }
+
+    #[test]
+    fn a_record_always_answered() {
+        let db = db();
+        let ans = db.query("dual.example", RecordType::A, 0).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].data, RecordData::V4(Ipv4Addr::new(192, 0, 2, 1)));
+    }
+
+    #[test]
+    fn aaaa_appears_at_publication_week() {
+        let db = db();
+        assert!(db.query("dual.example", RecordType::Aaaa, 9).unwrap().is_empty());
+        assert_eq!(db.query("dual.example", RecordType::Aaaa, 10).unwrap().len(), 1);
+        assert_eq!(db.query("dual.example", RecordType::Aaaa, 50).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn v4_only_site_nodata_for_aaaa() {
+        let db = db();
+        let ans = db.query("v4only.example", RecordType::Aaaa, 99).unwrap();
+        assert!(ans.is_empty(), "NODATA, not NXDOMAIN");
+    }
+
+    #[test]
+    fn unknown_name_nxdomain() {
+        assert_eq!(db().query("nope.example", RecordType::A, 0), None);
+    }
+
+    #[test]
+    fn dual_stack_check_tracks_week() {
+        let db = db();
+        assert!(!db.is_dual_stack("dual.example", 9));
+        assert!(db.is_dual_stack("dual.example", 10));
+        assert!(!db.is_dual_stack("v4only.example", 10));
+        assert!(!db.is_dual_stack("nope.example", 10));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut db = db();
+        assert_eq!(db.len(), 2);
+        db.insert(
+            "dual.example",
+            ZoneEntry {
+                v4: Ipv4Addr::new(198, 51, 100, 7),
+                v6: None,
+                v6_from_week: 0,
+                ttl: 60,
+            },
+        );
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_dual_stack("dual.example", 99));
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-vantage results database.
+//!
+//! The paper's tool stores round results "in several tables in a mysql
+//! database"; each vantage point keeps a local database and a common
+//! repository aggregates them. [`MonitorDb`] is the in-memory equivalent,
+//! serializable with serde for snapshotting.
+
+use ipv6web_web::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One accepted performance measurement (a round's mean download speed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfSample {
+    /// Campaign week of the round.
+    pub week: u32,
+    /// Mean download speed accepted by the confidence rule, kB/s.
+    pub speed_kbps: f64,
+    /// Downloads it took to satisfy the confidence rule.
+    pub downloads: u32,
+}
+
+/// Everything a vantage point knows about one site.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SiteRecord {
+    /// Week the site joined this vantage point's monitored set.
+    pub added_week: u32,
+    /// Latest A-record observation.
+    pub has_a: bool,
+    /// Latest AAAA-record observation.
+    pub has_aaaa: bool,
+    /// First week both records were seen (IPv6 reachability timestamp).
+    pub dual_since: Option<u32>,
+    /// Latest page-identity verdict (None = never dual-downloaded).
+    pub content_identical: Option<bool>,
+    /// Accepted per-round IPv4 speed samples.
+    pub samples_v4: Vec<PerfSample>,
+    /// Accepted per-round IPv6 speed samples.
+    pub samples_v6: Vec<PerfSample>,
+    /// Rounds where the performance phase gave up (no confidence).
+    pub unconfident_rounds: u32,
+}
+
+impl SiteRecord {
+    /// Paired samples (same week present in both families), the unit the
+    /// cross-family analysis runs on.
+    pub fn paired_weeks(&self) -> Vec<u32> {
+        let v6_weeks: std::collections::BTreeSet<u32> =
+            self.samples_v6.iter().map(|s| s.week).collect();
+        self.samples_v4
+            .iter()
+            .map(|s| s.week)
+            .filter(|w| v6_weeks.contains(w))
+            .collect()
+    }
+}
+
+/// A vantage point's results database.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MonitorDb {
+    /// Vantage point name this database belongs to.
+    pub vantage: String,
+    records: BTreeMap<SiteId, SiteRecord>,
+}
+
+impl MonitorDb {
+    /// Fresh database for a vantage point.
+    pub fn new(vantage: impl Into<String>) -> Self {
+        MonitorDb { vantage: vantage.into(), records: BTreeMap::new() }
+    }
+
+    /// Record for `site`, creating it (with `added_week`) on first touch.
+    pub fn record_mut(&mut self, site: SiteId, added_week: u32) -> &mut SiteRecord {
+        self.records.entry(site).or_insert_with(|| SiteRecord {
+            added_week,
+            ..SiteRecord::default()
+        })
+    }
+
+    /// Read-only record lookup.
+    pub fn record(&self, site: SiteId) -> Option<&SiteRecord> {
+        self.records.get(&site)
+    }
+
+    /// All `(site, record)` pairs in site order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, &SiteRecord)> {
+        self.records.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of sites ever touched.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no site was touched.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Sites observed dual-stack (both records seen at some round).
+    pub fn dual_stack_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.records
+            .iter()
+            .filter(|(_, r)| r.dual_since.is_some())
+            .map(|(s, _)| *s)
+    }
+
+    /// Fraction of monitored sites that were IPv6-reachable as of `week`
+    /// (the Fig 1 series): sites whose `dual_since ≤ week`, over sites
+    /// monitored by `week`.
+    pub fn reachability_at(&self, week: u32) -> f64 {
+        let monitored = self
+            .records
+            .values()
+            .filter(|r| r.added_week <= week)
+            .count();
+        if monitored == 0 {
+            return 0.0;
+        }
+        let dual = self
+            .records
+            .values()
+            .filter(|r| r.added_week <= week && r.dual_since.is_some_and(|w| w <= week))
+            .count();
+        dual as f64 / monitored as f64
+    }
+
+    /// Writes the database as pretty JSON (the central repository's
+    /// archival format).
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("db serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Loads a database written by [`MonitorDb::save_json`].
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<MonitorDb> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Merges another vantage's worth of records under site-id keys into a
+    /// combined repository view (used by the central aggregation at
+    /// "Penn"). Existing records are kept; the merge is additive per site
+    /// and per sample list.
+    pub fn merge_samples_from(&mut self, other: &MonitorDb) {
+        for (site, rec) in other.iter() {
+            let mine = self.record_mut(site, rec.added_week);
+            mine.has_a |= rec.has_a;
+            mine.has_aaaa |= rec.has_aaaa;
+            mine.dual_since = match (mine.dual_since, rec.dual_since) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            if mine.content_identical.is_none() {
+                mine.content_identical = rec.content_identical;
+            }
+            mine.samples_v4.extend_from_slice(&rec.samples_v4);
+            mine.samples_v6.extend_from_slice(&rec.samples_v6);
+            mine.unconfident_rounds += rec.unconfident_rounds;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(week: u32, speed: f64) -> PerfSample {
+        PerfSample { week, speed_kbps: speed, downloads: 4 }
+    }
+
+    #[test]
+    fn record_created_on_first_touch() {
+        let mut db = MonitorDb::new("Penn");
+        assert!(db.is_empty());
+        db.record_mut(SiteId(5), 3).has_a = true;
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.record(SiteId(5)).unwrap().added_week, 3);
+        // second touch does not reset added_week
+        db.record_mut(SiteId(5), 9);
+        assert_eq!(db.record(SiteId(5)).unwrap().added_week, 3);
+    }
+
+    #[test]
+    fn paired_weeks_intersects_families() {
+        let mut r = SiteRecord::default();
+        r.samples_v4 = vec![sample(1, 10.0), sample(2, 11.0), sample(4, 12.0)];
+        r.samples_v6 = vec![sample(2, 9.0), sample(3, 9.0), sample(4, 9.0)];
+        assert_eq!(r.paired_weeks(), vec![2, 4]);
+    }
+
+    #[test]
+    fn reachability_series() {
+        let mut db = MonitorDb::new("x");
+        // 4 sites monitored from week 0; one goes dual at week 2, another at week 5
+        for i in 0..4 {
+            db.record_mut(SiteId(i), 0);
+        }
+        db.record_mut(SiteId(0), 0).dual_since = Some(2);
+        db.record_mut(SiteId(1), 0).dual_since = Some(5);
+        assert_eq!(db.reachability_at(0), 0.0);
+        assert_eq!(db.reachability_at(2), 0.25);
+        assert_eq!(db.reachability_at(5), 0.5);
+        // site added later enters the denominator only from its week
+        db.record_mut(SiteId(9), 6);
+        assert_eq!(db.reachability_at(5), 0.5);
+        assert_eq!(db.reachability_at(6), 0.4);
+    }
+
+    #[test]
+    fn reachability_empty_db_zero() {
+        assert_eq!(MonitorDb::new("x").reachability_at(10), 0.0);
+    }
+
+    #[test]
+    fn dual_stack_sites_listing() {
+        let mut db = MonitorDb::new("x");
+        db.record_mut(SiteId(1), 0).dual_since = Some(1);
+        db.record_mut(SiteId(2), 0);
+        let dual: Vec<SiteId> = db.dual_stack_sites().collect();
+        assert_eq!(dual, vec![SiteId(1)]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MonitorDb::new("repo");
+        a.record_mut(SiteId(1), 0).samples_v4.push(sample(1, 5.0));
+        let mut b = MonitorDb::new("other");
+        let r = b.record_mut(SiteId(1), 2);
+        r.samples_v4.push(sample(2, 6.0));
+        r.dual_since = Some(3);
+        r.has_aaaa = true;
+        b.record_mut(SiteId(7), 1).has_a = true;
+
+        a.merge_samples_from(&b);
+        let m = a.record(SiteId(1)).unwrap();
+        assert_eq!(m.samples_v4.len(), 2);
+        assert_eq!(m.dual_since, Some(3));
+        assert!(m.has_aaaa);
+        assert!(a.record(SiteId(7)).unwrap().has_a);
+    }
+
+    #[test]
+    fn file_snapshot_roundtrip() {
+        let mut db = MonitorDb::new("Penn");
+        db.record_mut(SiteId(1), 0).samples_v4.push(sample(3, 55.0));
+        db.record_mut(SiteId(2), 1).dual_since = Some(4);
+        let dir = std::env::temp_dir().join("ipv6web-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("penn.json");
+        db.save_json(&path).unwrap();
+        let back = MonitorDb::load_json(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("ipv6web-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(MonitorDb::load_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut db = MonitorDb::new("Penn");
+        db.record_mut(SiteId(3), 1).samples_v6.push(sample(4, 33.0));
+        let json = serde_json::to_string(&db).unwrap();
+        let back: MonitorDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(db, back);
+    }
+}

@@ -1,0 +1,228 @@
+//! Exogenous performance disturbances (Section 5.1's messiness).
+//!
+//! Table 3 shows that a sizeable share of sites never reached the study's
+//! confidence target because their performance **stepped** up/down during
+//! the campaign (path changes, equipment upgrades) or **drifted** steadily.
+//! The simulator injects exactly these phenomena so the sanitization
+//! pipeline has something real to catch; each disturbance applies a
+//! multiplicative factor to a site's measured speed from its onset week.
+
+use ipv6web_stats::{coin, derive_rng};
+use ipv6web_web::SiteId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Kind of injected disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DisturbanceKind {
+    /// Sharp sustained increase at `week` by `magnitude` (>1).
+    StepUp,
+    /// Sharp sustained decrease at `week` by `magnitude` (<1).
+    StepDown,
+    /// Steady multiplicative drift upward: factor `magnitude^(weeks since)`.
+    TrendUp,
+    /// Steady multiplicative drift downward.
+    TrendDown,
+}
+
+/// One site's disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disturbance {
+    /// Kind.
+    pub kind: DisturbanceKind,
+    /// Onset week.
+    pub week: u32,
+    /// Step factor or weekly drift ratio, per [`DisturbanceKind`].
+    pub magnitude: f64,
+    /// Whether the underlying cause was a routing-path change (the paper
+    /// could attribute some, not all, transitions to path changes).
+    pub path_change: bool,
+}
+
+/// Disturbance injection rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisturbanceConfig {
+    /// Probability a site suffers a step change during the campaign.
+    pub step_prob: f64,
+    /// Probability a site drifts steadily.
+    pub trend_prob: f64,
+    /// Probability a step is attributable to a path change.
+    pub path_change_share: f64,
+}
+
+impl DisturbanceConfig {
+    /// Rates calibrated to Table 3's removal proportions.
+    pub fn paper() -> Self {
+        DisturbanceConfig { step_prob: 0.035, trend_prob: 0.12, path_change_share: 0.35 }
+    }
+
+    /// No disturbances (clean-world ablation).
+    pub fn none() -> Self {
+        DisturbanceConfig { step_prob: 0.0, trend_prob: 0.0, path_change_share: 0.0 }
+    }
+}
+
+/// The per-site disturbance assignment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Disturbances {
+    map: HashMap<SiteId, Disturbance>,
+}
+
+impl Disturbances {
+    /// Draws disturbances for `n_sites` sites over a `total_weeks` campaign.
+    pub fn generate(config: &DisturbanceConfig, n_sites: usize, total_weeks: u32, seed: u64) -> Self {
+        let mut rng = derive_rng(seed, "disturbances");
+        let mut map = HashMap::new();
+        for i in 0..n_sites {
+            let site = SiteId(i as u32);
+            if coin(&mut rng, config.step_prob) {
+                let up = coin(&mut rng, 0.5);
+                map.insert(
+                    site,
+                    Disturbance {
+                        kind: if up { DisturbanceKind::StepUp } else { DisturbanceKind::StepDown },
+                        // step onset away from the very edges so the median
+                        // filter has context on both sides
+                        week: rng.gen_range(total_weeks / 6..total_weeks * 5 / 6),
+                        magnitude: if up {
+                            rng.gen_range(1.5..3.0)
+                        } else {
+                            rng.gen_range(0.3..0.65)
+                        },
+                        path_change: coin(&mut rng, config.path_change_share),
+                    },
+                );
+            } else if coin(&mut rng, config.trend_prob) {
+                let up = coin(&mut rng, 0.5);
+                map.insert(
+                    site,
+                    Disturbance {
+                        kind: if up { DisturbanceKind::TrendUp } else { DisturbanceKind::TrendDown },
+                        week: 0,
+                        magnitude: if up {
+                            rng.gen_range(1.012..1.03)
+                        } else {
+                            rng.gen_range(0.97..0.988)
+                        },
+                        path_change: false,
+                    },
+                );
+            }
+        }
+        Disturbances { map }
+    }
+
+    /// The disturbance assigned to `site`, if any.
+    pub fn get(&self, site: SiteId) -> Option<&Disturbance> {
+        self.map.get(&site)
+    }
+
+    /// The multiplicative speed factor for `site` at `week`.
+    pub fn factor(&self, site: SiteId, week: u32) -> f64 {
+        let Some(d) = self.map.get(&site) else {
+            return 1.0;
+        };
+        match d.kind {
+            DisturbanceKind::StepUp | DisturbanceKind::StepDown => {
+                if week >= d.week {
+                    d.magnitude
+                } else {
+                    1.0
+                }
+            }
+            DisturbanceKind::TrendUp | DisturbanceKind::TrendDown => {
+                d.magnitude.powi(week.saturating_sub(d.week) as i32)
+            }
+        }
+    }
+
+    /// Number of disturbed sites.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no site is disturbed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_rates_roughly_match_config() {
+        let cfg = DisturbanceConfig { step_prob: 0.1, trend_prob: 0.2, path_change_share: 0.5 };
+        let d = Disturbances::generate(&cfg, 10_000, 52, 1);
+        // expected: 1000 steps + 0.9*10_000*0.2 = 1800 trends => ~2800
+        assert!((2300..3300).contains(&d.len()), "got {}", d.len());
+        let steps = (0..10_000u32)
+            .filter_map(|i| d.get(SiteId(i)))
+            .filter(|x| matches!(x.kind, DisturbanceKind::StepUp | DisturbanceKind::StepDown))
+            .count();
+        assert!((800..1200).contains(&steps), "steps {steps}");
+    }
+
+    #[test]
+    fn none_config_is_empty() {
+        let d = Disturbances::generate(&DisturbanceConfig::none(), 1000, 52, 2);
+        assert!(d.is_empty());
+        assert_eq!(d.factor(SiteId(3), 10), 1.0);
+    }
+
+    #[test]
+    fn step_factor_applies_from_onset() {
+        let mut map = HashMap::new();
+        map.insert(
+            SiteId(1),
+            Disturbance { kind: DisturbanceKind::StepUp, week: 10, magnitude: 2.0, path_change: true },
+        );
+        let d = Disturbances { map };
+        assert_eq!(d.factor(SiteId(1), 9), 1.0);
+        assert_eq!(d.factor(SiteId(1), 10), 2.0);
+        assert_eq!(d.factor(SiteId(1), 50), 2.0);
+        assert_eq!(d.factor(SiteId(2), 50), 1.0, "undisturbed site");
+    }
+
+    #[test]
+    fn trend_factor_compounds() {
+        let mut map = HashMap::new();
+        map.insert(
+            SiteId(1),
+            Disturbance { kind: DisturbanceKind::TrendDown, week: 0, magnitude: 0.98, path_change: false },
+        );
+        let d = Disturbances { map };
+        assert_eq!(d.factor(SiteId(1), 0), 1.0);
+        assert!((d.factor(SiteId(1), 10) - 0.98f64.powi(10)).abs() < 1e-12);
+        assert!(d.factor(SiteId(1), 40) < d.factor(SiteId(1), 10));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = DisturbanceConfig::paper();
+        assert_eq!(
+            Disturbances::generate(&cfg, 500, 52, 7),
+            Disturbances::generate(&cfg, 500, 52, 7)
+        );
+    }
+
+    #[test]
+    fn magnitudes_in_declared_ranges() {
+        let d = Disturbances::generate(&DisturbanceConfig::paper(), 20_000, 52, 3);
+        for i in 0..20_000u32 {
+            if let Some(x) = d.get(SiteId(i)) {
+                match x.kind {
+                    DisturbanceKind::StepUp => assert!((1.5..3.0).contains(&x.magnitude)),
+                    DisturbanceKind::StepDown => assert!((0.3..0.65).contains(&x.magnitude)),
+                    DisturbanceKind::TrendUp => assert!((1.012..1.03).contains(&x.magnitude)),
+                    DisturbanceKind::TrendDown => assert!((0.97..0.988).contains(&x.magnitude)),
+                }
+                if matches!(x.kind, DisturbanceKind::StepUp | DisturbanceKind::StepDown) {
+                    assert!((52 / 6..52 * 5 / 6).contains(&x.week));
+                }
+            }
+        }
+    }
+}

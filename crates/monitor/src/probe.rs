@@ -1,0 +1,429 @@
+//! Monitoring one site in one round (the per-thread unit of work).
+
+use crate::db::PerfSample;
+use crate::disturbance::Disturbances;
+use ipv6web_bgp::BgpTable;
+use ipv6web_dns::{RecordType, Resolver, ZoneDb};
+use ipv6web_netsim::{download_time, DataPlane, PathMetrics, TcpConfig};
+use ipv6web_stats::{derive_rng, lognormal, mean_ci, RelativeCiRule, StudentT, Welford};
+use ipv6web_stats::ci::SamplingDecision;
+use ipv6web_topology::{Family, Topology};
+use ipv6web_web::{build_request, build_response, pages_identical, parse_response_len, Site, SiteId};
+use rand::Rng;
+
+/// Everything a probe needs, shared read-only across worker threads.
+#[derive(Clone, Copy)]
+pub struct ProbeContext<'a> {
+    /// The topology (for the data plane).
+    pub topo: &'a Topology,
+    /// The site population, indexed by `SiteId`.
+    pub sites: &'a [Site],
+    /// Authoritative DNS.
+    pub zone: &'a ZoneDb,
+    /// The vantage point's IPv4 BGP table.
+    pub table_v4: &'a BgpTable,
+    /// The vantage point's IPv6 BGP table.
+    pub table_v6: &'a BgpTable,
+    /// Injected performance disturbances.
+    pub disturbances: &'a Disturbances,
+    /// TCP model parameters.
+    pub tcp: TcpConfig,
+    /// The repeat-until-confident rule (paper: 95% CI within 10%).
+    pub ci_rule: RelativeCiRule,
+    /// Page identity threshold (paper: 0.06).
+    pub identity_threshold: f64,
+    /// σ of the cross-round congestion factor (log-normal), applied to both
+    /// families alike.
+    pub round_noise_sigma: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Vantage point name (part of the RNG derivation).
+    pub vantage_name: &'a str,
+    /// Whether this vantage point's resolver is white-listed (Table 1's
+    /// W-L column): non-white-listed monitors never receive AAAA answers
+    /// from white-list-gated sites (the Google model).
+    pub white_listed: bool,
+    /// Mid-campaign IPv6 route change: from the given week onward, v6
+    /// routes come from this table instead of `table_v6`.
+    pub v6_epoch: Option<(u32, &'a BgpTable)>,
+}
+
+/// What one probe of one site produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOutcome {
+    /// The name does not resolve at all.
+    NxDomain,
+    /// A record only — the overwhelmingly common case in 2011.
+    V4Only,
+    /// Dual-stack in DNS but no BGP route in one family from here.
+    Unroutable(Family),
+    /// Dual-stack but the two pages differ beyond the identity threshold.
+    DifferentContent,
+    /// Both families measured to confidence.
+    Measured {
+        /// Accepted IPv4 sample.
+        v4: PerfSample,
+        /// Accepted IPv6 sample.
+        v6: PerfSample,
+    },
+    /// The sampling cap was reached without confidence in `0`.
+    Unconfident(Family),
+}
+
+/// Runs the Fig 2 pipeline for `site` at `week`.
+///
+/// `salt` distinguishes multiple rounds within the same week (the World
+/// IPv6 Day 30-minute cadence); weekly rounds pass 0. `ipv6_day_mode`
+/// lifts server-side IPv6 penalties (participants had made their
+/// end-systems "fully IPv6 qualified") — used by the World IPv6 Day rounds
+/// feeding Tables 10 and 12.
+pub fn probe_site(
+    ctx: &ProbeContext<'_>,
+    resolver: &mut Resolver,
+    site_id: SiteId,
+    week: u32,
+    salt: u32,
+    ipv6_day_mode: bool,
+) -> ProbeOutcome {
+    let site = &ctx.sites[site_id.index()];
+    let mut rng = derive_rng(
+        ctx.seed,
+        &format!("{}:probe:{}:{}:{}", ctx.vantage_name, week, salt, site_id.0),
+    );
+    let now_s = week as u64 * 604_800 + rng.gen_range(0..600_000);
+
+    // --- phase 1: DNS ------------------------------------------------------
+    let Some(a) = resolver.resolve(ctx.zone, &site.name, RecordType::A, week, now_s) else {
+        return ProbeOutcome::NxDomain;
+    };
+    let aaaa = resolver
+        .resolve(ctx.zone, &site.name, RecordType::Aaaa, week, now_s)
+        .unwrap_or_default();
+    if a.is_empty() || aaaa.is_empty() {
+        return ProbeOutcome::V4Only;
+    }
+    if site.v6.as_ref().is_some_and(|v| v.whitelist_only) && !ctx.white_listed {
+        // the authority answers AAAA only to certified resolvers
+        return ProbeOutcome::V4Only;
+    }
+
+    // --- phase 2: routability + one download per family --------------------
+    let Some(route4) = ctx.table_v4.route(site.v4_as) else {
+        return ProbeOutcome::Unroutable(Family::V4);
+    };
+    let v6_dest = site.v6.as_ref().expect("AAAA implies v6 presence").dest_as;
+    let v6_table = match ctx.v6_epoch {
+        Some((epoch_week, late)) if week >= epoch_week => late,
+        _ => ctx.table_v6,
+    };
+    let Some(route6) = v6_table.route(v6_dest) else {
+        return ProbeOutcome::Unroutable(Family::V6);
+    };
+
+    // The actual HTTP exchange, byte-level, once per family.
+    let req = build_request(&site.name);
+    debug_assert!(req.starts_with(b"GET / HTTP/1.1"));
+    let resp4 = build_response(&site.name, site.page_bytes(Family::V4) as usize);
+    let resp6 = build_response(&site.name, site.page_bytes(Family::V6) as usize);
+    let (_, len4) = parse_response_len(&resp4).expect("well-formed response");
+    let (_, len6) = parse_response_len(&resp6).expect("well-formed response");
+    if !pages_identical(len4 as u64, len6 as u64, ctx.identity_threshold) {
+        return ProbeOutcome::DifferentContent;
+    }
+
+    // --- phase 3: confidence-driven performance sampling --------------------
+    let dp = DataPlane::new(ctx.topo);
+    let shared_round_factor = lognormal(&mut rng, 1.0, ctx.round_noise_sigma);
+    let disturbance_factor = ctx.disturbances.factor(site_id, week);
+
+    let mut measure = |family: Family, metrics: PathMetrics| -> Option<PerfSample> {
+        let bytes = site.page_bytes(family);
+        let v6_factor = if ipv6_day_mode && family == Family::V6 {
+            1.0
+        } else {
+            site.server.v6_service_factor
+        };
+        // A CDN-fronted IPv4 presence is served by the CDN's edge servers,
+        // not the origin: fast, high-capacity, low think time. That is the
+        // whole value proposition the paper's Table 6 quantifies.
+        let v4_via_cdn = ctx.topo.node(site.v4_as).tier == ipv6web_topology::Tier::Cdn;
+        let rate_cap = match family {
+            Family::V4 if v4_via_cdn => 8_000.0,
+            Family::V4 => site.server.rate_cap_kbps,
+            Family::V6 => site.server.rate_cap_kbps * v6_factor,
+        };
+        let think_ms = match family {
+            Family::V4 if v4_via_cdn => 5.0,
+            Family::V4 => site.server.think_ms,
+            Family::V6 => site.server.think_ms / v6_factor,
+        };
+        let extra_rtt = match family {
+            Family::V4 => 0.0,
+            Family::V6 => site.v6.as_ref().map_or(0.0, |v| 2.0 * v.extra_v6_rtt_ms),
+        };
+        let eff = PathMetrics {
+            bottleneck_kbps: metrics.bottleneck_kbps.min(rate_cap),
+            rtt_ms: metrics.rtt_ms + extra_rtt,
+            ..metrics
+        };
+        let mut times = Welford::new();
+        loop {
+            // "each after proper resetting to avoid local caching effects"
+            resolver.flush();
+            let out = download_time(&mut rng, bytes, &eff, think_ms, &ctx.tcp);
+            times.push(out.time_s);
+            match ctx.ci_rule.decide(&times) {
+                SamplingDecision::Continue => continue,
+                SamplingDecision::GiveUp => return None,
+                SamplingDecision::Accept => {
+                    let ci = mean_ci(&times, StudentT::P95);
+                    debug_assert!(ci.relative_half_width() <= ctx.ci_rule.relative_tolerance + 1e-9);
+                    let speed =
+                        bytes as f64 / 1024.0 / ci.mean * shared_round_factor * disturbance_factor;
+                    return Some(PerfSample {
+                        week,
+                        speed_kbps: speed,
+                        downloads: times.count() as u32,
+                    });
+                }
+            }
+        }
+    };
+
+    // "first for IPv4 and then IPv6"
+    let m4 = dp.metrics(route4, Family::V4);
+    let Some(v4) = measure(Family::V4, m4) else {
+        return ProbeOutcome::Unconfident(Family::V4);
+    };
+    let m6 = dp.metrics(route6, Family::V6);
+    let Some(v6) = measure(Family::V6, m6) else {
+        return ProbeOutcome::Unconfident(Family::V6);
+    };
+    ProbeOutcome::Measured { v4, v6 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disturbance::{DisturbanceConfig, Disturbances};
+    use ipv6web_topology::{generate as gen_topo, AsId, Tier, TopologyConfig};
+    use ipv6web_web::{build_zone, population, PopulationConfig};
+
+    struct World {
+        topo: ipv6web_topology::Topology,
+        sites: Vec<Site>,
+        zone: ipv6web_dns::ZoneDb,
+        table_v4: BgpTable,
+        table_v6: BgpTable,
+        disturbances: Disturbances,
+        vantage: AsId,
+    }
+
+    fn world() -> World {
+        let topo = gen_topo(&TopologyConfig::test_small(), 21);
+        let sites = population::generate(&PopulationConfig::test_small(52), &topo, 21);
+        let zone = build_zone(&topo, &sites);
+        let vantage = topo
+            .nodes()
+            .iter()
+            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
+            .unwrap()
+            .id;
+        let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
+        dests.extend(sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
+        dests.sort();
+        dests.dedup();
+        let table_v4 = BgpTable::build(&topo, vantage, Family::V4, &dests);
+        let table_v6 = BgpTable::build(&topo, vantage, Family::V6, &dests);
+        let disturbances = Disturbances::generate(&DisturbanceConfig::none(), sites.len(), 52, 21);
+        World { topo, sites, zone, table_v4, table_v6, disturbances, vantage }
+    }
+
+    fn ctx<'a>(w: &'a World) -> ProbeContext<'a> {
+        let _ = w.vantage;
+        ProbeContext {
+            topo: &w.topo,
+            sites: &w.sites,
+            zone: &w.zone,
+            table_v4: &w.table_v4,
+            table_v6: &w.table_v6,
+            disturbances: &w.disturbances,
+            tcp: TcpConfig::paper(),
+            ci_rule: RelativeCiRule::paper(),
+            identity_threshold: 0.06,
+            round_noise_sigma: 0.08,
+            seed: 99,
+            vantage_name: "TestVP",
+            white_listed: false,
+            v6_epoch: None,
+        }
+    }
+
+    fn find_site(w: &World, pred: impl Fn(&Site) -> bool) -> SiteId {
+        w.sites.iter().find(|s| pred(s)).map(|s| s.id).expect("site matching predicate")
+    }
+
+    #[test]
+    fn v4_only_site_stops_at_dns() {
+        let w = world();
+        let c = ctx(&w);
+        let mut r = Resolver::new();
+        let sid = find_site(&w, |s| s.v6.is_none());
+        assert_eq!(probe_site(&c, &mut r, sid, 50, 0, false), ProbeOutcome::V4Only);
+    }
+
+    #[test]
+    fn dual_site_before_publication_week_is_v4_only() {
+        let w = world();
+        let c = ctx(&w);
+        let mut r = Resolver::new();
+        // force a site with a late publication week
+        let Some(site) = w.sites.iter().find(|s| s.v6.as_ref().is_some_and(|v| v.from_week > 5))
+        else {
+            return; // population happened to publish everything early; fine
+        };
+        assert_eq!(
+            probe_site(&c, &mut r, site.id, site.v6.as_ref().unwrap().from_week - 1, 0, false),
+            ProbeOutcome::V4Only
+        );
+    }
+
+    #[test]
+    fn healthy_dual_site_measures_both_families() {
+        let w = world();
+        let c = ctx(&w);
+        let mut r = Resolver::new();
+        let sid = find_site(&w, |s| {
+            s.v6.as_ref().is_some_and(|v| v.from_week == 0)
+                && pages_identical(s.page_bytes_v4, s.page_bytes_v6, 0.06)
+        });
+        match probe_site(&c, &mut r, sid, 50, 0, false) {
+            ProbeOutcome::Measured { v4, v6 } => {
+                assert!(v4.speed_kbps > 1.0 && v4.speed_kbps < 1000.0, "{}", v4.speed_kbps);
+                assert!(v6.speed_kbps > 1.0 && v6.speed_kbps < 1000.0, "{}", v6.speed_kbps);
+                assert!(v4.downloads >= 3, "min samples enforced");
+                assert_eq!(v4.week, 50);
+            }
+            other => panic!("expected Measured, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_content_site_rejected() {
+        let w = world();
+        let c = ctx(&w);
+        let mut r = Resolver::new();
+        let Some(site) = w.sites.iter().find(|s| {
+            s.v6.as_ref().is_some_and(|v| v.from_week == 0)
+                && !pages_identical(s.page_bytes_v4, s.page_bytes_v6, 0.06)
+        }) else {
+            return; // none generated under this seed
+        };
+        assert_eq!(probe_site(&c, &mut r, site.id, 50, 0, false), ProbeOutcome::DifferentContent);
+    }
+
+    #[test]
+    fn probe_is_deterministic() {
+        let w = world();
+        let c = ctx(&w);
+        let sid = find_site(&w, |s| s.v6.as_ref().is_some_and(|v| v.from_week == 0));
+        let mut r1 = Resolver::new();
+        let mut r2 = Resolver::new();
+        assert_eq!(
+            probe_site(&c, &mut r1, sid, 40, 0, false),
+            probe_site(&c, &mut r2, sid, 40, 0, false)
+        );
+    }
+
+    #[test]
+    fn poor_v6_server_shows_in_measurement() {
+        let w = world();
+        let c = ctx(&w);
+        let mut r = Resolver::new();
+        let Some(site) = w.sites.iter().find(|s| {
+            s.v6.as_ref().is_some_and(|v| v.from_week == 0 && !v.via_6to4)
+                && s.server.v6_service_factor < 0.6
+                && s.same_location() == Some(true)
+                && pages_identical(s.page_bytes_v4, s.page_bytes_v6, 0.06)
+        }) else {
+            return;
+        };
+        if let ProbeOutcome::Measured { v4, v6 } = probe_site(&c, &mut r, site.id, 50, 0, false) {
+            assert!(
+                v6.speed_kbps < v4.speed_kbps,
+                "poor v6 server must measure slower (v4 {} vs v6 {})",
+                v4.speed_kbps,
+                v6.speed_kbps
+            );
+        }
+    }
+
+    #[test]
+    fn ipv6_day_mode_lifts_server_penalty() {
+        let w = world();
+        let c = ctx(&w);
+        let Some(site) = w.sites.iter().find(|s| {
+            s.v6.as_ref().is_some_and(|v| v.from_week == 0)
+                && s.server.v6_service_factor < 0.6
+                && s.same_location() == Some(true)
+                && pages_identical(s.page_bytes_v4, s.page_bytes_v6, 0.06)
+        }) else {
+            return;
+        };
+        let mut r1 = Resolver::new();
+        let normal = probe_site(&c, &mut r1, site.id, 43, 0, false);
+        let mut r2 = Resolver::new();
+        let day = probe_site(&c, &mut r2, site.id, 43, 0, true);
+        if let (ProbeOutcome::Measured { v6: n6, .. }, ProbeOutcome::Measured { v6: d6, .. }) =
+            (normal, day)
+        {
+            assert!(d6.speed_kbps > n6.speed_kbps, "day mode must lift the penalty");
+        }
+    }
+
+    #[test]
+    fn whitelist_gated_site_needs_whitelisted_vantage() {
+        let w = world();
+        let c = ctx(&w);
+        // force a synthetic whitelist-only dual site
+        let Some(site) = w.sites.iter().find(|s| {
+            s.v6.as_ref().is_some_and(|v| v.from_week == 0 && v.whitelist_only)
+        }) else {
+            // population may not have produced one under this seed; craft
+            // the check against any dual site by flipping the context flag
+            let sid = find_site(&w, |s| s.v6.as_ref().is_some_and(|v| v.from_week == 0));
+            let mut r = Resolver::new();
+            let c_wl = ProbeContext { white_listed: true, ..c };
+            // a non-gated site behaves identically either way
+            assert_eq!(
+                probe_site(&c, &mut Resolver::new(), sid, 50, 0, false),
+                probe_site(&c_wl, &mut r, sid, 50, 0, false)
+            );
+            return;
+        };
+        let mut r1 = Resolver::new();
+        assert_eq!(
+            probe_site(&c, &mut r1, site.id, 50, 0, false),
+            ProbeOutcome::V4Only,
+            "non-white-listed vantage must not see the AAAA service"
+        );
+        let c_wl = ProbeContext { white_listed: true, ..c };
+        let mut r2 = Resolver::new();
+        assert!(
+            !matches!(probe_site(&c_wl, &mut r2, site.id, 50, 0, false), ProbeOutcome::V4Only),
+            "white-listed vantage proceeds past DNS"
+        );
+    }
+
+    #[test]
+    fn unknown_name_nxdomain() {
+        let w = world();
+        let c = ctx(&w);
+        let mut r = Resolver::new();
+        // site id beyond population has no zone entry — simulate by a site
+        // whose name we blank out of the zone: use a fresh empty zone.
+        let empty = ipv6web_dns::ZoneDb::new();
+        let c2 = ProbeContext { zone: &empty, ..c };
+        assert_eq!(probe_site(&c2, &mut r, SiteId(0), 10, 0, false), ProbeOutcome::NxDomain);
+    }
+}

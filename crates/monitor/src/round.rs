@@ -1,0 +1,378 @@
+//! Campaign execution: weekly rounds over a worker pool.
+//!
+//! Mirrors the tool's structure from Fig 2: each round refreshes the
+//! ranked list (new sites join the monitored set permanently), randomizes
+//! the site order, and fans the sites out to a pool of at most 25 worker
+//! threads over a crossbeam channel. Every probe derives its randomness
+//! from `(seed, vantage, week, site)`, so results are independent of
+//! thread scheduling — the parallel run and a serial run produce the same
+//! database.
+
+use crate::db::MonitorDb;
+use crate::probe::{probe_site, ProbeContext, ProbeOutcome};
+use crate::vantage::VantagePoint;
+use ipv6web_alexa::{MonitoredSet, TopList};
+use ipv6web_dns::Resolver;
+use ipv6web_stats::derive_rng;
+use ipv6web_web::SiteId;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Campaign execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Campaign length, weeks (one round per week, as the paper's
+    /// "approximately bi-weekly to weekly" cadence).
+    pub total_weeks: u32,
+    /// Worker threads (paper: "no more than 25").
+    pub workers: usize,
+    /// Number of World IPv6 Day rounds (paper: every 30 min for a day).
+    pub ipv6_day_rounds: u32,
+}
+
+impl CampaignConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        CampaignConfig { total_weeks: 52, workers: 25, ipv6_day_rounds: 48 }
+    }
+
+    /// A fast configuration for tests.
+    pub fn test_small() -> Self {
+        CampaignConfig { total_weeks: 20, workers: 4, ipv6_day_rounds: 4 }
+    }
+}
+
+/// Applies one probe outcome to the database.
+fn apply_outcome(db: &mut MonitorDb, site: SiteId, added_week: u32, week: u32, outcome: ProbeOutcome) {
+    let rec = db.record_mut(site, added_week);
+    match outcome {
+        ProbeOutcome::NxDomain => {
+            rec.has_a = false;
+        }
+        ProbeOutcome::V4Only => {
+            rec.has_a = true;
+            rec.has_aaaa = false;
+        }
+        ProbeOutcome::Unroutable(_) => {
+            rec.has_a = true;
+            rec.has_aaaa = true;
+            rec.dual_since.get_or_insert(week);
+        }
+        ProbeOutcome::DifferentContent => {
+            rec.has_a = true;
+            rec.has_aaaa = true;
+            rec.dual_since.get_or_insert(week);
+            rec.content_identical = Some(false);
+        }
+        ProbeOutcome::Measured { v4, v6 } => {
+            rec.has_a = true;
+            rec.has_aaaa = true;
+            rec.dual_since.get_or_insert(week);
+            rec.content_identical = Some(true);
+            rec.samples_v4.push(v4);
+            rec.samples_v6.push(v6);
+        }
+        ProbeOutcome::Unconfident(_) => {
+            rec.has_a = true;
+            rec.has_aaaa = true;
+            rec.dual_since.get_or_insert(week);
+            rec.unconfident_rounds += 1;
+        }
+    }
+}
+
+/// Runs one round's sites through the worker pool, returning
+/// `(site, outcome)` pairs in completion order.
+fn run_pool(
+    ctx: &ProbeContext<'_>,
+    sites: &[SiteId],
+    week: u32,
+    salt: u32,
+    ipv6_day_mode: bool,
+    workers: usize,
+) -> Vec<(SiteId, ProbeOutcome)> {
+    let workers = workers.clamp(1, 25);
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<SiteId>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(SiteId, ProbeOutcome)>();
+    for &s in sites {
+        work_tx.send(s).expect("queue open");
+    }
+    drop(work_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| {
+                // each worker keeps its own caching resolver, like each of
+                // the paper's monitoring threads resolving independently
+                let mut resolver = Resolver::new();
+                while let Ok(site) = work_rx.recv() {
+                    let outcome = probe_site(ctx, &mut resolver, site, week, salt, ipv6_day_mode);
+                    res_tx.send((site, outcome)).expect("result channel open");
+                }
+            });
+        }
+        drop(res_tx);
+        res_rx.iter().collect()
+    })
+    .expect("no worker panicked")
+}
+
+/// Runs a full weekly campaign for one vantage point.
+///
+/// `list` supplies the ranked-list snapshots; `extra_ids` are the vantage
+/// point's external inputs (Penn's DNS-cache tail), ingested when the
+/// vantage point has `external_inputs` and the site has churned in.
+/// `extra_first_seen(id)` gives each extra site's first availability week.
+pub fn run_campaign(
+    ctx: &ProbeContext<'_>,
+    vantage: &VantagePoint,
+    list: &TopList,
+    extra_ids: &[u32],
+    extra_first_seen: impl Fn(u32) -> u32,
+    cfg: &CampaignConfig,
+) -> MonitorDb {
+    let mut db = MonitorDb::new(vantage.name.clone());
+    let mut monitored = MonitoredSet::new();
+    for week in vantage.start_week..cfg.total_weeks {
+        monitored.ingest(week, list.snapshot(week));
+        if vantage.external_inputs {
+            monitored.ingest(
+                week,
+                extra_ids.iter().copied().filter(|&id| extra_first_seen(id) <= week),
+            );
+        }
+        // randomized order per round "to avoid time-of-day biases"
+        let mut order: Vec<SiteId> = monitored.members().map(SiteId).collect();
+        let mut rng = derive_rng(ctx.seed, &format!("{}:order:{week}", vantage.name));
+        order.shuffle(&mut rng);
+
+        for (site, outcome) in run_pool(ctx, &order, week, 0, false, cfg.workers) {
+            let added = monitored.added_week(site.0).expect("probed sites are monitored");
+            apply_outcome(&mut db, site, added, week, outcome);
+        }
+    }
+    db
+}
+
+/// Runs the World IPv6 Day side experiment: `cfg.ipv6_day_rounds` rounds
+/// against the participant subset, with server-side IPv6 penalties lifted.
+/// Returns a separate database whose samples all carry the event week.
+pub fn run_ipv6_day_rounds(
+    ctx: &ProbeContext<'_>,
+    vantage: &VantagePoint,
+    participants: &[SiteId],
+    event_week: u32,
+    cfg: &CampaignConfig,
+) -> MonitorDb {
+    let mut db = MonitorDb::new(format!("{} (IPv6 Day)", vantage.name));
+    for round in 0..cfg.ipv6_day_rounds {
+        for (site, outcome) in run_pool(ctx, participants, event_week, round + 1, true, cfg.workers)
+        {
+            apply_outcome(&mut db, site, event_week, event_week, outcome);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disturbance::{DisturbanceConfig, Disturbances};
+    use ipv6web_bgp::BgpTable;
+    use ipv6web_netsim::TcpConfig;
+    use ipv6web_stats::RelativeCiRule;
+    use ipv6web_topology::{generate as gen_topo, AsId, Family, Tier, TopologyConfig};
+    use ipv6web_web::{build_zone, population, PopulationConfig, Site};
+
+    struct World {
+        topo: ipv6web_topology::Topology,
+        sites: Vec<Site>,
+        zone: ipv6web_dns::ZoneDb,
+        table_v4: BgpTable,
+        table_v6: BgpTable,
+        disturbances: Disturbances,
+        list: TopList,
+        vantage: VantagePoint,
+    }
+
+    fn world(n_sites: usize) -> World {
+        let topo = gen_topo(&TopologyConfig::test_small(), 77);
+        let mut pop_cfg = PopulationConfig::test_small(20);
+        pop_cfg.n_sites = n_sites;
+        let sites = population::generate(&pop_cfg, &topo, 77);
+        let zone = build_zone(&topo, &sites);
+        let vantage_as = topo
+            .nodes()
+            .iter()
+            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
+            .unwrap()
+            .id;
+        let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
+        dests.extend(sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
+        dests.sort();
+        dests.dedup();
+        let table_v4 = BgpTable::build(&topo, vantage_as, Family::V4, &dests);
+        let table_v6 = BgpTable::build(&topo, vantage_as, Family::V6, &dests);
+        let disturbances =
+            Disturbances::generate(&DisturbanceConfig::paper(), sites.len(), 20, 77);
+        let list = TopList::from_parts(sites.iter().map(|s| (s.id.0, s.rank, s.first_seen_week)));
+        let vantage = VantagePoint {
+            name: "TestVP".into(),
+            location: "Lab".into(),
+            as_id: vantage_as,
+            start_week: 0,
+            has_as_path: true,
+            white_listed: false,
+            kind: crate::vantage::VantageKind::Academic,
+            external_inputs: false,
+        };
+        World { topo, sites, zone, table_v4, table_v6, disturbances, list, vantage }
+    }
+
+    fn ctx<'a>(w: &'a World) -> ProbeContext<'a> {
+        ProbeContext {
+            topo: &w.topo,
+            sites: &w.sites,
+            zone: &w.zone,
+            table_v4: &w.table_v4,
+            table_v6: &w.table_v6,
+            disturbances: &w.disturbances,
+            tcp: TcpConfig::paper(),
+            ci_rule: RelativeCiRule::paper(),
+            identity_threshold: 0.06,
+            round_noise_sigma: 0.08,
+            seed: 42,
+            vantage_name: "TestVP",
+            white_listed: false,
+            v6_epoch: None,
+        }
+    }
+
+    #[test]
+    fn campaign_produces_samples_for_dual_sites() {
+        let w = world(400);
+        let c = ctx(&w);
+        let cfg = CampaignConfig::test_small();
+        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg);
+        assert!(db.len() > 300, "most sites monitored, got {}", db.len());
+        let dual: Vec<SiteId> = db.dual_stack_sites().collect();
+        assert!(!dual.is_empty(), "some dual-stack sites observed");
+        let with_samples = dual
+            .iter()
+            .filter(|s| !db.record(**s).unwrap().samples_v4.is_empty())
+            .count();
+        assert!(with_samples > 0, "performance samples collected");
+        // v4-only sites must have no samples
+        for (site, rec) in db.iter() {
+            if rec.dual_since.is_none() {
+                assert!(rec.samples_v4.is_empty(), "{site}: v4-only site sampled");
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_deterministic_across_worker_counts() {
+        let w = world(120);
+        let c = ctx(&w);
+        let mut cfg1 = CampaignConfig::test_small();
+        cfg1.total_weeks = 6;
+        cfg1.workers = 1;
+        let mut cfg8 = cfg1;
+        cfg8.workers = 8;
+        let db1 = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg1);
+        let db8 = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg8);
+        assert_eq!(db1, db8, "scheduling must not affect results");
+    }
+
+    #[test]
+    fn late_start_vantage_sees_fewer_weeks() {
+        let w = world(150);
+        let c = ctx(&w);
+        let mut late = w.vantage.clone();
+        late.start_week = 15;
+        let cfg = CampaignConfig::test_small();
+        let db = run_campaign(&c, &late, &w.list, &[], |_| 0, &cfg);
+        for (_, rec) in db.iter() {
+            assert!(rec.added_week >= 15);
+            for s in rec.samples_v4.iter().chain(&rec.samples_v6) {
+                assert!(s.week >= 15);
+            }
+        }
+    }
+
+    #[test]
+    fn external_inputs_only_for_flagged_vantage() {
+        let w = world(100);
+        let c = ctx(&w);
+        let mut cfg = CampaignConfig::test_small();
+        cfg.total_weeks = 3;
+        let extra = [5000u32, 5001];
+        // not flagged: extras ignored (and they're beyond the site vec, so
+        // probing them would panic — their absence proves they're skipped)
+        let db = run_campaign(&c, &w.vantage, &w.list, &extra, |_| 0, &cfg);
+        assert!(db.record(SiteId(5000)).is_none());
+    }
+
+    #[test]
+    fn churned_sites_join_late() {
+        let w = world(300);
+        let c = ctx(&w);
+        let cfg = CampaignConfig::test_small();
+        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg);
+        let late_site = w
+            .sites
+            .iter()
+            .find(|s| (5..cfg.total_weeks - 1).contains(&s.first_seen_week))
+            .expect("some churned site");
+        let rec = db.record(late_site.id).expect("monitored eventually");
+        assert_eq!(rec.added_week, late_site.first_seen_week);
+    }
+
+    #[test]
+    fn reachability_grows_over_campaign() {
+        let w = world(500);
+        let c = ctx(&w);
+        let cfg = CampaignConfig::test_small();
+        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg);
+        let early = db.reachability_at(1);
+        let late = db.reachability_at(cfg.total_weeks - 1);
+        // churn adds v4-only sites to the denominator, so small dips are
+        // legitimate; collapse is not (this population publishes all AAAA
+        // records from week 0)
+        assert!(
+            late >= early * 0.8,
+            "reachability must not collapse: {early} -> {late}"
+        );
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn ipv6_day_rounds_accumulate_samples() {
+        let w = world(300);
+        let c = ctx(&w);
+        let cfg = CampaignConfig::test_small();
+        let participants: Vec<SiteId> = w
+            .sites
+            .iter()
+            .filter(|s| {
+                s.v6.as_ref().is_some_and(|v| v.ipv6_day_participant && v.from_week <= 10)
+            })
+            .map(|s| s.id)
+            .collect();
+        assert!(!participants.is_empty(), "some participants in population");
+        let db = run_ipv6_day_rounds(&c, &w.vantage, &participants, 10, &cfg);
+        let sampled = participants
+            .iter()
+            .filter(|s| db.record(**s).is_some_and(|r| r.samples_v4.len() >= 2))
+            .count();
+        assert!(sampled > 0, "multiple rounds must stack samples");
+        // all samples carry the event week
+        for (_, rec) in db.iter() {
+            for s in rec.samples_v4.iter().chain(&rec.samples_v6) {
+                assert_eq!(s.week, 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Vantage points (Table 1).
+
+use ipv6web_topology::AsId;
+use serde::{Deserialize, Serialize};
+
+/// Academic or commercial network (Table 1's "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VantageKind {
+    /// University network.
+    Academic,
+    /// Commercial ISP.
+    Commercial,
+}
+
+impl std::fmt::Display for VantageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VantageKind::Academic => write!(f, "Acad."),
+            VantageKind::Commercial => write!(f, "Comml."),
+        }
+    }
+}
+
+/// One monitoring vantage point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VantagePoint {
+    /// Short name ("Penn", "Comcast", …).
+    pub name: String,
+    /// Human-readable location ("Philadelphia, PA").
+    pub location: String,
+    /// The access AS hosting the monitor.
+    pub as_id: AsId,
+    /// Campaign week monitoring starts at this vantage point.
+    pub start_week: u32,
+    /// Whether BGP `AS_PATH` data is available (Table 1 column 3) — only
+    /// such vantage points enter the path-correlated analysis.
+    pub has_as_path: bool,
+    /// Whether the vantage point was white-listed by Google (Table 1).
+    pub white_listed: bool,
+    /// Network type.
+    pub kind: VantageKind,
+    /// Whether this vantage point imports extra sites beyond the ranked
+    /// list (Penn's DNS-cache tail, Fig 3b).
+    pub external_inputs: bool,
+}
+
+impl VantagePoint {
+    /// The paper's six vantage points (Table 1), with start weeks mapped
+    /// onto the simulated campaign calendar (week 0 = 2010-08-12; start
+    /// dates before that clamp to 0). `as_ids` supplies the access ASes in
+    /// the generated topology, in the table's row order:
+    /// Comcast, Go6, Loughborough, Penn, Tsinghua, UPCB.
+    ///
+    /// # Panics
+    /// Panics unless exactly six AS ids are supplied.
+    pub fn paper_table1(as_ids: &[AsId]) -> Vec<VantagePoint> {
+        assert_eq!(as_ids.len(), 6, "Table 1 has six vantage points");
+        let mk = |name: &str,
+                  location: &str,
+                  as_id: AsId,
+                  start_week: u32,
+                  has_as_path: bool,
+                  white_listed: bool,
+                  kind: VantageKind,
+                  external_inputs: bool| VantagePoint {
+            name: name.into(),
+            location: location.into(),
+            as_id,
+            start_week,
+            has_as_path,
+            white_listed,
+            kind,
+            external_inputs,
+        };
+        vec![
+            // 2/4/11 → week 25
+            mk("Comcast", "Denver, CO", as_ids[0], 25, true, false, VantageKind::Commercial, false),
+            // 5/19/11 → week 40
+            mk("Go6-Slovenia", "Slovenia", as_ids[1], 40, false, false, VantageKind::Commercial, false),
+            // 4/29/11 → week 37
+            mk("Loughborough U.", "Great Britain", as_ids[2], 37, true, false, VantageKind::Academic, false),
+            // 7/22/09 → before campaign start, clamp to 0
+            mk("Penn", "Philadelphia, PA", as_ids[3], 0, true, false, VantageKind::Academic, true),
+            // 3/22/11 → week 31
+            mk("Tsinghua U.", "China", as_ids[4], 31, false, false, VantageKind::Academic, false),
+            // 2/28/11 → week 28
+            mk("UPC Broadband", "Netherlands", as_ids[5], 28, true, true, VantageKind::Commercial, false),
+        ]
+    }
+
+    /// The subset with `AS_PATH` data, i.e. the four columns of Tables 2-9.
+    pub fn with_as_path(vps: &[VantagePoint]) -> Vec<&VantagePoint> {
+        vps.iter().filter(|v| v.has_as_path).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> Vec<AsId> {
+        (0..6).map(AsId).collect()
+    }
+
+    #[test]
+    fn table1_has_six_rows() {
+        let vps = VantagePoint::paper_table1(&ids());
+        assert_eq!(vps.len(), 6);
+        assert_eq!(vps[3].name, "Penn");
+        assert_eq!(vps[3].start_week, 0, "Penn started before the window");
+        assert!(vps[3].external_inputs, "Penn imports the DNS-cache tail");
+    }
+
+    #[test]
+    fn as_path_subset_matches_table() {
+        let vps = VantagePoint::paper_table1(&ids());
+        let with = VantagePoint::with_as_path(&vps);
+        let names: Vec<&str> = with.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["Comcast", "Loughborough U.", "Penn", "UPC Broadband"]);
+    }
+
+    #[test]
+    fn only_upcb_is_white_listed() {
+        let vps = VantagePoint::paper_table1(&ids());
+        let wl: Vec<&str> = vps
+            .iter()
+            .filter(|v| v.white_listed)
+            .map(|v| v.name.as_str())
+            .collect();
+        assert_eq!(wl, ["UPC Broadband"]);
+    }
+
+    #[test]
+    fn kinds_match_table() {
+        let vps = VantagePoint::paper_table1(&ids());
+        assert_eq!(vps[0].kind, VantageKind::Commercial);
+        assert_eq!(vps[2].kind, VantageKind::Academic);
+        assert_eq!(VantageKind::Academic.to_string(), "Acad.");
+        assert_eq!(VantageKind::Commercial.to_string(), "Comml.");
+    }
+
+    #[test]
+    #[should_panic(expected = "six")]
+    fn wrong_as_count_panics() {
+        VantagePoint::paper_table1(&[AsId(1)]);
+    }
+}

@@ -1,0 +1,261 @@
+//! From BGP routes to path metrics.
+
+use ipv6web_bgp::Route;
+use ipv6web_topology::{Family, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Performance-relevant summary of one forwarding path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathMetrics {
+    /// Round-trip time in milliseconds (twice the one-way sum, tunnel
+    /// detours included).
+    pub rtt_ms: f64,
+    /// Bottleneck bandwidth available to the flow, kB/s, after applying the
+    /// per-AS IPv6 forwarding factors.
+    pub bottleneck_kbps: f64,
+    /// End-to-end packet loss probability.
+    pub loss: f64,
+    /// Apparent AS hop count — what `AS_PATH` (or traceroute) shows. A
+    /// tunneled edge counts as one hop.
+    pub as_hops: usize,
+    /// True underlying hop count: apparent hops plus hops hidden inside
+    /// tunnels (Table 7's explanation for poor short-path IPv6 performance).
+    pub true_hops: usize,
+    /// Whether any edge of the path is a 6in4 tunnel.
+    pub tunneled: bool,
+    /// Product of the per-AS IPv6 forwarding factors crossed (1.0 in IPv4,
+    /// and in IPv6 under H1).
+    pub forwarding_factor: f64,
+}
+
+impl PathMetrics {
+    /// Metrics of the degenerate path from an AS to itself (intra-AS
+    /// access): a small constant latency, effectively unlimited bandwidth.
+    pub fn local() -> Self {
+        PathMetrics {
+            rtt_ms: 4.0,
+            bottleneck_kbps: 50_000.0,
+            loss: 0.0001,
+            as_hops: 0,
+            true_hops: 0,
+            tunneled: false,
+            forwarding_factor: 1.0,
+        }
+    }
+}
+
+/// The data plane: resolves routes against the topology.
+#[derive(Debug, Clone, Copy)]
+pub struct DataPlane<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> DataPlane<'a> {
+    /// Wraps a topology.
+    pub fn new(topo: &'a Topology) -> Self {
+        DataPlane { topo }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// Folds `route`'s edges into [`PathMetrics`] for `family`.
+    ///
+    /// IPv6 paths pay each crossed AS's `forwarding_factor` (applied to the
+    /// bottleneck bandwidth) and each tunnel's extra delay and hidden hops;
+    /// IPv4 paths see factors of exactly 1.0.
+    pub fn metrics(&self, route: &Route, family: Family) -> PathMetrics {
+        if route.edges.is_empty() {
+            return PathMetrics::local();
+        }
+        let mut one_way_ms = 2.0; // vantage-side access latency
+        let mut bottleneck = f64::INFINITY;
+        let mut pass_prob = 1.0;
+        let mut hidden = 0usize;
+        let mut tunneled = false;
+        for &eid in &route.edges {
+            let e = self.topo.edge(eid);
+            one_way_ms += e.effective_delay_ms();
+            bottleneck = bottleneck.min(e.props.bandwidth_kbps);
+            pass_prob *= 1.0 - e.props.loss;
+            if let Some(t) = e.tunnel {
+                tunneled = true;
+                hidden += t.hidden_hops as usize;
+            }
+        }
+        let mut forwarding_factor = 1.0;
+        if family == Family::V6 {
+            for &asn in route.as_path.ases() {
+                if let Some(p) = &self.topo.node(asn).v6 {
+                    forwarding_factor *= p.forwarding_factor;
+                }
+            }
+        }
+        let as_hops = route.edges.len();
+        PathMetrics {
+            rtt_ms: 2.0 * one_way_ms,
+            bottleneck_kbps: bottleneck * forwarding_factor,
+            loss: 1.0 - pass_prob,
+            as_hops,
+            // a tunnel edge stands for (1 + hidden) real hops
+            true_hops: as_hops + hidden,
+            tunneled,
+            forwarding_factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6web_bgp::BgpTable;
+    use ipv6web_topology::{
+        generate, AsId, DualStackConfig, Tier, TopologyConfig,
+    };
+
+    fn topo_with(seed: u64) -> ipv6web_topology::Topology {
+        generate(&TopologyConfig::test_small(), seed)
+    }
+
+    fn any_route(
+        t: &ipv6web_topology::Topology,
+        family: Family,
+    ) -> ipv6web_bgp::Route {
+        let vantage = t
+            .nodes()
+            .iter()
+            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
+            .unwrap()
+            .id;
+        let dests: Vec<AsId> = t
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Content && n.is_dual_stack())
+            .map(|n| n.id)
+            .take(5)
+            .collect();
+        let table = BgpTable::build(t, vantage, family, &dests);
+        let route = table.iter().next().unwrap().clone();
+        route
+    }
+
+    #[test]
+    fn local_path_metrics() {
+        let m = PathMetrics::local();
+        assert_eq!(m.as_hops, 0);
+        assert!(!m.tunneled);
+        assert!(m.rtt_ms < 10.0);
+    }
+
+    #[test]
+    fn metrics_accumulate_over_edges() {
+        let t = topo_with(3);
+        let dp = DataPlane::new(&t);
+        let route = any_route(&t, Family::V4);
+        let m = dp.metrics(&route, Family::V4);
+        assert_eq!(m.as_hops, route.edges.len());
+        assert!(m.rtt_ms > 0.0);
+        // RTT at least twice the sum of link delays
+        let sum: f64 = route.edges.iter().map(|&e| t.edge(e).props.delay_ms).sum();
+        assert!(m.rtt_ms >= 2.0 * sum);
+        // bottleneck equals the min link bandwidth (v4: factor 1)
+        let min_bw = route
+            .edges
+            .iter()
+            .map(|&e| t.edge(e).props.bandwidth_kbps)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(m.bottleneck_kbps, min_bw);
+        assert_eq!(m.forwarding_factor, 1.0);
+        assert_eq!(m.true_hops, m.as_hops, "no tunnels in v4");
+    }
+
+    #[test]
+    fn v4_never_tunneled() {
+        let t = topo_with(5);
+        let dp = DataPlane::new(&t);
+        for seed_route in 0..3 {
+            let _ = seed_route;
+            let route = any_route(&t, Family::V4);
+            let m = dp.metrics(&route, Family::V4);
+            assert!(!m.tunneled);
+        }
+    }
+
+    #[test]
+    fn tunneled_v6_path_counts_hidden_hops() {
+        // find a v6 route whose edges include a tunnel
+        for seed in 0..20u64 {
+            let t = topo_with(seed);
+            let dp = DataPlane::new(&t);
+            let vantage = t
+                .nodes()
+                .iter()
+                .find(|n| n.tier == Tier::Access && n.is_dual_stack())
+                .unwrap()
+                .id;
+            let dests: Vec<AsId> = t
+                .nodes()
+                .iter()
+                .filter(|n| n.is_dual_stack() && n.tier == Tier::Content)
+                .map(|n| n.id)
+                .collect();
+            let table = BgpTable::build(&t, vantage, Family::V6, &dests);
+            for route in table.iter() {
+                let m = dp.metrics(route, Family::V6);
+                if m.tunneled {
+                    assert!(m.true_hops > m.as_hops, "tunnel must hide hops");
+                    return;
+                }
+                assert_eq!(m.true_hops, m.as_hops);
+            }
+        }
+        panic!("no tunneled v6 route found across 20 seeds — tunnels too rare?");
+    }
+
+    #[test]
+    fn forwarding_penalty_reduces_v6_bottleneck() {
+        // Force heavy forwarding penalties and confirm v6 bottleneck shrinks.
+        let mut cfg = TopologyConfig::test_small();
+        cfg.dual = DualStackConfig::year2011().with_forwarding_penalty(1.0, (0.5, 0.5));
+        let t = generate(&cfg, 7);
+        let dp = DataPlane::new(&t);
+        let route = any_route(&t, Family::V6);
+        let m = dp.metrics(&route, Family::V6);
+        assert!(m.forwarding_factor < 1.0);
+        let min_bw = route
+            .edges
+            .iter()
+            .map(|&e| t.edge(e).props.bandwidth_kbps)
+            .fold(f64::INFINITY, f64::min);
+        assert!(m.bottleneck_kbps < min_bw);
+    }
+
+    #[test]
+    fn h1_regime_v6_factor_is_one_for_clean_paths() {
+        let mut cfg = TopologyConfig::test_small();
+        cfg.dual = DualStackConfig::year2011().with_forwarding_penalty(0.0, (0.9, 1.0));
+        let t = generate(&cfg, 11);
+        let dp = DataPlane::new(&t);
+        let route = any_route(&t, Family::V6);
+        let m = dp.metrics(&route, Family::V6);
+        assert_eq!(m.forwarding_factor, 1.0, "H1: data-plane parity");
+    }
+
+    #[test]
+    fn loss_composes_monotonically() {
+        let t = topo_with(9);
+        let dp = DataPlane::new(&t);
+        let route = any_route(&t, Family::V4);
+        let m = dp.metrics(&route, Family::V4);
+        let max_single = route
+            .edges
+            .iter()
+            .map(|&e| t.edge(e).props.loss)
+            .fold(0.0, f64::max);
+        let sum: f64 = route.edges.iter().map(|&e| t.edge(e).props.loss).sum();
+        assert!(m.loss >= max_single);
+        assert!(m.loss <= sum + 1e-12);
+    }
+}

@@ -1,0 +1,266 @@
+//! Happy Eyeballs (RFC 6555): dual-stack connection racing.
+//!
+//! The paper frames poor IPv6 quality as a *disincentive* for content
+//! providers — Google's white-listing existed precisely because a browser
+//! that prefers IPv6 inherits IPv6's problems. Happy Eyeballs is the
+//! client-side answer the IETF standardized shortly after the paper's
+//! measurement window: try IPv6 first, arm a fallback timer (default
+//! 300 ms historically; RFC 6555 suggests 150–250 ms), and race IPv4 if
+//! IPv6 has not connected in time.
+//!
+//! This module simulates that state machine over the simulated data plane,
+//! quantifying what the transition debate was really about: how often a
+//! dual-stack user silently falls back, and what latency the attempt
+//! costs them.
+
+use crate::dataplane::PathMetrics;
+use ipv6web_stats::{coin, lognormal};
+use ipv6web_topology::Family;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Happy Eyeballs client parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HappyEyeballsConfig {
+    /// Fallback timer: how long IPv6 gets before IPv4 is raced, ms.
+    pub fallback_timer_ms: f64,
+    /// Per-attempt SYN loss probability multiplier on the path loss (SYNs
+    /// cross the path once; loss applies per direction).
+    pub syn_jitter_sigma: f64,
+    /// Connection attempt timeout, ms (a blackholed SYN burns this long).
+    pub connect_timeout_ms: f64,
+}
+
+impl HappyEyeballsConfig {
+    /// RFC 6555's recommended region: a 250 ms fallback timer.
+    pub fn rfc6555() -> Self {
+        HappyEyeballsConfig {
+            fallback_timer_ms: 250.0,
+            syn_jitter_sigma: 0.05,
+            connect_timeout_ms: 3_000.0,
+        }
+    }
+
+    /// The pre-Happy-Eyeballs world: sequential with the full OS connect
+    /// timeout before falling back — the behaviour that made broken IPv6
+    /// painful enough to motivate white-listing.
+    pub fn sequential() -> Self {
+        HappyEyeballsConfig {
+            fallback_timer_ms: 21_000.0, // classic 3 SYN retransmits
+            syn_jitter_sigma: 0.05,
+            connect_timeout_ms: 21_000.0,
+        }
+    }
+}
+
+/// Which family won the race, and at what cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaceOutcome {
+    /// Family the connection was established over.
+    pub winner: Family,
+    /// Wall-clock time until the winning connection completed, ms.
+    pub connect_ms: f64,
+    /// True when IPv6 was usable but lost only on the timer race.
+    pub v6_lost_on_timer: bool,
+}
+
+/// One family's connection attempt: time to SYN-ACK, or `None` if the
+/// attempt times out (unroutable or blackholed path).
+fn attempt<R: Rng>(
+    rng: &mut R,
+    metrics: Option<&PathMetrics>,
+    broken: bool,
+    cfg: &HappyEyeballsConfig,
+) -> Option<f64> {
+    let m = metrics?;
+    if broken {
+        return None;
+    }
+    // SYN and SYN-ACK each cross the path once; a lost SYN costs a 1 s
+    // retransmit (classic initRTO = 1 s per RFC 6298's predecessor values).
+    let mut t = m.rtt_ms * lognormal(rng, 1.0, cfg.syn_jitter_sigma);
+    let mut retries = 0;
+    while coin(rng, m.loss) {
+        retries += 1;
+        t += 1_000.0 * (1 << retries.min(4)) as f64 / 2.0;
+        if t > cfg.connect_timeout_ms {
+            return None;
+        }
+    }
+    Some(t)
+}
+
+/// Races IPv6 against IPv4 per RFC 6555.
+///
+/// `v6`/`v4` carry each family's path metrics (`None` = no route);
+/// `v6_broken` marks a path that drops the connection silently (e.g. a
+/// PMTUD blackhole) despite being routed.
+pub fn race<R: Rng>(
+    rng: &mut R,
+    v6: Option<&PathMetrics>,
+    v4: Option<&PathMetrics>,
+    v6_broken: bool,
+    cfg: &HappyEyeballsConfig,
+) -> Option<RaceOutcome> {
+    let t6 = attempt(rng, v6, v6_broken, cfg);
+    let t4 = attempt(rng, v4, false, cfg);
+    match (t6, t4) {
+        (Some(t6), Some(t4)) => {
+            // IPv6 is preferred: it wins unless it is still unconnected
+            // when the fallback timer fires AND IPv4 then beats it.
+            let v4_finish = cfg.fallback_timer_ms.max(0.0) + t4;
+            if t6 <= cfg.fallback_timer_ms || t6 <= v4_finish {
+                Some(RaceOutcome { winner: Family::V6, connect_ms: t6, v6_lost_on_timer: false })
+            } else {
+                Some(RaceOutcome {
+                    winner: Family::V4,
+                    connect_ms: v4_finish,
+                    v6_lost_on_timer: true,
+                })
+            }
+        }
+        (Some(t6), None) => {
+            Some(RaceOutcome { winner: Family::V6, connect_ms: t6, v6_lost_on_timer: false })
+        }
+        (None, Some(t4)) => Some(RaceOutcome {
+            winner: Family::V4,
+            // if a v6 route existed but broke, the user waits out the timer
+            connect_ms: if v6.is_some() { cfg.fallback_timer_ms + t4 } else { t4 },
+            v6_lost_on_timer: false,
+        }),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6web_stats::derive_rng;
+
+    fn metrics(rtt: f64, loss: f64) -> PathMetrics {
+        PathMetrics {
+            rtt_ms: rtt,
+            bottleneck_kbps: 1000.0,
+            loss,
+            as_hops: 3,
+            true_hops: 3,
+            tunneled: false,
+            forwarding_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn fast_v6_wins_outright() {
+        let mut rng = derive_rng(1, "he");
+        let out = race(
+            &mut rng,
+            Some(&metrics(80.0, 0.0)),
+            Some(&metrics(40.0, 0.0)),
+            false,
+            &HappyEyeballsConfig::rfc6555(),
+        )
+        .unwrap();
+        assert_eq!(out.winner, Family::V6, "v6 under the timer wins even if v4 is faster");
+        assert!(!out.v6_lost_on_timer);
+        assert!((out.connect_ms - 80.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn slow_v6_loses_on_the_timer() {
+        let mut rng = derive_rng(2, "he");
+        // v6 RTT beyond the 250 ms timer; v4 fast
+        let out = race(
+            &mut rng,
+            Some(&metrics(600.0, 0.0)),
+            Some(&metrics(50.0, 0.0)),
+            false,
+            &HappyEyeballsConfig::rfc6555(),
+        )
+        .unwrap();
+        assert_eq!(out.winner, Family::V4);
+        assert!(out.v6_lost_on_timer);
+        // user pays timer + v4 RTT, not the full v6 RTT
+        assert!(out.connect_ms < 600.0);
+        assert!(out.connect_ms >= 250.0);
+    }
+
+    #[test]
+    fn broken_v6_costs_the_timer_not_the_timeout() {
+        let mut rng = derive_rng(3, "he");
+        let cfg = HappyEyeballsConfig::rfc6555();
+        let out = race(
+            &mut rng,
+            Some(&metrics(80.0, 0.0)),
+            Some(&metrics(50.0, 0.0)),
+            true, // blackholed v6
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.winner, Family::V4);
+        assert!((250.0..500.0).contains(&out.connect_ms), "{}", out.connect_ms);
+    }
+
+    #[test]
+    fn sequential_era_made_broken_v6_catastrophic() {
+        let mut rng = derive_rng(4, "he");
+        let cfg = HappyEyeballsConfig::sequential();
+        let out = race(
+            &mut rng,
+            Some(&metrics(80.0, 0.0)),
+            Some(&metrics(50.0, 0.0)),
+            true,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.winner, Family::V4);
+        assert!(
+            out.connect_ms > 20_000.0,
+            "pre-Happy-Eyeballs fallback stalls for the OS timeout: {}",
+            out.connect_ms
+        );
+    }
+
+    #[test]
+    fn v4_only_host_connects_directly() {
+        let mut rng = derive_rng(5, "he");
+        let out = race(
+            &mut rng,
+            None,
+            Some(&metrics(70.0, 0.0)),
+            false,
+            &HappyEyeballsConfig::rfc6555(),
+        )
+        .unwrap();
+        assert_eq!(out.winner, Family::V4);
+        assert!(out.connect_ms < 100.0, "no v6 route => no timer penalty");
+    }
+
+    #[test]
+    fn nothing_routes_nothing_connects() {
+        let mut rng = derive_rng(6, "he");
+        assert_eq!(race(&mut rng, None, None, false, &HappyEyeballsConfig::rfc6555()), None);
+    }
+
+    #[test]
+    fn lossy_v6_syn_can_retry_past_the_timer() {
+        // with heavy loss, some races fall back even though v6 is routed
+        let mut rng = derive_rng(7, "he");
+        let cfg = HappyEyeballsConfig::rfc6555();
+        let mut fallbacks = 0;
+        for _ in 0..300 {
+            let out = race(
+                &mut rng,
+                Some(&metrics(100.0, 0.4)),
+                Some(&metrics(60.0, 0.001)),
+                false,
+                &cfg,
+            )
+            .unwrap();
+            if out.winner == Family::V4 {
+                fallbacks += 1;
+            }
+        }
+        assert!(fallbacks > 30, "40% SYN loss must push races past the timer: {fallbacks}");
+        assert!(fallbacks < 300, "but not every race");
+    }
+}

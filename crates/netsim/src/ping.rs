@@ -1,0 +1,235 @@
+//! ICMP echo (ping) measurement over simulated routes.
+//!
+//! The paper's related work (\[2\] Cho, Luckie, Huffaker; \[11\] Zhou & Van
+//! Mieghem) compared IPv6 and IPv4 *RTTs* with ping rather than download
+//! speeds. This module reproduces that methodology over the same simulated
+//! data plane, so the repository can run the earlier studies' experiment
+//! next to the paper's own (see `examples/ping_survey.rs`).
+//!
+//! Every probe is a real ICMP echo request built and parsed with
+//! `ipv6web-packet`; replies mirror the request's identifier/sequence, and
+//! per-probe loss follows the path's composed loss probability.
+
+use crate::dataplane::PathMetrics;
+use ipv6web_packet::{Icmpv4Message, Icmpv6Message};
+use ipv6web_stats::{coin, lognormal, Welford};
+use ipv6web_topology::{Family, Topology};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Ping measurement parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PingConfig {
+    /// Echo requests per measurement.
+    pub count: u32,
+    /// Payload bytes carried by each echo.
+    pub payload_len: usize,
+    /// Multiplicative per-probe RTT jitter (log-normal σ).
+    pub jitter_sigma: f64,
+}
+
+impl PingConfig {
+    /// The classic `ping -c 10` with 56-byte payloads.
+    pub fn standard() -> Self {
+        PingConfig { count: 10, payload_len: 56, jitter_sigma: 0.05 }
+    }
+}
+
+/// Result of one ping measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PingOutcome {
+    /// Address family probed.
+    pub family: Family,
+    /// Echo requests sent.
+    pub sent: u32,
+    /// Replies received.
+    pub received: u32,
+    /// Minimum observed RTT, ms (`None` if all probes lost).
+    pub min_ms: Option<f64>,
+    /// Mean observed RTT, ms.
+    pub avg_ms: Option<f64>,
+    /// Maximum observed RTT, ms.
+    pub max_ms: Option<f64>,
+}
+
+impl PingOutcome {
+    /// Fraction of probes lost.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            (self.sent - self.received) as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Pings across a path with the given metrics.
+///
+/// `topo` supplies the endpoint addresses for the wire-level echo exchange
+/// (source host in `src_as`, target in `dst_as`); RTT and loss come from
+/// `metrics`.
+pub fn ping<R: Rng>(
+    rng: &mut R,
+    topo: &Topology,
+    src_as: ipv6web_topology::AsId,
+    dst_as: ipv6web_topology::AsId,
+    metrics: &PathMetrics,
+    family: Family,
+    cfg: &PingConfig,
+) -> PingOutcome {
+    let mut rtts = Welford::new();
+    let mut received = 0u32;
+    let payload = vec![0xa5u8; cfg.payload_len];
+    let ident: u16 = rng.gen();
+    for seq in 0..cfg.count {
+        // Build, "send", answer, and parse a real echo exchange.
+        let echo_ok = match family {
+            Family::V4 => {
+                let req = Icmpv4Message::echo_request(ident, seq as u16, payload.clone());
+                let wire = req.to_vec();
+                let parsed = Icmpv4Message::decode(&wire).expect("own echo parses");
+                let reply = Icmpv4Message::echo_reply(
+                    parsed.echo_ident().expect("echo"),
+                    parsed.echo_seq().expect("echo"),
+                    parsed.payload.clone(),
+                );
+                let reply_parsed = Icmpv4Message::decode(&reply.to_vec()).expect("reply parses");
+                reply_parsed.echo_ident() == Some(ident)
+                    && reply_parsed.echo_seq() == Some(seq as u16)
+            }
+            Family::V6 => {
+                let (Some(src), Some(dst)) =
+                    (topo.node(src_as).v6_host(1), topo.node(dst_as).v6_host(1))
+                else {
+                    return PingOutcome {
+                        family,
+                        sent: cfg.count,
+                        received: 0,
+                        min_ms: None,
+                        avg_ms: None,
+                        max_ms: None,
+                    };
+                };
+                let req = Icmpv6Message::echo_request(ident, seq as u16, payload.clone());
+                let wire = req.to_vec(src, dst);
+                let parsed = Icmpv6Message::decode(&wire, src, dst).expect("own echo parses");
+                let reply = Icmpv6Message::echo_reply(
+                    parsed.echo_ident().expect("echo"),
+                    parsed.echo_seq().expect("echo"),
+                    parsed.payload.clone(),
+                );
+                let reply_parsed =
+                    Icmpv6Message::decode(&reply.to_vec(dst, src), dst, src).expect("reply parses");
+                reply_parsed.echo_ident() == Some(ident)
+            }
+        };
+        assert!(echo_ok, "echo exchange must be self-consistent");
+
+        // Round trip crosses every link twice: loss applies both ways.
+        let delivered = !coin(rng, metrics.loss) && !coin(rng, metrics.loss);
+        if delivered {
+            received += 1;
+            rtts.push(metrics.rtt_ms * lognormal(rng, 1.0, cfg.jitter_sigma));
+        }
+    }
+    PingOutcome {
+        family,
+        sent: cfg.count,
+        received,
+        min_ms: rtts.min(),
+        avg_ms: (received > 0).then(|| rtts.mean()),
+        max_ms: rtts.max(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6web_stats::derive_rng;
+    use ipv6web_topology::{generate, AsId, Tier, TopologyConfig};
+
+    fn world() -> (ipv6web_topology::Topology, AsId, AsId) {
+        let topo = generate(&TopologyConfig::test_small(), 41);
+        let src = topo
+            .nodes()
+            .iter()
+            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
+            .unwrap()
+            .id;
+        let dst = topo
+            .nodes()
+            .iter()
+            .find(|n| n.tier == Tier::Content && n.is_dual_stack())
+            .unwrap()
+            .id;
+        (topo, src, dst)
+    }
+
+    fn metrics(rtt: f64, loss: f64) -> PathMetrics {
+        PathMetrics {
+            rtt_ms: rtt,
+            bottleneck_kbps: 1000.0,
+            loss,
+            as_hops: 3,
+            true_hops: 3,
+            tunneled: false,
+            forwarding_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn clean_path_all_replies_near_rtt() {
+        let (topo, src, dst) = world();
+        let mut rng = derive_rng(1, "ping");
+        let out = ping(&mut rng, &topo, src, dst, &metrics(120.0, 0.0), Family::V4, &PingConfig::standard());
+        assert_eq!(out.received, 10);
+        assert_eq!(out.loss_rate(), 0.0);
+        let avg = out.avg_ms.unwrap();
+        assert!((100.0..140.0).contains(&avg), "avg {avg}");
+        assert!(out.min_ms.unwrap() <= avg && avg <= out.max_ms.unwrap());
+    }
+
+    #[test]
+    fn lossy_path_drops_probes() {
+        let (topo, src, dst) = world();
+        let mut rng = derive_rng(2, "ping");
+        let mut lost_any = false;
+        for _ in 0..20 {
+            let out = ping(&mut rng, &topo, src, dst, &metrics(50.0, 0.3), Family::V4, &PingConfig::standard());
+            if out.received < out.sent {
+                lost_any = true;
+            }
+        }
+        assert!(lost_any, "30% loss must drop probes");
+    }
+
+    #[test]
+    fn v6_ping_works_between_dual_stack_ases() {
+        let (topo, src, dst) = world();
+        let mut rng = derive_rng(3, "ping");
+        let out = ping(&mut rng, &topo, src, dst, &metrics(80.0, 0.001), Family::V6, &PingConfig::standard());
+        assert!(out.received >= 8);
+        assert!(out.avg_ms.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn v6_ping_to_single_stack_as_fails_cleanly() {
+        let topo = generate(&TopologyConfig::test_small(), 43);
+        let src = topo.nodes().iter().find(|n| n.is_dual_stack()).unwrap().id;
+        let dst = topo.nodes().iter().find(|n| !n.is_dual_stack()).unwrap().id;
+        let mut rng = derive_rng(4, "ping");
+        let out = ping(&mut rng, &topo, src, dst, &metrics(80.0, 0.0), Family::V6, &PingConfig::standard());
+        assert_eq!(out.received, 0);
+        assert_eq!(out.avg_ms, None);
+        assert_eq!(out.loss_rate(), 1.0);
+    }
+
+    #[test]
+    fn total_loss_yields_empty_stats() {
+        let (topo, src, dst) = world();
+        let mut rng = derive_rng(5, "ping");
+        let out = ping(&mut rng, &topo, src, dst, &metrics(80.0, 0.999), Family::V4, &PingConfig::standard());
+        assert_eq!(out.min_ms, None);
+        assert!(out.loss_rate() > 0.9);
+    }
+}

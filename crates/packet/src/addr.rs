@@ -1,0 +1,260 @@
+//! CIDR prefix types used by the simulated address plan.
+//!
+//! Each simulated AS is assigned one IPv4 and (if dual-stack) one IPv6
+//! prefix; DNS answers and routing lookups test membership against these.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Cidr {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+impl Ipv4Cidr {
+    /// Creates a prefix, truncating host bits. `len` is clamped to 32.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        let len = len.min(32);
+        let mask = Self::mask(len);
+        Ipv4Cidr {
+            addr: Ipv4Addr::from(u32::from(addr) & mask),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Network address.
+    pub fn network(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask(self.len)) == u32::from(self.addr)
+    }
+
+    /// The `i`-th host address inside the prefix (wraps within the prefix).
+    pub fn host(&self, i: u32) -> Ipv4Addr {
+        let span = if self.len == 32 { 1u64 } else { 1u64 << (32 - self.len as u64) };
+        Ipv4Addr::from(u32::from(self.addr) | ((i as u64 % span) as u32))
+    }
+}
+
+impl fmt::Display for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Ipv4Cidr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, l) = s.split_once('/').ok_or_else(|| format!("no '/': {s}"))?;
+        let addr: Ipv4Addr = a.parse().map_err(|e| format!("bad addr {a}: {e}"))?;
+        let len: u8 = l.parse().map_err(|e| format!("bad len {l}: {e}"))?;
+        if len > 32 {
+            return Err(format!("prefix length {len} > 32"));
+        }
+        Ok(Ipv4Cidr::new(addr, len))
+    }
+}
+
+/// An IPv6 CIDR prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv6Cidr {
+    addr: Ipv6Addr,
+    len: u8,
+}
+
+impl Ipv6Cidr {
+    /// Creates a prefix, truncating host bits. `len` is clamped to 128.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Self {
+        let len = len.min(128);
+        let mask = Self::mask(len);
+        Ipv6Cidr {
+            addr: Ipv6Addr::from(u128::from(addr) & mask),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u128 {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len as u32)
+        }
+    }
+
+    /// Network address.
+    pub fn network(&self) -> Ipv6Addr {
+        self.addr
+    }
+
+    /// Prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv6Addr) -> bool {
+        (u128::from(ip) & Self::mask(self.len)) == u128::from(self.addr)
+    }
+
+    /// The `i`-th host address inside the prefix (wraps within the prefix).
+    pub fn host(&self, i: u128) -> Ipv6Addr {
+        if self.len == 128 {
+            return self.addr;
+        }
+        let span = 1u128 << (128 - self.len as u32).min(127);
+        Ipv6Addr::from(u128::from(self.addr) | (i % span))
+    }
+}
+
+impl fmt::Display for Ipv6Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Ipv6Cidr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, l) = s.split_once('/').ok_or_else(|| format!("no '/': {s}"))?;
+        let addr: Ipv6Addr = a.parse().map_err(|e| format!("bad addr {a}: {e}"))?;
+        let len: u8 = l.parse().map_err(|e| format!("bad len {l}: {e}"))?;
+        if len > 128 {
+            return Err(format!("prefix length {len} > 128"));
+        }
+        Ok(Ipv6Cidr::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn v4_truncates_host_bits() {
+        let c = Ipv4Cidr::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(c.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(c.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn v4_contains() {
+        let c: Ipv4Cidr = "192.168.4.0/22".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(192, 168, 4, 1)));
+        assert!(c.contains(Ipv4Addr::new(192, 168, 7, 255)));
+        assert!(!c.contains(Ipv4Addr::new(192, 168, 8, 0)));
+    }
+
+    #[test]
+    fn v4_zero_length_contains_everything() {
+        let c = Ipv4Cidr::new(Ipv4Addr::UNSPECIFIED, 0);
+        assert!(c.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(c.contains(Ipv4Addr::new(0, 0, 0, 1)));
+    }
+
+    #[test]
+    fn v4_host_enumeration_wraps() {
+        let c: Ipv4Cidr = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(c.host(0), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(c.host(3), Ipv4Addr::new(10, 0, 0, 3));
+        assert_eq!(c.host(4), Ipv4Addr::new(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn v4_slash32() {
+        let c: Ipv4Cidr = "1.2.3.4/32".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!c.contains(Ipv4Addr::new(1, 2, 3, 5)));
+        assert_eq!(c.host(99), Ipv4Addr::new(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn v4_parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Cidr>().is_err());
+        assert!("banana/8".parse::<Ipv4Cidr>().is_err());
+    }
+
+    #[test]
+    fn v6_truncates_and_displays() {
+        let c = Ipv6Cidr::new("2001:db8:1:2::5".parse().unwrap(), 32);
+        assert_eq!(c.network(), "2001:db8::".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(c.to_string(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn v6_contains() {
+        let c: Ipv6Cidr = "2001:db8::/32".parse().unwrap();
+        assert!(c.contains("2001:db8:ffff::1".parse().unwrap()));
+        assert!(!c.contains("2001:db9::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn v6_host_enumeration() {
+        let c: Ipv6Cidr = "2001:db8::/64".parse().unwrap();
+        assert_eq!(c.host(1), "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(c.host(0x1_0000), "2001:db8::1:0".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn v6_parse_errors() {
+        assert!("2001:db8::/129".parse::<Ipv6Cidr>().is_err());
+        assert!("2001:db8::".parse::<Ipv6Cidr>().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn v4_roundtrip_display_parse(a in any::<u32>(), len in 0u8..=32) {
+            let c = Ipv4Cidr::new(Ipv4Addr::from(a), len);
+            let back: Ipv4Cidr = c.to_string().parse().unwrap();
+            prop_assert_eq!(c, back);
+        }
+
+        #[test]
+        fn v4_network_contained_in_self(a in any::<u32>(), len in 0u8..=32) {
+            let c = Ipv4Cidr::new(Ipv4Addr::from(a), len);
+            prop_assert!(c.contains(c.network()));
+        }
+
+        #[test]
+        fn v4_hosts_are_contained(a in any::<u32>(), len in 0u8..=32, i in any::<u32>()) {
+            let c = Ipv4Cidr::new(Ipv4Addr::from(a), len);
+            prop_assert!(c.contains(c.host(i)));
+        }
+
+        #[test]
+        fn v6_roundtrip_display_parse(a in any::<u128>(), len in 0u8..=128) {
+            let c = Ipv6Cidr::new(Ipv6Addr::from(a), len);
+            let back: Ipv6Cidr = c.to_string().parse().unwrap();
+            prop_assert_eq!(c, back);
+        }
+
+        #[test]
+        fn v6_hosts_are_contained(a in any::<u128>(), len in 0u8..=128, i in any::<u128>()) {
+            let c = Ipv6Cidr::new(Ipv6Addr::from(a), len);
+            prop_assert!(c.contains(c.host(i)));
+        }
+    }
+}

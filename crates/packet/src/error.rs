@@ -1,0 +1,88 @@
+//! Packet parsing/serialization errors.
+
+use std::fmt;
+
+/// Errors produced while decoding or encoding packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// Buffer too short for the expected structure.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A version field did not match the expected IP version.
+    BadVersion {
+        /// Expected version number (4 or 6).
+        expected: u8,
+        /// Version found on the wire.
+        got: u8,
+    },
+    /// Header checksum verification failed.
+    BadChecksum {
+        /// Which protocol's checksum failed.
+        what: &'static str,
+    },
+    /// A length field is inconsistent with the buffer.
+    BadLength {
+        /// What was being parsed.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// A field value outside its valid range.
+    BadField {
+        /// Field description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { what, needed, got } => {
+                write!(f, "{what}: truncated (need {needed} bytes, have {got})")
+            }
+            PacketError::BadVersion { expected, got } => {
+                write!(f, "bad IP version: expected {expected}, got {got}")
+            }
+            PacketError::BadChecksum { what } => write!(f, "{what}: checksum mismatch"),
+            PacketError::BadLength { what, value } => {
+                write!(f, "{what}: inconsistent length {value}")
+            }
+            PacketError::BadField { what } => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PacketError::Truncated {
+            what: "ipv4 header",
+            needed: 20,
+            got: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ipv4 header") && s.contains("20") && s.contains('7'));
+
+        assert!(PacketError::BadVersion { expected: 6, got: 4 }
+            .to_string()
+            .contains("expected 6"));
+        assert!(PacketError::BadChecksum { what: "udp" }.to_string().contains("udp"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&PacketError::BadField { what: "ihl" });
+    }
+}

@@ -1,0 +1,236 @@
+//! ICMPv4 messages (RFC 792) — the subset traceroute and ping need.
+
+use crate::checksum::{internet_checksum, verify};
+use crate::error::PacketError;
+use crate::Result;
+use bytes::BufMut;
+
+/// ICMPv4 message types used by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Icmpv4Type {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3); code carried separately.
+    DestUnreachable,
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Time exceeded (type 11) — the traceroute workhorse.
+    TimeExceeded,
+}
+
+impl Icmpv4Type {
+    /// Wire type number.
+    pub fn number(self) -> u8 {
+        match self {
+            Icmpv4Type::EchoReply => 0,
+            Icmpv4Type::DestUnreachable => 3,
+            Icmpv4Type::EchoRequest => 8,
+            Icmpv4Type::TimeExceeded => 11,
+        }
+    }
+
+    /// Parses a wire type number.
+    pub fn from_number(n: u8) -> Option<Self> {
+        match n {
+            0 => Some(Icmpv4Type::EchoReply),
+            3 => Some(Icmpv4Type::DestUnreachable),
+            8 => Some(Icmpv4Type::EchoRequest),
+            11 => Some(Icmpv4Type::TimeExceeded),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded ICMPv4 message.
+///
+/// For echo messages, `rest_of_header` packs identifier (high 16) and
+/// sequence (low 16). For error messages it is unused (zero) and `payload`
+/// carries the invoking packet's header + 8 bytes, per RFC 792.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Icmpv4Message {
+    /// Message type.
+    pub msg_type: Icmpv4Type,
+    /// Code (e.g. 0 = net unreachable / TTL exceeded in transit).
+    pub code: u8,
+    /// The 4 bytes after the checksum, semantics per type.
+    pub rest_of_header: u32,
+    /// Message body.
+    pub payload: Vec<u8>,
+}
+
+impl Icmpv4Message {
+    /// Builds an echo request with the given identifier/sequence.
+    pub fn echo_request(ident: u16, seq: u16, payload: Vec<u8>) -> Self {
+        Icmpv4Message {
+            msg_type: Icmpv4Type::EchoRequest,
+            code: 0,
+            rest_of_header: ((ident as u32) << 16) | seq as u32,
+            payload,
+        }
+    }
+
+    /// Builds the echo reply matching a request.
+    pub fn echo_reply(ident: u16, seq: u16, payload: Vec<u8>) -> Self {
+        Icmpv4Message {
+            msg_type: Icmpv4Type::EchoReply,
+            code: 0,
+            rest_of_header: ((ident as u32) << 16) | seq as u32,
+            payload,
+        }
+    }
+
+    /// Builds a Time Exceeded (TTL expired in transit) carrying the invoking
+    /// packet excerpt, as a router on the path would.
+    pub fn time_exceeded(invoking_packet: &[u8]) -> Self {
+        let excerpt_len = invoking_packet.len().min(28); // IP header + 8 bytes
+        Icmpv4Message {
+            msg_type: Icmpv4Type::TimeExceeded,
+            code: 0, // TTL exceeded in transit
+            rest_of_header: 0,
+            payload: invoking_packet[..excerpt_len].to_vec(),
+        }
+    }
+
+    /// Echo identifier, if this is an echo message.
+    pub fn echo_ident(&self) -> Option<u16> {
+        matches!(self.msg_type, Icmpv4Type::EchoRequest | Icmpv4Type::EchoReply)
+            .then(|| (self.rest_of_header >> 16) as u16)
+    }
+
+    /// Echo sequence number, if this is an echo message.
+    pub fn echo_seq(&self) -> Option<u16> {
+        matches!(self.msg_type, Icmpv4Type::EchoRequest | Icmpv4Type::EchoReply)
+            .then(|| (self.rest_of_header & 0xffff) as u16)
+    }
+
+    /// Serializes with a correct checksum.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(8 + self.payload.len());
+        v.put_u8(self.msg_type.number());
+        v.put_u8(self.code);
+        v.put_u16(0); // checksum placeholder
+        v.put_u32(self.rest_of_header);
+        v.put_slice(&self.payload);
+        let ck = internet_checksum(&v);
+        v[2..4].copy_from_slice(&ck.to_be_bytes());
+        v
+    }
+
+    /// Decodes and verifies a message.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        if data.len() < 8 {
+            return Err(PacketError::Truncated {
+                what: "icmpv4 message",
+                needed: 8,
+                got: data.len(),
+            });
+        }
+        if !verify(data) {
+            return Err(PacketError::BadChecksum { what: "icmpv4" });
+        }
+        let msg_type = Icmpv4Type::from_number(data[0])
+            .ok_or(PacketError::BadField { what: "icmpv4 type" })?;
+        Ok(Icmpv4Message {
+            msg_type,
+            code: data[1],
+            rest_of_header: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            payload: data[8..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let m = Icmpv4Message::echo_request(0x1234, 7, b"probe".to_vec());
+        let d = Icmpv4Message::decode(&m.to_vec()).unwrap();
+        assert_eq!(m, d);
+        assert_eq!(d.echo_ident(), Some(0x1234));
+        assert_eq!(d.echo_seq(), Some(7));
+    }
+
+    #[test]
+    fn reply_matches_request_ids() {
+        let req = Icmpv4Message::echo_request(9, 3, vec![]);
+        let rep = Icmpv4Message::echo_reply(9, 3, vec![]);
+        assert_eq!(req.echo_ident(), rep.echo_ident());
+        assert_eq!(req.echo_seq(), rep.echo_seq());
+        assert_eq!(rep.msg_type, Icmpv4Type::EchoReply);
+    }
+
+    #[test]
+    fn time_exceeded_carries_excerpt() {
+        let invoking: Vec<u8> = (0u8..60).collect();
+        let m = Icmpv4Message::time_exceeded(&invoking);
+        assert_eq!(m.payload.len(), 28, "IP header + 8 bytes");
+        assert_eq!(&m.payload[..], &invoking[..28]);
+        assert_eq!(m.code, 0);
+        assert_eq!(m.echo_ident(), None, "not an echo message");
+    }
+
+    #[test]
+    fn time_exceeded_short_invoking_packet() {
+        let m = Icmpv4Message::time_exceeded(&[1, 2, 3]);
+        assert_eq!(m.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut v = Icmpv4Message::echo_request(1, 1, b"x".to_vec()).to_vec();
+        v[4] ^= 0x80;
+        assert_eq!(
+            Icmpv4Message::decode(&v).unwrap_err(),
+            PacketError::BadChecksum { what: "icmpv4" }
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            Icmpv4Message::decode(&[8, 0, 0]).unwrap_err(),
+            PacketError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        // build a "type 42" message with valid checksum
+        let mut v = vec![42u8, 0, 0, 0, 0, 0, 0, 0];
+        let ck = internet_checksum(&v);
+        v[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(
+            Icmpv4Message::decode(&v).unwrap_err(),
+            PacketError::BadField { what: "icmpv4 type" }
+        );
+    }
+
+    #[test]
+    fn type_numbers_roundtrip() {
+        for t in [
+            Icmpv4Type::EchoReply,
+            Icmpv4Type::DestUnreachable,
+            Icmpv4Type::EchoRequest,
+            Icmpv4Type::TimeExceeded,
+        ] {
+            assert_eq!(Icmpv4Type::from_number(t.number()), Some(t));
+        }
+        assert_eq!(Icmpv4Type::from_number(99), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_echo(
+            ident in any::<u16>(),
+            seq in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..100),
+        ) {
+            let m = Icmpv4Message::echo_request(ident, seq, payload);
+            let d = Icmpv4Message::decode(&m.to_vec()).unwrap();
+            prop_assert_eq!(m, d);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! IPv4 header (RFC 791) encode/decode.
+
+use crate::checksum::{internet_checksum, verify};
+use crate::error::PacketError;
+use crate::Result;
+use bytes::{Buf, BufMut};
+use std::net::Ipv4Addr;
+
+/// IP protocol number: ICMP.
+pub const IPPROTO_ICMP: u8 = 1;
+/// IP protocol number: TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IP protocol number: UDP.
+pub const IPPROTO_UDP: u8 = 17;
+/// IP protocol number: IPv6 encapsulated in IPv4 (6in4, RFC 4213).
+pub const IPPROTO_IPV6: u8 = 41;
+
+/// Minimum (option-less) IPv4 header length in bytes.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// An IPv4 header. Options are not supported (the simulator never emits
+/// them; receivers skip them on decode and report the true header length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated services byte.
+    pub dscp_ecn: u8,
+    /// Total length of header plus payload, in bytes.
+    pub total_len: u16,
+    /// Identification field (used by fragmentation, which we never do).
+    pub identification: u16,
+    /// Flags (3 bits) and fragment offset (13 bits), packed as on the wire.
+    pub flags_fragment: u16,
+    /// Time to live; decremented per hop by the simulated forwarding plane.
+    pub ttl: u8,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Convenience constructor with common defaults (DF set, TTL 64).
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload_len: u16) -> Self {
+        Ipv4Header {
+            dscp_ecn: 0,
+            total_len: IPV4_HEADER_LEN as u16 + payload_len,
+            identification: 0,
+            flags_fragment: 0x4000, // Don't Fragment
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+        }
+    }
+
+    /// Payload length implied by `total_len`.
+    pub fn payload_len(&self) -> u16 {
+        self.total_len.saturating_sub(IPV4_HEADER_LEN as u16)
+    }
+
+    /// Serializes the header (with a correct checksum) into `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let mut hdr = [0u8; IPV4_HEADER_LEN];
+        hdr[0] = 0x45; // version 4, IHL 5
+        hdr[1] = self.dscp_ecn;
+        hdr[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        hdr[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        hdr[6..8].copy_from_slice(&self.flags_fragment.to_be_bytes());
+        hdr[8] = self.ttl;
+        hdr[9] = self.protocol;
+        // 10..12 checksum, zero while summing
+        hdr[12..16].copy_from_slice(&self.src.octets());
+        hdr[16..20].copy_from_slice(&self.dst.octets());
+        let ck = internet_checksum(&hdr);
+        hdr[10..12].copy_from_slice(&ck.to_be_bytes());
+        buf.put_slice(&hdr);
+    }
+
+    /// Serializes to a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(IPV4_HEADER_LEN);
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decodes a header from the front of `buf`, verifying version and
+    /// checksum, and advances `buf` past the header (including any options).
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self> {
+        if buf.remaining() < IPV4_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "ipv4 header",
+                needed: IPV4_HEADER_LEN,
+                got: buf.remaining(),
+            });
+        }
+        // Copy the fixed part without consuming yet, to know IHL.
+        let mut fixed = [0u8; IPV4_HEADER_LEN];
+        buf.copy_to_slice(&mut fixed);
+        let version = fixed[0] >> 4;
+        if version != 4 {
+            return Err(PacketError::BadVersion { expected: 4, got: version });
+        }
+        let ihl = (fixed[0] & 0x0f) as usize * 4;
+        if ihl < IPV4_HEADER_LEN {
+            return Err(PacketError::BadLength { what: "ipv4 ihl", value: ihl });
+        }
+        let opt_len = ihl - IPV4_HEADER_LEN;
+        if buf.remaining() < opt_len {
+            return Err(PacketError::Truncated {
+                what: "ipv4 options",
+                needed: opt_len,
+                got: buf.remaining(),
+            });
+        }
+        let mut full = Vec::with_capacity(ihl);
+        full.extend_from_slice(&fixed);
+        for _ in 0..opt_len {
+            full.push(buf.get_u8());
+        }
+        if !verify(&full) {
+            return Err(PacketError::BadChecksum { what: "ipv4 header" });
+        }
+        Ok(Ipv4Header {
+            dscp_ecn: fixed[1],
+            total_len: u16::from_be_bytes([fixed[2], fixed[3]]),
+            identification: u16::from_be_bytes([fixed[4], fixed[5]]),
+            flags_fragment: u16::from_be_bytes([fixed[6], fixed[7]]),
+            ttl: fixed[8],
+            protocol: fixed[9],
+            src: Ipv4Addr::new(fixed[12], fixed[13], fixed[14], fixed[15]),
+            dst: Ipv4Addr::new(fixed[16], fixed[17], fixed[18], fixed[19]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(203, 0, 113, 9),
+            IPPROTO_TCP,
+            100,
+        )
+    }
+
+    #[test]
+    fn encode_layout() {
+        let v = sample().to_vec();
+        assert_eq!(v.len(), IPV4_HEADER_LEN);
+        assert_eq!(v[0], 0x45);
+        assert_eq!(u16::from_be_bytes([v[2], v[3]]), 120);
+        assert_eq!(v[8], 64);
+        assert_eq!(v[9], IPPROTO_TCP);
+        assert_eq!(&v[12..16], &[192, 0, 2, 1]);
+        assert_eq!(&v[16..20], &[203, 0, 113, 9]);
+        assert!(crate::checksum::verify(&v), "header checksum must verify");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let v = h.to_vec();
+        let d = Ipv4Header::decode(&mut &v[..]).unwrap();
+        assert_eq!(h, d);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let v = sample().to_vec();
+        let e = Ipv4Header::decode(&mut &v[..10]).unwrap_err();
+        assert!(matches!(e, PacketError::Truncated { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut v = sample().to_vec();
+        v[0] = 0x65; // version 6
+        let e = Ipv4Header::decode(&mut &v[..]).unwrap_err();
+        assert_eq!(e, PacketError::BadVersion { expected: 4, got: 6 });
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_checksum() {
+        let mut v = sample().to_vec();
+        v[15] ^= 0xff;
+        let e = Ipv4Header::decode(&mut &v[..]).unwrap_err();
+        assert_eq!(e, PacketError::BadChecksum { what: "ipv4 header" });
+    }
+
+    #[test]
+    fn decode_rejects_bad_ihl() {
+        let mut v = sample().to_vec();
+        v[0] = 0x44; // IHL 4 -> 16 bytes < 20
+        let e = Ipv4Header::decode(&mut &v[..]).unwrap_err();
+        assert!(matches!(e, PacketError::BadLength { .. }));
+    }
+
+    #[test]
+    fn decode_skips_options() {
+        // Hand-build a header with IHL 6 (4 bytes of NOP options).
+        let mut v = sample().to_vec();
+        v[0] = 0x46;
+        v.splice(20..20, [1u8, 1, 1, 1]); // NOPs after fixed header
+        // fix checksum
+        v[10] = 0;
+        v[11] = 0;
+        let ck = internet_checksum(&v[..24]);
+        v[10..12].copy_from_slice(&ck.to_be_bytes());
+        v.extend_from_slice(&[0xde, 0xad]); // payload
+        let mut cursor = &v[..];
+        let h = Ipv4Header::decode(&mut cursor).unwrap();
+        assert_eq!(h.protocol, IPPROTO_TCP);
+        assert_eq!(cursor, &[0xde, 0xad], "cursor advanced past options");
+    }
+
+    #[test]
+    fn decode_consumes_exactly_header() {
+        let mut v = sample().to_vec();
+        v.extend_from_slice(&[0xaa; 7]);
+        let mut cursor = &v[..];
+        Ipv4Header::decode(&mut cursor).unwrap();
+        assert_eq!(cursor.len(), 7);
+    }
+
+    #[test]
+    fn payload_len_saturates() {
+        let mut h = sample();
+        h.total_len = 5;
+        assert_eq!(h.payload_len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            src in any::<u32>(),
+            dst in any::<u32>(),
+            proto in any::<u8>(),
+            ttl in any::<u8>(),
+            plen in 0u16..1400,
+            ident in any::<u16>(),
+        ) {
+            let mut h = Ipv4Header::new(Ipv4Addr::from(src), Ipv4Addr::from(dst), proto, plen);
+            h.ttl = ttl;
+            h.identification = ident;
+            let v = h.to_vec();
+            let d = Ipv4Header::decode(&mut &v[..]).unwrap();
+            prop_assert_eq!(h, d);
+        }
+
+        #[test]
+        fn corrupting_any_byte_is_detected(idx in 0usize..IPV4_HEADER_LEN, bit in 0u8..8) {
+            let mut v = sample().to_vec();
+            v[idx] ^= 1 << bit;
+            // Either checksum/version/ihl failure, or (for checksum-field bits)
+            // still rejected: any single-bit flip breaks the checksum.
+            prop_assert!(Ipv4Header::decode(&mut &v[..]).is_err());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! IPv6 header (RFC 8200) encode/decode.
+
+use crate::error::PacketError;
+use crate::Result;
+use bytes::{Buf, BufMut};
+use std::net::Ipv6Addr;
+
+/// Next-header number: ICMPv6.
+pub const IPPROTO_ICMPV6: u8 = 58;
+
+/// Fixed IPv6 header length in bytes.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// An IPv6 fixed header. Extension headers other than what the simulator
+/// emits are not modeled; `next_header` carries the payload protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class byte.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+    /// Payload length in bytes (excludes this header).
+    pub payload_len: u16,
+    /// Payload protocol (e.g. TCP=6, UDP=17, ICMPv6=58).
+    pub next_header: u8,
+    /// Hop limit; decremented per hop by the simulated forwarding plane.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Convenience constructor with hop limit 64 and zero flow label.
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload_len: u16) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len,
+            next_header,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// Serializes the header into `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let word0: u32 = (6u32 << 28)
+            | ((self.traffic_class as u32) << 20)
+            | (self.flow_label & 0x000f_ffff);
+        buf.put_u32(word0);
+        buf.put_u16(self.payload_len);
+        buf.put_u8(self.next_header);
+        buf.put_u8(self.hop_limit);
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+    }
+
+    /// Serializes to a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(IPV6_HEADER_LEN);
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decodes a header from the front of `buf` and advances past it.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self> {
+        if buf.remaining() < IPV6_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "ipv6 header",
+                needed: IPV6_HEADER_LEN,
+                got: buf.remaining(),
+            });
+        }
+        let word0 = buf.get_u32();
+        let version = (word0 >> 28) as u8;
+        if version != 6 {
+            return Err(PacketError::BadVersion { expected: 6, got: version });
+        }
+        let payload_len = buf.get_u16();
+        let next_header = buf.get_u8();
+        let hop_limit = buf.get_u8();
+        let mut src = [0u8; 16];
+        buf.copy_to_slice(&mut src);
+        let mut dst = [0u8; 16];
+        buf.copy_to_slice(&mut dst);
+        Ok(Ipv6Header {
+            traffic_class: ((word0 >> 20) & 0xff) as u8,
+            flow_label: word0 & 0x000f_ffff,
+            payload_len,
+            next_header,
+            hop_limit,
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Ipv6Header {
+        Ipv6Header::new(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8:ff::2".parse().unwrap(),
+            crate::ipv4::IPPROTO_TCP,
+            256,
+        )
+    }
+
+    #[test]
+    fn encode_layout() {
+        let v = sample().to_vec();
+        assert_eq!(v.len(), IPV6_HEADER_LEN);
+        assert_eq!(v[0] >> 4, 6, "version nibble");
+        assert_eq!(u16::from_be_bytes([v[4], v[5]]), 256);
+        assert_eq!(v[6], 6, "next header TCP");
+        assert_eq!(v[7], 64, "hop limit");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let d = Ipv6Header::decode(&mut &h.to_vec()[..]).unwrap();
+        assert_eq!(h, d);
+    }
+
+    #[test]
+    fn traffic_class_and_flow_label_packing() {
+        let mut h = sample();
+        h.traffic_class = 0xab;
+        h.flow_label = 0xf_1234;
+        let v = h.to_vec();
+        let d = Ipv6Header::decode(&mut &v[..]).unwrap();
+        assert_eq!(d.traffic_class, 0xab);
+        assert_eq!(d.flow_label, 0xf_1234);
+    }
+
+    #[test]
+    fn flow_label_truncated_to_20_bits() {
+        let mut h = sample();
+        h.flow_label = 0xfff_ffff; // 28 bits
+        let d = Ipv6Header::decode(&mut &h.to_vec()[..]).unwrap();
+        assert_eq!(d.flow_label, 0xf_ffff);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let v = sample().to_vec();
+        assert!(matches!(
+            Ipv6Header::decode(&mut &v[..30]).unwrap_err(),
+            PacketError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut v = sample().to_vec();
+        v[0] = 0x45;
+        assert_eq!(
+            Ipv6Header::decode(&mut &v[..]).unwrap_err(),
+            PacketError::BadVersion { expected: 6, got: 4 }
+        );
+    }
+
+    #[test]
+    fn decode_consumes_exactly_header() {
+        let mut v = sample().to_vec();
+        v.extend_from_slice(&[9; 5]);
+        let mut cursor = &v[..];
+        Ipv6Header::decode(&mut cursor).unwrap();
+        assert_eq!(cursor.len(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            src in any::<u128>(),
+            dst in any::<u128>(),
+            nh in any::<u8>(),
+            hl in any::<u8>(),
+            plen in any::<u16>(),
+            tc in any::<u8>(),
+            fl in 0u32..(1 << 20),
+        ) {
+            let h = Ipv6Header {
+                traffic_class: tc,
+                flow_label: fl,
+                payload_len: plen,
+                next_header: nh,
+                hop_limit: hl,
+                src: Ipv6Addr::from(src),
+                dst: Ipv6Addr::from(dst),
+            };
+            let d = Ipv6Header::decode(&mut &h.to_vec()[..]).unwrap();
+            prop_assert_eq!(h, d);
+        }
+    }
+}

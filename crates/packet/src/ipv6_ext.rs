@@ -1,0 +1,285 @@
+//! IPv6 extension headers (RFC 8200 §4): encode, decode, and chain walking.
+//!
+//! The simulator's own traffic never needs extension headers, but a
+//! believable IPv6 stack must parse packets that carry them — 2011-era
+//! IPv6 debugging was full of hop-by-hop and fragment headers confusing
+//! middleboxes. Supported here: Hop-by-Hop Options (0), Destination
+//! Options (60), Routing (43, opaque), and Fragment (44), plus a chain
+//! walker that finds the upper-layer protocol and payload offset.
+
+use crate::error::PacketError;
+use crate::Result;
+use bytes::BufMut;
+
+/// Next-header numbers for the supported extension headers.
+pub mod next_header {
+    /// Hop-by-Hop Options.
+    pub const HOP_BY_HOP: u8 = 0;
+    /// Routing header.
+    pub const ROUTING: u8 = 43;
+    /// Fragment header.
+    pub const FRAGMENT: u8 = 44;
+    /// Destination Options.
+    pub const DEST_OPTS: u8 = 60;
+    /// No next header (RFC 8200 §4.7).
+    pub const NO_NEXT: u8 = 59;
+}
+
+/// Returns true if `nh` is an extension header this module can walk.
+pub fn is_extension(nh: u8) -> bool {
+    matches!(
+        nh,
+        next_header::HOP_BY_HOP
+            | next_header::ROUTING
+            | next_header::FRAGMENT
+            | next_header::DEST_OPTS
+    )
+}
+
+/// A generic options-style extension header (Hop-by-Hop / Destination
+/// Options / Routing carried opaquely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtHeader {
+    /// This header's type (one of [`next_header`]).
+    pub header_type: u8,
+    /// The next header in the chain.
+    pub next: u8,
+    /// Option bytes (padded to make the whole header a multiple of 8).
+    pub data: Vec<u8>,
+}
+
+impl ExtHeader {
+    /// Builds a Hop-by-Hop header carrying PadN-only options (the honest
+    /// filler real stacks emit when they need alignment).
+    pub fn hop_by_hop_padded(next: u8, pad_len: usize) -> Self {
+        ExtHeader { header_type: next_header::HOP_BY_HOP, next, data: vec![0u8; pad_len] }
+    }
+
+    /// Serializes: `next`, `hdr ext len` (in 8-octet units, not counting
+    /// the first), then data padded to the 8-octet boundary.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let body_len = 2 + self.data.len();
+        let padded = body_len.div_ceil(8) * 8;
+        let ext_len = (padded / 8 - 1) as u8;
+        buf.put_u8(self.next);
+        buf.put_u8(ext_len);
+        buf.put_slice(&self.data);
+        for _ in 0..(padded - body_len) {
+            buf.put_u8(0);
+        }
+    }
+
+    /// Serializes to a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode(&mut v);
+        v
+    }
+}
+
+/// A Fragment header (RFC 8200 §4.5) — fixed 8 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentHeader {
+    /// Next header.
+    pub next: u8,
+    /// Fragment offset in 8-octet units.
+    pub offset: u16,
+    /// More-fragments flag.
+    pub more: bool,
+    /// Identification.
+    pub ident: u32,
+}
+
+impl FragmentHeader {
+    /// Serializes the 8-byte fragment header.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.next);
+        buf.put_u8(0); // reserved
+        buf.put_u16((self.offset << 3) | u16::from(self.more));
+        buf.put_u32(self.ident);
+    }
+
+    /// Serializes to a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(8);
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decodes from exactly 8 bytes.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        if data.len() < 8 {
+            return Err(PacketError::Truncated { what: "ipv6 fragment header", needed: 8, got: data.len() });
+        }
+        let off_flags = u16::from_be_bytes([data[2], data[3]]);
+        Ok(FragmentHeader {
+            next: data[0],
+            offset: off_flags >> 3,
+            more: off_flags & 1 != 0,
+            ident: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+        })
+    }
+}
+
+/// Result of walking an extension-header chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainWalk {
+    /// The upper-layer protocol the chain terminates in (e.g. TCP=6), or
+    /// [`next_header::NO_NEXT`].
+    pub upper_protocol: u8,
+    /// Byte offset of the upper-layer payload from the start of the
+    /// extension area.
+    pub payload_offset: usize,
+    /// Extension header types encountered, in order.
+    pub headers: Vec<u8>,
+}
+
+/// Walks the chain starting at `first_next_header` over `data` (the bytes
+/// immediately following the fixed IPv6 header).
+pub fn walk_chain(first_next_header: u8, data: &[u8]) -> Result<ChainWalk> {
+    let mut nh = first_next_header;
+    let mut off = 0usize;
+    let mut headers = Vec::new();
+    let mut hops = 0;
+    while is_extension(nh) {
+        hops += 1;
+        if hops > 16 {
+            return Err(PacketError::BadField { what: "ipv6 extension chain too long" });
+        }
+        headers.push(nh);
+        if nh == next_header::FRAGMENT {
+            let fh = FragmentHeader::decode(&data[off.min(data.len())..])?;
+            nh = fh.next;
+            off += 8;
+        } else {
+            if data.len() < off + 2 {
+                return Err(PacketError::Truncated {
+                    what: "ipv6 extension header",
+                    needed: off + 2,
+                    got: data.len(),
+                });
+            }
+            let ext_len = data[off + 1] as usize;
+            let total = (ext_len + 1) * 8;
+            if data.len() < off + total {
+                return Err(PacketError::Truncated {
+                    what: "ipv6 extension header body",
+                    needed: off + total,
+                    got: data.len(),
+                });
+            }
+            nh = data[off];
+            off += total;
+        }
+    }
+    Ok(ChainWalk { upper_protocol: nh, payload_offset: off, headers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::IPPROTO_TCP;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_hop_by_hop_walks_to_tcp() {
+        let h = ExtHeader::hop_by_hop_padded(IPPROTO_TCP, 4);
+        let mut wire = h.to_vec();
+        assert_eq!(wire.len() % 8, 0, "8-octet aligned");
+        wire.extend_from_slice(b"PAYLOAD");
+        let walk = walk_chain(next_header::HOP_BY_HOP, &wire).unwrap();
+        assert_eq!(walk.upper_protocol, IPPROTO_TCP);
+        assert_eq!(walk.headers, vec![next_header::HOP_BY_HOP]);
+        assert_eq!(&wire[walk.payload_offset..], b"PAYLOAD");
+    }
+
+    #[test]
+    fn chained_headers_walk_in_order() {
+        // hop-by-hop -> dest-opts -> fragment -> TCP
+        let frag = FragmentHeader { next: IPPROTO_TCP, offset: 0, more: true, ident: 0xabcd_1234 };
+        let dest = ExtHeader {
+            header_type: next_header::DEST_OPTS,
+            next: next_header::FRAGMENT,
+            data: vec![0; 10],
+        };
+        let hbh = ExtHeader::hop_by_hop_padded(next_header::DEST_OPTS, 0);
+        let mut wire = hbh.to_vec();
+        wire.extend(dest.to_vec());
+        wire.extend(frag.to_vec());
+        wire.extend_from_slice(b"X");
+        let walk = walk_chain(next_header::HOP_BY_HOP, &wire).unwrap();
+        assert_eq!(
+            walk.headers,
+            vec![next_header::HOP_BY_HOP, next_header::DEST_OPTS, next_header::FRAGMENT]
+        );
+        assert_eq!(walk.upper_protocol, IPPROTO_TCP);
+        assert_eq!(&wire[walk.payload_offset..], b"X");
+    }
+
+    #[test]
+    fn fragment_header_roundtrips() {
+        let f = FragmentHeader { next: 17, offset: 185, more: true, ident: 99 };
+        let d = FragmentHeader::decode(&f.to_vec()).unwrap();
+        assert_eq!(f, d);
+        let f2 = FragmentHeader { next: 6, offset: 0, more: false, ident: 1 };
+        assert_eq!(FragmentHeader::decode(&f2.to_vec()).unwrap(), f2);
+    }
+
+    #[test]
+    fn no_extensions_is_a_trivial_walk() {
+        let walk = walk_chain(IPPROTO_TCP, b"payload").unwrap();
+        assert_eq!(walk.upper_protocol, IPPROTO_TCP);
+        assert_eq!(walk.payload_offset, 0);
+        assert!(walk.headers.is_empty());
+    }
+
+    #[test]
+    fn truncated_chain_rejected() {
+        let h = ExtHeader::hop_by_hop_padded(IPPROTO_TCP, 20);
+        let wire = h.to_vec();
+        assert!(matches!(
+            walk_chain(next_header::HOP_BY_HOP, &wire[..3]).unwrap_err(),
+            PacketError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn self_referential_chain_bounded() {
+        // a malicious hop-by-hop that points back at hop-by-hop forever
+        let mut wire = Vec::new();
+        for _ in 0..20 {
+            ExtHeader::hop_by_hop_padded(next_header::HOP_BY_HOP, 0).encode(&mut wire);
+        }
+        assert_eq!(
+            walk_chain(next_header::HOP_BY_HOP, &wire).unwrap_err(),
+            PacketError::BadField { what: "ipv6 extension chain too long" }
+        );
+    }
+
+    #[test]
+    fn no_next_header_terminates() {
+        let h = ExtHeader::hop_by_hop_padded(next_header::NO_NEXT, 0);
+        let walk = walk_chain(next_header::HOP_BY_HOP, &h.to_vec()).unwrap();
+        assert_eq!(walk.upper_protocol, next_header::NO_NEXT);
+    }
+
+    proptest! {
+        #[test]
+        fn fragment_roundtrip_arbitrary(
+            next in any::<u8>(),
+            offset in 0u16..(1 << 13),
+            more in any::<bool>(),
+            ident in any::<u32>(),
+        ) {
+            let f = FragmentHeader { next, offset, more, ident };
+            prop_assert_eq!(FragmentHeader::decode(&f.to_vec()).unwrap(), f);
+        }
+
+        #[test]
+        fn padded_headers_always_aligned(pad in 0usize..64, next in any::<u8>()) {
+            let wire = ExtHeader::hop_by_hop_padded(next, pad).to_vec();
+            prop_assert_eq!(wire.len() % 8, 0);
+            prop_assert!(wire.len() >= pad + 2);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Wire formats for the `ipv6web` simulated Internet.
+//!
+//! The monitoring pipeline exercises real protocol mechanics in several
+//! places: DNS A/AAAA lookups, TCP page downloads, traceroute's hop-limit /
+//! ICMP Time Exceeded dance, and IPv6-over-IPv4 tunnels crossing v4-only
+//! islands. This crate implements the corresponding packet formats from the
+//! RFCs — encode, decode, and checksum — so those code paths operate on real
+//! bytes rather than ad-hoc structs.
+//!
+//! Layout follows the RFCs exactly:
+//! * IPv4 — RFC 791 (plus the 6in4 protocol number 41, RFC 4213)
+//! * IPv6 — RFC 8200
+//! * ICMPv4 — RFC 792, ICMPv6 — RFC 4443
+//! * UDP — RFC 768, TCP — RFC 793
+//! * 6to4 addressing — RFC 3056 (`2002::/16`), referenced by the paper as a
+//!   contributor to IPv6/IPv4 destination-AS differences.
+
+pub mod addr;
+pub mod checksum;
+pub mod error;
+pub mod icmpv4;
+pub mod icmpv6;
+pub mod ipv4;
+pub mod ipv6;
+pub mod ipv6_ext;
+pub mod tcp;
+pub mod tunnel;
+pub mod udp;
+
+pub use addr::{Ipv4Cidr, Ipv6Cidr};
+pub use error::PacketError;
+pub use icmpv4::{Icmpv4Message, Icmpv4Type};
+pub use icmpv6::{Icmpv6Message, Icmpv6Type};
+pub use ipv4::{Ipv4Header, IPPROTO_ICMP, IPPROTO_IPV6, IPPROTO_TCP, IPPROTO_UDP};
+pub use ipv6::{Ipv6Header, IPPROTO_ICMPV6};
+pub use ipv6_ext::{walk_chain, ChainWalk, ExtHeader, FragmentHeader};
+pub use tcp::TcpHeader;
+pub use tunnel::{decapsulate_6in4, encapsulate_6in4, from_6to4, is_6to4, to_6to4};
+pub use udp::UdpHeader;
+
+/// Result alias for packet operations.
+pub type Result<T> = std::result::Result<T, PacketError>;

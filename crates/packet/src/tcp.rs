@@ -1,0 +1,330 @@
+//! TCP header (RFC 793) encode/decode with pseudo-header checksums.
+//!
+//! The simulator's HTTP transactions are flow-level, but connection setup
+//! and the MSS exchanged in SYN options feed the download-time model, so the
+//! header format (including the MSS option) is implemented for real.
+
+use crate::checksum::{pseudo_v4, pseudo_v6, Checksum};
+use crate::error::PacketError;
+use crate::ipv4::IPPROTO_TCP;
+use crate::Result;
+use bytes::BufMut;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Minimum TCP header length (no options).
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+pub mod flags {
+    /// FIN.
+    pub const FIN: u8 = 0x01;
+    /// SYN.
+    pub const SYN: u8 = 0x02;
+    /// RST.
+    pub const RST: u8 = 0x04;
+    /// PSH.
+    pub const PSH: u8 = 0x08;
+    /// ACK.
+    pub const ACK: u8 = 0x10;
+}
+
+/// A TCP header. Only the MSS option (kind 2) is modeled; other options are
+/// preserved opaquely on decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits (see [`flags`]).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Urgent pointer (unused by the simulator, carried for fidelity).
+    pub urgent: u16,
+    /// Maximum segment size option on SYN segments.
+    pub mss: Option<u16>,
+}
+
+impl TcpHeader {
+    /// Builds a SYN advertising `mss`.
+    pub fn syn(src_port: u16, dst_port: u16, seq: u32, mss: u16) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: flags::SYN,
+            window: 65535,
+            urgent: 0,
+            mss: Some(mss),
+        }
+    }
+
+    /// Builds a plain ACK.
+    pub fn ack(src_port: u16, dst_port: u16, seq: u32, ack: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: flags::ACK,
+            window: 65535,
+            urgent: 0,
+            mss: None,
+        }
+    }
+
+    /// Header length in bytes including options (padded to 4).
+    pub fn header_len(&self) -> usize {
+        TCP_HEADER_LEN + if self.mss.is_some() { 4 } else { 0 }
+    }
+
+    fn raw(&self, payload: &[u8]) -> Vec<u8> {
+        let hlen = self.header_len();
+        let mut v = Vec::with_capacity(hlen + payload.len());
+        v.put_u16(self.src_port);
+        v.put_u16(self.dst_port);
+        v.put_u32(self.seq);
+        v.put_u32(self.ack);
+        let data_offset_words = (hlen / 4) as u8;
+        v.put_u8(data_offset_words << 4);
+        v.put_u8(self.flags);
+        v.put_u16(self.window);
+        v.put_u16(0); // checksum placeholder
+        v.put_u16(self.urgent);
+        if let Some(mss) = self.mss {
+            v.put_u8(2); // kind: MSS
+            v.put_u8(4); // length
+            v.put_u16(mss);
+        }
+        v.put_slice(payload);
+        v
+    }
+
+    fn install_checksum(mut v: Vec<u8>, mut c: Checksum) -> Vec<u8> {
+        c.add_bytes(&v);
+        let ck = c.finish();
+        v[16..18].copy_from_slice(&ck.to_be_bytes());
+        v
+    }
+
+    /// Serializes segment (header + payload) for IPv4 transport.
+    pub fn to_vec_v4(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
+        let v = self.raw(payload);
+        let c = pseudo_v4(src, dst, IPPROTO_TCP, v.len() as u16);
+        Self::install_checksum(v, c)
+    }
+
+    /// Serializes segment for IPv6 transport.
+    pub fn to_vec_v6(&self, src: Ipv6Addr, dst: Ipv6Addr, payload: &[u8]) -> Vec<u8> {
+        let v = self.raw(payload);
+        let c = pseudo_v6(src, dst, IPPROTO_TCP, v.len() as u32);
+        Self::install_checksum(v, c)
+    }
+
+    fn decode_common(data: &[u8]) -> Result<(Self, &[u8])> {
+        if data.len() < TCP_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "tcp header",
+                needed: TCP_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        let data_offset = ((data[12] >> 4) as usize) * 4;
+        if data_offset < TCP_HEADER_LEN || data_offset > data.len() {
+            return Err(PacketError::BadLength {
+                what: "tcp data offset",
+                value: data_offset,
+            });
+        }
+        // scan options for MSS
+        let mut mss = None;
+        let mut i = TCP_HEADER_LEN;
+        while i < data_offset {
+            match data[i] {
+                0 => break,       // end of options
+                1 => i += 1,      // NOP
+                kind => {
+                    if i + 1 >= data_offset {
+                        return Err(PacketError::BadField { what: "tcp option length" });
+                    }
+                    let olen = data[i + 1] as usize;
+                    if olen < 2 || i + olen > data_offset {
+                        return Err(PacketError::BadField { what: "tcp option length" });
+                    }
+                    if kind == 2 && olen == 4 {
+                        mss = Some(u16::from_be_bytes([data[i + 2], data[i + 3]]));
+                    }
+                    i += olen;
+                }
+            }
+        }
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+                ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+                flags: data[13],
+                window: u16::from_be_bytes([data[14], data[15]]),
+                urgent: u16::from_be_bytes([data[18], data[19]]),
+                mss,
+            },
+            &data[data_offset..],
+        ))
+    }
+
+    /// Decodes and verifies a segment carried over IPv4.
+    pub fn decode_v4<'a>(data: &'a [u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(Self, &'a [u8])> {
+        let mut c = pseudo_v4(src, dst, IPPROTO_TCP, data.len() as u16);
+        c.add_bytes(data);
+        if c.finish() != 0 {
+            return Err(PacketError::BadChecksum { what: "tcp/v4" });
+        }
+        Self::decode_common(data)
+    }
+
+    /// Decodes and verifies a segment carried over IPv6.
+    pub fn decode_v6<'a>(data: &'a [u8], src: Ipv6Addr, dst: Ipv6Addr) -> Result<(Self, &'a [u8])> {
+        let mut c = pseudo_v6(src, dst, IPPROTO_TCP, data.len() as u32);
+        c.add_bytes(data);
+        if c.finish() != 0 {
+            return Err(PacketError::BadChecksum { what: "tcp/v6" });
+        }
+        Self::decode_common(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v4addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(198, 51, 100, 1), Ipv4Addr::new(198, 51, 100, 2))
+    }
+
+    #[test]
+    fn syn_roundtrip_with_mss() {
+        let (s, d) = v4addrs();
+        let h = TcpHeader::syn(49152, 80, 1000, 1460);
+        let wire = h.to_vec_v4(s, d, &[]);
+        assert_eq!(wire.len(), 24, "20 + 4-byte MSS option");
+        let (dh, payload) = TcpHeader::decode_v4(&wire, s, d).unwrap();
+        assert_eq!(dh, h);
+        assert!(payload.is_empty());
+        assert_eq!(dh.mss, Some(1460));
+        assert_eq!(dh.flags & flags::SYN, flags::SYN);
+    }
+
+    #[test]
+    fn ack_roundtrip_with_payload() {
+        let (s, d) = v4addrs();
+        let mut h = TcpHeader::ack(80, 49152, 5000, 1001);
+        h.flags |= flags::PSH;
+        let wire = h.to_vec_v4(s, d, b"HTTP/1.1 200 OK\r\n");
+        let (dh, payload) = TcpHeader::decode_v4(&wire, s, d).unwrap();
+        assert_eq!(dh, h);
+        assert_eq!(payload, b"HTTP/1.1 200 OK\r\n");
+        assert_eq!(dh.mss, None);
+    }
+
+    #[test]
+    fn v6_roundtrip() {
+        let s: Ipv6Addr = "2001:db8::a".parse().unwrap();
+        let d: Ipv6Addr = "2001:db8::b".parse().unwrap();
+        let h = TcpHeader::syn(1234, 80, 77, 1440);
+        let wire = h.to_vec_v6(s, d, b"x");
+        let (dh, payload) = TcpHeader::decode_v6(&wire, s, d).unwrap();
+        assert_eq!(dh, h);
+        assert_eq!(payload, b"x");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let (s, d) = v4addrs();
+        let mut wire = TcpHeader::syn(1, 2, 3, 1460).to_vec_v4(s, d, &[]);
+        wire[5] ^= 0x40;
+        assert_eq!(
+            TcpHeader::decode_v4(&wire, s, d).unwrap_err(),
+            PacketError::BadChecksum { what: "tcp/v4" }
+        );
+    }
+
+    #[test]
+    fn nop_options_skipped() {
+        // hand-craft: header with data offset 6 (24 bytes), options NOP NOP MSS
+        let (s, d) = v4addrs();
+        let h = TcpHeader::syn(9, 10, 0, 536);
+        let mut wire = h.to_vec_v4(s, d, &[]);
+        // rewrite options as NOP,NOP,... then fix: easier to rebuild manually
+        // options: NOP(1) NOP(1) then 2-byte no-op "kind 8 len 2"? use padding style:
+        // Instead verify decode handles NOPs: craft 28-byte header: NOP NOP MSS(4) + pad
+        let mut v = wire[..20].to_vec();
+        v[12] = (7u8) << 4; // 28 bytes
+        v.extend_from_slice(&[1, 1, 2, 4, 2, 24, 0, 0]); // NOP NOP MSS=536 EOL pad
+        // re-checksum
+        v[16] = 0;
+        v[17] = 0;
+        let mut c = pseudo_v4(s, d, IPPROTO_TCP, v.len() as u16);
+        c.add_bytes(&v);
+        let ck = c.finish();
+        v[16..18].copy_from_slice(&ck.to_be_bytes());
+        let (dh, _) = TcpHeader::decode_v4(&v, s, d).unwrap();
+        assert_eq!(dh.mss, Some(536));
+        wire.clear(); // silence unused
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let (s, d) = v4addrs();
+        let mut wire = TcpHeader::ack(1, 2, 3, 4).to_vec_v4(s, d, &[]);
+        wire[12] = 3 << 4; // 12 bytes < 20
+        // fix checksum so we reach the structural check
+        wire[16] = 0;
+        wire[17] = 0;
+        let mut c = pseudo_v4(s, d, IPPROTO_TCP, wire.len() as u16);
+        c.add_bytes(&wire);
+        let ck = c.finish();
+        wire[16..18].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(
+            TcpHeader::decode_v4(&wire, s, d).unwrap_err(),
+            PacketError::BadLength { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let (s, d) = v4addrs();
+        // short buffer: checksum of a few bytes almost surely nonzero -> either
+        // checksum or truncation error; force structural path with zero bytes
+        assert!(TcpHeader::decode_v4(&[], s, d).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            sp in any::<u16>(), dp in any::<u16>(),
+            seq in any::<u32>(), ack in any::<u32>(),
+            fl in any::<u8>(), win in any::<u16>(),
+            mss in proptest::option::of(536u16..9000),
+            payload in proptest::collection::vec(any::<u8>(), 0..100),
+            sa in any::<u32>(), da in any::<u32>(),
+        ) {
+            let h = TcpHeader {
+                src_port: sp, dst_port: dp, seq, ack,
+                flags: fl, window: win, urgent: 0, mss,
+            };
+            let (s, d) = (Ipv4Addr::from(sa), Ipv4Addr::from(da));
+            let wire = h.to_vec_v4(s, d, &payload);
+            let (dh, pl) = TcpHeader::decode_v4(&wire, s, d).unwrap();
+            prop_assert_eq!(dh, h);
+            prop_assert_eq!(pl, &payload[..]);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! IPv6-over-IPv4 tunneling: 6in4 encapsulation (RFC 4213) and 6to4
+//! addressing (RFC 3056).
+//!
+//! The paper attributes two observable artifacts to tunnels:
+//!
+//! 1. **Hop hiding** — an IPv6 traceroute/AS-path across a tunnel sees one
+//!    hop where the underlying IPv4 path has several, which is the paper's
+//!    explanation for IPv6 under-performing at small AS hop counts
+//!    (Table 7).
+//! 2. **Destination-AS drift** — `6to4` (RFC 3056, cited in Section 5) maps
+//!    a site's IPv4 address into `2002::/16`, so its IPv6 "location" can
+//!    resolve to a different AS than its IPv4 one (Table 2 discussion).
+//!
+//! Both mechanisms are implemented here at the byte level.
+
+use crate::error::PacketError;
+use crate::ipv4::{Ipv4Header, IPPROTO_IPV6, IPV4_HEADER_LEN};
+use crate::Result;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Conventional MTU cost of a 6in4 tunnel: the encapsulating IPv4 header.
+pub const TUNNEL_OVERHEAD: usize = IPV4_HEADER_LEN;
+
+/// Encapsulates a full IPv6 packet in an IPv4 packet between tunnel
+/// endpoints `entry` and `exit` (protocol 41).
+pub fn encapsulate_6in4(entry: Ipv4Addr, exit: Ipv4Addr, ipv6_packet: &[u8]) -> Vec<u8> {
+    let outer = Ipv4Header::new(entry, exit, IPPROTO_IPV6, ipv6_packet.len() as u16);
+    let mut v = outer.to_vec();
+    v.extend_from_slice(ipv6_packet);
+    v
+}
+
+/// Decapsulates a 6in4 packet: verifies the outer IPv4 header, checks the
+/// protocol number, and returns `(outer_header, inner_ipv6_bytes)`.
+pub fn decapsulate_6in4(packet: &[u8]) -> Result<(Ipv4Header, &[u8])> {
+    let mut cursor = packet;
+    let outer = Ipv4Header::decode(&mut cursor)?;
+    if outer.protocol != IPPROTO_IPV6 {
+        return Err(PacketError::BadField { what: "6in4 outer protocol (want 41)" });
+    }
+    Ok((outer, cursor))
+}
+
+/// Maps an IPv4 address into its 6to4 prefix `2002:aabb:ccdd::/48` network
+/// address (RFC 3056 §2).
+pub fn to_6to4(v4: Ipv4Addr) -> Ipv6Addr {
+    let o = v4.octets();
+    Ipv6Addr::new(
+        0x2002,
+        u16::from_be_bytes([o[0], o[1]]),
+        u16::from_be_bytes([o[2], o[3]]),
+        0,
+        0,
+        0,
+        0,
+        1,
+    )
+}
+
+/// True if `v6` lies inside `2002::/16`.
+pub fn is_6to4(v6: Ipv6Addr) -> bool {
+    v6.segments()[0] == 0x2002
+}
+
+/// Recovers the embedded IPv4 address from a 6to4 address, if it is one.
+pub fn from_6to4(v6: Ipv6Addr) -> Option<Ipv4Addr> {
+    if !is_6to4(v6) {
+        return None;
+    }
+    let s = v6.segments();
+    let hi = s[1].to_be_bytes();
+    let lo = s[2].to_be_bytes();
+    Some(Ipv4Addr::new(hi[0], hi[1], lo[0], lo[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv6::Ipv6Header;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encap_decap_roundtrip() {
+        let inner_hdr = Ipv6Header::new(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            6,
+            11,
+        );
+        let mut inner = inner_hdr.to_vec();
+        inner.extend_from_slice(b"hello world");
+        let entry = Ipv4Addr::new(192, 0, 2, 1);
+        let exit = Ipv4Addr::new(192, 0, 2, 254);
+        let wire = encapsulate_6in4(entry, exit, &inner);
+        assert_eq!(wire.len(), inner.len() + TUNNEL_OVERHEAD);
+
+        let (outer, recovered) = decapsulate_6in4(&wire).unwrap();
+        assert_eq!(outer.src, entry);
+        assert_eq!(outer.dst, exit);
+        assert_eq!(outer.protocol, IPPROTO_IPV6);
+        assert_eq!(recovered, &inner[..]);
+        // inner still parses
+        let h = Ipv6Header::decode(&mut &recovered[..]).unwrap();
+        assert_eq!(h, inner_hdr);
+    }
+
+    #[test]
+    fn decap_rejects_non_41() {
+        let outer = Ipv4Header::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            6, // TCP, not 41
+            0,
+        );
+        let wire = outer.to_vec();
+        assert_eq!(
+            decapsulate_6in4(&wire).unwrap_err(),
+            PacketError::BadField { what: "6in4 outer protocol (want 41)" }
+        );
+    }
+
+    #[test]
+    fn decap_rejects_garbage() {
+        assert!(decapsulate_6in4(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn rfc3056_mapping_example() {
+        // 192.0.2.4 -> 2002:c000:0204::/48
+        let v6 = to_6to4(Ipv4Addr::new(192, 0, 2, 4));
+        assert_eq!(v6.segments()[0], 0x2002);
+        assert_eq!(v6.segments()[1], 0xc000);
+        assert_eq!(v6.segments()[2], 0x0204);
+        assert!(is_6to4(v6));
+        assert_eq!(from_6to4(v6), Some(Ipv4Addr::new(192, 0, 2, 4)));
+    }
+
+    #[test]
+    fn non_6to4_not_recognized() {
+        let native: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        assert!(!is_6to4(native));
+        assert_eq!(from_6to4(native), None);
+    }
+
+    proptest! {
+        #[test]
+        fn sixto4_roundtrips(a in any::<u32>()) {
+            let v4 = Ipv4Addr::from(a);
+            prop_assert_eq!(from_6to4(to_6to4(v4)), Some(v4));
+        }
+
+        #[test]
+        fn encap_preserves_payload(
+            inner in proptest::collection::vec(any::<u8>(), 0..500),
+            e in any::<u32>(),
+            x in any::<u32>(),
+        ) {
+            let wire = encapsulate_6in4(Ipv4Addr::from(e), Ipv4Addr::from(x), &inner);
+            let (_, recovered) = decapsulate_6in4(&wire).unwrap();
+            prop_assert_eq!(recovered, &inner[..]);
+        }
+    }
+}

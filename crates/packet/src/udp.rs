@@ -1,0 +1,268 @@
+//! UDP header (RFC 768) with pseudo-header checksums for both families.
+
+use crate::checksum::{pseudo_v4, pseudo_v6};
+use crate::error::PacketError;
+use crate::ipv4::IPPROTO_UDP;
+use crate::Result;
+use bytes::BufMut;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// UDP header length in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP header plus the address family context needed for its checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    /// Builds a header for a payload of `payload_len` bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: u16) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: UDP_HEADER_LEN as u16 + payload_len,
+        }
+    }
+
+    fn raw(&self, payload: &[u8]) -> Vec<u8> {
+        let mut v = Vec::with_capacity(UDP_HEADER_LEN + payload.len());
+        v.put_u16(self.src_port);
+        v.put_u16(self.dst_port);
+        v.put_u16(self.length);
+        v.put_u16(0);
+        v.put_slice(payload);
+        v
+    }
+
+    /// Serializes header + payload with the IPv4 pseudo-header checksum.
+    pub fn to_vec_v4(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
+        let mut v = self.raw(payload);
+        let mut c = pseudo_v4(src, dst, IPPROTO_UDP, v.len() as u16);
+        c.add_bytes(&v);
+        let ck = match c.finish() {
+            0 => 0xffff, // RFC 768: transmitted zero means "no checksum"
+            x => x,
+        };
+        v[6..8].copy_from_slice(&ck.to_be_bytes());
+        v
+    }
+
+    /// Serializes header + payload with the IPv6 pseudo-header checksum
+    /// (mandatory in IPv6, RFC 8200 §8.1).
+    pub fn to_vec_v6(&self, src: Ipv6Addr, dst: Ipv6Addr, payload: &[u8]) -> Vec<u8> {
+        let mut v = self.raw(payload);
+        let mut c = pseudo_v6(src, dst, IPPROTO_UDP, v.len() as u32);
+        c.add_bytes(&v);
+        let ck = match c.finish() {
+            0 => 0xffff,
+            x => x,
+        };
+        v[6..8].copy_from_slice(&ck.to_be_bytes());
+        v
+    }
+
+    fn decode_common(data: &[u8]) -> Result<(Self, &[u8])> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "udp header",
+                needed: UDP_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]);
+        if (length as usize) < UDP_HEADER_LEN || length as usize > data.len() {
+            return Err(PacketError::BadLength {
+                what: "udp length",
+                value: length as usize,
+            });
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                length,
+            },
+            &data[UDP_HEADER_LEN..length as usize],
+        ))
+    }
+
+    /// Decodes and verifies a datagram carried over IPv4. Returns the header
+    /// and a slice of the payload.
+    pub fn decode_v4<'a>(data: &'a [u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(Self, &'a [u8])> {
+        let (hdr, payload) = Self::decode_common(data)?;
+        let stored = u16::from_be_bytes([data[6], data[7]]);
+        if stored != 0 {
+            let mut c = pseudo_v4(src, dst, IPPROTO_UDP, hdr.length);
+            c.add_bytes(&data[..hdr.length as usize]);
+            if c.finish() != 0 {
+                return Err(PacketError::BadChecksum { what: "udp/v4" });
+            }
+        }
+        Ok((hdr, payload))
+    }
+
+    /// Decodes and verifies a datagram carried over IPv6. A zero checksum is
+    /// illegal in IPv6.
+    pub fn decode_v6<'a>(data: &'a [u8], src: Ipv6Addr, dst: Ipv6Addr) -> Result<(Self, &'a [u8])> {
+        let (hdr, payload) = Self::decode_common(data)?;
+        let stored = u16::from_be_bytes([data[6], data[7]]);
+        if stored == 0 {
+            return Err(PacketError::BadField { what: "udp/v6 zero checksum" });
+        }
+        let mut c = pseudo_v6(src, dst, IPPROTO_UDP, hdr.length as u32);
+        c.add_bytes(&data[..hdr.length as usize]);
+        if c.finish() != 0 {
+            return Err(PacketError::BadChecksum { what: "udp/v6" });
+        }
+        Ok((hdr, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v4addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    fn v6addrs() -> (Ipv6Addr, Ipv6Addr) {
+        ("fd00::1".parse().unwrap(), "fd00::2".parse().unwrap())
+    }
+
+    #[test]
+    fn v4_roundtrip() {
+        let (s, d) = v4addrs();
+        let h = UdpHeader::new(5353, 53, 4);
+        let wire = h.to_vec_v4(s, d, b"quer");
+        let (dh, payload) = UdpHeader::decode_v4(&wire, s, d).unwrap();
+        assert_eq!(dh, h);
+        assert_eq!(payload, b"quer");
+    }
+
+    #[test]
+    fn v6_roundtrip() {
+        let (s, d) = v6addrs();
+        let h = UdpHeader::new(1024, 53, 5);
+        let wire = h.to_vec_v6(s, d, b"query");
+        let (dh, payload) = UdpHeader::decode_v6(&wire, s, d).unwrap();
+        assert_eq!(dh, h);
+        assert_eq!(payload, b"query");
+    }
+
+    #[test]
+    fn v4_corruption_detected() {
+        let (s, d) = v4addrs();
+        let mut wire = UdpHeader::new(1, 2, 3).to_vec_v4(s, d, b"abc");
+        wire[9] ^= 0x01;
+        assert_eq!(
+            UdpHeader::decode_v4(&wire, s, d).unwrap_err(),
+            PacketError::BadChecksum { what: "udp/v4" }
+        );
+    }
+
+    #[test]
+    fn v4_zero_checksum_accepted() {
+        // RFC 768 allows checksum 0 = not computed, IPv4 only.
+        let (s, d) = v4addrs();
+        let h = UdpHeader::new(1, 2, 2);
+        let mut wire = h.raw(b"ok");
+        wire[6] = 0;
+        wire[7] = 0;
+        let (dh, payload) = UdpHeader::decode_v4(&wire, s, d).unwrap();
+        assert_eq!(dh, h);
+        assert_eq!(payload, b"ok");
+    }
+
+    #[test]
+    fn v6_zero_checksum_rejected() {
+        let (s, d) = v6addrs();
+        let mut wire = UdpHeader::new(1, 2, 2).raw(b"ok");
+        wire[6] = 0;
+        wire[7] = 0;
+        assert_eq!(
+            UdpHeader::decode_v6(&wire, s, d).unwrap_err(),
+            PacketError::BadField { what: "udp/v6 zero checksum" }
+        );
+    }
+
+    #[test]
+    fn bad_length_field_rejected() {
+        let (s, d) = v4addrs();
+        let mut wire = UdpHeader::new(1, 2, 3).to_vec_v4(s, d, b"abc");
+        wire[4] = 0xff; // absurd length
+        wire[5] = 0xff;
+        assert!(matches!(
+            UdpHeader::decode_v4(&wire, s, d).unwrap_err(),
+            PacketError::BadLength { .. }
+        ));
+    }
+
+    #[test]
+    fn length_shorter_than_header_rejected() {
+        let (s, d) = v4addrs();
+        let mut wire = UdpHeader::new(1, 2, 0).to_vec_v4(s, d, b"");
+        wire[4] = 0;
+        wire[5] = 4; // < 8
+        assert!(matches!(
+            UdpHeader::decode_v4(&wire, s, d).unwrap_err(),
+            PacketError::BadLength { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let (s, d) = v4addrs();
+        assert!(matches!(
+            UdpHeader::decode_v4(&[1, 2, 3], s, d).unwrap_err(),
+            PacketError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_beyond_length_ignored() {
+        let (s, d) = v4addrs();
+        let mut wire = UdpHeader::new(7, 8, 2).to_vec_v4(s, d, b"hi");
+        wire.extend_from_slice(&[0xde, 0xad]); // IP padding
+        let (_, payload) = UdpHeader::decode_v4(&wire, s, d).unwrap();
+        assert_eq!(payload, b"hi");
+    }
+
+    proptest! {
+        #[test]
+        fn v4_roundtrip_arbitrary(
+            sp in any::<u16>(), dp in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..200),
+            sa in any::<u32>(), da in any::<u32>(),
+        ) {
+            let (s, d) = (Ipv4Addr::from(sa), Ipv4Addr::from(da));
+            let h = UdpHeader::new(sp, dp, payload.len() as u16);
+            let wire = h.to_vec_v4(s, d, &payload);
+            let (dh, pl) = UdpHeader::decode_v4(&wire, s, d).unwrap();
+            prop_assert_eq!(dh, h);
+            prop_assert_eq!(pl, &payload[..]);
+        }
+
+        #[test]
+        fn v6_roundtrip_arbitrary(
+            sp in any::<u16>(), dp in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..200),
+            sa in any::<u128>(), da in any::<u128>(),
+        ) {
+            let (s, d) = (Ipv6Addr::from(sa), Ipv6Addr::from(da));
+            let h = UdpHeader::new(sp, dp, payload.len() as u16);
+            let wire = h.to_vec_v6(s, d, &payload);
+            let (dh, pl) = UdpHeader::decode_v6(&wire, s, d).unwrap();
+            prop_assert_eq!(dh, h);
+            prop_assert_eq!(pl, &payload[..]);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Student-t confidence intervals and the paper's repeat-until-confident rule.
+//!
+//! The monitoring tool downloads a page repeatedly "until the measured
+//! average download time is within 10% of the mean with 95% confidence"
+//! (Section 3). [`RelativeCiRule`] encodes exactly that stopping rule; the
+//! same rule is reused at analysis time to decide whether a site's
+//! months-long sample set is usable at all.
+
+use crate::welford::Welford;
+use serde::{Deserialize, Serialize};
+
+/// Two-sided Student-t critical values.
+///
+/// Exact table for small degrees of freedom where the t correction matters,
+/// falling back to a Cornish–Fisher-style expansion of the normal quantile
+/// for larger `df`. Accurate to ~1e-3 over the supported confidence levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StudentT {
+    /// 90% two-sided confidence.
+    P90,
+    /// 95% two-sided confidence (the paper's level).
+    P95,
+    /// 99% two-sided confidence.
+    P99,
+}
+
+impl StudentT {
+    /// Two-sided critical value t*(df) for this confidence level.
+    ///
+    /// `df` is the degrees of freedom (n − 1). `df == 0` returns infinity:
+    /// a single sample admits no confidence statement.
+    pub fn critical(self, df: u64) -> f64 {
+        if df == 0 {
+            return f64::INFINITY;
+        }
+        let table: &[f64] = match self {
+            // df = 1..=30
+            StudentT::P90 => &[
+                6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796,
+                1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717,
+                1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+            ],
+            StudentT::P95 => &[
+                12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201,
+                2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074,
+                2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+            ],
+            StudentT::P99 => &[
+                63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106,
+                3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819,
+                2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+            ],
+        };
+        if (df as usize) <= table.len() {
+            return table[df as usize - 1];
+        }
+        // Normal quantile z for the level, then the classic t expansion
+        // t ≈ z + (z^3+z)/(4 df) + (5z^5+16z^3+3z)/(96 df^2).
+        let z: f64 = match self {
+            StudentT::P90 => 1.6448536269514722,
+            StudentT::P95 => 1.959963984540054,
+            StudentT::P99 => 2.5758293035489004,
+        };
+        let d = df as f64;
+        z + (z.powi(3) + z) / (4.0 * d) + (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / (96.0 * d * d)
+    }
+
+    /// The confidence level as a fraction (e.g. 0.95).
+    pub fn level(self) -> f64 {
+        match self {
+            StudentT::P90 => 0.90,
+            StudentT::P95 => 0.95,
+            StudentT::P99 => 0.99,
+        }
+    }
+}
+
+/// A confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval; the interval is `mean ± half_width`.
+    pub half_width: f64,
+    /// Number of samples the interval was computed from.
+    pub n: u64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Half-width relative to the mean's magnitude; infinity for a zero mean
+    /// with nonzero width.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.half_width == 0.0 {
+            0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Computes the Student-t confidence interval of the mean of `acc`.
+pub fn mean_ci(acc: &Welford, level: StudentT) -> ConfidenceInterval {
+    let n = acc.count();
+    let half_width = if n < 2 {
+        f64::INFINITY
+    } else {
+        level.critical(n - 1) * acc.std_error()
+    };
+    ConfidenceInterval {
+        mean: acc.mean(),
+        half_width,
+        n,
+    }
+}
+
+/// The paper's stopping rule: keep sampling until the `level` confidence
+/// interval is within `relative_tolerance` (e.g. 0.10) of the mean, with a
+/// floor on sample count and a cap to bound monitoring cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelativeCiRule {
+    /// Confidence level of the interval (paper: 95%).
+    pub level: StudentT,
+    /// Target relative half-width (paper: 0.10, i.e. "within 10% of the mean").
+    pub relative_tolerance: f64,
+    /// Never stop before this many samples.
+    pub min_samples: u64,
+    /// Give up (unconfident) after this many samples.
+    pub max_samples: u64,
+}
+
+impl RelativeCiRule {
+    /// The configuration used throughout the paper: 95% CI within 10% of the
+    /// mean, at least 3 downloads, at most 30 per site per round.
+    pub fn paper() -> Self {
+        RelativeCiRule {
+            level: StudentT::P95,
+            relative_tolerance: 0.10,
+            min_samples: 3,
+            max_samples: 30,
+        }
+    }
+
+    /// Returns true when the accumulated samples satisfy the confidence
+    /// target.
+    pub fn satisfied(&self, acc: &Welford) -> bool {
+        if acc.count() < self.min_samples {
+            return false;
+        }
+        let ci = mean_ci(acc, self.level);
+        ci.relative_half_width() <= self.relative_tolerance
+    }
+
+    /// Decision after one more sample: `Continue`, `Accept` (target met) or
+    /// `GiveUp` (cap reached without meeting the target).
+    pub fn decide(&self, acc: &Welford) -> SamplingDecision {
+        if self.satisfied(acc) {
+            SamplingDecision::Accept
+        } else if acc.count() >= self.max_samples {
+            SamplingDecision::GiveUp
+        } else {
+            SamplingDecision::Continue
+        }
+    }
+}
+
+/// Outcome of applying a [`RelativeCiRule`] after a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingDecision {
+    /// Take another sample.
+    Continue,
+    /// Confidence target met; record the mean.
+    Accept,
+    /// Sample cap reached without confidence; discard.
+    GiveUp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn critical_values_match_tables() {
+        assert!((StudentT::P95.critical(1) - 12.706).abs() < 1e-9);
+        assert!((StudentT::P95.critical(10) - 2.228).abs() < 1e-9);
+        assert!((StudentT::P95.critical(30) - 2.042).abs() < 1e-9);
+        assert!((StudentT::P90.critical(5) - 2.015).abs() < 1e-9);
+        assert!((StudentT::P99.critical(2) - 9.925).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_value_large_df_approaches_z() {
+        // t(1000) at 95% is 1.9623
+        let t = StudentT::P95.critical(1000);
+        assert!((t - 1.9623).abs() < 2e-3, "got {t}");
+        // and converges to z from above
+        assert!(StudentT::P95.critical(100_000) > 1.9599);
+        assert!(StudentT::P95.critical(100_000) < 1.961);
+    }
+
+    #[test]
+    fn critical_value_df40_accurate() {
+        // published t(40, 95%) = 2.021
+        assert!((StudentT::P95.critical(40) - 2.021).abs() < 2e-3);
+        // published t(60, 95%) = 2.000
+        assert!((StudentT::P95.critical(60) - 2.000).abs() < 2e-3);
+    }
+
+    #[test]
+    fn zero_df_gives_infinite() {
+        assert!(StudentT::P95.critical(0).is_infinite());
+    }
+
+    #[test]
+    fn ci_of_constant_samples_is_tight() {
+        let acc: Welford = [5.0; 10].into_iter().collect();
+        let ci = mean_ci(&acc, StudentT::P95);
+        assert_eq!(ci.mean, 5.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.relative_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_single_sample_is_infinite() {
+        let acc: Welford = [5.0].into_iter().collect();
+        let ci = mean_ci(&acc, StudentT::P95);
+        assert!(ci.half_width.is_infinite());
+    }
+
+    #[test]
+    fn ci_known_example() {
+        // samples 10, 12, 14: mean 12, sd 2, se 2/sqrt(3), t(2)=4.303
+        let acc: Welford = [10.0, 12.0, 14.0].into_iter().collect();
+        let ci = mean_ci(&acc, StudentT::P95);
+        let expected = 4.303 * 2.0 / 3f64.sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-9);
+        assert!((ci.lo() - (12.0 - expected)).abs() < 1e-12);
+        assert!((ci.hi() - (12.0 + expected)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_accepts_low_variance_quickly() {
+        let rule = RelativeCiRule::paper();
+        let mut acc = Welford::new();
+        let mut decisions = vec![];
+        for x in [100.0, 101.0, 99.5, 100.2] {
+            acc.push(x);
+            decisions.push(rule.decide(&acc));
+        }
+        // first two: below min samples
+        assert_eq!(decisions[0], SamplingDecision::Continue);
+        assert_eq!(decisions[1], SamplingDecision::Continue);
+        // by sample 3 or 4 the CI is tiny relative to 100
+        assert!(decisions[2..].contains(&SamplingDecision::Accept));
+    }
+
+    #[test]
+    fn rule_gives_up_on_wild_samples() {
+        let rule = RelativeCiRule {
+            level: StudentT::P95,
+            relative_tolerance: 0.10,
+            min_samples: 3,
+            max_samples: 8,
+        };
+        // alternating 1 and 100: never converges to within 10%
+        let mut acc = Welford::new();
+        let mut last = SamplingDecision::Continue;
+        for i in 0..8 {
+            acc.push(if i % 2 == 0 { 1.0 } else { 100.0 });
+            last = rule.decide(&acc);
+            if last != SamplingDecision::Continue {
+                break;
+            }
+        }
+        assert_eq!(last, SamplingDecision::GiveUp);
+    }
+
+    #[test]
+    fn rule_respects_min_samples() {
+        let rule = RelativeCiRule {
+            level: StudentT::P95,
+            relative_tolerance: 0.5,
+            min_samples: 5,
+            max_samples: 30,
+        };
+        let mut acc = Welford::new();
+        for _ in 0..4 {
+            acc.push(7.0);
+            assert_eq!(rule.decide(&acc), SamplingDecision::Continue);
+        }
+        acc.push(7.0);
+        assert_eq!(rule.decide(&acc), SamplingDecision::Accept);
+    }
+
+    proptest! {
+        #[test]
+        fn critical_decreases_with_df(df in 1u64..500) {
+            prop_assert!(StudentT::P95.critical(df) >= StudentT::P95.critical(df + 1) - 1e-9);
+        }
+
+        #[test]
+        fn higher_level_wider_interval(df in 1u64..500) {
+            prop_assert!(StudentT::P90.critical(df) < StudentT::P95.critical(df));
+            prop_assert!(StudentT::P95.critical(df) < StudentT::P99.critical(df));
+        }
+
+        #[test]
+        fn ci_contains_mean(xs in proptest::collection::vec(0.1f64..1e4, 2..100)) {
+            let acc: Welford = xs.iter().copied().collect();
+            let ci = mean_ci(&acc, StudentT::P95);
+            prop_assert!(ci.lo() <= ci.mean && ci.mean <= ci.hi());
+        }
+
+        #[test]
+        fn accepted_samples_really_meet_target(
+            base in 10.0f64..1000.0,
+            noise in proptest::collection::vec(-0.5f64..0.5, 3..30),
+        ) {
+            let rule = RelativeCiRule::paper();
+            let mut acc = Welford::new();
+            for d in &noise {
+                acc.push(base + d);
+                if rule.decide(&acc) == SamplingDecision::Accept {
+                    let ci = mean_ci(&acc, StudentT::P95);
+                    prop_assert!(ci.relative_half_width() <= 0.10 + 1e-12);
+                    break;
+                }
+            }
+        }
+    }
+}

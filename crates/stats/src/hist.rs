@@ -1,0 +1,222 @@
+//! Histograms and the paper's zero-mode detection.
+//!
+//! Section 4: for an AS whose aggregate IPv6 performance is worse than IPv4,
+//! the paper examines the distribution of per-site IPv6−IPv4 performance
+//! differences. A *mode around zero* — at least one site whose difference is
+//! within the 10% measurement confidence of IPv4 performance — indicates the
+//! shared network path is fine and the deficit comes from servers.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width bin histogram over a closed range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `nbins` equal bins.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "nbins must be positive");
+        assert!(hi > lo, "hi must exceed lo");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x > self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Center x of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Index of the highest bin (first one on ties), or `None` when empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total() == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c > self.bins[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Result of a zero-mode test over per-site performance differences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZeroMode {
+    /// True if at least one site's relative difference is within tolerance.
+    pub present: bool,
+    /// Number of sites within tolerance of zero.
+    pub sites_at_zero: usize,
+    /// Total sites tested.
+    pub total_sites: usize,
+}
+
+/// The paper's zero-mode rule.
+///
+/// `diffs_rel` holds, per site in an AS, the relative performance difference
+/// `(v6 − v4) / v4`. *"A zero-mode is claimed, if there is at least one site
+/// for which this difference is within 10% of IPv4 performance"* — i.e. at
+/// least one `|diff| ≤ tolerance` (paper tolerance: 0.10).
+pub fn zero_mode(diffs_rel: &[f64], tolerance: f64) -> ZeroMode {
+    let sites_at_zero = diffs_rel.iter().filter(|d| d.abs() <= tolerance).count();
+    ZeroMode {
+        present: sites_at_zero >= 1,
+        sites_at_zero,
+        total_sites: diffs_rel.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.99, 10.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 2, "x == hi lands in last bin");
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_under_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-0.1);
+        h.push(1.1);
+        h.push(0.5);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(-1.0, 1.0, 20);
+        for _ in 0..10 {
+            h.push(0.02); // near zero
+        }
+        for _ in 0..3 {
+            h.push(-0.8);
+        }
+        let m = h.mode_bin().unwrap();
+        assert!((h.bin_center(m)).abs() < 0.1, "mode near zero, got {}", h.bin_center(m));
+    }
+
+    #[test]
+    fn mode_bin_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nbins")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn zero_mode_single_site_within_tolerance() {
+        // one site at -5% difference, rest badly negative
+        let zm = zero_mode(&[-0.05, -0.5, -0.6, -0.4], 0.10);
+        assert!(zm.present);
+        assert_eq!(zm.sites_at_zero, 1);
+        assert_eq!(zm.total_sites, 4);
+    }
+
+    #[test]
+    fn zero_mode_absent_when_all_bad() {
+        let zm = zero_mode(&[-0.5, -0.3, -0.2, -0.11], 0.10);
+        assert!(!zm.present);
+        assert_eq!(zm.sites_at_zero, 0);
+    }
+
+    #[test]
+    fn zero_mode_empty_is_absent() {
+        let zm = zero_mode(&[], 0.10);
+        assert!(!zm.present);
+        assert_eq!(zm.total_sites, 0);
+    }
+
+    #[test]
+    fn zero_mode_boundary_inclusive() {
+        let zm = zero_mode(&[0.10], 0.10);
+        assert!(zm.present, "exactly-at-tolerance counts");
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_conserves_samples(xs in proptest::collection::vec(-2.0f64..2.0, 0..200)) {
+            let mut h = Histogram::new(-1.0, 1.0, 16);
+            for &x in &xs {
+                h.push(x);
+            }
+            prop_assert_eq!(h.total() + h.underflow + h.overflow, xs.len() as u64);
+        }
+
+        #[test]
+        fn zero_mode_count_matches_filter(
+            xs in proptest::collection::vec(-1.0f64..1.0, 0..100),
+            tol in 0.01f64..0.5,
+        ) {
+            let zm = zero_mode(&xs, tol);
+            let expect = xs.iter().filter(|d| d.abs() <= tol).count();
+            prop_assert_eq!(zm.sites_at_zero, expect);
+            prop_assert_eq!(zm.present, expect >= 1);
+        }
+
+        #[test]
+        fn bin_centers_inside_range(nbins in 1usize..64) {
+            let h = Histogram::new(-3.0, 7.0, nbins);
+            for i in 0..nbins {
+                let c = h.bin_center(i);
+                prop_assert!(c > -3.0 && c < 7.0);
+            }
+        }
+    }
+}

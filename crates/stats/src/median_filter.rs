@@ -1,0 +1,231 @@
+//! Median-filter transition detection.
+//!
+//! Section 5.1, footnote 16 of the paper: *"Transitions were detected using a
+//! median filter of length 11 configured to report changes in performance of
+//! magnitude greater than 30%, i.e., it triggered after 6 or more consecutive
+//! samples 30% higher (lower) than the previous ones."*
+//!
+//! [`MedianFilter`] is the generic sliding-window median; [`detect_transition`]
+//! applies the paper's exact rule to a site's per-round performance series.
+
+use serde::{Deserialize, Serialize};
+
+/// Sliding-window median filter over an `f64` series.
+#[derive(Debug, Clone)]
+pub struct MedianFilter {
+    window: usize,
+}
+
+impl MedianFilter {
+    /// Creates a filter with the given (odd, nonzero) window length.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero or even — the median of an even window is
+    /// ambiguous and the paper uses 11.
+    pub fn new(window: usize) -> Self {
+        assert!(window % 2 == 1 && window > 0, "window must be odd and > 0");
+        MedianFilter { window }
+    }
+
+    /// Window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Filters `xs`, producing one median per input position.
+    ///
+    /// Edges use a shrunken window (the samples that exist within half the
+    /// window on each side), so the output has the same length as the input.
+    pub fn filter(&self, xs: &[f64]) -> Vec<f64> {
+        let half = self.window / 2;
+        let mut out = Vec::with_capacity(xs.len());
+        let mut buf: Vec<f64> = Vec::with_capacity(self.window);
+        for i in 0..xs.len() {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(xs.len());
+            buf.clear();
+            buf.extend_from_slice(&xs[lo..hi]);
+            buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median filter input"));
+            let m = buf.len();
+            let med = if m % 2 == 1 {
+                buf[m / 2]
+            } else {
+                (buf[m / 2 - 1] + buf[m / 2]) / 2.0
+            };
+            out.push(med);
+        }
+        out
+    }
+}
+
+/// A detected sharp transition in a performance series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Index (round number) at which the shift is first sustained.
+    pub index: usize,
+    /// Relative change of the post-shift level vs the pre-shift level;
+    /// positive for an upward shift.
+    pub magnitude: f64,
+    /// True if performance jumped up, false if it dropped.
+    pub upward: bool,
+}
+
+/// Applies the paper's transition rule to a per-round performance series.
+///
+/// A transition is reported at index `i` when the median-filtered series
+/// shows `consecutive` (paper: 6) samples starting at `i` that are all at
+/// least `threshold` (paper: 0.30) above — or all below — the filtered level
+/// just before `i`. Returns the first such transition, or `None`.
+pub fn detect_transition(
+    xs: &[f64],
+    window: usize,
+    threshold: f64,
+    consecutive: usize,
+) -> Option<Transition> {
+    if xs.len() < consecutive + 1 {
+        return None;
+    }
+    let filtered = MedianFilter::new(window).filter(xs);
+    for i in 1..filtered.len().saturating_sub(consecutive - 1) {
+        let base = filtered[i - 1];
+        if base <= 0.0 {
+            continue;
+        }
+        let run = &filtered[i..i + consecutive];
+        let all_up = run.iter().all(|&x| x >= base * (1.0 + threshold));
+        let all_down = run.iter().all(|&x| x <= base * (1.0 - threshold));
+        if all_up || all_down {
+            let post = run.iter().sum::<f64>() / consecutive as f64;
+            return Some(Transition {
+                index: i,
+                magnitude: (post - base) / base,
+                upward: all_up,
+            });
+        }
+    }
+    None
+}
+
+/// The paper's exact configuration: window 11, 30% magnitude, 6 consecutive.
+pub fn detect_transition_paper(xs: &[f64]) -> Option<Transition> {
+    detect_transition(xs, 11, 0.30, 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn median_of_constant_is_constant() {
+        let f = MedianFilter::new(11);
+        let xs = [3.0; 20];
+        assert_eq!(f.filter(&xs), vec![3.0; 20]);
+    }
+
+    #[test]
+    fn median_removes_single_spike() {
+        let f = MedianFilter::new(5);
+        let mut xs = vec![10.0; 15];
+        xs[7] = 1000.0;
+        let out = f.filter(&xs);
+        assert_eq!(out[7], 10.0, "lone spike must not survive a width-5 median");
+    }
+
+    #[test]
+    fn median_window_shrinks_at_edges() {
+        let f = MedianFilter::new(5);
+        let xs = [1.0, 2.0, 3.0];
+        let out = f.filter(&xs);
+        assert_eq!(out.len(), 3);
+        // position 0 uses window [1,2,3] -> 2
+        assert_eq!(out[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_window_panics() {
+        MedianFilter::new(4);
+    }
+
+    #[test]
+    fn detects_upward_step() {
+        let mut xs = vec![50.0; 12];
+        xs.extend(vec![80.0; 12]); // +60%
+        let t = detect_transition_paper(&xs).expect("step must be detected");
+        assert!(t.upward);
+        assert!(t.magnitude > 0.30);
+        // The step is at raw index 12; median smearing allows a few positions.
+        assert!((8..=16).contains(&t.index), "index {}", t.index);
+    }
+
+    #[test]
+    fn detects_downward_step() {
+        let mut xs = vec![100.0; 12];
+        xs.extend(vec![60.0; 12]); // -40%
+        let t = detect_transition_paper(&xs).expect("drop must be detected");
+        assert!(!t.upward);
+        assert!(t.magnitude < -0.30);
+    }
+
+    #[test]
+    fn ignores_small_step() {
+        let mut xs = vec![100.0; 12];
+        xs.extend(vec![115.0; 12]); // +15% < 30%
+        assert_eq!(detect_transition_paper(&xs), None);
+    }
+
+    #[test]
+    fn ignores_short_burst() {
+        // 4 high samples then back to baseline: fewer than 6 consecutive.
+        let mut xs = vec![100.0; 12];
+        xs.extend(vec![200.0; 4]);
+        xs.extend(vec![100.0; 12]);
+        assert_eq!(detect_transition_paper(&xs), None);
+    }
+
+    #[test]
+    fn short_series_returns_none() {
+        assert_eq!(detect_transition_paper(&[100.0; 4]), None);
+        assert_eq!(detect_transition_paper(&[]), None);
+    }
+
+    #[test]
+    fn noisy_step_still_detected() {
+        // baseline ~100 with +-5 noise, then ~160 with noise
+        let mut xs: Vec<f64> = (0..14).map(|i| 100.0 + (i % 5) as f64 - 2.0).collect();
+        xs.extend((0..14).map(|i| 160.0 + (i % 7) as f64 - 3.0));
+        let t = detect_transition_paper(&xs).expect("noisy step detected");
+        assert!(t.upward);
+    }
+
+    proptest! {
+        #[test]
+        fn median_output_within_input_range(
+            xs in proptest::collection::vec(0.0f64..1e4, 1..100),
+            w in prop_oneof![Just(3usize), Just(5), Just(7), Just(11)],
+        ) {
+            let out = MedianFilter::new(w).filter(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for m in out {
+                prop_assert!(m >= lo && m <= hi);
+            }
+        }
+
+        #[test]
+        fn constant_series_never_triggers(level in 1.0f64..1e4, n in 7usize..60) {
+            let xs = vec![level; n];
+            prop_assert_eq!(detect_transition_paper(&xs), None);
+        }
+
+        #[test]
+        fn monotone_small_drift_never_triggers(n in 20usize..60) {
+            // 0.5% per-round drift stays under the 30% threshold locally
+            let xs: Vec<f64> = (0..n).map(|i| 100.0 * 1.005f64.powi(i as i32)).collect();
+            // Only triggers if cumulative drift within ~a window exceeds 30%,
+            // which 0.5%/round cannot do over 11 samples.
+            prop_assert_eq!(detect_transition_paper(&xs), None);
+        }
+    }
+}

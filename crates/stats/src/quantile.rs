@@ -1,0 +1,119 @@
+//! Quantiles and five-number summaries for reporting distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus mean and count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default) of `sorted`.
+///
+/// `sorted` must be ascending; `q` in `[0, 1]`. Returns `None` on empty input.
+pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Sorts a copy of `xs` and produces a [`Summary`]. Returns `None` on empty
+/// input or any NaN.
+pub fn summary(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    Some(Summary {
+        n: s.len(),
+        min: s[0],
+        p25: quantile(&s, 0.25)?,
+        median: quantile(&s, 0.5)?,
+        p75: quantile(&s, 0.75)?,
+        max: s[s.len() - 1],
+        mean: s.iter().sum::<f64>() / s.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_endpoints() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&s, 0.0), Some(1.0));
+        assert_eq!(quantile(&s, 1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let s = [10.0, 20.0];
+        assert_eq!(quantile(&s, 0.5), Some(15.0));
+        assert_eq!(quantile(&s, 0.25), Some(12.5));
+    }
+
+    #[test]
+    fn quantile_empty_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn summary_known() {
+        let s = summary(&[3.0, 1.0, 2.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+    }
+
+    #[test]
+    fn summary_rejects_nan() {
+        assert!(summary(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_empty_none() {
+        assert!(summary(&[]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_monotone_in_q(
+            mut xs in proptest::collection::vec(-1e4f64..1e4, 1..100),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-9);
+        }
+
+        #[test]
+        fn summary_ordering_invariant(xs in proptest::collection::vec(-1e4f64..1e4, 1..100)) {
+            let s = summary(&xs).unwrap();
+            prop_assert!(s.min <= s.p25 + 1e-9);
+            prop_assert!(s.p25 <= s.median + 1e-9);
+            prop_assert!(s.median <= s.p75 + 1e-9);
+            prop_assert!(s.p75 <= s.max + 1e-9);
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        }
+    }
+}

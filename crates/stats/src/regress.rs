@@ -1,0 +1,208 @@
+//! Ordinary least squares regression and steady-trend detection.
+//!
+//! Section 5.1: *"The last two columns of the table give the number of sites
+//! for which a linear regression revealed a steady upward (downward) trend in
+//! performance."* Such sites are non-stationary and are excluded from the
+//! average-performance analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of an ordinary least squares fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r2: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl Regression {
+    /// Predicted y at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b·x` by OLS over index positions `x = 0, 1, …`.
+///
+/// Returns `None` for fewer than two points or a degenerate (constant-x) fit.
+pub fn linear_regression(ys: &[f64]) -> Option<Regression> {
+    let n = ys.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = (nf - 1.0) / 2.0;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (i, &y) in ys.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(Regression {
+        slope,
+        intercept,
+        r2: r2.clamp(0.0, 1.0),
+        n,
+    })
+}
+
+/// Trend classification of a performance series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trend {
+    /// No steady drift; the series is usable for averaging.
+    Stationary,
+    /// Steady upward drift (paper's ↗ column).
+    Upward,
+    /// Steady downward drift (paper's ↘ column).
+    Downward,
+}
+
+/// Classifies a series as trending when the OLS fit is both *explanatory*
+/// (`r² ≥ min_r2`) and *material* (total fitted change over the series is at
+/// least `min_total_change` of the series mean).
+///
+/// The paper does not publish its exact thresholds; `min_r2 = 0.5` and
+/// `min_total_change = 0.3` (30%, matching its transition magnitude) are the
+/// defaults used by the analysis crate.
+pub fn trend(ys: &[f64], min_r2: f64, min_total_change: f64) -> Trend {
+    let Some(fit) = linear_regression(ys) else {
+        return Trend::Stationary;
+    };
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    if mean <= 0.0 || fit.r2 < min_r2 {
+        return Trend::Stationary;
+    }
+    let total_change = fit.slope * (ys.len() as f64 - 1.0);
+    if total_change.abs() / mean < min_total_change {
+        return Trend::Stationary;
+    }
+    if fit.slope > 0.0 {
+        Trend::Upward
+    } else {
+        Trend::Downward
+    }
+}
+
+/// Paper-default trend classification (r² ≥ 0.5, ≥30% total drift).
+pub fn trend_paper(ys: &[f64]) -> Trend {
+    trend(ys, 0.5, 0.30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let ys: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let fit = linear_regression(&ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 43.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_zero_slope_full_r2() {
+        let fit = linear_regression(&[5.0; 8]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn too_short_returns_none() {
+        assert!(linear_regression(&[]).is_none());
+        assert!(linear_regression(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn noisy_flat_series_is_stationary() {
+        let ys: Vec<f64> = (0..30).map(|i| 100.0 + ((i * 37) % 11) as f64 - 5.0).collect();
+        assert_eq!(trend_paper(&ys), Trend::Stationary);
+    }
+
+    #[test]
+    fn strong_upward_trend_detected() {
+        let ys: Vec<f64> = (0..30).map(|i| 100.0 + 3.0 * i as f64).collect();
+        assert_eq!(trend_paper(&ys), Trend::Upward);
+    }
+
+    #[test]
+    fn strong_downward_trend_detected() {
+        let ys: Vec<f64> = (0..30).map(|i| 200.0 - 3.0 * i as f64).collect();
+        assert_eq!(trend_paper(&ys), Trend::Downward);
+    }
+
+    #[test]
+    fn small_drift_is_stationary() {
+        // total drift 10% over the whole series: below the 30% threshold
+        let ys: Vec<f64> = (0..30).map(|i| 100.0 + 10.0 * i as f64 / 29.0).collect();
+        assert_eq!(trend_paper(&ys), Trend::Stationary);
+    }
+
+    #[test]
+    fn big_but_unexplained_drift_is_stationary() {
+        // alternate wildly; slope ~0 explanatory power
+        let ys: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 50.0 } else { 150.0 })
+            .collect();
+        assert_eq!(trend_paper(&ys), Trend::Stationary);
+    }
+
+    proptest! {
+        #[test]
+        fn recovers_generated_slope(
+            a in -100.0f64..100.0,
+            b in -10.0f64..10.0,
+            n in 3usize..100,
+        ) {
+            let ys: Vec<f64> = (0..n).map(|i| a + b * i as f64).collect();
+            let fit = linear_regression(&ys).unwrap();
+            prop_assert!((fit.slope - b).abs() < 1e-6 * (1.0 + b.abs()));
+            prop_assert!((fit.intercept - a).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+
+        #[test]
+        fn r2_in_unit_interval(ys in proptest::collection::vec(-1e4f64..1e4, 2..80)) {
+            if let Some(fit) = linear_regression(&ys) {
+                prop_assert!((0.0..=1.0).contains(&fit.r2));
+            }
+        }
+
+        #[test]
+        fn trend_sign_matches_slope_sign(
+            b in prop_oneof![-20.0f64..-5.0, 5.0f64..20.0],
+            n in 10usize..60,
+        ) {
+            let ys: Vec<f64> = (0..n).map(|i| 500.0 + b * i as f64).collect();
+            // keep everything positive
+            prop_assume!(ys.iter().all(|&y| y > 0.0));
+            match trend_paper(&ys) {
+                Trend::Upward => prop_assert!(b > 0.0),
+                Trend::Downward => prop_assert!(b < 0.0),
+                Trend::Stationary => {
+                    // acceptable only if total drift below threshold
+                    let mean = ys.iter().sum::<f64>() / n as f64;
+                    prop_assert!((b * (n as f64 - 1.0)).abs() / mean < 0.30 + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Welford's online algorithm for numerically stable running mean/variance.
+//!
+//! The monitor accumulates download-time samples one at a time and asks,
+//! after each sample, whether the confidence target has been met. Welford's
+//! update keeps that O(1) per sample without catastrophic cancellation.
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean/variance accumulator (Welford's online algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator); 0.0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (stddev / √n); 0.0 when empty.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n_total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        self.n = n_total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut w = Welford::new();
+        for x in iter {
+            w.push(x);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = if xs.len() < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        };
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let w: Welford = [42.0].into_iter().collect();
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), Some(42.0));
+        assert_eq!(w.max(), Some(42.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // population variance is 4 => sample variance is 32/7
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs = [1.0, 2.5, 3.7, 10.0, -4.0];
+        let ys = [0.5, 100.0, 2.0];
+        let mut a: Welford = xs.into_iter().collect();
+        let b: Welford = ys.into_iter().collect();
+        a.merge(&b);
+        let all: Welford = xs.into_iter().chain(ys).collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Welford = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let w: Welford = xs.iter().copied().collect();
+            let (mean, var) = naive_mean_var(&xs);
+            prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((w.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        }
+
+        #[test]
+        fn merge_is_order_independent(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+            ys in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        ) {
+            let a: Welford = xs.iter().copied().collect();
+            let b: Welford = ys.iter().copied().collect();
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+            prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn min_max_bound_mean(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let w: Welford = xs.iter().copied().collect();
+            prop_assert!(w.min().unwrap() <= w.mean() + 1e-9);
+            prop_assert!(w.max().unwrap() >= w.mean() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Autonomous systems: identity, tier, geography, addressing.
+
+use ipv6web_packet::{Ipv4Cidr, Ipv6Cidr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// An AS number. Dense indices starting at 0; display adds a realistic
+/// offset so logs read like AS numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// Dense index for vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", 1000 + self.0)
+    }
+}
+
+/// Business role of an AS in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Global transit-free backbone; fully meshed with other tier-1s.
+    Tier1,
+    /// Regional/national transit provider.
+    Transit,
+    /// Eyeball/access network (where vantage points live).
+    Access,
+    /// Content hosting AS (where web sites live).
+    Content,
+    /// Content delivery network (the paper's DL sites have their IPv4
+    /// presence here while IPv6 stays at the origin).
+    Cdn,
+}
+
+impl Tier {
+    /// All tiers, for iteration in tests and generators.
+    pub const ALL: [Tier; 5] = [Tier::Tier1, Tier::Transit, Tier::Access, Tier::Content, Tier::Cdn];
+}
+
+/// Coarse geography, used for link delays and the paper's vantage-point
+/// spread (Table 1 covers North America, Europe and Asia).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    NorthAmerica,
+    SouthAmerica,
+    Europe,
+    Asia,
+    Africa,
+    Oceania,
+}
+
+impl Region {
+    /// All regions.
+    pub const ALL: [Region; 6] = [
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::Africa,
+        Region::Oceania,
+    ];
+
+    /// Rough one-way propagation delay in milliseconds between two regions
+    /// (same-region handled by link-level jitter on top of this base).
+    pub fn base_delay_ms(self, other: Region) -> f64 {
+        if self == other {
+            return 8.0;
+        }
+        use Region::*;
+        match (self.min_pair(other), self.max_pair(other)) {
+            (NorthAmerica, Europe) | (Europe, NorthAmerica) => 45.0,
+            (NorthAmerica, Asia) | (Asia, NorthAmerica) => 70.0,
+            (Europe, Asia) | (Asia, Europe) => 60.0,
+            (NorthAmerica, SouthAmerica) | (SouthAmerica, NorthAmerica) => 55.0,
+            (Europe, Africa) | (Africa, Europe) => 50.0,
+            (Asia, Oceania) | (Oceania, Asia) => 55.0,
+            _ => 85.0,
+        }
+    }
+
+    fn rank(self) -> u8 {
+        use Region::*;
+        match self {
+            NorthAmerica => 0,
+            SouthAmerica => 1,
+            Europe => 2,
+            Asia => 3,
+            Africa => 4,
+            Oceania => 5,
+        }
+    }
+
+    fn min_pair(self, other: Region) -> Region {
+        if self.rank() <= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+
+    fn max_pair(self, other: Region) -> Region {
+        if self.rank() <= other.rank() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// IPv6 deployment profile of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct V6Profile {
+    /// The AS's IPv6 prefix.
+    pub prefix: Ipv6Cidr,
+    /// Relative IPv6 forwarding efficiency of this AS's data plane, as a
+    /// multiplier on achievable throughput (1.0 = parity with IPv4 — the H1
+    /// regime; <1.0 models legacy software-forwarding pockets).
+    pub forwarding_factor: f64,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsNode {
+    /// Identity (dense index).
+    pub id: AsId,
+    /// Hierarchy role.
+    pub tier: Tier,
+    /// Geography.
+    pub region: Region,
+    /// IPv4 prefix owned by the AS.
+    pub v4_prefix: Ipv4Cidr,
+    /// IPv6 deployment, if the AS is dual-stack.
+    pub v6: Option<V6Profile>,
+}
+
+impl AsNode {
+    /// Allocates the deterministic address plan for AS `id`:
+    /// IPv4 `N.N.0.0/16`-style carved from `16.0.0.0/4`-equivalent space,
+    /// IPv6 `2400+k:i::/32`-style sequential allocations.
+    pub fn address_plan(id: AsId) -> (Ipv4Cidr, Ipv6Cidr) {
+        let i = id.0;
+        // 16.0.0.0 + i * 2^16 => unique /16 per AS, staying clear of 0/8 and 10/8.
+        let v4_base = (16u32 << 24) + (i << 16);
+        let v4 = Ipv4Cidr::new(Ipv4Addr::from(v4_base), 16);
+        // 2400::/12 style: embed the AS index in segments 1-2.
+        let v6_addr = Ipv6Addr::new(0x2400 + (i >> 16) as u16, (i & 0xffff) as u16, 0, 0, 0, 0, 0, 0);
+        let v6 = Ipv6Cidr::new(v6_addr, 32);
+        (v4, v6)
+    }
+
+    /// Whether the AS has deployed IPv6.
+    pub fn is_dual_stack(&self) -> bool {
+        self.v6.is_some()
+    }
+
+    /// The `i`-th IPv4 host address in this AS.
+    pub fn v4_host(&self, i: u32) -> Ipv4Addr {
+        self.v4_prefix.host(i.max(1))
+    }
+
+    /// The `i`-th IPv6 host address, if dual-stack.
+    pub fn v6_host(&self, i: u32) -> Option<Ipv6Addr> {
+        self.v6.as_ref().map(|p| p.prefix.host(i.max(1) as u128))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_offsets_as_number() {
+        assert_eq!(AsId(0).to_string(), "AS1000");
+        assert_eq!(AsId(42).to_string(), "AS1042");
+    }
+
+    #[test]
+    fn address_plan_unique_and_disjoint() {
+        let (a4, a6) = AsNode::address_plan(AsId(1));
+        let (b4, b6) = AsNode::address_plan(AsId(2));
+        assert_ne!(a4, b4);
+        assert_ne!(a6, b6);
+        assert!(!a4.contains(b4.network()));
+        assert!(!a6.contains(b6.network()));
+    }
+
+    #[test]
+    fn address_plan_deterministic() {
+        assert_eq!(AsNode::address_plan(AsId(7)), AsNode::address_plan(AsId(7)));
+    }
+
+    #[test]
+    fn address_plan_survives_large_index() {
+        let (v4, v6) = AsNode::address_plan(AsId(70_000));
+        // v4 wraps within u32 arithmetic but must still be a /16
+        assert_eq!(v4.len(), 16);
+        assert_eq!(v6.len(), 32);
+    }
+
+    #[test]
+    fn hosts_inside_prefix() {
+        let (v4, v6) = AsNode::address_plan(AsId(3));
+        let node = AsNode {
+            id: AsId(3),
+            tier: Tier::Content,
+            region: Region::Europe,
+            v4_prefix: v4,
+            v6: Some(V6Profile { prefix: v6, forwarding_factor: 1.0 }),
+        };
+        assert!(v4.contains(node.v4_host(99)));
+        assert!(v6.contains(node.v6_host(99).unwrap()));
+        // host index 0 is bumped to 1 (network address never handed out)
+        assert_ne!(node.v4_host(0), v4.network());
+    }
+
+    #[test]
+    fn v6_host_none_when_single_stack() {
+        let (v4, _) = AsNode::address_plan(AsId(5));
+        let node = AsNode {
+            id: AsId(5),
+            tier: Tier::Access,
+            region: Region::Asia,
+            v4_prefix: v4,
+            v6: None,
+        };
+        assert!(!node.is_dual_stack());
+        assert_eq!(node.v6_host(1), None);
+    }
+
+    #[test]
+    fn region_delay_symmetric() {
+        for a in Region::ALL {
+            for b in Region::ALL {
+                assert_eq!(a.base_delay_ms(b), b.base_delay_ms(a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_region_is_fastest() {
+        for a in Region::ALL {
+            for b in Region::ALL {
+                if a != b {
+                    assert!(a.base_delay_ms(a) < a.base_delay_ms(b));
+                }
+            }
+        }
+    }
+}

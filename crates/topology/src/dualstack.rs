@@ -1,0 +1,216 @@
+//! Dual-stack overlay configuration.
+//!
+//! These knobs encode the study's causal structure:
+//!
+//! * `peering_parity` — the probability that an IPv4 *peering* edge is also
+//!   present in IPv6. The paper's conclusion is that raising this toward 1.0
+//!   ("peering parity") is the single most effective step toward equal IPv6
+//!   and IPv4 performance; the ablation benches sweep it.
+//! * `forwarding_penalty_prob` / `forwarding_factor_range` — pockets of poor
+//!   IPv6 *data-plane* forwarding. Hypothesis H1 says these are now rare;
+//!   the default keeps them near zero, and an ablation turns them up to show
+//!   what a failing H1 would have looked like.
+//! * `tunnel_prob`-related settings — 6in4 tunnels that stitch stranded IPv6
+//!   islands to the core, hiding hops and adding delay (Table 7).
+
+use serde::{Deserialize, Serialize};
+
+/// IPv6 deployment knobs for topology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DualStackConfig {
+    /// Probability a tier-1 AS has deployed IPv6.
+    pub tier1_adoption: f64,
+    /// Probability a transit AS has deployed IPv6.
+    pub transit_adoption: f64,
+    /// Probability an access AS has deployed IPv6.
+    pub access_adoption: f64,
+    /// Probability a content-hosting AS has deployed IPv6.
+    pub content_adoption: f64,
+    /// Probability a CDN AS offers production IPv6 (the paper observed most
+    /// did not, which is what creates the DL category).
+    pub cdn_adoption: f64,
+    /// Probability a customer-provider IPv4 edge is replicated in IPv6 when
+    /// both endpoints are dual-stack.
+    pub provider_parity: f64,
+    /// Probability a peer-peer IPv4 edge is replicated in IPv6 when both
+    /// endpoints are dual-stack. **The paper's headline knob.**
+    pub peering_parity: f64,
+    /// Probability a dual-stack AS left stranded by missing v6 edges reaches
+    /// the core through a 6in4 tunnel instead of being reconnected natively.
+    pub tunnel_prob: f64,
+    /// Probability a dual-stack AS has a degraded IPv6 forwarding plane.
+    pub forwarding_penalty_prob: f64,
+    /// Range of the forwarding factor for degraded ASes (fraction of IPv4
+    /// throughput achievable over IPv6 through that AS).
+    pub forwarding_factor_range: (f64, f64),
+}
+
+impl DualStackConfig {
+    /// Deployment state calibrated to mid-2011 (the paper's measurement
+    /// window): minority adoption everywhere, sparse IPv6 peering, CDNs
+    /// effectively IPv4-only, near-parity forwarding (H1 holds).
+    pub fn year2011() -> Self {
+        DualStackConfig {
+            tier1_adoption: 0.9,
+            transit_adoption: 0.5,
+            access_adoption: 0.35,
+            content_adoption: 0.4,
+            cdn_adoption: 0.1,
+            provider_parity: 0.85,
+            peering_parity: 0.25,
+            tunnel_prob: 0.6,
+            forwarding_penalty_prob: 0.04,
+            forwarding_factor_range: (0.55, 0.9),
+        }
+    }
+
+    /// A hypothetical full-parity deployment: every AS dual-stack, every
+    /// edge replicated, no tunnels, no forwarding penalty. The ablation
+    /// benches compare against this.
+    pub fn full_parity() -> Self {
+        DualStackConfig {
+            tier1_adoption: 1.0,
+            transit_adoption: 1.0,
+            access_adoption: 1.0,
+            content_adoption: 1.0,
+            cdn_adoption: 1.0,
+            provider_parity: 1.0,
+            peering_parity: 1.0,
+            tunnel_prob: 0.0,
+            forwarding_penalty_prob: 0.0,
+            forwarding_factor_range: (1.0, 1.0),
+        }
+    }
+
+    /// Returns a copy with a different peering parity (ablation sweeps).
+    pub fn with_peering_parity(mut self, p: f64) -> Self {
+        self.peering_parity = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Interpolates this deployment state toward [`DualStackConfig::full_parity`]:
+    /// `lambda = 0` returns `self` unchanged, `lambda = 1` the fully deployed
+    /// Internet. This is the paper's "path to parity" in one parameter —
+    /// adoption, transit replication, peering replication, and tunnel
+    /// retirement all advance together, because peering parity only pays
+    /// off where both sides have deployed IPv6 at all.
+    pub fn toward_parity(self, lambda: f64) -> Self {
+        let l = lambda.clamp(0.0, 1.0);
+        let lerp = |a: f64, b: f64| a + (b - a) * l;
+        let full = Self::full_parity();
+        DualStackConfig {
+            tier1_adoption: lerp(self.tier1_adoption, full.tier1_adoption),
+            transit_adoption: lerp(self.transit_adoption, full.transit_adoption),
+            access_adoption: lerp(self.access_adoption, full.access_adoption),
+            content_adoption: lerp(self.content_adoption, full.content_adoption),
+            cdn_adoption: lerp(self.cdn_adoption, full.cdn_adoption),
+            provider_parity: lerp(self.provider_parity, full.provider_parity),
+            peering_parity: lerp(self.peering_parity, full.peering_parity),
+            tunnel_prob: lerp(self.tunnel_prob, full.tunnel_prob),
+            forwarding_penalty_prob: lerp(self.forwarding_penalty_prob, full.forwarding_penalty_prob),
+            forwarding_factor_range: (
+                lerp(self.forwarding_factor_range.0, full.forwarding_factor_range.0),
+                lerp(self.forwarding_factor_range.1, full.forwarding_factor_range.1),
+            ),
+        }
+    }
+
+    /// Returns a copy with a different forwarding-penalty probability
+    /// (the "H1 fails" counterfactual).
+    pub fn with_forwarding_penalty(mut self, prob: f64, range: (f64, f64)) -> Self {
+        self.forwarding_penalty_prob = prob.clamp(0.0, 1.0);
+        self.forwarding_factor_range = range;
+        self
+    }
+
+    /// Validates ranges; generator entry points call this.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("tier1_adoption", self.tier1_adoption),
+            ("transit_adoption", self.transit_adoption),
+            ("access_adoption", self.access_adoption),
+            ("content_adoption", self.content_adoption),
+            ("cdn_adoption", self.cdn_adoption),
+            ("provider_parity", self.provider_parity),
+            ("peering_parity", self.peering_parity),
+            ("tunnel_prob", self.tunnel_prob),
+            ("forwarding_penalty_prob", self.forwarding_penalty_prob),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0,1]"));
+            }
+        }
+        let (lo, hi) = self.forwarding_factor_range;
+        if !(0.0 < lo && lo <= hi && hi <= 1.0) {
+            return Err(format!("forwarding_factor_range ({lo}, {hi}) invalid"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(DualStackConfig::year2011().validate().is_ok());
+        assert!(DualStackConfig::full_parity().validate().is_ok());
+    }
+
+    #[test]
+    fn year2011_is_sparse_v6() {
+        let c = DualStackConfig::year2011();
+        assert!(c.peering_parity < c.provider_parity, "peering lags transit in v6");
+        assert!(c.cdn_adoption < 0.3, "CDNs mostly v4-only in 2011");
+        assert!(c.forwarding_penalty_prob < 0.1, "H1 regime: rare penalties");
+    }
+
+    #[test]
+    fn with_peering_parity_clamps() {
+        let c = DualStackConfig::year2011().with_peering_parity(1.7);
+        assert_eq!(c.peering_parity, 1.0);
+        let c = c.with_peering_parity(-0.2);
+        assert_eq!(c.peering_parity, 0.0);
+    }
+
+    #[test]
+    fn invalid_prob_rejected() {
+        let mut c = DualStackConfig::year2011();
+        c.transit_adoption = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_factor_range_rejected() {
+        let mut c = DualStackConfig::year2011();
+        c.forwarding_factor_range = (0.9, 0.5);
+        assert!(c.validate().is_err());
+        c.forwarding_factor_range = (0.0, 0.5);
+        assert!(c.validate().is_err());
+        c.forwarding_factor_range = (0.5, 1.2);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn toward_parity_interpolates_endpoints() {
+        let base = DualStackConfig::year2011();
+        assert_eq!(base.toward_parity(0.0), base);
+        assert_eq!(base.toward_parity(1.0), DualStackConfig::full_parity());
+        let mid = base.toward_parity(0.5);
+        assert!(mid.peering_parity > base.peering_parity);
+        assert!(mid.peering_parity < 1.0);
+        assert!(mid.validate().is_ok());
+        // clamped outside [0,1]
+        assert_eq!(base.toward_parity(7.0), DualStackConfig::full_parity());
+    }
+
+    #[test]
+    fn full_parity_means_no_gaps() {
+        let c = DualStackConfig::full_parity();
+        assert_eq!(c.peering_parity, 1.0);
+        assert_eq!(c.tunnel_prob, 0.0);
+        assert_eq!(c.forwarding_penalty_prob, 0.0);
+    }
+}

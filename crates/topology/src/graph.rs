@@ -1,0 +1,454 @@
+//! The dual-stack AS graph container.
+
+use crate::asys::{AsId, AsNode};
+use crate::link::LinkProps;
+use crate::relationship::Relationship;
+use serde::{Deserialize, Serialize};
+
+/// Address family of a path, route, or measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// IPv4.
+    V4,
+    /// IPv6.
+    V6,
+}
+
+impl Family {
+    /// Both families, for iteration.
+    pub const BOTH: [Family; 2] = [Family::V4, Family::V6];
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::V4 => write!(f, "IPv4"),
+            Family::V6 => write!(f, "IPv6"),
+        }
+    }
+}
+
+/// Dense edge identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Dense index for vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Metadata of a v6-only tunnel edge (6in4 across v4-only transit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunnelInfo {
+    /// Number of underlying IPv4 AS hops the tunnel collapses into one
+    /// apparent hop. Table 7's short-IPv6-path anomaly comes from here.
+    pub hidden_hops: u8,
+    /// Extra one-way delay of the detour through the tunnel, milliseconds.
+    pub extra_delay_ms: f64,
+}
+
+/// One inter-AS adjacency. An edge may exist in IPv4, IPv6 or both;
+/// v6-only edges with `tunnel` set model 6in4 tunnels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Identity.
+    pub id: EdgeId,
+    /// First endpoint.
+    pub a: AsId,
+    /// Second endpoint.
+    pub b: AsId,
+    /// Relationship from `a`'s perspective.
+    pub rel_a: Relationship,
+    /// Physical link properties.
+    pub props: LinkProps,
+    /// Present in the IPv4 topology.
+    pub v4: bool,
+    /// Present in the IPv6 topology.
+    pub v6: bool,
+    /// Tunnel metadata for v6-only tunnel edges.
+    pub tunnel: Option<TunnelInfo>,
+}
+
+impl Edge {
+    /// Whether the edge exists in `family`.
+    pub fn in_family(&self, family: Family) -> bool {
+        match family {
+            Family::V4 => self.v4,
+            Family::V6 => self.v6,
+        }
+    }
+
+    /// The endpoint opposite to `from`, with the relationship as seen from
+    /// `from`. Returns `None` if `from` is not an endpoint.
+    pub fn other(&self, from: AsId) -> Option<(AsId, Relationship)> {
+        if from == self.a {
+            Some((self.b, self.rel_a))
+        } else if from == self.b {
+            Some((self.a, self.rel_a.reverse()))
+        } else {
+            None
+        }
+    }
+
+    /// Effective one-way delay including any tunnel detour.
+    pub fn effective_delay_ms(&self) -> f64 {
+        self.props.delay_ms + self.tunnel.map_or(0.0, |t| t.extra_delay_ms)
+    }
+}
+
+/// The dual-stack AS-level topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<AsNode>,
+    edges: Vec<Edge>,
+    adj_v4: Vec<Vec<(AsId, Relationship, EdgeId)>>,
+    adj_v6: Vec<Vec<(AsId, Relationship, EdgeId)>>,
+}
+
+impl Topology {
+    /// Creates a topology over the given nodes with no edges yet.
+    ///
+    /// # Panics
+    /// Panics if node ids are not the dense sequence `0..n`.
+    pub fn new(nodes: Vec<AsNode>) -> Self {
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id.index(), i, "node ids must be dense 0..n");
+        }
+        let n = nodes.len();
+        Topology {
+            nodes,
+            edges: Vec::new(),
+            adj_v4: vec![Vec::new(); n],
+            adj_v6: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds an edge and indexes it into the per-family adjacency.
+    ///
+    /// Returns the edge id. Panics on self-loops, unknown endpoints,
+    /// family-less edges, or a v6 edge between non-dual-stack endpoints.
+    pub fn add_edge(
+        &mut self,
+        a: AsId,
+        b: AsId,
+        rel_a: Relationship,
+        props: LinkProps,
+        v4: bool,
+        v6: bool,
+        tunnel: Option<TunnelInfo>,
+    ) -> EdgeId {
+        assert_ne!(a, b, "self-loop");
+        assert!(a.index() < self.nodes.len() && b.index() < self.nodes.len());
+        assert!(v4 || v6, "edge must exist in at least one family");
+        if v6 {
+            assert!(
+                self.nodes[a.index()].is_dual_stack() && self.nodes[b.index()].is_dual_stack(),
+                "v6 edge requires dual-stack endpoints"
+            );
+        }
+        if tunnel.is_some() {
+            assert!(v6 && !v4, "tunnel edges are v6-only");
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        let edge = Edge { id, a, b, rel_a, props, v4, v6, tunnel };
+        if v4 {
+            self.adj_v4[a.index()].push((b, rel_a, id));
+            self.adj_v4[b.index()].push((a, rel_a.reverse(), id));
+        }
+        if v6 {
+            self.adj_v6[a.index()].push((b, rel_a, id));
+            self.adj_v6[b.index()].push((a, rel_a.reverse(), id));
+        }
+        self.edges.push(edge);
+        id
+    }
+
+    /// Number of ASes.
+    pub fn num_ases(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All ASes.
+    pub fn nodes(&self) -> &[AsNode] {
+        &self.nodes
+    }
+
+    /// One AS by id.
+    pub fn node(&self, id: AsId) -> &AsNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// One edge by id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Neighbors of `id` in `family` as `(neighbor, relationship-from-id, edge)`.
+    pub fn neighbors(&self, id: AsId, family: Family) -> &[(AsId, Relationship, EdgeId)] {
+        match family {
+            Family::V4 => &self.adj_v4[id.index()],
+            Family::V6 => &self.adj_v6[id.index()],
+        }
+    }
+
+    /// Number of edges present in `family`.
+    pub fn edge_count(&self, family: Family) -> usize {
+        self.edges.iter().filter(|e| e.in_family(family)).count()
+    }
+
+    /// Number of dual-stack ASes.
+    pub fn dual_stack_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_dual_stack()).count()
+    }
+
+    /// Returns a copy of the topology with the IPv6 presence of the given
+    /// edges flipped: `gains` start carrying IPv6 (must have dual-stack
+    /// endpoints), `losses` stop. Used to model mid-campaign IPv6
+    /// deployment and withdrawals — the route changes behind some of the
+    /// paper's Table 3 transitions.
+    ///
+    /// # Panics
+    /// Panics if a gain's endpoints are not dual-stack, or if a flip would
+    /// leave an edge in no family at all.
+    pub fn with_v6_flips(&self, gains: &[EdgeId], losses: &[EdgeId]) -> Topology {
+        let mut t = Topology::new(self.nodes.clone());
+        for e in &self.edges {
+            let mut v6 = e.v6;
+            if gains.contains(&e.id) {
+                v6 = true;
+            }
+            // tunnel edges are v6-only: withdrawing them would leave the
+            // edge in no family, so losses skip them
+            if losses.contains(&e.id) && e.tunnel.is_none() {
+                v6 = false;
+            }
+            t.add_edge(e.a, e.b, e.rel_a, e.props, e.v4, v6, e.tunnel);
+        }
+        t
+    }
+
+    /// Finds the edge between `a` and `b` in `family`, if any.
+    pub fn edge_between(&self, a: AsId, b: AsId, family: Family) -> Option<EdgeId> {
+        self.neighbors(a, family)
+            .iter()
+            .find(|(n, _, _)| *n == b)
+            .map(|(_, _, e)| *e)
+    }
+
+    /// Whether the `family` subgraph restricted to dual-stack nodes (for v6)
+    /// or all nodes (for v4) is connected. Used by generator tests.
+    pub fn is_connected(&self, family: Family) -> bool {
+        let eligible: Vec<usize> = match family {
+            Family::V4 => (0..self.nodes.len()).collect(),
+            Family::V6 => self
+                .nodes
+                .iter()
+                .filter(|n| n.is_dual_stack())
+                .map(|n| n.id.index())
+                .collect(),
+        };
+        let Some(&start) = eligible.first() else {
+            return true;
+        };
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut count = 0usize;
+        while let Some(u) = stack.pop() {
+            count += 1;
+            for &(v, _, _) in self.neighbors(AsId(u as u32), family) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v.index());
+                }
+            }
+        }
+        count == eligible.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asys::{Region, Tier, V6Profile};
+
+    fn mk_nodes(n: u32, dual: &[u32]) -> Vec<AsNode> {
+        (0..n)
+            .map(|i| {
+                let (v4, v6) = AsNode::address_plan(AsId(i));
+                AsNode {
+                    id: AsId(i),
+                    tier: Tier::Transit,
+                    region: Region::Europe,
+                    v4_prefix: v4,
+                    v6: dual.contains(&i).then_some(V6Profile {
+                        prefix: v6,
+                        forwarding_factor: 1.0,
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    fn props() -> LinkProps {
+        LinkProps::new(10.0, 1000.0, 0.0)
+    }
+
+    #[test]
+    fn add_edge_populates_both_directions() {
+        let mut t = Topology::new(mk_nodes(3, &[0, 1, 2]));
+        let e = t.add_edge(AsId(0), AsId(1), Relationship::ProviderOf, props(), true, true, None);
+        assert_eq!(t.neighbors(AsId(0), Family::V4), &[(AsId(1), Relationship::ProviderOf, e)]);
+        assert_eq!(t.neighbors(AsId(1), Family::V4), &[(AsId(0), Relationship::CustomerOf, e)]);
+        assert_eq!(t.neighbors(AsId(0), Family::V6).len(), 1);
+        assert_eq!(t.edge_count(Family::V4), 1);
+        assert_eq!(t.edge_count(Family::V6), 1);
+    }
+
+    #[test]
+    fn v4_only_edge_absent_from_v6_adjacency() {
+        let mut t = Topology::new(mk_nodes(2, &[0, 1]));
+        t.add_edge(AsId(0), AsId(1), Relationship::Peer, props(), true, false, None);
+        assert_eq!(t.neighbors(AsId(0), Family::V6).len(), 0);
+        assert_eq!(t.edge_count(Family::V6), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dual-stack")]
+    fn v6_edge_to_single_stack_panics() {
+        let mut t = Topology::new(mk_nodes(2, &[0]));
+        t.add_edge(AsId(0), AsId(1), Relationship::Peer, props(), false, true, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut t = Topology::new(mk_nodes(1, &[]));
+        t.add_edge(AsId(0), AsId(0), Relationship::Peer, props(), true, false, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one family")]
+    fn familyless_edge_panics() {
+        let mut t = Topology::new(mk_nodes(2, &[]));
+        t.add_edge(AsId(0), AsId(1), Relationship::Peer, props(), false, false, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "v6-only")]
+    fn v4_tunnel_panics() {
+        let mut t = Topology::new(mk_nodes(2, &[0, 1]));
+        t.add_edge(
+            AsId(0),
+            AsId(1),
+            Relationship::Peer,
+            props(),
+            true,
+            true,
+            Some(TunnelInfo { hidden_hops: 2, extra_delay_ms: 20.0 }),
+        );
+    }
+
+    #[test]
+    fn tunnel_edge_effective_delay() {
+        let mut t = Topology::new(mk_nodes(2, &[0, 1]));
+        let e = t.add_edge(
+            AsId(0),
+            AsId(1),
+            Relationship::CustomerOf,
+            props(),
+            false,
+            true,
+            Some(TunnelInfo { hidden_hops: 3, extra_delay_ms: 15.0 }),
+        );
+        assert_eq!(t.edge(e).effective_delay_ms(), 25.0);
+        assert_eq!(t.edge(e).tunnel.unwrap().hidden_hops, 3);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let mut t = Topology::new(mk_nodes(3, &[]));
+        let e = t.add_edge(AsId(0), AsId(2), Relationship::ProviderOf, props(), true, false, None);
+        let edge = t.edge(e);
+        assert_eq!(edge.other(AsId(0)), Some((AsId(2), Relationship::ProviderOf)));
+        assert_eq!(edge.other(AsId(2)), Some((AsId(0), Relationship::CustomerOf)));
+        assert_eq!(edge.other(AsId(1)), None);
+    }
+
+    #[test]
+    fn edge_between_lookup() {
+        let mut t = Topology::new(mk_nodes(3, &[0, 1]));
+        let e = t.add_edge(AsId(0), AsId(1), Relationship::Peer, props(), true, true, None);
+        assert_eq!(t.edge_between(AsId(0), AsId(1), Family::V4), Some(e));
+        assert_eq!(t.edge_between(AsId(1), AsId(0), Family::V6), Some(e));
+        assert_eq!(t.edge_between(AsId(0), AsId(2), Family::V4), None);
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let mut t = Topology::new(mk_nodes(4, &[0, 1]));
+        t.add_edge(AsId(0), AsId(1), Relationship::Peer, props(), true, true, None);
+        t.add_edge(AsId(1), AsId(2), Relationship::ProviderOf, props(), true, false, None);
+        // v4: node 3 isolated
+        assert!(!t.is_connected(Family::V4));
+        t.add_edge(AsId(2), AsId(3), Relationship::ProviderOf, props(), true, false, None);
+        assert!(t.is_connected(Family::V4));
+        // v6 subgraph = {0,1} which is connected
+        assert!(t.is_connected(Family::V6));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_panic() {
+        let mut nodes = mk_nodes(2, &[]);
+        nodes[1].id = AsId(5);
+        Topology::new(nodes);
+    }
+
+    #[test]
+    fn v6_flips_produce_modified_copy() {
+        let mut t = Topology::new(mk_nodes(4, &[0, 1, 2, 3]));
+        let e_keep = t.add_edge(AsId(0), AsId(1), Relationship::Peer, props(), true, true, None);
+        let e_gain = t.add_edge(AsId(1), AsId(2), Relationship::ProviderOf, props(), true, false, None);
+        let e_lose = t.add_edge(AsId(2), AsId(3), Relationship::ProviderOf, props(), true, true, None);
+        let t2 = t.with_v6_flips(&[e_gain], &[e_lose]);
+        assert!(t2.edge(e_keep).v6);
+        assert!(t2.edge(e_gain).v6, "gained edge carries v6");
+        assert!(!t2.edge(e_lose).v6, "lost edge dropped v6");
+        // original untouched
+        assert!(!t.edge(e_gain).v6);
+        assert!(t.edge(e_lose).v6);
+        // adjacency rebuilt consistently
+        assert_eq!(t2.edge_between(AsId(1), AsId(2), Family::V6), Some(e_gain));
+        assert_eq!(t2.edge_between(AsId(2), AsId(3), Family::V6), None);
+    }
+
+    #[test]
+    fn v6_flips_skip_tunnel_losses() {
+        let mut t = Topology::new(mk_nodes(2, &[0, 1]));
+        let tun = t.add_edge(
+            AsId(0),
+            AsId(1),
+            Relationship::CustomerOf,
+            props(),
+            false,
+            true,
+            Some(TunnelInfo { hidden_hops: 2, extra_delay_ms: 30.0 }),
+        );
+        let t2 = t.with_v6_flips(&[], &[tun]);
+        assert!(t2.edge(tun).v6, "tunnel edges cannot lose their only family");
+    }
+
+    #[test]
+    fn family_display() {
+        assert_eq!(Family::V4.to_string(), "IPv4");
+        assert_eq!(Family::V6.to_string(), "IPv6");
+    }
+}

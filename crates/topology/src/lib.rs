@@ -1,0 +1,36 @@
+//! AS-level Internet topology with a dual-stack overlay.
+//!
+//! The paper's findings are fundamentally *topological*: whether a site's
+//! IPv6 and IPv4 AS paths coincide (SP) or diverge (DP) is determined by
+//! which ASes deployed IPv6 and which peering/transit edges exist in each
+//! family. This crate generates Internet-like AS graphs that expose exactly
+//! those degrees of freedom:
+//!
+//! * a **tiered hierarchy** — a tier-1 clique, multihomed transit ASes, and
+//!   stub ASes (eyeball access networks, content hosters, CDNs) — with
+//!   customer-provider and peer-peer business relationships (Gao–Rexford);
+//! * a **dual-stack overlay**: each AS may or may not have deployed IPv6,
+//!   and each IPv4 edge may or may not be replicated in IPv6. The fraction
+//!   of IPv4 *peering* edges replicated in IPv6 is the paper's headline
+//!   knob, **peering parity**;
+//! * **6in4 tunnels** bridging v6 islands across v4-only transit, carrying a
+//!   `hidden_hops` count (the underlying IPv4 AS hops a tunneled edge
+//!   collapses) that drives the Table 7 hop-count artifacts;
+//! * per-link **delay / bandwidth / loss** derived from geography and tier,
+//!   consumed by the `ipv6web-netsim` data plane.
+
+pub mod asys;
+pub mod dualstack;
+pub mod gen;
+pub mod graph;
+pub mod link;
+pub mod relationship;
+pub mod stats;
+
+pub use asys::{AsId, AsNode, Region, Tier};
+pub use dualstack::DualStackConfig;
+pub use gen::{generate, TopologyConfig};
+pub use graph::{Edge, EdgeId, Family, Topology};
+pub use link::LinkProps;
+pub use relationship::Relationship;
+pub use stats::{measure, TopologyStats};

@@ -1,0 +1,76 @@
+//! Physical properties of inter-AS links.
+
+use serde::{Deserialize, Serialize};
+
+/// Data-plane properties of one inter-AS link, consumed by the netsim crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProps {
+    /// One-way propagation + processing delay in milliseconds.
+    pub delay_ms: f64,
+    /// Bottleneck capacity available to a single monitored flow, in
+    /// kilobytes per second (the paper reports download speeds in kB/s).
+    pub bandwidth_kbps: f64,
+    /// Stationary packet loss probability on the link.
+    pub loss: f64,
+}
+
+impl LinkProps {
+    /// Creates validated link properties.
+    ///
+    /// # Panics
+    /// Panics on non-positive delay/bandwidth or loss outside `[0, 1)` —
+    /// generator bugs should fail loudly.
+    pub fn new(delay_ms: f64, bandwidth_kbps: f64, loss: f64) -> Self {
+        assert!(delay_ms > 0.0, "delay must be positive");
+        assert!(bandwidth_kbps > 0.0, "bandwidth must be positive");
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        LinkProps { delay_ms, bandwidth_kbps, loss }
+    }
+
+    /// A link that is this link with `extra_ms` added delay (tunnel detours).
+    pub fn with_extra_delay(self, extra_ms: f64) -> Self {
+        LinkProps {
+            delay_ms: self.delay_ms + extra_ms,
+            ..self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction() {
+        let l = LinkProps::new(10.0, 5000.0, 0.001);
+        assert_eq!(l.delay_ms, 10.0);
+        assert_eq!(l.bandwidth_kbps, 5000.0);
+        assert_eq!(l.loss, 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay")]
+    fn zero_delay_panics() {
+        LinkProps::new(0.0, 100.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        LinkProps::new(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss")]
+    fn full_loss_panics() {
+        LinkProps::new(1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn extra_delay_only_touches_delay() {
+        let l = LinkProps::new(10.0, 500.0, 0.01).with_extra_delay(25.0);
+        assert_eq!(l.delay_ms, 35.0);
+        assert_eq!(l.bandwidth_kbps, 500.0);
+        assert_eq!(l.loss, 0.01);
+    }
+}

@@ -1,0 +1,63 @@
+//! Business relationships between ASes (Gao–Rexford model).
+
+use serde::{Deserialize, Serialize};
+
+/// Relationship of an edge *from the perspective of one endpoint*.
+///
+/// Stored directionally: if A buys transit from B, then A sees
+/// `CustomerOf` and B sees `ProviderOf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// This AS is the customer; the neighbor is its provider.
+    CustomerOf,
+    /// This AS is the provider; the neighbor is its customer.
+    ProviderOf,
+    /// Settlement-free peering.
+    Peer,
+}
+
+impl Relationship {
+    /// The relationship as seen from the other endpoint.
+    pub fn reverse(self) -> Relationship {
+        match self {
+            Relationship::CustomerOf => Relationship::ProviderOf,
+            Relationship::ProviderOf => Relationship::CustomerOf,
+            Relationship::Peer => Relationship::Peer,
+        }
+    }
+
+    /// BGP local preference implied by the relationship of the *next hop*
+    /// (routes learned from customers preferred over peers over providers).
+    pub fn local_pref(self) -> u8 {
+        match self {
+            // route learned FROM a customer (we are its provider)
+            Relationship::ProviderOf => 3,
+            Relationship::Peer => 2,
+            Relationship::CustomerOf => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involution() {
+        for r in [Relationship::CustomerOf, Relationship::ProviderOf, Relationship::Peer] {
+            assert_eq!(r.reverse().reverse(), r);
+        }
+    }
+
+    #[test]
+    fn reverse_swaps_roles() {
+        assert_eq!(Relationship::CustomerOf.reverse(), Relationship::ProviderOf);
+        assert_eq!(Relationship::Peer.reverse(), Relationship::Peer);
+    }
+
+    #[test]
+    fn customer_routes_most_preferred() {
+        assert!(Relationship::ProviderOf.local_pref() > Relationship::Peer.local_pref());
+        assert!(Relationship::Peer.local_pref() > Relationship::CustomerOf.local_pref());
+    }
+}

@@ -1,0 +1,173 @@
+//! Structural statistics of a generated topology.
+//!
+//! The generator promises an Internet-like graph with a tunable dual-stack
+//! overlay; this module *measures* what actually came out — degree
+//! distributions, per-tier counts, realized peering/provider parity,
+//! tunnel prevalence — so tests (and users) can validate a world against
+//! its configuration instead of trusting it.
+
+use crate::asys::Tier;
+use crate::graph::{Family, Topology};
+use crate::relationship::Relationship;
+use serde::{Deserialize, Serialize};
+
+/// Measured structural summary of one topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Total ASes.
+    pub n_ases: usize,
+    /// Dual-stack ASes.
+    pub n_dual: usize,
+    /// Edges present in IPv4 / IPv6.
+    pub edges_v4: usize,
+    /// Edges present in IPv6.
+    pub edges_v6: usize,
+    /// 6in4 tunnel edges.
+    pub tunnels: usize,
+    /// Realized provider-edge parity: share of IPv4 customer-provider
+    /// edges between dual-stack endpoints that also carry IPv6.
+    pub provider_parity: f64,
+    /// Realized peering parity (same, for peer edges, tier-1 mesh
+    /// excluded since it is pinned at 1.0).
+    pub peering_parity: f64,
+    /// Maximum IPv4 degree (the preferential-attachment hubs).
+    pub max_degree_v4: usize,
+    /// Mean IPv4 degree.
+    pub mean_degree_v4: f64,
+}
+
+/// Measures `topo`.
+pub fn measure(topo: &Topology) -> TopologyStats {
+    let mut provider_eligible = 0usize;
+    let mut provider_replicated = 0usize;
+    let mut peer_eligible = 0usize;
+    let mut peer_replicated = 0usize;
+    let mut tunnels = 0usize;
+    for e in topo.edges() {
+        if e.tunnel.is_some() {
+            tunnels += 1;
+            continue;
+        }
+        if !e.v4 {
+            continue;
+        }
+        let dual_endpoints =
+            topo.node(e.a).is_dual_stack() && topo.node(e.b).is_dual_stack();
+        if !dual_endpoints {
+            continue;
+        }
+        let both_t1 =
+            topo.node(e.a).tier == Tier::Tier1 && topo.node(e.b).tier == Tier::Tier1;
+        match e.rel_a {
+            Relationship::Peer if !both_t1 => {
+                peer_eligible += 1;
+                peer_replicated += usize::from(e.v6);
+            }
+            Relationship::Peer => {}
+            _ => {
+                provider_eligible += 1;
+                provider_replicated += usize::from(e.v6);
+            }
+        }
+    }
+    let degree_v4: Vec<usize> = topo
+        .nodes()
+        .iter()
+        .map(|n| topo.neighbors(n.id, Family::V4).len())
+        .collect();
+    TopologyStats {
+        n_ases: topo.num_ases(),
+        n_dual: topo.dual_stack_count(),
+        edges_v4: topo.edge_count(Family::V4),
+        edges_v6: topo.edge_count(Family::V6),
+        tunnels,
+        provider_parity: ratio(provider_replicated, provider_eligible),
+        peering_parity: ratio(peer_replicated, peer_eligible),
+        max_degree_v4: degree_v4.iter().copied().max().unwrap_or(0),
+        mean_degree_v4: degree_v4.iter().sum::<usize>() as f64
+            / degree_v4.len().max(1) as f64,
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl std::fmt::Display for TopologyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} ASes ({} dual-stack), {} v4 / {} v6 edges, {} tunnels",
+            self.n_ases, self.n_dual, self.edges_v4, self.edges_v6, self.tunnels
+        )?;
+        writeln!(
+            f,
+            "realized parity: provider {:.2}, peering {:.2}; v4 degree mean {:.1} max {}",
+            self.provider_parity, self.peering_parity, self.mean_degree_v4, self.max_degree_v4
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualstack::DualStackConfig;
+    use crate::gen::{generate, TopologyConfig};
+
+    #[test]
+    fn realized_parity_tracks_configuration() {
+        let cfg = TopologyConfig::scaled(1200);
+        let t = generate(&cfg, 17);
+        let s = measure(&t);
+        // provider parity: configured 0.85 but native upgrades during
+        // island stitching and near-certain access uplinks push it up
+        assert!(
+            (cfg.dual.provider_parity - 0.1..=1.0).contains(&s.provider_parity),
+            "provider parity {:.2} vs configured {:.2}",
+            s.provider_parity,
+            cfg.dual.provider_parity
+        );
+        // peering parity: tier-1 mesh excluded, so the realized value sits
+        // near the configured probability
+        assert!(
+            (s.peering_parity - cfg.dual.peering_parity).abs() < 0.1,
+            "peering parity {:.2} vs configured {:.2}",
+            s.peering_parity,
+            cfg.dual.peering_parity
+        );
+    }
+
+    #[test]
+    fn full_parity_measures_as_one() {
+        let mut cfg = TopologyConfig::scaled(400);
+        cfg.dual = DualStackConfig::full_parity();
+        let s = measure(&generate(&cfg, 5));
+        assert_eq!(s.n_dual, s.n_ases);
+        assert_eq!(s.tunnels, 0);
+        assert!((s.provider_parity - 1.0).abs() < 1e-9);
+        assert!((s.peering_parity - 1.0).abs() < 1e-9);
+        assert_eq!(s.edges_v4, s.edges_v6);
+    }
+
+    #[test]
+    fn hubs_exist_under_preferential_attachment() {
+        let s = measure(&generate(&TopologyConfig::scaled(1000), 23));
+        assert!(
+            s.max_degree_v4 as f64 > 5.0 * s.mean_degree_v4,
+            "hubs: max {} vs mean {:.1}",
+            s.max_degree_v4,
+            s.mean_degree_v4
+        );
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = measure(&generate(&TopologyConfig::test_small(), 1));
+        let text = s.to_string();
+        assert!(text.contains("dual-stack") && text.contains("parity"));
+    }
+}

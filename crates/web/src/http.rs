@@ -1,0 +1,137 @@
+//! Minimal HTTP/1.1 request/response bytes and the page-identity check.
+//!
+//! The monitor "downloads a copy of the site's main page over both IPv4 and
+//! IPv6 … pages declared identical as long as their byte counts are within
+//! 6% of each other" (Section 3). [`pages_identical`] is that rule; the
+//! request/response builders keep an actual protocol exchange on the wire
+//! so the transaction is more than a number.
+
+/// Builds the monitor's GET request for a site's main page.
+pub fn build_request(host: &str) -> Vec<u8> {
+    format!(
+        "GET / HTTP/1.1\r\nHost: {host}\r\nUser-Agent: ipv6web-monitor/1.0\r\nAccept: text/html\r\nConnection: close\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Builds a 200 response carrying a deterministic body of `body_len` bytes.
+///
+/// The body is a cheap xorshift stream seeded from `(host, body_len)` so the
+/// same page always has the same bytes without storing it.
+pub fn build_response(host: &str, body_len: usize) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 200 OK\r\nServer: ipv6web-sim\r\nContent-Type: text/html\r\nContent-Length: {body_len}\r\nConnection: close\r\n\r\n"
+    )
+    .into_bytes();
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    for b in host.bytes() {
+        state = state.rotate_left(7) ^ b as u64;
+    }
+    state ^= body_len as u64;
+    out.reserve(body_len);
+    for _ in 0..body_len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.push((state & 0x7f) as u8 | 0x20); // printable-ish
+    }
+    out
+}
+
+/// Parses the `Content-Length` and returns `(header_len, body_len)` of a
+/// response, or `None` if malformed.
+pub fn parse_response_len(response: &[u8]) -> Option<(usize, usize)> {
+    let sep = response.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&response[..sep]).ok()?;
+    if !head.starts_with("HTTP/1.1 ") {
+        return None;
+    }
+    let body_len = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse::<usize>().ok())?;
+    Some((sep, body_len))
+}
+
+/// The paper's identity rule: byte counts within `threshold` (paper: 0.06)
+/// of each other, measured relative to the larger page.
+pub fn pages_identical(bytes_a: u64, bytes_b: u64, threshold: f64) -> bool {
+    let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+    if hi == 0 {
+        return true;
+    }
+    (hi - lo) as f64 / hi as f64 <= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_is_wellformed() {
+        let r = build_request("site1.web.example");
+        let s = std::str::from_utf8(&r).unwrap();
+        assert!(s.starts_with("GET / HTTP/1.1\r\n"));
+        assert!(s.contains("Host: site1.web.example\r\n"));
+        assert!(s.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = build_response("x.example", 1234);
+        let (head, body) = parse_response_len(&resp).unwrap();
+        assert_eq!(body, 1234);
+        assert_eq!(resp.len(), head + body);
+    }
+
+    #[test]
+    fn response_body_deterministic() {
+        assert_eq!(build_response("a.example", 500), build_response("a.example", 500));
+        assert_ne!(build_response("a.example", 500), build_response("b.example", 500));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_response_len(b"not http"), None);
+        assert_eq!(parse_response_len(b"HTTP/1.1 200 OK\r\nNo-Length: 1\r\n\r\n"), None);
+        assert_eq!(parse_response_len(b"FTP/1.1 200\r\nContent-Length: 5\r\n\r\nxxxxx"), None);
+    }
+
+    #[test]
+    fn identity_rule_examples() {
+        // 6% threshold, relative to larger page
+        assert!(pages_identical(100_000, 100_000, 0.06));
+        assert!(pages_identical(100_000, 94_000, 0.06));
+        assert!(!pages_identical(100_000, 93_999, 0.06));
+        assert!(pages_identical(0, 0, 0.06));
+        assert!(!pages_identical(0, 10, 0.06));
+    }
+
+    #[test]
+    fn identity_symmetric() {
+        assert_eq!(pages_identical(50, 47, 0.06), pages_identical(47, 50, 0.06));
+    }
+
+    proptest! {
+        #[test]
+        fn identity_reflexive(n in any::<u64>()) {
+            prop_assert!(pages_identical(n, n, 0.0));
+        }
+
+        #[test]
+        fn identity_monotone_in_threshold(a in 0u64..1_000_000, b in 0u64..1_000_000, t in 0.0f64..0.5) {
+            if pages_identical(a, b, t) {
+                prop_assert!(pages_identical(a, b, t + 0.1));
+            }
+        }
+
+        #[test]
+        fn response_always_parses(len in 0usize..5000) {
+            let resp = build_response("p.example", len);
+            let (h, b) = parse_response_len(&resp).unwrap();
+            prop_assert_eq!(b, len);
+            prop_assert_eq!(resp.len(), h + b);
+        }
+    }
+}

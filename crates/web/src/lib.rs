@@ -1,0 +1,31 @@
+//! The web content layer: sites, servers, CDNs, HTTP.
+//!
+//! This crate answers "what is at the other end of the measurement?" for
+//! every monitored site:
+//!
+//! * [`site`] — identity, Alexa-style rank, page sizes per family, where
+//!   the site's IPv4 and IPv6 presences live (same AS, a CDN for IPv4 with
+//!   the origin serving IPv6, or a 6to4-mapped IPv6 address landing in a
+//!   relay AS — the three mechanisms behind the paper's SL/DL split);
+//! * [`server`] — per-site server behaviour, including the IPv6 *service*
+//!   penalty some servers had in 2011 (the paper's explanation for ASes
+//!   whose aggregate IPv6 deficit shows a per-site zero-mode);
+//! * [`population`] — the generator: Zipf-ish page sizes, rank-dependent
+//!   IPv6 adoption (Fig 3a), CDN fronting, adoption-timeline sampling;
+//! * [`http`] — minimal HTTP/1.1 request/response bytes and the paper's 6%
+//!   page-identity comparison;
+//! * [`zone_build`] — projects the population into the DNS [`ZoneDb`].
+//!
+//! [`ZoneDb`]: ipv6web_dns::ZoneDb
+
+pub mod http;
+pub mod population;
+pub mod server;
+pub mod site;
+pub mod zone_build;
+
+pub use http::{build_request, build_response, pages_identical, parse_response_len};
+pub use population::{v6_adoption_prob, PopulationConfig};
+pub use server::ServerProfile;
+pub use site::{Site, SiteId, SiteV6};
+pub use zone_build::build_zone;

@@ -1,0 +1,104 @@
+//! Server-side behaviour per site.
+//!
+//! The paper cannot instrument servers directly; it infers server effects
+//! (factor **S** in Section 4) statistically. The simulator makes the
+//! ground truth explicit: a server has a processing latency and a
+//! throughput cap, and its IPv6 *service factor* scales both — 1.0 is
+//! parity, lower values model the 2011 reality of IPv6 served by slower
+//! paths inside the hosting stack (software routers, shims, under-tuned
+//! front-ends). References \[8,9\] of the paper report IPv6 server
+//! performance "at best similar" to IPv4, so factors never exceed 1.0.
+
+use ipv6web_topology::Family;
+use serde::{Deserialize, Serialize};
+
+/// Per-site server model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerProfile {
+    /// Time to produce the response, milliseconds (IPv4).
+    pub think_ms: f64,
+    /// Server-side throughput cap, kB/s (IPv4).
+    pub rate_cap_kbps: f64,
+    /// IPv6 service quality relative to IPv4 in `(0, 1]`.
+    pub v6_service_factor: f64,
+}
+
+impl ServerProfile {
+    /// A server with identical IPv4 and IPv6 service.
+    pub fn parity(think_ms: f64, rate_cap_kbps: f64) -> Self {
+        ServerProfile { think_ms, rate_cap_kbps, v6_service_factor: 1.0 }
+    }
+
+    /// A server whose IPv6 service runs at `factor` of IPv4 quality.
+    ///
+    /// # Panics
+    /// Panics if `factor` is outside `(0, 1]`.
+    pub fn with_v6_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0,1]");
+        self.v6_service_factor = factor;
+        self
+    }
+
+    /// Effective think time over `family`, ms.
+    pub fn think_ms(&self, family: Family) -> f64 {
+        match family {
+            Family::V4 => self.think_ms,
+            Family::V6 => self.think_ms / self.v6_service_factor,
+        }
+    }
+
+    /// Effective server-side rate cap over `family`, kB/s.
+    pub fn rate_cap_kbps(&self, family: Family) -> f64 {
+        match family {
+            Family::V4 => self.rate_cap_kbps,
+            Family::V6 => self.rate_cap_kbps * self.v6_service_factor,
+        }
+    }
+
+    /// True if the server serves IPv6 materially worse than IPv4 (beyond
+    /// the study's 10% measurement tolerance).
+    pub fn poor_v6(&self) -> bool {
+        self.v6_service_factor < 0.9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_server_equal_both_families() {
+        let s = ServerProfile::parity(25.0, 4000.0);
+        assert_eq!(s.think_ms(Family::V4), s.think_ms(Family::V6));
+        assert_eq!(s.rate_cap_kbps(Family::V4), s.rate_cap_kbps(Family::V6));
+        assert!(!s.poor_v6());
+    }
+
+    #[test]
+    fn poor_v6_server_slower_on_v6_only() {
+        let s = ServerProfile::parity(20.0, 4000.0).with_v6_factor(0.5);
+        assert_eq!(s.think_ms(Family::V4), 20.0);
+        assert_eq!(s.think_ms(Family::V6), 40.0);
+        assert_eq!(s.rate_cap_kbps(Family::V4), 4000.0);
+        assert_eq!(s.rate_cap_kbps(Family::V6), 2000.0);
+        assert!(s.poor_v6());
+    }
+
+    #[test]
+    fn boundary_factor_not_poor() {
+        assert!(!ServerProfile::parity(1.0, 1.0).with_v6_factor(0.95).poor_v6());
+        assert!(ServerProfile::parity(1.0, 1.0).with_v6_factor(0.89).poor_v6());
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_factor_panics() {
+        ServerProfile::parity(1.0, 1.0).with_v6_factor(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn above_one_factor_panics() {
+        ServerProfile::parity(1.0, 1.0).with_v6_factor(1.2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Monitored web sites.
+
+use crate::server::ServerProfile;
+use ipv6web_topology::{AsId, Family};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense site identifier (also the index into the population vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// IPv6 presence of a site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteV6 {
+    /// The AS the AAAA record resolves into. Usually the origin content AS;
+    /// for 6to4 sites this is the relay AS (a *different location* than the
+    /// IPv4 presence — one of the paper's DL mechanisms, RFC 3056).
+    pub dest_as: AsId,
+    /// Campaign week from which the AAAA record is published.
+    pub from_week: u32,
+    /// True if the IPv6 presence is via a 6to4-mapped address.
+    pub via_6to4: bool,
+    /// Extra one-way delay of the IPv6 access leg, milliseconds: the
+    /// relay→origin tunnel of 6to4 sites, or the detour to a dedicated v6
+    /// hosting platform. Zero for native same-AS IPv6.
+    pub extra_v6_rtt_ms: f64,
+    /// True if the site advertised World IPv6 Day participation (Table 10/12).
+    pub ipv6_day_participant: bool,
+    /// True if the site serves AAAA only to white-listed resolvers
+    /// (Google's white-listing process, Section 1 of the paper: "allows
+    /// IPv6 connectivity to Google only when its quality has been
+    /// certified"). Only W-L vantage points (Table 1: UPC Broadband) see
+    /// these sites as dual-stack.
+    pub whitelist_only: bool,
+}
+
+/// One web site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Identity.
+    pub id: SiteId,
+    /// DNS name, e.g. `site42.web.example`.
+    pub name: String,
+    /// Popularity rank (1 = most popular). Ties broken by id.
+    pub rank: u32,
+    /// Main-page size served over IPv4, bytes.
+    pub page_bytes_v4: u64,
+    /// Main-page size served over IPv6, bytes (normally ≈ the IPv4 size;
+    /// a few sites serve materially different content and get excluded by
+    /// the monitor's 6% identity check).
+    pub page_bytes_v6: u64,
+    /// The AS the A record resolves into (a content AS, or a CDN AS when
+    /// the site is CDN-fronted — the other DL mechanism).
+    pub v4_as: AsId,
+    /// IPv6 presence, if the site ever publishes a AAAA record.
+    pub v6: Option<SiteV6>,
+    /// Week the site first appears in the ranked list (Alexa churn).
+    pub first_seen_week: u32,
+    /// Server behaviour.
+    pub server: ServerProfile,
+}
+
+impl Site {
+    /// Page size served over `family`.
+    pub fn page_bytes(&self, family: Family) -> u64 {
+        match family {
+            Family::V4 => self.page_bytes_v4,
+            Family::V6 => self.page_bytes_v6,
+        }
+    }
+
+    /// Destination AS over `family`, if the site is reachable over it.
+    pub fn dest_as(&self, family: Family) -> Option<AsId> {
+        match family {
+            Family::V4 => Some(self.v4_as),
+            Family::V6 => self.v6.as_ref().map(|v| v.dest_as),
+        }
+    }
+
+    /// Whether the site is dual-stack as of `week` (AAAA published).
+    pub fn is_dual_stack(&self, week: u32) -> bool {
+        self.v6.as_ref().is_some_and(|v| week >= v.from_week)
+    }
+
+    /// The paper's SL (same location) test: IPv6 and IPv4 presences map to
+    /// the same AS. CDN-fronted and 6to4 sites are DL.
+    pub fn same_location(&self) -> Option<bool> {
+        self.v6.as_ref().map(|v| v.dest_as == self.v4_as)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerProfile;
+
+    fn site(v4_as: u32, v6_as: Option<u32>) -> Site {
+        Site {
+            id: SiteId(7),
+            name: "site7.web.example".into(),
+            rank: 42,
+            page_bytes_v4: 50_000,
+            page_bytes_v6: 50_500,
+            v4_as: AsId(v4_as),
+            v6: v6_as.map(|a| SiteV6 {
+                dest_as: AsId(a),
+                from_week: 12,
+                via_6to4: false,
+                extra_v6_rtt_ms: 0.0,
+                ipv6_day_participant: false,
+                whitelist_only: false,
+            }),
+            first_seen_week: 0,
+            server: ServerProfile::parity(20.0, 5_000.0),
+        }
+    }
+
+    #[test]
+    fn page_bytes_per_family() {
+        let s = site(1, Some(1));
+        assert_eq!(s.page_bytes(Family::V4), 50_000);
+        assert_eq!(s.page_bytes(Family::V6), 50_500);
+    }
+
+    #[test]
+    fn dest_as_per_family() {
+        let s = site(1, Some(2));
+        assert_eq!(s.dest_as(Family::V4), Some(AsId(1)));
+        assert_eq!(s.dest_as(Family::V6), Some(AsId(2)));
+        let v4only = site(1, None);
+        assert_eq!(v4only.dest_as(Family::V6), None);
+    }
+
+    #[test]
+    fn dual_stack_gated_by_week() {
+        let s = site(1, Some(1));
+        assert!(!s.is_dual_stack(11));
+        assert!(s.is_dual_stack(12));
+        assert!(!site(1, None).is_dual_stack(99));
+    }
+
+    #[test]
+    fn same_location_classification() {
+        assert_eq!(site(1, Some(1)).same_location(), Some(true));
+        assert_eq!(site(1, Some(9)).same_location(), Some(false));
+        assert_eq!(site(1, None).same_location(), None);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(SiteId(3).to_string(), "site3");
+    }
+}

@@ -1,0 +1,90 @@
+//! What the transition debate meant for users: Happy Eyeballs racing.
+//!
+//! ```sh
+//! cargo run --release --example happy_eyeballs
+//! ```
+//!
+//! The paper argues poor IPv6 quality is a *disincentive* for content
+//! providers (Google white-listed resolvers for exactly this reason).
+//! This example quantifies the user side across every dual-stack site in
+//! the simulated world: under RFC 6555 racing vs the older sequential
+//! fallback, how often does the browser silently abandon IPv6, and what
+//! does the attempt cost in connection-setup latency?
+
+use ipv6web::bgp::BgpTable;
+use ipv6web::netsim::{discover_pmtud, race, DataPlane, HappyEyeballsConfig, Pmtud, PmtudConfig};
+use ipv6web::stats::derive_rng;
+use ipv6web::topology::{generate, AsId, Family, Tier, TopologyConfig};
+
+fn main() {
+    let topo = generate(&TopologyConfig::scaled(800), 11);
+    let vantage = topo
+        .nodes()
+        .iter()
+        .find(|n| {
+            n.tier == Tier::Access
+                && n.is_dual_stack()
+                && topo
+                    .neighbors(n.id, Family::V6)
+                    .iter()
+                    .any(|&(_, _, eid)| topo.edge(eid).tunnel.is_none())
+        })
+        .expect("native dual-stack access AS")
+        .id;
+    let dests: Vec<AsId> = topo
+        .nodes()
+        .iter()
+        .filter(|n| n.tier == Tier::Content && n.is_dual_stack())
+        .map(|n| n.id)
+        .collect();
+    let t4 = BgpTable::build(&topo, vantage, Family::V4, &dests);
+    let t6 = BgpTable::build(&topo, vantage, Family::V6, &dests);
+    let dp = DataPlane::new(&topo);
+    let mut rng = derive_rng(11, "he-example");
+
+    for (label, cfg) in [
+        ("RFC 6555 (250 ms timer)", HappyEyeballsConfig::rfc6555()),
+        ("pre-Happy-Eyeballs (sequential)", HappyEyeballsConfig::sequential()),
+    ] {
+        let mut v6_wins = 0usize;
+        let mut fallbacks = 0usize;
+        let mut total_ms = 0.0f64;
+        let mut n = 0usize;
+        for &dest in &dests {
+            let m4 = t4.route(dest).map(|r| dp.metrics(r, Family::V4));
+            let (m6, v6_broken) = match t6.route(dest) {
+                None => (None, false),
+                Some(r) => {
+                    let m = dp.metrics(r, Family::V6);
+                    // a tunnel path with filtered PTB blackholes large transfers
+                    let broken = matches!(
+                        discover_pmtud(&mut rng, &topo, r, Family::V6, &PmtudConfig::paper_era()),
+                        Pmtud::Blackhole(_)
+                    );
+                    (Some(m), broken)
+                }
+            };
+            let Some(out) = race(&mut rng, m6.as_ref(), m4.as_ref(), v6_broken, &cfg) else {
+                continue;
+            };
+            n += 1;
+            total_ms += out.connect_ms;
+            if out.winner == Family::V6 {
+                v6_wins += 1;
+            } else if m6.is_some() {
+                fallbacks += 1;
+            }
+        }
+        println!(
+            "{label:<34} {n} dual-stack connects: {v6_wins} over IPv6, {fallbacks} silent \
+             fallbacks, mean connect {:.0} ms",
+            total_ms / n.max(1) as f64
+        );
+    }
+    println!(
+        "\nReading: Happy Eyeballs caps the cost of broken or slow IPv6 at the\n\
+         fallback timer, which is what finally made enabling AAAA records safe —\n\
+         but the fallbacks it hides are exactly the routing problems the paper's\n\
+         H2 methodology surfaces."
+    );
+}

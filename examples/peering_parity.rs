@@ -1,0 +1,56 @@
+//! Peering-parity ablation — the paper's headline recommendation.
+//!
+//! ```sh
+//! cargo run --release --example peering_parity
+//! ```
+//!
+//! Section 6: *"the single most effective way to put IPv6 and IPv4 on an
+//! equal footing may well be to ensure peering parity."* This example
+//! sweeps the fraction of IPv4 peering edges replicated in IPv6 and shows
+//! how, as parity rises, (a) the share of destinations reached over
+//! *different* paths (DP) collapses and (b) the aggregate IPv6/IPv4
+//! performance ratio closes toward 1.
+
+use ipv6web::analysis::SiteClass;
+use ipv6web::{run_study, Scenario};
+
+fn main() {
+    println!("deployment-and-peering parity sweep (quick scenario, seed 7)");
+    println!(
+        "lambda interpolates the 2011 deployment toward full parity: adoption,\n\
+         transit replication, peering replication and tunnel retirement move\n\
+         together — peering parity only pays off where IPv6 is deployed.\n"
+    );
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>12}",
+        "lambda", "SP sites", "DP sites", "DP share", "v6/v4 ratio"
+    );
+    for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut scenario = Scenario::quick(7);
+        scenario.topology.dual = scenario.topology.dual.toward_parity(lambda);
+        let study = run_study(&scenario);
+
+        // the ratio is computed over same-location (SP+DP) sites: DL sites
+        // mix in CDN economics and 6to4 detours, which peering parity is
+        // not meant to fix
+        let (mut sp, mut dp, mut v4_sum, mut v6_sum) = (0usize, 0usize, 0.0f64, 0.0f64);
+        for a in &study.analyses {
+            sp += a.count_of(SiteClass::Sp);
+            dp += a.count_of(SiteClass::Dp);
+            for s in a.kept.iter().filter(|s| s.class != SiteClass::Dl) {
+                v4_sum += s.v4_mean;
+                v6_sum += s.v6_mean;
+            }
+        }
+        let dp_share = if sp + dp > 0 { 100.0 * dp as f64 / (sp + dp) as f64 } else { 0.0 };
+        let ratio = if v4_sum > 0.0 { v6_sum / v4_sum } else { 0.0 };
+        println!("{lambda:<8.2} {sp:>9} {dp:>9} {dp_share:>8.1}% {ratio:>12.3}");
+    }
+    println!(
+        "\nReading: as IPv6 deployment-plus-peering approaches IPv4's,\n\
+         destinations shift from DP to SP and the same-location IPv6/IPv4\n\
+         speed ratio approaches 1 — the paper's recommendation quantified.\n\
+         (The residual gap at lambda=1 is server-side IPv6 service quality,\n\
+         which no amount of peering fixes — the paper's zero-mode story.)"
+    );
+}

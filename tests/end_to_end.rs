@@ -1,0 +1,313 @@
+//! End-to-end integration: one quick study, checked against both internal
+//! consistency invariants and the paper's qualitative shapes.
+
+use ipv6web::analysis::{AsCategory, SiteClass};
+use ipv6web::{run_study, Scenario, StudyResult};
+use std::sync::OnceLock;
+
+fn study() -> &'static StudyResult {
+    static S: OnceLock<StudyResult> = OnceLock::new();
+    S.get_or_init(|| run_study(&Scenario::quick(42)))
+}
+
+// ---------------------------------------------------------------- invariants
+
+#[test]
+fn table4_sums_to_kept_sites() {
+    for (i, a) in study().analyses.iter().enumerate() {
+        let t = &study().report.table4;
+        let sum: usize = t.counts[i].iter().sum();
+        assert_eq!(sum, a.kept.len(), "{}: DL+SP+DP must equal kept", a.vantage);
+    }
+}
+
+#[test]
+fn table2_total_equals_kept_plus_removed() {
+    let r = &study().report;
+    for (i, a) in study().analyses.iter().enumerate() {
+        assert_eq!(r.table2.sites_total[i], a.kept.len() + a.removed.len());
+        assert_eq!(r.table2.sites_kept[i], a.kept.len());
+        assert!(r.table2.sites_kept[i] <= r.table2.sites_total[i]);
+    }
+}
+
+#[test]
+fn table3_counts_match_removed_sites() {
+    let r = &study().report;
+    for (i, a) in study().analyses.iter().enumerate() {
+        let total: usize = r.table3.counts[i].iter().sum();
+        assert_eq!(total, a.removed.len(), "{}", a.vantage);
+    }
+}
+
+#[test]
+fn table8_shares_sum_to_100() {
+    let t = &study().report.table8;
+    for i in 0..t.vantages.len() {
+        if t.n_ases[i] == 0 {
+            continue;
+        }
+        let sum = t.pct_comparable[i] + t.pct_zero_mode[i] + t.pct_small[i] + t.pct_bad[i];
+        assert!((sum - 100.0).abs() < 1e-6, "{}: {sum}", t.vantages[i]);
+    }
+}
+
+#[test]
+fn sp_groups_agree_with_site_paths() {
+    for a in &study().analyses {
+        for (dest, g) in &a.sp_groups {
+            for &idx in &g.site_idx {
+                let s = &a.kept[idx];
+                assert_eq!(s.class, SiteClass::Sp);
+                assert_eq!(s.dest_v6, *dest);
+                assert_eq!(s.v4_hops, s.v6_hops, "SP sites share the path");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_as_path_vantage_analyzed() {
+    let s = study();
+    let expected: Vec<&str> = s
+        .world
+        .vantages
+        .iter()
+        .filter(|v| v.has_as_path)
+        .map(|v| v.name.as_str())
+        .collect();
+    let got: Vec<&str> = s.analyses.iter().map(|a| a.vantage.as_str()).collect();
+    assert_eq!(expected, got);
+}
+
+#[test]
+fn report_serializes_to_json() {
+    let json = serde_json::to_string(&study().report).expect("report serializes");
+    assert!(json.len() > 1000);
+    let back: ipv6web::Report = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(back, study().report);
+}
+
+// ------------------------------------------------------------- paper shapes
+
+#[test]
+fn fig1_rises_with_visible_jumps() {
+    let s = study();
+    let fig1 = &s.report.fig1;
+    assert!(fig1.len() > 5);
+    let first = fig1.first().unwrap().reachable_pct;
+    let last = fig1.last().unwrap().reachable_pct;
+    assert!(last > first * 1.5, "reachability must grow substantially: {first} -> {last}");
+    // the IPv6 Day jump is the paper's largest single-week step
+    let day = s.world.scenario.timeline.ipv6_day_week;
+    let at = |w: u32| {
+        fig1.iter()
+            .find(|p| p.week == w)
+            .map(|p| p.reachable_pct)
+            .expect("week in series")
+    };
+    let day_step = at(day) - at(day - 1);
+    let mut other_steps = Vec::new();
+    for w in fig1.windows(2) {
+        if w[1].week != day && w[1].week != s.world.scenario.timeline.iana_week {
+            other_steps.push(w[1].reachable_pct - w[0].reachable_pct);
+        }
+    }
+    let max_other = other_steps.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        day_step > max_other,
+        "IPv6 Day step ({day_step:.3}) must dominate ordinary weeks ({max_other:.3})"
+    );
+}
+
+#[test]
+fn fig3a_declines_with_rank() {
+    let fig3a = &study().report.fig3a;
+    let first = fig3a.first().unwrap().1;
+    let last = fig3a.last().unwrap().1;
+    assert!(
+        first > last,
+        "top-ranked sites must adopt more: top bucket {first:.2}% vs full list {last:.2}%"
+    );
+}
+
+#[test]
+fn fig3b_top_list_close_to_full_population() {
+    // the paper's point: the ranked list is representative — the two series
+    // track each other closely
+    let (top, all) = study().report.fig3b;
+    assert!(top > 0.0 && all > 0.0);
+    assert!((top - all).abs() < 15.0, "top {top:.1}% vs all {all:.1}%");
+}
+
+#[test]
+fn table6_ipv4_dominates_dl_sites() {
+    let t = &study().report.table6;
+    for i in 0..t.vantages.len() {
+        if t.n_sites[i] < 10 {
+            continue;
+        }
+        assert!(
+            t.pct_v4_ge_v6[i] >= 75.0,
+            "{}: IPv4 must win for most DL (CDN) sites, got {:.0}%",
+            t.vantages[i],
+            t.pct_v4_ge_v6[i]
+        );
+        assert!(
+            t.v4_perf[i] > t.v6_perf[i],
+            "{}: average IPv4 speed must exceed IPv6 for DL sites",
+            t.vantages[i]
+        );
+    }
+}
+
+#[test]
+fn table8_vs_table11_is_the_h2_contrast() {
+    let r = &study().report;
+    for i in 0..r.table8.vantages.len() {
+        if r.table8.n_ases[i] < 5 || r.table11.n_ases[i] < 5 {
+            continue;
+        }
+        let sp_similar = r.table8.pct_comparable[i] + r.table8.pct_zero_mode[i];
+        let dp_similar = r.table11.pct_comparable[i] + r.table11.pct_zero_mode[i];
+        assert!(
+            sp_similar > dp_similar + 20.0,
+            "{}: SP similar {sp_similar:.0}% must far exceed DP {dp_similar:.0}%",
+            r.table8.vantages[i]
+        );
+    }
+}
+
+#[test]
+fn table8_cross_checks_overwhelmingly_positive() {
+    let (pos, neg) = study().report.table8.xcheck;
+    assert!(pos > 0, "some SP ASes seen from several vantage points");
+    assert!(neg <= (pos / 5).max(1), "negatives must be rare: +{pos}/-{neg}");
+}
+
+#[test]
+fn table9_sp_families_comparable_per_hop_bucket() {
+    let t = &study().report.table9;
+    for (vi, _) in t.vantages.iter().enumerate() {
+        for b in 0..5 {
+            let (m4, n4) = t.v4[vi][b];
+            let (m6, n6) = t.v6[vi][b];
+            assert_eq!(n4, n6, "SP bucket populations match by construction");
+            if n4 >= 10 {
+                let ratio = m6 / m4;
+                assert!(
+                    (0.75..=1.25).contains(&ratio),
+                    "SP hop bucket {b}: v6/v4 ratio {ratio:.2} out of range"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table7_v6_mass_shifts_to_longer_paths() {
+    // Table 7's robust regularity (clearest in the paper's Penn column):
+    // the IPv6 site distribution concentrates at higher AS hop counts than
+    // the IPv4 one — missing peering forces detours, and only the tunneled
+    // destinations appear "short". Compare the share of sites at >= 4 hops.
+    let t = &study().report.table7;
+    let mut v4_long_total = 0usize;
+    let mut v4_total = 0usize;
+    let mut v6_long_total = 0usize;
+    let mut v6_total = 0usize;
+    for vi in 0..t.vantages.len() {
+        for b in 0..5 {
+            v4_total += t.v4[vi][b].1;
+            v6_total += t.v6[vi][b].1;
+            if b >= 3 {
+                v4_long_total += t.v4[vi][b].1;
+                v6_long_total += t.v6[vi][b].1;
+            }
+        }
+    }
+    assert!(v4_total > 0 && v6_total > 0);
+    let v4_share = v4_long_total as f64 / v4_total as f64;
+    let v6_share = v6_long_total as f64 / v6_total as f64;
+    assert!(
+        v6_share > v4_share,
+        "IPv6 paths must skew longer: {:.0}% vs {:.0}% of sites at >=4 hops",
+        100.0 * v6_share,
+        100.0 * v4_share
+    );
+}
+
+#[test]
+fn table10_day_results_at_least_as_clean_as_table8() {
+    let r = &study().report;
+    // Table 10 has no zero-mode: participants fixed servers. Its
+    // comparable share should not be materially worse than Table 8's.
+    let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let t8 = avg(&r.table8.pct_comparable);
+    let t10 = avg(&r.table10.pct_comparable);
+    assert!(
+        t10 + 20.0 >= t8,
+        "IPv6 Day SP comparability ({t10:.0}%) should not collapse vs weekly ({t8:.0}%)"
+    );
+}
+
+#[test]
+fn table13_most_dp_paths_mostly_good_but_few_perfect() {
+    let t = &study().report.table13;
+    for (vi, v) in t.vantages.iter().enumerate() {
+        let b = &t.buckets[vi];
+        let total: f64 = b.iter().sum();
+        if total < 99.0 {
+            continue; // vantage had no DP paths
+        }
+        assert!(
+            b[0] < 60.0,
+            "{v}: fully-good DP paths must be the exception, got {:.0}%",
+            b[0]
+        );
+    }
+    assert!(t.n_good_ases > 0, "good-AS set must be non-empty");
+}
+
+#[test]
+fn hypotheses_hold() {
+    let r = &study().report;
+    assert!(r.h1.holds, "{}", r.h1.summary);
+    assert!(r.h2.holds, "{}", r.h2.summary);
+}
+
+#[test]
+fn removed_site_bias_is_limited() {
+    // Section 5.1: the removal must not obviously bias H2 — removed DP
+    // good/bad counts are small relative to the kept DP population.
+    let r = &study().report;
+    for (i, a) in study().analyses.iter().enumerate() {
+        let dp_kept = a.count_of(SiteClass::Dp);
+        let dp_removed = r.table5.counts[i][2] + r.table5.counts[i][3];
+        if dp_kept >= 20 {
+            assert!(
+                dp_removed < dp_kept,
+                "{}: removed DP ({dp_removed}) must stay below kept DP ({dp_kept})",
+                a.vantage
+            );
+        }
+    }
+}
+
+#[test]
+fn sp_bad_category_rare_under_h1() {
+    // the H1 regime has ~no forwarding penalties, so genuinely-bad SP
+    // destination ASes must be rare everywhere
+    for a in &study().analyses {
+        let bad = a
+            .sp_groups
+            .values()
+            .filter(|g| g.category == AsCategory::Bad)
+            .count();
+        assert!(
+            bad * 10 <= a.sp_groups.len().max(1),
+            "{}: {bad}/{} SP ASes network-bad under H1",
+            a.vantage,
+            a.sp_groups.len()
+        );
+    }
+}
