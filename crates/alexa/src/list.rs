@@ -47,11 +47,8 @@ impl TopList {
 
     /// Ids present in the list snapshot of `week`, best rank first.
     pub fn snapshot(&self, week: u32) -> Vec<u32> {
-        let mut present: Vec<&ListEntry> = self
-            .entries
-            .iter()
-            .filter(|e| e.first_seen_week <= week)
-            .collect();
+        let mut present: Vec<&ListEntry> =
+            self.entries.iter().filter(|e| e.first_seen_week <= week).collect();
         present.sort_by_key(|e| (e.rank, e.id));
         present.into_iter().map(|e| e.id).collect()
     }
@@ -123,9 +120,9 @@ mod tests {
 
     fn list() -> TopList {
         TopList::from_parts([
-            (0, 1, 0),  // top site, present from start
+            (0, 1, 0), // top site, present from start
             (1, 2, 0),
-            (2, 3, 5),  // churns in at week 5
+            (2, 3, 5), // churns in at week 5
             (3, 4, 0),
             (4, 5, 20), // churns in at week 20
         ])

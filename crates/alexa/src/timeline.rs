@@ -88,7 +88,7 @@ impl AdoptionTimeline {
             match m {
                 1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
                 4 | 6 | 9 | 11 => 30,
-                2 if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 => 29,
+                2 if (y.is_multiple_of(4) && !y.is_multiple_of(100)) || y.is_multiple_of(400) => 29,
                 _ => 28,
             }
         };

@@ -2,9 +2,7 @@
 
 use crate::hypotheses::categorize;
 use crate::sanitize::{sanitize_site, SanitizeOutcome};
-use crate::types::{
-    AnalysisConfig, AsGroup, RemovedSite, SiteClass, SitePerf, VantageAnalysis,
-};
+use crate::types::{AnalysisConfig, AsGroup, RemovedSite, SiteClass, SitePerf, VantageAnalysis};
 use ipv6web_bgp::BgpTable;
 use ipv6web_monitor::MonitorDb;
 use ipv6web_web::Site;
@@ -14,11 +12,7 @@ use std::collections::BTreeMap;
 ///
 /// Returns `None` when a required route is missing (the site never
 /// completed a measurement from here anyway).
-pub fn classify_site(
-    site: &Site,
-    table_v4: &BgpTable,
-    table_v6: &BgpTable,
-) -> Option<SiteClass> {
+pub fn classify_site(site: &Site, table_v4: &BgpTable, table_v6: &BgpTable) -> Option<SiteClass> {
     let v6 = site.v6.as_ref()?;
     if v6.dest_as != site.v4_as {
         return Some(SiteClass::Dl);
@@ -70,8 +64,7 @@ pub fn analyze_vantage(
             SanitizeOutcome::Kept { v4_mean, v6_mean } => {
                 let Some(class) = class else { continue };
                 let v6_dest = site.v6.as_ref().expect("dual site").dest_as;
-                let (Some(r4), Some(r6)) =
-                    (table_v4.route(site.v4_as), table_v6.route(v6_dest))
+                let (Some(r4), Some(r6)) = (table_v4.route(site.v4_as), table_v6.route(v6_dest))
                 else {
                     continue;
                 };
@@ -162,19 +155,16 @@ pub(crate) mod tests {
         pcfg.n_sites = 1200;
         let sites = population::generate(&pcfg, &topo, seed);
         let zone = build_zone(&topo, &sites);
-        let vantage_as = topo
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-            .unwrap()
-            .id;
+        let vantage_as =
+            topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
         dests.extend(sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
         dests.sort();
         dests.dedup();
         let table_v4 = BgpTable::build(&topo, vantage_as, Family::V4, &dests);
         let table_v6 = BgpTable::build(&topo, vantage_as, Family::V6, &dests);
-        let disturbances = Disturbances::generate(&DisturbanceConfig::paper(), sites.len(), 26, seed);
+        let disturbances =
+            Disturbances::generate(&DisturbanceConfig::paper(), sites.len(), 26, seed);
         let list = ipv6web_alexa_list(&sites);
         let vantage = VantagePoint {
             name: "MiniVP".into(),
@@ -210,13 +200,16 @@ pub(crate) mod tests {
     }
 
     fn ipv6web_alexa_list(sites: &[Site]) -> ipv6web_alexa::TopList {
-        ipv6web_alexa::TopList::from_parts(sites.iter().map(|s| (s.id.0, s.rank, s.first_seen_week)))
+        ipv6web_alexa::TopList::from_parts(
+            sites.iter().map(|s| (s.id.0, s.rank, s.first_seen_week)),
+        )
     }
 
     #[test]
     fn analysis_splits_classes_and_groups() {
         let c = shared_campaign();
-        let a = analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
+        let a =
+            analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
         assert!(a.sites_total > 0);
         assert!(!a.kept.is_empty(), "some sites kept");
         assert!(!a.removed.is_empty(), "disturbances must remove some sites");
@@ -231,7 +224,8 @@ pub(crate) mod tests {
     #[test]
     fn sp_sites_have_identical_paths_dp_differ() {
         let c = shared_campaign();
-        let a = analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
+        let a =
+            analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
         for perf in &a.kept {
             let p4 = c.table_v4.as_path(perf.dest_v4).expect("kept => routed");
             let p6 = c.table_v6.as_path(perf.dest_v6).expect("kept => routed");
@@ -255,13 +249,10 @@ pub(crate) mod tests {
     #[test]
     fn groups_cover_all_sl_kept_sites() {
         let c = shared_campaign();
-        let a = analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
-        let grouped: usize = a
-            .sp_groups
-            .values()
-            .chain(a.dp_groups.values())
-            .map(|g| g.site_idx.len())
-            .sum();
+        let a =
+            analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
+        let grouped: usize =
+            a.sp_groups.values().chain(a.dp_groups.values()).map(|g| g.site_idx.len()).sum();
         assert_eq!(grouped, a.count_of(SiteClass::Sp) + a.count_of(SiteClass::Dp));
         // group means are averages of their members
         for g in a.sp_groups.values() {
@@ -274,7 +265,8 @@ pub(crate) mod tests {
     #[test]
     fn good_paths_only_from_comparable_sp_groups() {
         let c = shared_campaign();
-        let a = analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
+        let a =
+            analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
         for dest in a.good_v6_paths.keys() {
             let g = &a.sp_groups[dest];
             assert_eq!(g.category, AsCategory::Comparable);
@@ -284,7 +276,8 @@ pub(crate) mod tests {
     #[test]
     fn crossed_sets_superset_of_dest_sets() {
         let c = shared_campaign();
-        let a = analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
+        let a =
+            analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
         for d in &a.dest_ases_v4 {
             assert!(a.crossed_v4.contains(d), "dest {d} must be crossed");
         }
@@ -297,7 +290,8 @@ pub(crate) mod tests {
     #[test]
     fn v6_coverage_smaller_than_v4() {
         let c = shared_campaign();
-        let a = analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
+        let a =
+            analyze_vantage(&AnalysisConfig::paper(), &c.sites, &c.db, &c.table_v4, &c.table_v6);
         // Table 2's structural fact: the IPv6 topology is sparser.
         assert!(a.crossed_v6.len() <= a.crossed_v4.len());
     }

@@ -10,10 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Applies the Fig 4 decision procedure to one destination AS's sites.
 ///
 /// Returns `(category, sites_at_zero, v4_mean, v6_mean)`.
-pub fn categorize(
-    members: &[&SitePerf],
-    cfg: &AnalysisConfig,
-) -> (AsCategory, usize, f64, f64) {
+pub fn categorize(members: &[&SitePerf], cfg: &AnalysisConfig) -> (AsCategory, usize, f64, f64) {
     assert!(!members.is_empty(), "empty AS group");
     let n = members.len() as f64;
     let v4_mean = members.iter().map(|s| s.v4_mean).sum::<f64>() / n;
@@ -65,11 +62,7 @@ pub fn cross_checks(analyses: &[VantageAnalysis]) -> (usize, usize) {
 /// IPv6 path from any vantage point (Section 4's data-plane exoneration
 /// step).
 pub fn good_as_set(analyses: &[VantageAnalysis]) -> BTreeSet<AsId> {
-    analyses
-        .iter()
-        .flat_map(|a| a.good_v6_paths.values())
-        .flat_map(|p| p.iter().copied())
-        .collect()
+    analyses.iter().flat_map(|a| a.good_v6_paths.values()).flat_map(|p| p.iter().copied()).collect()
 }
 
 /// Bucket labels for Table 13, in row order.
@@ -131,10 +124,7 @@ fn explained_share(groups: &BTreeMap<AsId, crate::types::AsGroup>) -> f64 {
     if groups.is_empty() {
         return f64::NAN;
     }
-    let explained = groups
-        .values()
-        .filter(|g| g.category != AsCategory::Bad)
-        .count();
+    let explained = groups.values().filter(|g| g.category != AsCategory::Bad).count();
     explained as f64 / groups.len() as f64
 }
 
@@ -276,7 +266,11 @@ mod tests {
         categorize(&[], &cfg());
     }
 
-    fn mk_analysis(name: &str, sp: Vec<(u32, AsCategory)>, dp: Vec<(u32, AsCategory)>) -> VantageAnalysis {
+    fn mk_analysis(
+        name: &str,
+        sp: Vec<(u32, AsCategory)>,
+        dp: Vec<(u32, AsCategory)>,
+    ) -> VantageAnalysis {
         let mk_group = |dest: u32, cat: AsCategory| AsGroup {
             dest: AsId(dest),
             site_idx: vec![0],
@@ -303,8 +297,13 @@ mod tests {
 
     #[test]
     fn cross_checks_positive_when_consistent() {
-        let a = mk_analysis("A", vec![(1, AsCategory::Comparable), (2, AsCategory::ZeroMode)], vec![]);
-        let b = mk_analysis("B", vec![(1, AsCategory::Comparable), (3, AsCategory::Comparable)], vec![]);
+        let a =
+            mk_analysis("A", vec![(1, AsCategory::Comparable), (2, AsCategory::ZeroMode)], vec![]);
+        let b = mk_analysis(
+            "B",
+            vec![(1, AsCategory::Comparable), (3, AsCategory::Comparable)],
+            vec![],
+        );
         let (pos, neg) = cross_checks(&[a, b]);
         assert_eq!((pos, neg), (1, 0), "only AS 1 is checkable and agrees");
     }
@@ -342,8 +341,17 @@ mod tests {
     fn h2_holds_on_sp_dp_contrast() {
         let a = mk_analysis(
             "A",
-            vec![(1, AsCategory::Comparable), (2, AsCategory::Comparable), (3, AsCategory::ZeroMode)],
-            vec![(10, AsCategory::Bad), (11, AsCategory::Bad), (12, AsCategory::SmallN), (13, AsCategory::Bad)],
+            vec![
+                (1, AsCategory::Comparable),
+                (2, AsCategory::Comparable),
+                (3, AsCategory::ZeroMode),
+            ],
+            vec![
+                (10, AsCategory::Bad),
+                (11, AsCategory::Bad),
+                (12, AsCategory::SmallN),
+                (13, AsCategory::Bad),
+            ],
         );
         let v = h2_verdict(&[a]);
         assert!(v.holds, "{}", v.summary);

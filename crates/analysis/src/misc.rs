@@ -85,11 +85,8 @@ pub fn better_v6_profile(topo: &Topology, analyses: &[VantageAnalysis]) -> Bette
             }
         }
     }
-    let overall_rate = if total_sites == 0 {
-        0.0
-    } else {
-        total_better as f64 / total_sites as f64
-    };
+    let overall_rate =
+        if total_sites == 0 { 0.0 } else { total_better as f64 / total_sites as f64 };
     let dominant_trait = enriched_and_majority(&by_class, overall_rate, total_better)
         .or_else(|| enriched_and_majority(&by_region, overall_rate, total_better));
     BetterV6Profile { total_better, total_sites, by_class, by_region, dominant_trait }
@@ -104,11 +101,19 @@ impl std::fmt::Display for BetterV6Profile {
         )?;
         for (label, map) in [("class", &self.by_class), ("region", &self.by_region)] {
             for (k, s) in map {
-                writeln!(f, "  by {label}: {k:<14} {}/{} ({:.0}%)", s.better, s.total, 100.0 * s.rate())?;
+                writeln!(
+                    f,
+                    "  by {label}: {k:<14} {}/{} ({:.0}%)",
+                    s.better,
+                    s.total,
+                    100.0 * s.rate()
+                )?;
             }
         }
         match &self.dominant_trait {
-            Some(t) => writeln!(f, "  dominant trait: {t} (deviates from the paper's negative finding)"),
+            Some(t) => {
+                writeln!(f, "  dominant trait: {t} (deviates from the paper's negative finding)")
+            }
             None => writeln!(f, "  no dominant trait — the paper's negative finding reproduces"),
         }
     }

@@ -2,9 +2,7 @@
 
 pub use crate::types::RemovalCause;
 use ipv6web_monitor::SiteRecord;
-use ipv6web_stats::{
-    detect_transition_paper, mean_ci, trend_paper, StudentT, Trend, Welford,
-};
+use ipv6web_stats::{detect_transition_paper, mean_ci, trend_paper, StudentT, Trend, Welford};
 
 /// Result of sanitizing one site's sample series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,11 +61,8 @@ pub fn sanitize_site(
     tolerance: f64,
 ) -> SanitizeOutcome {
     let (v4, v6) = paired_series(rec);
-    let good_perf = if v4.is_empty() {
-        None
-    } else {
-        Some(mean(&v6) >= mean(&v4) * (1.0 - tolerance))
-    };
+    let good_perf =
+        if v4.is_empty() { None } else { Some(mean(&v6) >= mean(&v4) * (1.0 - tolerance)) };
     if v4.len() < min_paired_samples {
         return SanitizeOutcome::Removed {
             cause: RemovalCause::InsufficientSamples,

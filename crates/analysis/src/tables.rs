@@ -68,11 +68,7 @@ impl Table2 {
     /// Builds from per-vantage analyses.
     pub fn build(analyses: &[VantageAnalysis]) -> Self {
         let union = |f: &dyn Fn(&VantageAnalysis) -> &BTreeSet<AsId>| -> usize {
-            analyses
-                .iter()
-                .flat_map(|a| f(a).iter().copied())
-                .collect::<BTreeSet<_>>()
-                .len()
+            analyses.iter().flat_map(|a| f(a).iter().copied()).collect::<BTreeSet<_>>().len()
         };
         Table2 {
             vantages: analyses.iter().map(|a| a.vantage.clone()).collect(),
@@ -111,7 +107,11 @@ impl fmt::Display for Table2 {
             row("ASes crossed (IPv4)", &self.crossed_v4, Some(self.all[2])),
             row("ASes crossed (IPv6)", &self.crossed_v6, Some(self.all[3])),
         ];
-        write!(f, "{}", render_grid("Table 2: Monitoring profiles per vantage-point.", &headers, &rows))
+        write!(
+            f,
+            "{}",
+            render_grid("Table 2: Monitoring profiles per vantage-point.", &headers, &rows)
+        )
     }
 }
 
@@ -165,7 +165,11 @@ impl fmt::Display for Table3 {
                 r
             })
             .collect();
-        write!(f, "{}", render_grid("Table 3: Causes of confidence target failures.", &headers, &rows))
+        write!(
+            f,
+            "{}",
+            render_grid("Table 3: Causes of confidence target failures.", &headers, &rows)
+        )
     }
 }
 
@@ -376,12 +380,8 @@ pub struct HopTable {
 
 impl HopTable {
     fn build(title: &str, analyses: &[VantageAnalysis], classes: &[SiteClass]) -> Self {
-        let mut t = HopTable {
-            title: title.into(),
-            vantages: Vec::new(),
-            v4: Vec::new(),
-            v6: Vec::new(),
-        };
+        let mut t =
+            HopTable { title: title.into(), vantages: Vec::new(), v4: Vec::new(), v6: Vec::new() };
         for a in analyses {
             let mut sum4 = [(0.0f64, 0usize); 5];
             let mut sum6 = [(0.0f64, 0usize); 5];
@@ -477,11 +477,7 @@ impl Table8 {
     /// Builds Table 10 from World IPv6 Day analyses (no zero-mode row:
     /// participants fixed their servers).
     pub fn build_ipv6_day(analyses: &[VantageAnalysis]) -> Self {
-        Self::build_titled(
-            "Table 10: World IPv6 Day - IPv6 vs. IPv4 for SP ASes.",
-            analyses,
-            false,
-        )
+        Self::build_titled("Table 10: World IPv6 Day - IPv6 vs. IPv4 for SP ASes.", analyses, false)
     }
 
     fn build_titled(title: &str, analyses: &[VantageAnalysis], show_zero_mode: bool) -> Self {
@@ -502,8 +498,7 @@ impl Table8 {
                 if n == 0 {
                     return 0.0;
                 }
-                100.0 * a.sp_groups.values().filter(|g| g.category == cat).count() as f64
-                    / n as f64
+                100.0 * a.sp_groups.values().filter(|g| g.category == cat).count() as f64 / n as f64
             };
             t.vantages.push(a.vantage.clone());
             t.pct_comparable.push(share(AsCategory::Comparable));
@@ -577,11 +572,7 @@ impl Table11 {
 
     /// Builds Table 12 from World IPv6 Day analyses.
     pub fn build_ipv6_day(analyses: &[VantageAnalysis]) -> Self {
-        Self::build_titled(
-            "Table 12: World IPv6 Day - IPv6 vs. IPv4 for DP ASes.",
-            analyses,
-            false,
-        )
+        Self::build_titled("Table 12: World IPv6 Day - IPv6 vs. IPv4 for DP ASes.", analyses, false)
     }
 
     fn build_titled(title: &str, analyses: &[VantageAnalysis], show_zero_mode: bool) -> Self {
@@ -599,8 +590,7 @@ impl Table11 {
                 if n == 0 {
                     return 0.0;
                 }
-                100.0 * a.dp_groups.values().filter(|g| g.category == cat).count() as f64
-                    / n as f64
+                100.0 * a.dp_groups.values().filter(|g| g.category == cat).count() as f64 / n as f64
             };
             t.vantages.push(a.vantage.clone());
             t.pct_comparable.push(share(AsCategory::Comparable));
@@ -665,11 +655,7 @@ impl fmt::Display for Table13 {
                 r
             })
             .collect();
-        write!(
-            f,
-            "{}",
-            render_grid("Table 13: \"Good\" AS coverage in DP Paths.", &headers, &rows)
-        )
+        write!(f, "{}", render_grid("Table 13: \"Good\" AS coverage in DP Paths.", &headers, &rows))
     }
 }
 

@@ -76,9 +76,7 @@ fn ablation_peering_parity(c: &mut Criterion) {
 }
 
 fn ablation_forwarding_penalty(c: &mut Criterion) {
-    for (label, prob, range) in
-        [("h1-holds", 0.04, (0.55, 0.9)), ("h1-fails", 0.8, (0.03, 0.15))]
-    {
+    for (label, prob, range) in [("h1-holds", 0.04, (0.55, 0.9)), ("h1-fails", 0.8, (0.03, 0.15))] {
         let mut s = tiny(13);
         s.topology.dual = s.topology.dual.with_forwarding_penalty(prob, range);
         let study = run_study(&s);
@@ -107,10 +105,7 @@ fn ablation_disturbances(c: &mut Criterion) {
         .iter()
         .flat_map(|a| &a.removed)
         .filter(|r| {
-            !matches!(
-                r.cause,
-                ipv6web_analysis::sanitize::RemovalCause::InsufficientSamples
-            )
+            !matches!(r.cause, ipv6web_analysis::sanitize::RemovalCause::InsufficientSamples)
         })
         .count();
     println!("ablation disturbances=off: non-insufficient removals {transitions}");

@@ -15,11 +15,7 @@ fn bench_figures(c: &mut Criterion) {
     let n_list = w.scenario.population.n_sites;
     let sites = &w.sites;
     let last_week = w.scenario.campaign.total_weeks - 1;
-    let penn = study
-        .analyses
-        .iter()
-        .find(|a| a.vantage == "Penn")
-        .expect("penn analyzed");
+    let penn = study.analyses.iter().find(|a| a.vantage == "Penn").expect("penn analyzed");
 
     // print the series once so bench logs show the shape
     let r = &study.report;

@@ -20,7 +20,8 @@ fn bench_packet(c: &mut Criterion) {
     g.bench_function("ipv4_decode", |b| {
         b.iter(|| black_box(Ipv4Header::decode(&mut &wire4[..]).unwrap()))
     });
-    let v6 = Ipv6Header::new("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap(), 6, 1000);
+    let v6 =
+        Ipv6Header::new("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap(), 6, 1000);
     g.bench_function("ipv6_encode", |b| b.iter(|| black_box(v6.to_vec())));
     let s6: Ipv6Addr = "2001:db8::1".parse().unwrap();
     let d6: Ipv6Addr = "2001:db8::2".parse().unwrap();
@@ -35,7 +36,8 @@ fn bench_packet(c: &mut Criterion) {
     let payload = vec![0u8; 512];
     g.bench_function("tcp_segment_roundtrip_v4", |b| {
         b.iter(|| {
-            let wire = tcp.to_vec_v4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), &payload);
+            let wire =
+                tcp.to_vec_v4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), &payload);
             let (hdr, _) =
                 TcpHeader::decode_v4(&wire, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
                     .unwrap();
@@ -43,28 +45,16 @@ fn bench_packet(c: &mut Criterion) {
         })
     });
     let udp = UdpHeader::new(33434, 33435, 8);
-    g.bench_function("udp_encode_v6", |b| {
-        b.iter(|| black_box(udp.to_vec_v6(s6, d6, &[0u8; 8])))
-    });
+    g.bench_function("udp_encode_v6", |b| b.iter(|| black_box(udp.to_vec_v6(s6, d6, &[0u8; 8]))));
     g.finish();
 }
 
 fn bench_routing(c: &mut Criterion) {
     let topo = generate(&TopologyConfig::scaled(1000), 5);
-    let dest = topo
-        .nodes()
-        .iter()
-        .find(|n| n.tier == Tier::Content)
-        .unwrap()
-        .id;
+    let dest = topo.nodes().iter().find(|n| n.tier == Tier::Content).unwrap().id;
     let vantage = topo.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
-    let dests: Vec<AsId> = topo
-        .nodes()
-        .iter()
-        .filter(|n| n.tier == Tier::Content)
-        .map(|n| n.id)
-        .take(50)
-        .collect();
+    let dests: Vec<AsId> =
+        topo.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(50).collect();
     let mut g = c.benchmark_group("bgp");
     g.bench_function("routes_to_dest_1k_ases", |b| {
         b.iter(|| black_box(routes_to_dest(&topo, dest, Family::V4)))
@@ -82,19 +72,10 @@ fn bench_routing(c: &mut Criterion) {
 
 fn bench_dataplane(c: &mut Criterion) {
     let topo = generate(&TopologyConfig::test_small(), 9);
-    let vantage = topo
-        .nodes()
-        .iter()
-        .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-        .unwrap()
-        .id;
-    let dests: Vec<AsId> = topo
-        .nodes()
-        .iter()
-        .filter(|n| n.tier == Tier::Content)
-        .map(|n| n.id)
-        .take(10)
-        .collect();
+    let vantage =
+        topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
+    let dests: Vec<AsId> =
+        topo.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(10).collect();
     let table = BgpTable::build(&topo, vantage, Family::V4, &dests);
     let route = table.iter().next().unwrap().clone();
     let dp = DataPlane::new(&topo);

@@ -3,7 +3,9 @@
 //! what a user re-runs when exploring the data).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ipv6web_analysis::tables::{HopTable, Table11, Table13, Table2, Table3, Table4, Table5, Table6, Table8};
+use ipv6web_analysis::tables::{
+    HopTable, Table11, Table13, Table2, Table3, Table4, Table5, Table6, Table8,
+};
 use ipv6web_analysis::{analyze_vantage, AnalysisConfig};
 use ipv6web_bench::shared_quick_study;
 use std::hint::black_box;
@@ -22,13 +24,9 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("table7_dl_dp_hops", |b| b.iter(|| black_box(HopTable::table7(analyses))));
     g.bench_function("table8_sp_h1", |b| b.iter(|| black_box(Table8::build(analyses))));
     g.bench_function("table9_sp_hops", |b| b.iter(|| black_box(HopTable::table9(analyses))));
-    g.bench_function("table10_ipv6day_sp", |b| {
-        b.iter(|| black_box(Table8::build_ipv6_day(day)))
-    });
+    g.bench_function("table10_ipv6day_sp", |b| b.iter(|| black_box(Table8::build_ipv6_day(day))));
     g.bench_function("table11_dp_h2", |b| b.iter(|| black_box(Table11::build(analyses))));
-    g.bench_function("table12_ipv6day_dp", |b| {
-        b.iter(|| black_box(Table11::build_ipv6_day(day)))
-    });
+    g.bench_function("table12_ipv6day_dp", |b| b.iter(|| black_box(Table11::build_ipv6_day(day))));
     g.bench_function("table13_good_coverage", |b| b.iter(|| black_box(Table13::build(analyses))));
     g.finish();
 

@@ -65,6 +65,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     let study = run_study(&scale.scenario(seed));
     eprintln!("study complete in {:.1}s\n", t0.elapsed().as_secs_f64());
+    eprint!("{}", study.timings.render());
+    eprintln!();
     let r = &study.report;
 
     for artifact in &wanted {
@@ -114,7 +116,14 @@ fn main() {
     }
 
     if let Some(path) = json_out {
-        let json = serde_json::to_string_pretty(r).expect("report serializes");
+        // The report itself stays bit-comparable across runs; timings ride
+        // along under a separate top-level key.
+        let mut value = serde_json::to_value(r).expect("report serializes");
+        if let serde_json::Value::Obj(fields) = &mut value {
+            let timings = serde_json::to_value(&study.timings).expect("timings serialize");
+            fields.push(("timings".to_string(), timings));
+        }
+        let json = serde_json::to_string_pretty(&value).expect("report serializes");
         std::fs::write(&path, json).expect("write json report");
         eprintln!("wrote JSON report to {path}");
     }

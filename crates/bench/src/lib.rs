@@ -54,8 +54,6 @@ mod tests {
 
     #[test]
     fn scenarios_differ_by_scale() {
-        assert!(
-            Scale::Paper.scenario(1).total_sites() > Scale::Quick.scenario(1).total_sites()
-        );
+        assert!(Scale::Paper.scenario(1).total_sites() > Scale::Quick.scenario(1).total_sites());
     }
 }

@@ -95,19 +95,12 @@ pub fn shape_checks(r: &Report) -> Vec<ShapeCheck> {
             "Penn dest {}/{} crossed {}/{}",
             PAPER_TABLE2_PENN.2, PAPER_TABLE2_PENN.3, PAPER_TABLE2_PENN.4, PAPER_TABLE2_PENN.5
         ),
-        measured: format!(
-            "dest {:?}/{:?}",
-            r.table2.dest_v4, r.table2.dest_v6
-        ),
+        measured: format!("dest {:?}/{:?}", r.table2.dest_v4, r.table2.dest_v6),
         ok: t2_ok,
     });
 
     // Table 3: insufficient-samples dominates.
-    let t3_ok = r
-        .table3
-        .counts
-        .iter()
-        .all(|c| c[0] >= c[1] + c[2] + c[3] + c[4]);
+    let t3_ok = r.table3.counts.iter().all(|c| c[0] >= c[1] + c[2] + c[3] + c[4]);
     out.push(ShapeCheck {
         name: "Table 3: insufficient-samples dominates removals",
         paper: "Penn 2807 vs 180+103+732+569".into(),
@@ -119,7 +112,10 @@ pub fn shape_checks(r: &Report) -> Vec<ShapeCheck> {
     out.push(ShapeCheck {
         name: "Table 6: IPv4 >= IPv6 for most DL sites",
         paper: format!("{PAPER_TABLE6_V4_WINS:?}"),
-        measured: format!("{:?}", r.table6.pct_v4_ge_v6.iter().map(|x| x.round()).collect::<Vec<_>>()),
+        measured: format!(
+            "{:?}",
+            r.table6.pct_v4_ge_v6.iter().map(|x| x.round()).collect::<Vec<_>>()
+        ),
         ok: r.table6.pct_v4_ge_v6.iter().all(|&x| x >= 75.0),
     });
 
@@ -199,11 +195,7 @@ pub fn shape_checks(r: &Report) -> Vec<ShapeCheck> {
     out.push(ShapeCheck {
         name: "Section 5.5: no dominant better-IPv6 trait",
         paper: "no grouping emerged".into(),
-        measured: r
-            .better_v6
-            .dominant_trait
-            .clone()
-            .unwrap_or_else(|| "none".into()),
+        measured: r.better_v6.dominant_trait.clone().unwrap_or_else(|| "none".into()),
         ok: r.better_v6.dominant_trait.is_none(),
     });
 

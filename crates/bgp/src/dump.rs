@@ -19,10 +19,8 @@ use ipv6web_topology::{AsId, Family};
 /// ...
 /// ```
 pub fn dump(table: &BgpTable) -> String {
-    let mut out = format!(
-        "# vantage {} family {} entries {}\n",
-        table.vantage_as, table.family, table.len()
-    );
+    let mut out =
+        format!("# vantage {} family {} entries {}\n", table.vantage_as, table.family, table.len());
     for route in table.iter() {
         out.push_str(&format!("{}  {}\n", route.dest, route.as_path));
     }
@@ -87,10 +85,7 @@ pub fn parse_dump(text: &str) -> Result<(AsId, Family, Vec<AsPath>), DumpParseEr
             continue;
         }
         let mut toks = line.split_whitespace();
-        let dest = toks
-            .next()
-            .and_then(parse_as)
-            .ok_or(DumpParseError::BadLine(i + 2))?;
+        let dest = toks.next().and_then(parse_as).ok_or(DumpParseError::BadLine(i + 2))?;
         let ases: Option<Vec<AsId>> = toks.map(parse_as).collect();
         let ases = ases.ok_or(DumpParseError::BadLine(i + 2))?;
         if ases.is_empty() || *ases.last().expect("non-empty") != dest {
@@ -173,10 +168,7 @@ mod tests {
             lines.pop();
             lines.join("\n")
         };
-        assert!(matches!(
-            parse_dump(&truncated),
-            Err(DumpParseError::CountMismatch { .. })
-        ));
+        assert!(matches!(parse_dump(&truncated), Err(DumpParseError::CountMismatch { .. })));
     }
 
     #[test]

@@ -20,9 +20,11 @@
 pub mod compute;
 pub mod dump;
 pub mod path;
+pub mod store;
 pub mod table;
 
 pub use compute::{routes_to_dest, RouteKind, RoutesToDest};
 pub use dump::{dump, parse_dump, DumpParseError};
 pub use path::AsPath;
+pub use store::RouteStore;
 pub use table::{BgpTable, Route};

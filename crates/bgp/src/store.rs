@@ -1,0 +1,230 @@
+//! Memoized per-destination route computations, shared across vantage
+//! points and route-change epochs.
+//!
+//! [`routes_to_dest`] is the expensive step of table construction, and its
+//! result is vantage-independent: one computation answers every vantage
+//! point's query for that destination. [`RouteStore`] holds those results
+//! — one per `(dest, family)` — so the six vantage points of Table 1 share
+//! them, and the mid-campaign route-change snapshot recomputes only the
+//! destinations the flipped edges can actually affect.
+//!
+//! Destinations fan out in parallel via `ipv6web_par::par_map`, which
+//! preserves input order; results land in a `BTreeMap` keyed by
+//! destination, so the store (and every table derived from it) is
+//! bit-identical regardless of worker count.
+
+use crate::compute::{routes_to_dest, RoutesToDest};
+use crate::table::{BgpTable, Route};
+use ipv6web_topology::{AsId, EdgeId, Family, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Best-route computations for a set of destinations in one family.
+#[derive(Debug, Clone)]
+pub struct RouteStore {
+    family: Family,
+    routes: BTreeMap<AsId, Arc<RoutesToDest>>,
+}
+
+impl RouteStore {
+    /// Computes routes for every destination in `dests` (duplicates are
+    /// collapsed), fanning out across worker threads.
+    pub fn build(topo: &Topology, family: Family, dests: &[AsId]) -> Self {
+        let uniq: Vec<AsId> = dests.iter().copied().collect::<BTreeSet<_>>().into_iter().collect();
+        let computed =
+            ipv6web_par::par_map(&uniq, |_, &dest| Arc::new(routes_to_dest(topo, dest, family)));
+        RouteStore { family, routes: uniq.into_iter().zip(computed).collect() }
+    }
+
+    /// The family this store covers.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// Number of memoized destinations.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when the store holds no destinations.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The memoized computation for `dest`, if present.
+    pub fn get(&self, dest: AsId) -> Option<&Arc<RoutesToDest>> {
+        self.routes.get(&dest)
+    }
+
+    /// Snapshots one vantage point's table from the shared computations.
+    pub fn table_for(&self, vantage_as: AsId) -> BgpTable {
+        let mut routes = BTreeMap::new();
+        for (&dest, r) in &self.routes {
+            if let (Some(as_path), Some(edges)) = (r.as_path(vantage_as), r.edge_path(vantage_as)) {
+                routes.insert(dest, Route { dest, as_path, edges });
+            }
+        }
+        BgpTable { vantage_as, family: self.family, routes }
+    }
+
+    /// Tables for several vantage points, each a view over the same
+    /// memoized computations.
+    pub fn tables_for(&self, vantage_ases: &[AsId]) -> Vec<BgpTable> {
+        vantage_ases.iter().map(|&v| self.table_for(v)).collect()
+    }
+
+    /// The store for the post-event topology `late` (the same graph with
+    /// `gains` edges added to this family and `losses` removed), reusing
+    /// every computation the flips cannot affect.
+    ///
+    /// A destination must be recomputed only when:
+    ///
+    /// * a **lost** edge appears in its installed route tree — removing any
+    ///   other edge leaves every best route intact (nothing new appears,
+    ///   and no installed route breaks); or
+    /// * a **gained** edge endpoint had a route to it before the event.
+    ///   Any new path must cross a gained edge; past its last gained edge
+    ///   (nearest the destination) it walks pre-event edges only, and that
+    ///   suffix is itself a valley-free route — so the endpoint was already
+    ///   reachable in the old store. Destinations failing this test (v4-only
+    ///   islands included) keep their old result untouched.
+    ///
+    /// Returns the rebuilt store and how many destinations were recomputed.
+    pub fn rebuild_with_flips(
+        &self,
+        late: &Topology,
+        gains: &[EdgeId],
+        losses: &[EdgeId],
+    ) -> (RouteStore, usize) {
+        let loss_set: BTreeSet<EdgeId> = losses.iter().copied().collect();
+        let gain_ends: BTreeSet<AsId> = gains
+            .iter()
+            .flat_map(|&eid| {
+                let e = late.edge(eid);
+                [e.a, e.b]
+            })
+            .collect();
+
+        let mut kept: BTreeMap<AsId, Arc<RoutesToDest>> = BTreeMap::new();
+        let mut stale: Vec<AsId> = Vec::new();
+        for (&dest, r) in &self.routes {
+            let hit_by_loss = !loss_set.is_empty() && r.uses_any_edge(&loss_set);
+            let hit_by_gain = gain_ends.iter().any(|&x| r.reachable_from(x));
+            if hit_by_loss || hit_by_gain {
+                stale.push(dest);
+            } else {
+                kept.insert(dest, Arc::clone(r));
+            }
+        }
+
+        let recomputed = stale.len();
+        let fresh = ipv6web_par::par_map(&stale, |_, &dest| {
+            Arc::new(routes_to_dest(late, dest, self.family))
+        });
+        kept.extend(stale.into_iter().zip(fresh));
+        (RouteStore { family: self.family, routes: kept }, recomputed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6web_topology::{generate, Tier, TopologyConfig};
+
+    fn world() -> (Topology, Vec<AsId>, Vec<AsId>) {
+        let topo = generate(&TopologyConfig::test_small(), 17);
+        let dests: Vec<AsId> =
+            topo.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).collect();
+        let vantages: Vec<AsId> = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Access && n.is_dual_stack())
+            .map(|n| n.id)
+            .take(4)
+            .collect();
+        (topo, dests, vantages)
+    }
+
+    #[test]
+    fn tables_match_direct_builds() {
+        let (topo, dests, vantages) = world();
+        for family in [Family::V4, Family::V6] {
+            let store = RouteStore::build(&topo, family, &dests);
+            for &v in &vantages {
+                let direct = BgpTable::build(&topo, v, family, &dests);
+                let via_store = store.table_for(v);
+                assert_eq!(via_store.len(), direct.len());
+                for r in direct.iter() {
+                    assert_eq!(via_store.route(r.dest), Some(r), "family {family:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_dests_collapse() {
+        let (topo, dests, _) = world();
+        let mut doubled = dests.clone();
+        doubled.extend_from_slice(&dests);
+        let a = RouteStore::build(&topo, Family::V4, &dests);
+        let b = RouteStore::build(&topo, Family::V4, &doubled);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn rebuild_matches_from_scratch_on_flips() {
+        let (topo, dests, vantages) = world();
+        let store = RouteStore::build(&topo, Family::V6, &dests);
+
+        // flip a handful of eligible edges, as the route-change event does
+        let gains: Vec<EdgeId> = topo
+            .edges()
+            .iter()
+            .filter(|e| {
+                e.v4 && !e.v6 && topo.node(e.a).is_dual_stack() && topo.node(e.b).is_dual_stack()
+            })
+            .map(|e| e.id)
+            .take(3)
+            .collect();
+        let losses: Vec<EdgeId> = topo
+            .edges()
+            .iter()
+            .filter(|e| e.v6 && e.v4 && e.tunnel.is_none())
+            .map(|e| e.id)
+            .take(2)
+            .collect();
+        assert!(!gains.is_empty() || !losses.is_empty(), "need some flips to exercise");
+
+        let late = topo.with_v6_flips(&gains, &losses);
+        let (rebuilt, recomputed) = store.rebuild_with_flips(&late, &gains, &losses);
+        assert!(recomputed <= store.len());
+
+        let _ = vantages;
+        // equivalence must hold from EVERY AS, not just the vantage points
+        let scratch = RouteStore::build(&late, Family::V6, &dests);
+        for v in topo.nodes().iter().map(|n| n.id) {
+            let a = rebuilt.table_for(v);
+            let b = scratch.table_for(v);
+            assert_eq!(a.len(), b.len(), "vantage {v:?}");
+            for r in b.iter() {
+                assert_eq!(a.route(r.dest), Some(r), "vantage {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_with_no_flips_reuses_everything() {
+        let (topo, dests, _) = world();
+        let store = RouteStore::build(&topo, Family::V6, &dests);
+        let late = topo.with_v6_flips(&[], &[]);
+        let (rebuilt, recomputed) = store.rebuild_with_flips(&late, &[], &[]);
+        assert_eq!(recomputed, 0, "no flips, no recomputation");
+        assert_eq!(rebuilt.len(), store.len());
+        for (dest, r) in &store.routes {
+            assert!(
+                Arc::ptr_eq(r, &rebuilt.routes[dest]),
+                "untouched results must be shared, not recomputed"
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! GigaPoP router. [`BgpTable`] is that artifact: the best routes of a
 //! single AS toward a set of destinations, per family.
 
-use crate::compute::{routes_to_dest, RouteKind};
+use crate::compute::RouteKind;
 use crate::path::AsPath;
 use ipv6web_topology::{AsId, EdgeId, Family, Topology};
 use serde::{Deserialize, Serialize};
@@ -37,50 +37,28 @@ pub struct BgpTable {
     pub vantage_as: AsId,
     /// Address family of the table.
     pub family: Family,
-    routes: BTreeMap<AsId, Route>,
+    pub(crate) routes: BTreeMap<AsId, Route>,
 }
 
 impl BgpTable {
     /// Builds the table by running per-destination route computation for
-    /// every AS in `dests` and keeping the vantage point's entries.
+    /// every AS in `dests` (in parallel) and keeping the vantage point's
+    /// entries.
     pub fn build(topo: &Topology, vantage_as: AsId, family: Family, dests: &[AsId]) -> Self {
-        let mut routes = BTreeMap::new();
-        for &dest in dests {
-            let r = routes_to_dest(topo, dest, family);
-            if let (Some(as_path), Some(edges)) = (r.as_path(vantage_as), r.edge_path(vantage_as)) {
-                routes.insert(dest, Route { dest, as_path, edges });
-            }
-        }
-        BgpTable { vantage_as, family, routes }
+        crate::store::RouteStore::build(topo, family, dests).table_for(vantage_as)
     }
 
     /// Builds tables for several vantage points while computing each
-    /// destination's routes only once (the expensive step).
+    /// destination's routes only once (the expensive step). Keep the
+    /// [`crate::store::RouteStore`] instead when the computations should
+    /// outlive the tables (e.g. to rebuild after a route-change event).
     pub fn build_many(
         topo: &Topology,
         vantage_ases: &[AsId],
         family: Family,
         dests: &[AsId],
     ) -> Vec<BgpTable> {
-        let mut tables: Vec<BgpTable> = vantage_ases
-            .iter()
-            .map(|&v| BgpTable {
-                vantage_as: v,
-                family,
-                routes: BTreeMap::new(),
-            })
-            .collect();
-        for &dest in dests {
-            let r = routes_to_dest(topo, dest, family);
-            for t in tables.iter_mut() {
-                if let (Some(as_path), Some(edges)) =
-                    (r.as_path(t.vantage_as), r.edge_path(t.vantage_as))
-                {
-                    t.routes.insert(dest, Route { dest, as_path, edges });
-                }
-            }
-        }
-        tables
+        crate::store::RouteStore::build(topo, family, dests).tables_for(vantage_ases)
     }
 
     /// The `AS_PATH` to `dest`, if routed.
@@ -111,10 +89,7 @@ impl BgpTable {
     /// The set of distinct ASes crossed by any route in the table,
     /// destination ASes included, vantage AS excluded (Table 2 semantics).
     pub fn ases_crossed(&self) -> std::collections::BTreeSet<AsId> {
-        self.routes
-            .values()
-            .flat_map(|r| r.as_path.crossed().iter().copied())
-            .collect()
+        self.routes.values().flat_map(|r| r.as_path.crossed().iter().copied()).collect()
     }
 }
 
@@ -134,13 +109,8 @@ mod tests {
     #[test]
     fn table_contains_reachable_dests() {
         let t = topo();
-        let dests: Vec<AsId> = t
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == Tier::Content)
-            .map(|n| n.id)
-            .take(20)
-            .collect();
+        let dests: Vec<AsId> =
+            t.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(20).collect();
         let vantage = t.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
         let table = BgpTable::build(&t, vantage, Family::V4, &dests);
         assert_eq!(table.len(), dests.len(), "v4 reaches everything");
@@ -154,18 +124,10 @@ mod tests {
     #[test]
     fn v6_table_smaller_than_v4() {
         let t = topo();
-        let dests: Vec<AsId> = t
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == Tier::Content)
-            .map(|n| n.id)
-            .collect();
-        let vantage = t
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-            .unwrap()
-            .id;
+        let dests: Vec<AsId> =
+            t.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).collect();
+        let vantage =
+            t.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let t4 = BgpTable::build(&t, vantage, Family::V4, &dests);
         let t6 = BgpTable::build(&t, vantage, Family::V6, &dests);
         assert!(t6.len() < t4.len(), "v6 {} !< v4 {}", t6.len(), t4.len());
@@ -175,20 +137,10 @@ mod tests {
     #[test]
     fn build_many_matches_individual_builds() {
         let t = topo();
-        let dests: Vec<AsId> = t
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == Tier::Content)
-            .map(|n| n.id)
-            .take(10)
-            .collect();
-        let vantages: Vec<AsId> = t
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == Tier::Access)
-            .map(|n| n.id)
-            .take(3)
-            .collect();
+        let dests: Vec<AsId> =
+            t.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(10).collect();
+        let vantages: Vec<AsId> =
+            t.nodes().iter().filter(|n| n.tier == Tier::Access).map(|n| n.id).take(3).collect();
         let many = BgpTable::build_many(&t, &vantages, Family::V4, &dests);
         for (i, &v) in vantages.iter().enumerate() {
             let single = BgpTable::build(&t, v, Family::V4, &dests);
@@ -202,13 +154,8 @@ mod tests {
     #[test]
     fn ases_crossed_excludes_vantage_includes_dest() {
         let t = topo();
-        let dests: Vec<AsId> = t
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == Tier::Content)
-            .map(|n| n.id)
-            .take(15)
-            .collect();
+        let dests: Vec<AsId> =
+            t.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(15).collect();
         let vantage = t.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
         let table = BgpTable::build(&t, vantage, Family::V4, &dests);
         let crossed = table.ases_crossed();

@@ -27,7 +27,7 @@ pub mod scenario;
 pub mod study;
 pub mod world;
 
-pub use report::Report;
+pub use report::{PhaseTiming, Report, StudyTimings};
 pub use scenario::Scenario;
 pub use study::{run_study, StudyResult};
 pub use world::World;

@@ -53,8 +53,7 @@ impl Scenario {
     /// use [`Scenario::quick`] for tests and examples.
     pub fn paper(seed: u64) -> Self {
         let timeline = AdoptionTimeline::paper();
-        let population =
-            PopulationConfig::paper_scale(timeline.total_weeks, timeline.curve());
+        let population = PopulationConfig::paper_scale(timeline.total_weeks, timeline.curve());
         Scenario {
             seed,
             topology: TopologyConfig::paper_scale(),
@@ -80,8 +79,8 @@ impl Scenario {
         timeline.total_weeks = 26;
         timeline.iana_week = 8;
         timeline.ipv6_day_week = 20;
-        let mut population = PopulationConfig::test_small(timeline.total_weeks)
-            .with_curve(timeline.curve());
+        let mut population =
+            PopulationConfig::test_small(timeline.total_weeks).with_curve(timeline.curve());
         population.n_sites = 2_500;
         let mut campaign = CampaignConfig::paper();
         campaign.total_weeks = timeline.total_weeks;

@@ -1,6 +1,6 @@
 //! Full study execution.
 
-use crate::report::Report;
+use crate::report::{Report, StudyTimings};
 use crate::scenario::Scenario;
 use crate::world::World;
 use ipv6web_analysis::{analyze_vantage, AnalysisConfig, VantageAnalysis};
@@ -22,6 +22,9 @@ pub struct StudyResult {
     pub day_analyses: Vec<VantageAnalysis>,
     /// The paper: every table and figure.
     pub report: Report,
+    /// Wall-clock breakdown of the run (world build, campaigns, analysis,
+    /// report). Not part of [`Report`] — timings never reproduce bit-for-bit.
+    pub timings: StudyTimings,
 }
 
 fn probe_ctx<'a>(world: &'a World, vantage_idx: usize) -> ProbeContext<'a> {
@@ -40,10 +43,7 @@ fn probe_ctx<'a>(world: &'a World, vantage_idx: usize) -> ProbeContext<'a> {
         seed: s.seed,
         vantage_name: &world.vantages[vantage_idx].name,
         white_listed: world.vantages[vantage_idx].white_listed,
-        v6_epoch: world
-            .v6_epoch
-            .as_ref()
-            .map(|(week, tables)| (*week, &tables[vantage_idx])),
+        v6_epoch: world.v6_epoch.as_ref().map(|(week, tables)| (*week, &tables[vantage_idx])),
     }
 }
 
@@ -51,26 +51,30 @@ fn probe_ctx<'a>(world: &'a World, vantage_idx: usize) -> ProbeContext<'a> {
 /// the World IPv6 Day experiment, analysis, and report assembly.
 pub fn run_study(scenario: &Scenario) -> StudyResult {
     let world = World::build(scenario);
+    let mut timings = world.timings.clone();
 
     // --- weekly campaigns ---------------------------------------------------
     let mut dbs = Vec::with_capacity(world.vantages.len());
     for (i, vantage) in world.vantages.iter().enumerate() {
         let ctx = probe_ctx(&world, i);
         let sites = &world.sites;
-        let db = run_campaign(
-            &ctx,
-            vantage,
-            &world.list,
-            &world.tail_ids,
-            |id| sites[id as usize].first_seen_week,
-            &scenario.campaign,
-        );
+        let db = timings.time(&format!("campaign: {}", vantage.name), || {
+            run_campaign(
+                &ctx,
+                vantage,
+                &world.list,
+                &world.tail_ids,
+                |id| sites[id as usize].first_seen_week,
+                &scenario.campaign,
+            )
+        });
         dbs.push(db);
     }
 
     // --- World IPv6 Day (paper: all Table 8 vantage points except Comcast) --
     let participants = world.ipv6_day_participants();
     let mut day_dbs = Vec::new();
+    let t_day = std::time::Instant::now();
     for (i, vantage) in world.vantages.iter().enumerate() {
         if !vantage.has_as_path || vantage.name == "Comcast" {
             continue;
@@ -85,33 +89,45 @@ pub fn run_study(scenario: &Scenario) -> StudyResult {
         );
         day_dbs.push((i, db));
     }
+    timings.record("ipv6 day rounds", t_day.elapsed());
 
     // --- analysis ------------------------------------------------------------
-    let analyses: Vec<VantageAnalysis> = world
-        .vantages
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.has_as_path)
-        .map(|(i, _)| {
-            analyze_vantage(
-                &scenario.analysis,
-                &world.sites,
-                &dbs[i],
-                &world.tables[i].0,
-                &world.tables[i].1,
-            )
-        })
-        .collect();
+    let analyses: Vec<VantageAnalysis> = timings.time("analysis", || {
+        world
+            .vantages
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.has_as_path)
+            .map(|(i, _)| {
+                analyze_vantage(
+                    &scenario.analysis,
+                    &world.sites,
+                    &dbs[i],
+                    &world.tables[i].0,
+                    &world.tables[i].1,
+                )
+            })
+            .collect()
+    });
     let day_cfg = AnalysisConfig::ipv6_day();
-    let day_analyses: Vec<VantageAnalysis> = day_dbs
-        .iter()
-        .map(|(i, db)| {
-            analyze_vantage(&day_cfg, &world.sites, db, &world.tables[*i].0, &world.tables[*i].1)
-        })
-        .collect();
+    let day_analyses: Vec<VantageAnalysis> = timings.time("analysis: ipv6 day", || {
+        day_dbs
+            .iter()
+            .map(|(i, db)| {
+                analyze_vantage(
+                    &day_cfg,
+                    &world.sites,
+                    db,
+                    &world.tables[*i].0,
+                    &world.tables[*i].1,
+                )
+            })
+            .collect()
+    });
 
-    let report = Report::build(&world, &dbs, &analyses, &day_analyses);
-    StudyResult { world, dbs, day_dbs, analyses, day_analyses, report }
+    let report =
+        timings.time("report assembly", || Report::build(&world, &dbs, &analyses, &day_analyses));
+    StudyResult { world, dbs, day_dbs, analyses, day_analyses, report, timings }
 }
 
 #[cfg(test)]
@@ -161,9 +177,24 @@ mod tests {
         let s = study();
         let text = s.report.render();
         for needle in [
-            "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7",
-            "Table 8", "Table 9", "Table 10", "Table 11", "Table 12", "Table 13",
-            "Figure 1", "Figure 3a", "Figure 3b", "H1", "H2",
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "Table 8",
+            "Table 9",
+            "Table 10",
+            "Table 11",
+            "Table 12",
+            "Table 13",
+            "Figure 1",
+            "Figure 3a",
+            "Figure 3b",
+            "H1",
+            "H2",
         ] {
             assert!(text.contains(needle), "report missing {needle}");
         }

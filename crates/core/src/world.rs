@@ -1,13 +1,16 @@
 //! World construction: topology, population, DNS, vantage points, tables.
 
+use crate::report::StudyTimings;
 use crate::scenario::Scenario;
 use ipv6web_alexa::TopList;
-use ipv6web_bgp::BgpTable;
+use ipv6web_bgp::{BgpTable, RouteStore};
 use ipv6web_monitor::{Disturbances, VantagePoint};
 use ipv6web_stats::derive_rng;
-use ipv6web_topology::{generate as generate_topology, AsId, EdgeId, Family, Region, Tier, Topology};
-use rand::seq::SliceRandom;
+use ipv6web_topology::{
+    generate as generate_topology, AsId, EdgeId, Family, Region, Tier, Topology,
+};
 use ipv6web_web::{build_zone, population, Site};
+use rand::seq::SliceRandom;
 
 /// A fully built simulated world, ready for monitoring.
 pub struct World {
@@ -37,6 +40,8 @@ pub struct World {
     pub topo_late: Option<Topology>,
     /// Injected performance disturbances.
     pub disturbances: Disturbances,
+    /// Wall-clock breakdown of the build phases.
+    pub timings: StudyTimings,
 }
 
 /// Picks six dual-stack access ASes for the vantage points, preferring the
@@ -56,12 +61,9 @@ fn pick_vantage_ases(topo: &Topology) -> [AsId; 6] {
     // (and IPv4) connectivity" — so vantage points live in dual-stack
     // access ASes whose v6 uplink is native (not a 6in4 tunnel).
     let native_v6 = |id: AsId| {
-        topo.neighbors(id, ipv6web_topology::Family::V6)
-            .iter()
-            .any(|&(_, rel, eid)| {
-                rel == ipv6web_topology::Relationship::CustomerOf
-                    && topo.edge(eid).tunnel.is_none()
-            })
+        topo.neighbors(id, ipv6web_topology::Family::V6).iter().any(|&(_, rel, eid)| {
+            rel == ipv6web_topology::Relationship::CustomerOf && topo.edge(eid).tunnel.is_none()
+        })
     };
     let mut picked: Vec<AsId> = Vec::with_capacity(6);
     for want in wanted {
@@ -96,13 +98,16 @@ impl World {
     /// host six vantage points.
     pub fn build(scenario: &Scenario) -> World {
         scenario.validate().expect("invalid scenario");
-        let topo = generate_topology(&scenario.topology, scenario.seed);
+        let mut timings = StudyTimings::default();
+        let topo = timings
+            .time("world: topology", || generate_topology(&scenario.topology, scenario.seed));
 
         let mut pop_cfg = scenario.population.clone();
         pop_cfg.n_sites = scenario.total_sites();
         pop_cfg.adoption_curve = scenario.timeline.curve();
-        let sites = population::generate(&pop_cfg, &topo, scenario.seed);
-        let zone = build_zone(&topo, &sites);
+        let sites = timings
+            .time("world: population", || population::generate(&pop_cfg, &topo, scenario.seed));
+        let zone = timings.time("world: dns zone", || build_zone(&topo, &sites));
 
         let n_list = scenario.population.n_sites;
         let list = TopList::from_parts(
@@ -126,14 +131,22 @@ impl World {
         dests.extend(sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
         dests.sort();
         dests.dedup();
+        // Per-destination route computations are shared: one RouteStore per
+        // family serves all six vantage points, and the v6 store survives to
+        // seed the post-route-change rebuild below.
         let vantage_ids: Vec<AsId> = vantages.iter().map(|v| v.as_id).collect();
-        let t4 = BgpTable::build_many(&topo, &vantage_ids, Family::V4, &dests);
-        let t6 = BgpTable::build_many(&topo, &vantage_ids, Family::V6, &dests);
+        let t4 = timings.time("world: route tables (v4)", || {
+            RouteStore::build(&topo, Family::V4, &dests).tables_for(&vantage_ids)
+        });
+        let store_v6 = timings
+            .time("world: route tables (v6)", || RouteStore::build(&topo, Family::V6, &dests));
+        let t6 = store_v6.tables_for(&vantage_ids);
         let tables: Vec<(BgpTable, BgpTable)> = t4.into_iter().zip(t6).collect();
 
         // Mid-campaign IPv6 route changes: flip a slice of edges and
         // recompute the IPv6 tables for the second epoch. IPv4 stays put —
         // the paper's transitions were an IPv6-deployment phenomenon.
+        let t_epoch = std::time::Instant::now();
         let (v6_epoch, topo_late) = match scenario.route_change {
             None => (None, None),
             Some((week, gain_frac, loss_frac)) => {
@@ -142,8 +155,7 @@ impl World {
                     .edges()
                     .iter()
                     .filter(|e| {
-                        e.v4
-                            && !e.v6
+                        e.v4 && !e.v6
                             && topo.node(e.a).is_dual_stack()
                             && topo.node(e.b).is_dual_stack()
                     })
@@ -159,11 +171,19 @@ impl World {
                 loss_candidates.shuffle(&mut rng);
                 let n_gain = (gain_candidates.len() as f64 * gain_frac).round() as usize;
                 let n_loss = (loss_candidates.len() as f64 * loss_frac).round() as usize;
-                let late = topo.with_v6_flips(&gain_candidates[..n_gain], &loss_candidates[..n_loss]);
-                let t6_late = BgpTable::build_many(&late, &vantage_ids, Family::V6, &dests);
+                let gains = &gain_candidates[..n_gain];
+                let losses = &loss_candidates[..n_loss];
+                let late = topo.with_v6_flips(gains, losses);
+                // memoized rebuild: only destinations the flipped edges can
+                // affect are recomputed; the rest reuse the early store
+                let (late_store, _recomputed) = store_v6.rebuild_with_flips(&late, gains, losses);
+                let t6_late = late_store.tables_for(&vantage_ids);
                 (Some((week, t6_late)), Some(late))
             }
         };
+        if scenario.route_change.is_some() {
+            timings.record("world: route tables (v6 epoch)", t_epoch.elapsed());
+        }
 
         let disturbances = Disturbances::generate(
             &scenario.disturbances,
@@ -184,6 +204,7 @@ impl World {
             v6_epoch,
             topo_late,
             disturbances,
+            timings,
         }
     }
 
@@ -195,9 +216,7 @@ impl World {
             .iter()
             .filter(|s| {
                 s.first_seen_week <= day
-                    && s.v6
-                        .as_ref()
-                        .is_some_and(|v| v.ipv6_day_participant && v.from_week <= day)
+                    && s.v6.as_ref().is_some_and(|v| v.ipv6_day_participant && v.from_week <= day)
             })
             .map(|s| s.id)
             .collect()

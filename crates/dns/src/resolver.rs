@@ -124,7 +124,8 @@ impl Resolver {
             .map(|a| Record { name: a.name.clone(), data: a.data, ttl: a.ttl })
             .collect();
         let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(60);
-        self.cache.insert(key, CacheLine { records: records.clone(), expires_at: now_s + ttl as u64 });
+        self.cache
+            .insert(key, CacheLine { records: records.clone(), expires_at: now_s + ttl as u64 });
         Some(records)
     }
 

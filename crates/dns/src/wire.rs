@@ -130,7 +130,11 @@ impl DnsMessage {
     pub fn decode(data: &[u8]) -> Result<Self, PacketError> {
         let mut buf = data;
         if buf.remaining() < 12 {
-            return Err(PacketError::Truncated { what: "dns header", needed: 12, got: buf.remaining() });
+            return Err(PacketError::Truncated {
+                what: "dns header",
+                needed: 12,
+                got: buf.remaining(),
+            });
         }
         let id = buf.get_u16();
         let flags = buf.get_u16();
@@ -149,26 +153,38 @@ impl DnsMessage {
         for _ in 0..qdcount {
             let name = decode_name(&mut buf)?;
             if buf.remaining() < 4 {
-                return Err(PacketError::Truncated { what: "dns question", needed: 4, got: buf.remaining() });
+                return Err(PacketError::Truncated {
+                    what: "dns question",
+                    needed: 4,
+                    got: buf.remaining(),
+                });
             }
             let code = buf.get_u16();
             let _class = buf.get_u16();
-            let qtype = RecordType::from_code(code)
-                .ok_or(PacketError::BadField { what: "dns qtype" })?;
+            let qtype =
+                RecordType::from_code(code).ok_or(PacketError::BadField { what: "dns qtype" })?;
             questions.push(DnsQuestion { name, qtype });
         }
         let mut answers = Vec::with_capacity(ancount as usize);
         for _ in 0..ancount {
             let name = decode_name(&mut buf)?;
             if buf.remaining() < 10 {
-                return Err(PacketError::Truncated { what: "dns answer", needed: 10, got: buf.remaining() });
+                return Err(PacketError::Truncated {
+                    what: "dns answer",
+                    needed: 10,
+                    got: buf.remaining(),
+                });
             }
             let code = buf.get_u16();
             let _class = buf.get_u16();
             let ttl = buf.get_u32();
             let rdlen = buf.get_u16() as usize;
             if buf.remaining() < rdlen {
-                return Err(PacketError::Truncated { what: "dns rdata", needed: rdlen, got: buf.remaining() });
+                return Err(PacketError::Truncated {
+                    what: "dns rdata",
+                    needed: rdlen,
+                    got: buf.remaining(),
+                });
             }
             let rtype = RecordType::from_code(code)
                 .ok_or(PacketError::BadField { what: "dns answer type" })?;
@@ -267,10 +283,7 @@ mod tests {
         let q = DnsMessage::query(8, "s.example", RecordType::Aaaa);
         let recs = vec![Record::aaaa("s.example", "2001:db8::42".parse().unwrap(), 60)];
         let d = DnsMessage::decode(&DnsMessage::response(&q, &recs, false).to_vec()).unwrap();
-        assert_eq!(
-            d.answers[0].data,
-            RecordData::V6("2001:db8::42".parse().unwrap())
-        );
+        assert_eq!(d.answers[0].data, RecordData::V6("2001:db8::42".parse().unwrap()));
     }
 
     #[test]

@@ -106,12 +106,7 @@ mod tests {
         );
         db.insert(
             "v4only.example",
-            ZoneEntry {
-                v4: Ipv4Addr::new(192, 0, 2, 2),
-                v6: None,
-                v6_from_week: 0,
-                ttl: 300,
-            },
+            ZoneEntry { v4: Ipv4Addr::new(192, 0, 2, 2), v6: None, v6_from_week: 0, ttl: 300 },
         );
         db
     }
@@ -159,12 +154,7 @@ mod tests {
         assert_eq!(db.len(), 2);
         db.insert(
             "dual.example",
-            ZoneEntry {
-                v4: Ipv4Addr::new(198, 51, 100, 7),
-                v6: None,
-                v6_from_week: 0,
-                ttl: 60,
-            },
+            ZoneEntry { v4: Ipv4Addr::new(198, 51, 100, 7), v6: None, v6_from_week: 0, ttl: 60 },
         );
         assert_eq!(db.len(), 2);
         assert!(!db.is_dual_stack("dual.example", 99));

@@ -47,11 +47,7 @@ impl SiteRecord {
     pub fn paired_weeks(&self) -> Vec<u32> {
         let v6_weeks: std::collections::BTreeSet<u32> =
             self.samples_v6.iter().map(|s| s.week).collect();
-        self.samples_v4
-            .iter()
-            .map(|s| s.week)
-            .filter(|w| v6_weeks.contains(w))
-            .collect()
+        self.samples_v4.iter().map(|s| s.week).filter(|w| v6_weeks.contains(w)).collect()
     }
 }
 
@@ -71,10 +67,9 @@ impl MonitorDb {
 
     /// Record for `site`, creating it (with `added_week`) on first touch.
     pub fn record_mut(&mut self, site: SiteId, added_week: u32) -> &mut SiteRecord {
-        self.records.entry(site).or_insert_with(|| SiteRecord {
-            added_week,
-            ..SiteRecord::default()
-        })
+        self.records
+            .entry(site)
+            .or_insert_with(|| SiteRecord { added_week, ..SiteRecord::default() })
     }
 
     /// Read-only record lookup.
@@ -99,21 +94,14 @@ impl MonitorDb {
 
     /// Sites observed dual-stack (both records seen at some round).
     pub fn dual_stack_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
-        self.records
-            .iter()
-            .filter(|(_, r)| r.dual_since.is_some())
-            .map(|(s, _)| *s)
+        self.records.iter().filter(|(_, r)| r.dual_since.is_some()).map(|(s, _)| *s)
     }
 
     /// Fraction of monitored sites that were IPv6-reachable as of `week`
     /// (the Fig 1 series): sites whose `dual_since ≤ week`, over sites
     /// monitored by `week`.
     pub fn reachability_at(&self, week: u32) -> f64 {
-        let monitored = self
-            .records
-            .values()
-            .filter(|r| r.added_week <= week)
-            .count();
+        let monitored = self.records.values().filter(|r| r.added_week <= week).count();
         if monitored == 0 {
             return 0.0;
         }

@@ -71,7 +71,12 @@ pub struct Disturbances {
 
 impl Disturbances {
     /// Draws disturbances for `n_sites` sites over a `total_weeks` campaign.
-    pub fn generate(config: &DisturbanceConfig, n_sites: usize, total_weeks: u32, seed: u64) -> Self {
+    pub fn generate(
+        config: &DisturbanceConfig,
+        n_sites: usize,
+        total_weeks: u32,
+        seed: u64,
+    ) -> Self {
         let mut rng = derive_rng(seed, "disturbances");
         let mut map = HashMap::new();
         for i in 0..n_sites {
@@ -98,7 +103,11 @@ impl Disturbances {
                 map.insert(
                     site,
                     Disturbance {
-                        kind: if up { DisturbanceKind::TrendUp } else { DisturbanceKind::TrendDown },
+                        kind: if up {
+                            DisturbanceKind::TrendUp
+                        } else {
+                            DisturbanceKind::TrendDown
+                        },
                         week: 0,
                         magnitude: if up {
                             rng.gen_range(1.012..1.03)
@@ -177,7 +186,12 @@ mod tests {
         let mut map = HashMap::new();
         map.insert(
             SiteId(1),
-            Disturbance { kind: DisturbanceKind::StepUp, week: 10, magnitude: 2.0, path_change: true },
+            Disturbance {
+                kind: DisturbanceKind::StepUp,
+                week: 10,
+                magnitude: 2.0,
+                path_change: true,
+            },
         );
         let d = Disturbances { map };
         assert_eq!(d.factor(SiteId(1), 9), 1.0);
@@ -191,7 +205,12 @@ mod tests {
         let mut map = HashMap::new();
         map.insert(
             SiteId(1),
-            Disturbance { kind: DisturbanceKind::TrendDown, week: 0, magnitude: 0.98, path_change: false },
+            Disturbance {
+                kind: DisturbanceKind::TrendDown,
+                week: 0,
+                magnitude: 0.98,
+                path_change: false,
+            },
         );
         let d = Disturbances { map };
         assert_eq!(d.factor(SiteId(1), 0), 1.0);

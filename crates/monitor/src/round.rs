@@ -2,11 +2,14 @@
 //!
 //! Mirrors the tool's structure from Fig 2: each round refreshes the
 //! ranked list (new sites join the monitored set permanently), randomizes
-//! the site order, and fans the sites out to a pool of at most 25 worker
-//! threads over a crossbeam channel. Every probe derives its randomness
-//! from `(seed, vantage, week, site)`, so results are independent of
-//! thread scheduling — the parallel run and a serial run produce the same
-//! database.
+//! the site order, and fans the sites out to a pool of worker threads over
+//! a bounded crossbeam channel (capacity = worker count, so a slow round
+//! never buffers the whole site list). The worker count is validated
+//! against [`CampaignConfig::max_workers`] up front — an out-of-range
+//! configuration is an error, not a silent clamp. Every probe derives its
+//! randomness from `(seed, vantage, week, site)`, so results are
+//! independent of thread scheduling — the parallel run and a serial run
+//! produce the same database.
 
 use crate::db::MonitorDb;
 use crate::probe::{probe_site, ProbeContext, ProbeOutcome};
@@ -24,8 +27,11 @@ pub struct CampaignConfig {
     /// Campaign length, weeks (one round per week, as the paper's
     /// "approximately bi-weekly to weekly" cadence).
     pub total_weeks: u32,
-    /// Worker threads (paper: "no more than 25").
+    /// Worker threads. Must be in `1..=max_workers`; see [`Self::validate`].
     pub workers: usize,
+    /// Hard cap on worker threads (the paper's tool ran "no more than 25"
+    /// parallel monitoring threads).
+    pub max_workers: usize,
     /// Number of World IPv6 Day rounds (paper: every 30 min for a day).
     pub ipv6_day_rounds: u32,
 }
@@ -33,17 +39,51 @@ pub struct CampaignConfig {
 impl CampaignConfig {
     /// The paper's configuration.
     pub fn paper() -> Self {
-        CampaignConfig { total_weeks: 52, workers: 25, ipv6_day_rounds: 48 }
+        CampaignConfig { total_weeks: 52, workers: 25, max_workers: 25, ipv6_day_rounds: 48 }
     }
 
     /// A fast configuration for tests.
     pub fn test_small() -> Self {
-        CampaignConfig { total_weeks: 20, workers: 4, ipv6_day_rounds: 4 }
+        CampaignConfig { total_weeks: 20, workers: 4, max_workers: 25, ipv6_day_rounds: 4 }
+    }
+
+    /// Checks the worker settings. Replaces the old behavior of silently
+    /// clamping any requested count into `1..=25`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_workers == 0 {
+            return Err("max_workers must be at least 1".into());
+        }
+        if self.workers == 0 {
+            return Err("workers must be at least 1".into());
+        }
+        if self.workers > self.max_workers {
+            return Err(format!(
+                "workers ({}) exceeds max_workers ({})",
+                self.workers, self.max_workers
+            ));
+        }
+        Ok(())
+    }
+
+    /// The validated worker count; panics with the validation error on a
+    /// misconfigured campaign (callers that want a `Result` use
+    /// [`Self::validate`] first).
+    pub fn validated_workers(&self) -> usize {
+        if let Err(e) = self.validate() {
+            panic!("invalid campaign config: {e}");
+        }
+        self.workers
     }
 }
 
 /// Applies one probe outcome to the database.
-fn apply_outcome(db: &mut MonitorDb, site: SiteId, added_week: u32, week: u32, outcome: ProbeOutcome) {
+fn apply_outcome(
+    db: &mut MonitorDb,
+    site: SiteId,
+    added_week: u32,
+    week: u32,
+    outcome: ProbeOutcome,
+) {
     let rec = db.record_mut(site, added_week);
     match outcome {
         ProbeOutcome::NxDomain => {
@@ -82,7 +122,9 @@ fn apply_outcome(db: &mut MonitorDb, site: SiteId, added_week: u32, week: u32, o
 }
 
 /// Runs one round's sites through the worker pool, returning
-/// `(site, outcome)` pairs in completion order.
+/// `(site, outcome)` pairs sorted by site id so callers never observe
+/// completion order. `workers` must already be validated
+/// ([`CampaignConfig::validated_workers`]).
 fn run_pool(
     ctx: &ProbeContext<'_>,
     sites: &[SiteId],
@@ -91,19 +133,34 @@ fn run_pool(
     ipv6_day_mode: bool,
     workers: usize,
 ) -> Vec<(SiteId, ProbeOutcome)> {
-    let workers = workers.clamp(1, 25);
-    let (work_tx, work_rx) = crossbeam::channel::unbounded::<SiteId>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(SiteId, ProbeOutcome)>();
-    for &s in sites {
-        work_tx.send(s).expect("queue open");
+    let workers = workers.min(sites.len().max(1));
+    if workers == 1 {
+        let mut resolver = Resolver::new();
+        let mut out: Vec<(SiteId, ProbeOutcome)> = sites
+            .iter()
+            .map(|&s| (s, probe_site(ctx, &mut resolver, s, week, salt, ipv6_day_mode)))
+            .collect();
+        out.sort_by_key(|(s, _)| s.0);
+        return out;
     }
-    drop(work_tx);
 
-    crossbeam::thread::scope(|scope| {
+    // Both channels are bounded to the worker count: the feeder blocks once
+    // every worker has a site in flight, and workers block once the drain
+    // thread falls behind — memory stays O(workers), not O(sites).
+    let (work_tx, work_rx) = crossbeam::channel::bounded::<SiteId>(workers);
+    let (res_tx, res_rx) = crossbeam::channel::bounded::<(SiteId, ProbeOutcome)>(workers);
+    let mut out = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for &s in sites {
+                if work_tx.send(s).is_err() {
+                    break; // all workers gone (only possible on panic)
+                }
+            }
+        });
         for _ in 0..workers {
             let work_rx = work_rx.clone();
             let res_tx = res_tx.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 // each worker keeps its own caching resolver, like each of
                 // the paper's monitoring threads resolving independently
                 let mut resolver = Resolver::new();
@@ -114,9 +171,11 @@ fn run_pool(
             });
         }
         drop(res_tx);
-        res_rx.iter().collect()
-    })
-    .expect("no worker panicked")
+        drop(work_rx);
+        res_rx.iter().collect::<Vec<_>>()
+    });
+    out.sort_by_key(|(s, _)| s.0);
+    out
 }
 
 /// Runs a full weekly campaign for one vantage point.
@@ -133,22 +192,21 @@ pub fn run_campaign(
     extra_first_seen: impl Fn(u32) -> u32,
     cfg: &CampaignConfig,
 ) -> MonitorDb {
+    let workers = cfg.validated_workers();
     let mut db = MonitorDb::new(vantage.name.clone());
     let mut monitored = MonitoredSet::new();
     for week in vantage.start_week..cfg.total_weeks {
         monitored.ingest(week, list.snapshot(week));
         if vantage.external_inputs {
-            monitored.ingest(
-                week,
-                extra_ids.iter().copied().filter(|&id| extra_first_seen(id) <= week),
-            );
+            monitored
+                .ingest(week, extra_ids.iter().copied().filter(|&id| extra_first_seen(id) <= week));
         }
         // randomized order per round "to avoid time-of-day biases"
         let mut order: Vec<SiteId> = monitored.members().map(SiteId).collect();
         let mut rng = derive_rng(ctx.seed, &format!("{}:order:{week}", vantage.name));
         order.shuffle(&mut rng);
 
-        for (site, outcome) in run_pool(ctx, &order, week, 0, false, cfg.workers) {
+        for (site, outcome) in run_pool(ctx, &order, week, 0, false, workers) {
             let added = monitored.added_week(site.0).expect("probed sites are monitored");
             apply_outcome(&mut db, site, added, week, outcome);
         }
@@ -166,10 +224,10 @@ pub fn run_ipv6_day_rounds(
     event_week: u32,
     cfg: &CampaignConfig,
 ) -> MonitorDb {
+    let workers = cfg.validated_workers();
     let mut db = MonitorDb::new(format!("{} (IPv6 Day)", vantage.name));
     for round in 0..cfg.ipv6_day_rounds {
-        for (site, outcome) in run_pool(ctx, participants, event_week, round + 1, true, cfg.workers)
-        {
+        for (site, outcome) in run_pool(ctx, participants, event_week, round + 1, true, workers) {
             apply_outcome(&mut db, site, event_week, event_week, outcome);
         }
     }
@@ -203,20 +261,15 @@ mod tests {
         pop_cfg.n_sites = n_sites;
         let sites = population::generate(&pop_cfg, &topo, 77);
         let zone = build_zone(&topo, &sites);
-        let vantage_as = topo
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-            .unwrap()
-            .id;
+        let vantage_as =
+            topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
         dests.extend(sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
         dests.sort();
         dests.dedup();
         let table_v4 = BgpTable::build(&topo, vantage_as, Family::V4, &dests);
         let table_v6 = BgpTable::build(&topo, vantage_as, Family::V6, &dests);
-        let disturbances =
-            Disturbances::generate(&DisturbanceConfig::paper(), sites.len(), 20, 77);
+        let disturbances = Disturbances::generate(&DisturbanceConfig::paper(), sites.len(), 20, 77);
         let list = TopList::from_parts(sites.iter().map(|s| (s.id.0, s.rank, s.first_seen_week)));
         let vantage = VantagePoint {
             name: "TestVP".into(),
@@ -259,10 +312,8 @@ mod tests {
         assert!(db.len() > 300, "most sites monitored, got {}", db.len());
         let dual: Vec<SiteId> = db.dual_stack_sites().collect();
         assert!(!dual.is_empty(), "some dual-stack sites observed");
-        let with_samples = dual
-            .iter()
-            .filter(|s| !db.record(**s).unwrap().samples_v4.is_empty())
-            .count();
+        let with_samples =
+            dual.iter().filter(|s| !db.record(**s).unwrap().samples_v4.is_empty()).count();
         assert!(with_samples > 0, "performance samples collected");
         // v4-only sites must have no samples
         for (site, rec) in db.iter() {
@@ -284,6 +335,31 @@ mod tests {
         let db1 = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg1);
         let db8 = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg8);
         assert_eq!(db1, db8, "scheduling must not affect results");
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_worker_counts() {
+        assert!(CampaignConfig::paper().validate().is_ok());
+        assert!(CampaignConfig::test_small().validate().is_ok());
+        let mut zero = CampaignConfig::test_small();
+        zero.workers = 0;
+        assert!(zero.validate().is_err());
+        let mut over = CampaignConfig::test_small();
+        over.workers = over.max_workers + 1;
+        assert!(over.validate().is_err(), "over-cap must be an error, not a clamp");
+        let mut no_cap = CampaignConfig::test_small();
+        no_cap.max_workers = 0;
+        assert!(no_cap.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign config")]
+    fn campaign_panics_on_over_cap_workers() {
+        let w = world(10);
+        let c = ctx(&w);
+        let mut cfg = CampaignConfig::test_small();
+        cfg.workers = cfg.max_workers + 10;
+        run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg);
     }
 
     #[test]
@@ -341,10 +417,7 @@ mod tests {
         // churn adds v4-only sites to the denominator, so small dips are
         // legitimate; collapse is not (this population publishes all AAAA
         // records from week 0)
-        assert!(
-            late >= early * 0.8,
-            "reachability must not collapse: {early} -> {late}"
-        );
+        assert!(late >= early * 0.8, "reachability must not collapse: {early} -> {late}");
         assert!(late > 0.0);
     }
 
@@ -356,9 +429,7 @@ mod tests {
         let participants: Vec<SiteId> = w
             .sites
             .iter()
-            .filter(|s| {
-                s.v6.as_ref().is_some_and(|v| v.ipv6_day_participant && v.from_week <= 10)
-            })
+            .filter(|s| s.v6.as_ref().is_some_and(|v| v.ipv6_day_participant && v.from_week <= 10))
             .map(|s| s.id)
             .collect();
         assert!(!participants.is_empty(), "some participants in population");

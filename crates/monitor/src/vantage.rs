@@ -76,15 +76,42 @@ impl VantagePoint {
             // 2/4/11 → week 25
             mk("Comcast", "Denver, CO", as_ids[0], 25, true, false, VantageKind::Commercial, false),
             // 5/19/11 → week 40
-            mk("Go6-Slovenia", "Slovenia", as_ids[1], 40, false, false, VantageKind::Commercial, false),
+            mk(
+                "Go6-Slovenia",
+                "Slovenia",
+                as_ids[1],
+                40,
+                false,
+                false,
+                VantageKind::Commercial,
+                false,
+            ),
             // 4/29/11 → week 37
-            mk("Loughborough U.", "Great Britain", as_ids[2], 37, true, false, VantageKind::Academic, false),
+            mk(
+                "Loughborough U.",
+                "Great Britain",
+                as_ids[2],
+                37,
+                true,
+                false,
+                VantageKind::Academic,
+                false,
+            ),
             // 7/22/09 → before campaign start, clamp to 0
             mk("Penn", "Philadelphia, PA", as_ids[3], 0, true, false, VantageKind::Academic, true),
             // 3/22/11 → week 31
             mk("Tsinghua U.", "China", as_ids[4], 31, false, false, VantageKind::Academic, false),
             // 2/28/11 → week 28
-            mk("UPC Broadband", "Netherlands", as_ids[5], 28, true, true, VantageKind::Commercial, false),
+            mk(
+                "UPC Broadband",
+                "Netherlands",
+                as_ids[5],
+                28,
+                true,
+                true,
+                VantageKind::Commercial,
+                false,
+            ),
         ]
     }
 
@@ -122,11 +149,8 @@ mod tests {
     #[test]
     fn only_upcb_is_white_listed() {
         let vps = VantagePoint::paper_table1(&ids());
-        let wl: Vec<&str> = vps
-            .iter()
-            .filter(|v| v.white_listed)
-            .map(|v| v.name.as_str())
-            .collect();
+        let wl: Vec<&str> =
+            vps.iter().filter(|v| v.white_listed).map(|v| v.name.as_str()).collect();
         assert_eq!(wl, ["UPC Broadband"]);
     }
 

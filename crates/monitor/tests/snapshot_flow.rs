@@ -72,7 +72,8 @@ fn campaign_snapshot_and_central_merge() {
             white_listed: false,
             v6_epoch: None,
         };
-        let cfg = CampaignConfig { total_weeks: 10, workers: 4, ipv6_day_rounds: 2 };
+        let cfg =
+            CampaignConfig { total_weeks: 10, workers: 4, max_workers: 25, ipv6_day_rounds: 2 };
         let db = run_campaign(&ctx, &vantage, &list, &[], |_| 0, &cfg);
         assert!(!db.is_empty());
         let path = dir.join(format!("{name}.json"));

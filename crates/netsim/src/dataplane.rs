@@ -111,24 +111,15 @@ impl<'a> DataPlane<'a> {
 mod tests {
     use super::*;
     use ipv6web_bgp::BgpTable;
-    use ipv6web_topology::{
-        generate, AsId, DualStackConfig, Tier, TopologyConfig,
-    };
+    use ipv6web_topology::{generate, AsId, DualStackConfig, Tier, TopologyConfig};
 
     fn topo_with(seed: u64) -> ipv6web_topology::Topology {
         generate(&TopologyConfig::test_small(), seed)
     }
 
-    fn any_route(
-        t: &ipv6web_topology::Topology,
-        family: Family,
-    ) -> ipv6web_bgp::Route {
-        let vantage = t
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-            .unwrap()
-            .id;
+    fn any_route(t: &ipv6web_topology::Topology, family: Family) -> ipv6web_bgp::Route {
+        let vantage =
+            t.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let dests: Vec<AsId> = t
             .nodes()
             .iter()
@@ -189,12 +180,8 @@ mod tests {
         for seed in 0..20u64 {
             let t = topo_with(seed);
             let dp = DataPlane::new(&t);
-            let vantage = t
-                .nodes()
-                .iter()
-                .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-                .unwrap()
-                .id;
+            let vantage =
+                t.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
             let dests: Vec<AsId> = t
                 .nodes()
                 .iter()
@@ -249,11 +236,7 @@ mod tests {
         let dp = DataPlane::new(&t);
         let route = any_route(&t, Family::V4);
         let m = dp.metrics(&route, Family::V4);
-        let max_single = route
-            .edges
-            .iter()
-            .map(|&e| t.edge(e).props.loss)
-            .fold(0.0, f64::max);
+        let max_single = route.edges.iter().map(|&e| t.edge(e).props.loss).fold(0.0, f64::max);
         let sum: f64 = route.edges.iter().map(|&e| t.edge(e).props.loss).sum();
         assert!(m.loss >= max_single);
         assert!(m.loss <= sum + 1e-12);

@@ -204,14 +204,8 @@ mod tests {
     fn sequential_era_made_broken_v6_catastrophic() {
         let mut rng = derive_rng(4, "he");
         let cfg = HappyEyeballsConfig::sequential();
-        let out = race(
-            &mut rng,
-            Some(&metrics(80.0, 0.0)),
-            Some(&metrics(50.0, 0.0)),
-            true,
-            &cfg,
-        )
-        .unwrap();
+        let out = race(&mut rng, Some(&metrics(80.0, 0.0)), Some(&metrics(50.0, 0.0)), true, &cfg)
+            .unwrap();
         assert_eq!(out.winner, Family::V4);
         assert!(
             out.connect_ms > 20_000.0,
@@ -223,14 +217,9 @@ mod tests {
     #[test]
     fn v4_only_host_connects_directly() {
         let mut rng = derive_rng(5, "he");
-        let out = race(
-            &mut rng,
-            None,
-            Some(&metrics(70.0, 0.0)),
-            false,
-            &HappyEyeballsConfig::rfc6555(),
-        )
-        .unwrap();
+        let out =
+            race(&mut rng, None, Some(&metrics(70.0, 0.0)), false, &HappyEyeballsConfig::rfc6555())
+                .unwrap();
         assert_eq!(out.winner, Family::V4);
         assert!(out.connect_ms < 100.0, "no v6 route => no timer penalty");
     }

@@ -68,12 +68,7 @@ pub fn link_mtu(topo: &Topology, edge: ipv6web_topology::EdgeId) -> u16 {
 
 /// The true end-to-end MTU of a route (minimum link MTU).
 pub fn path_mtu(topo: &Topology, route: &Route) -> u16 {
-    route
-        .edges
-        .iter()
-        .map(|&e| link_mtu(topo, e))
-        .min()
-        .unwrap_or(BASE_MTU)
+    route.edges.iter().map(|&e| link_mtu(topo, e)).min().unwrap_or(BASE_MTU)
 }
 
 /// Runs the PMTUD state machine along `route` in `family`.
@@ -90,11 +85,8 @@ pub fn discover_pmtud<R: Rng>(
     let mut current = BASE_MTU;
     for _ in 0..cfg.max_probes {
         // find the first link the current packet size does not fit through
-        let Some((hop_idx, edge)) = route
-            .edges
-            .iter()
-            .enumerate()
-            .find(|(_, &e)| link_mtu(topo, e) < current)
+        let Some((hop_idx, edge)) =
+            route.edges.iter().enumerate().find(|(_, &e)| link_mtu(topo, e) < current)
         else {
             return Pmtud::Discovered(current);
         };
@@ -107,15 +99,14 @@ pub fn discover_pmtud<R: Rng>(
             // build + parse the actual ICMPv6 message
             let e = topo.edge(*edge);
             let hop_as = topo.node(e.a);
-            let (Some(src), Some(dst)) = (
-                hop_as.v6_host(250),
-                topo.node(route.as_path.source()).v6_host(1),
-            ) else {
+            let (Some(src), Some(dst)) =
+                (hop_as.v6_host(250), topo.node(route.as_path.source()).v6_host(1))
+            else {
                 return Pmtud::Blackhole(hop_idx);
             };
             let ptb = Icmpv6Message::packet_too_big(next_mtu as u32, &[0u8; 64]);
-            let parsed = Icmpv6Message::decode(&ptb.to_vec(src, dst), src, dst)
-                .expect("own PTB parses");
+            let parsed =
+                Icmpv6Message::decode(&ptb.to_vec(src, dst), src, dst).expect("own PTB parses");
             debug_assert_eq!(parsed.mtu(), Some(next_mtu as u32));
         }
         current = next_mtu;
@@ -132,12 +123,8 @@ mod tests {
 
     fn routes(family: Family, seed: u64) -> (ipv6web_topology::Topology, Vec<Route>) {
         let topo = generate(&TopologyConfig::test_small(), seed);
-        let vantage = topo
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-            .unwrap()
-            .id;
+        let vantage =
+            topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let dests: Vec<AsId> = topo
             .nodes()
             .iter()
@@ -187,9 +174,7 @@ mod tests {
         for seed in 0..20u64 {
             let (topo, rs) = routes(Family::V6, seed);
             for r in &rs {
-                if let Some(pos) =
-                    r.edges.iter().position(|&e| topo.edge(e).tunnel.is_some())
-                {
+                if let Some(pos) = r.edges.iter().position(|&e| topo.edge(e).tunnel.is_some()) {
                     let out = discover_pmtud(&mut rng, &topo, r, Family::V6, &cfg);
                     assert_eq!(out, Pmtud::Blackhole(pos));
                     return;

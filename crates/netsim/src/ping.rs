@@ -150,18 +150,10 @@ mod tests {
 
     fn world() -> (ipv6web_topology::Topology, AsId, AsId) {
         let topo = generate(&TopologyConfig::test_small(), 41);
-        let src = topo
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-            .unwrap()
-            .id;
-        let dst = topo
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Content && n.is_dual_stack())
-            .unwrap()
-            .id;
+        let src =
+            topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
+        let dst =
+            topo.nodes().iter().find(|n| n.tier == Tier::Content && n.is_dual_stack()).unwrap().id;
         (topo, src, dst)
     }
 
@@ -181,7 +173,15 @@ mod tests {
     fn clean_path_all_replies_near_rtt() {
         let (topo, src, dst) = world();
         let mut rng = derive_rng(1, "ping");
-        let out = ping(&mut rng, &topo, src, dst, &metrics(120.0, 0.0), Family::V4, &PingConfig::standard());
+        let out = ping(
+            &mut rng,
+            &topo,
+            src,
+            dst,
+            &metrics(120.0, 0.0),
+            Family::V4,
+            &PingConfig::standard(),
+        );
         assert_eq!(out.received, 10);
         assert_eq!(out.loss_rate(), 0.0);
         let avg = out.avg_ms.unwrap();
@@ -195,7 +195,15 @@ mod tests {
         let mut rng = derive_rng(2, "ping");
         let mut lost_any = false;
         for _ in 0..20 {
-            let out = ping(&mut rng, &topo, src, dst, &metrics(50.0, 0.3), Family::V4, &PingConfig::standard());
+            let out = ping(
+                &mut rng,
+                &topo,
+                src,
+                dst,
+                &metrics(50.0, 0.3),
+                Family::V4,
+                &PingConfig::standard(),
+            );
             if out.received < out.sent {
                 lost_any = true;
             }
@@ -207,7 +215,15 @@ mod tests {
     fn v6_ping_works_between_dual_stack_ases() {
         let (topo, src, dst) = world();
         let mut rng = derive_rng(3, "ping");
-        let out = ping(&mut rng, &topo, src, dst, &metrics(80.0, 0.001), Family::V6, &PingConfig::standard());
+        let out = ping(
+            &mut rng,
+            &topo,
+            src,
+            dst,
+            &metrics(80.0, 0.001),
+            Family::V6,
+            &PingConfig::standard(),
+        );
         assert!(out.received >= 8);
         assert!(out.avg_ms.unwrap() > 0.0);
     }
@@ -218,7 +234,15 @@ mod tests {
         let src = topo.nodes().iter().find(|n| n.is_dual_stack()).unwrap().id;
         let dst = topo.nodes().iter().find(|n| !n.is_dual_stack()).unwrap().id;
         let mut rng = derive_rng(4, "ping");
-        let out = ping(&mut rng, &topo, src, dst, &metrics(80.0, 0.0), Family::V6, &PingConfig::standard());
+        let out = ping(
+            &mut rng,
+            &topo,
+            src,
+            dst,
+            &metrics(80.0, 0.0),
+            Family::V6,
+            &PingConfig::standard(),
+        );
         assert_eq!(out.received, 0);
         assert_eq!(out.avg_ms, None);
         assert_eq!(out.loss_rate(), 1.0);
@@ -228,7 +252,15 @@ mod tests {
     fn total_loss_yields_empty_stats() {
         let (topo, src, dst) = world();
         let mut rng = derive_rng(5, "ping");
-        let out = ping(&mut rng, &topo, src, dst, &metrics(80.0, 0.999), Family::V4, &PingConfig::standard());
+        let out = ping(
+            &mut rng,
+            &topo,
+            src,
+            dst,
+            &metrics(80.0, 0.999),
+            Family::V4,
+            &PingConfig::standard(),
+        );
         assert_eq!(out.min_ms, None);
         assert!(out.loss_rate() > 0.9);
     }

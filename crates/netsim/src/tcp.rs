@@ -36,13 +36,7 @@ pub struct TcpConfig {
 impl TcpConfig {
     /// Defaults matching 2011-era stacks.
     pub fn paper() -> Self {
-        TcpConfig {
-            mss: 1460,
-            init_cwnd: 3,
-            rwnd: 65_535,
-            rto_ms: 1000.0,
-            jitter_sigma: 0.03,
-        }
+        TcpConfig { mss: 1460, init_cwnd: 3, rwnd: 65_535, rto_ms: 1000.0, jitter_sigma: 0.03 }
     }
 
     /// A config for a tunneled IPv6 path: MSS shrinks by the 6in4 overhead.
@@ -72,7 +66,8 @@ fn pftk_bytes_per_s(mss: f64, rtt_s: f64, loss: f64, rto_s: f64) -> f64 {
         return f64::INFINITY;
     }
     let term1 = rtt_s * (2.0 * loss / 3.0).sqrt();
-    let term2 = rto_s * (1.0f64).min(3.0 * (3.0 * loss / 8.0).sqrt()) * loss * (1.0 + 32.0 * loss * loss);
+    let term2 =
+        rto_s * (1.0f64).min(3.0 * (3.0 * loss / 8.0).sqrt()) * loss * (1.0 + 32.0 * loss * loss);
     mss / (term1 + term2)
 }
 
@@ -184,7 +179,8 @@ mod tests {
     fn loss_reduces_throughput_via_pftk() {
         let mut rng = derive_rng(4, "tcp");
         let cfg = TcpConfig { jitter_sigma: 0.0, ..TcpConfig::paper() };
-        let clean = download_time(&mut rng, 2_000_000, &metrics(100.0, 50_000.0, 0.0001), 0.0, &cfg);
+        let clean =
+            download_time(&mut rng, 2_000_000, &metrics(100.0, 50_000.0, 0.0001), 0.0, &cfg);
         let lossy = download_time(&mut rng, 2_000_000, &metrics(100.0, 50_000.0, 0.02), 0.0, &cfg);
         assert!(clean.speed_kbps > 2.0 * lossy.speed_kbps);
     }
@@ -226,7 +222,8 @@ mod tests {
         let mut rng = derive_rng(6, "tcp");
         let cfg = TcpConfig { jitter_sigma: 0.0, ..TcpConfig::paper() };
         let quick = download_time(&mut rng, 60_000, &metrics(100.0, 10_000.0, 0.001), 0.0, &cfg);
-        let slowsrv = download_time(&mut rng, 60_000, &metrics(100.0, 10_000.0, 0.001), 500.0, &cfg);
+        let slowsrv =
+            download_time(&mut rng, 60_000, &metrics(100.0, 10_000.0, 0.001), 500.0, &cfg);
         assert!((slowsrv.time_s - quick.time_s - 0.5).abs() < 1e-9);
     }
 

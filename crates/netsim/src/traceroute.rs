@@ -201,19 +201,10 @@ mod tests {
 
     fn setup() -> (ipv6web_topology::Topology, Vec<Route>) {
         let t = generate(&TopologyConfig::test_small(), 31);
-        let vantage = t
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-            .unwrap()
-            .id;
-        let dests: Vec<AsId> = t
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == Tier::Content)
-            .map(|n| n.id)
-            .take(40)
-            .collect();
+        let vantage =
+            t.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
+        let dests: Vec<AsId> =
+            t.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(40).collect();
         let table = BgpTable::build(&t, vantage, Family::V4, &dests);
         let routes: Vec<Route> = table.iter().cloned().collect();
         (t, routes)
@@ -285,10 +276,7 @@ mod tests {
                 failed += 1;
             }
         }
-        assert!(
-            failed * 2 > n,
-            "only {failed}/{n} failed; paper saw >50% failures"
-        );
+        assert!(failed * 2 > n, "only {failed}/{n} failed; paper saw >50% failures");
         assert!(failed < n, "some traceroutes must still succeed");
     }
 
@@ -311,12 +299,8 @@ mod tests {
     #[test]
     fn v6_traceroute_works_on_dual_stack_route() {
         let t = generate(&TopologyConfig::test_small(), 37);
-        let vantage = t
-            .nodes()
-            .iter()
-            .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-            .unwrap()
-            .id;
+        let vantage =
+            t.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let dests: Vec<AsId> = t
             .nodes()
             .iter()

@@ -20,10 +20,7 @@ impl Ipv4Cidr {
     pub fn new(addr: Ipv4Addr, len: u8) -> Self {
         let len = len.min(32);
         let mask = Self::mask(len);
-        Ipv4Cidr {
-            addr: Ipv4Addr::from(u32::from(addr) & mask),
-            len,
-        }
+        Ipv4Cidr { addr: Ipv4Addr::from(u32::from(addr) & mask), len }
     }
 
     fn mask(len: u8) -> u32 {
@@ -40,6 +37,7 @@ impl Ipv4Cidr {
     }
 
     /// Prefix length.
+    #[allow(clippy::len_without_is_empty)] // prefix length, not a collection
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -88,10 +86,7 @@ impl Ipv6Cidr {
     pub fn new(addr: Ipv6Addr, len: u8) -> Self {
         let len = len.min(128);
         let mask = Self::mask(len);
-        Ipv6Cidr {
-            addr: Ipv6Addr::from(u128::from(addr) & mask),
-            len,
-        }
+        Ipv6Cidr { addr: Ipv6Addr::from(u128::from(addr) & mask), len }
     }
 
     fn mask(len: u8) -> u128 {
@@ -108,6 +103,7 @@ impl Ipv6Cidr {
     }
 
     /// Prefix length.
+    #[allow(clippy::len_without_is_empty)] // prefix length, not a collection
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -120,12 +120,7 @@ mod tests {
 
     #[test]
     fn pseudo_v4_matches_manual() {
-        let c = pseudo_v4(
-            Ipv4Addr::new(192, 0, 2, 1),
-            Ipv4Addr::new(198, 51, 100, 2),
-            17,
-            8,
-        );
+        let c = pseudo_v4(Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(198, 51, 100, 2), 17, 8);
         let mut manual = Checksum::new();
         manual.add_bytes(&[192, 0, 2, 1, 198, 51, 100, 2, 0, 17, 0, 8]);
         assert_eq!(c.finish(), manual.finish());

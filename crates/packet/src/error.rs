@@ -66,17 +66,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = PacketError::Truncated {
-            what: "ipv4 header",
-            needed: 20,
-            got: 7,
-        };
+        let e = PacketError::Truncated { what: "ipv4 header", needed: 20, got: 7 };
         let s = e.to_string();
         assert!(s.contains("ipv4 header") && s.contains("20") && s.contains('7'));
 
-        assert!(PacketError::BadVersion { expected: 6, got: 4 }
-            .to_string()
-            .contains("expected 6"));
+        assert!(PacketError::BadVersion { expected: 6, got: 4 }.to_string().contains("expected 6"));
         assert!(PacketError::BadChecksum { what: "udp" }.to_string().contains("udp"));
     }
 

@@ -207,7 +207,7 @@ mod tests {
         let mut v = sample().to_vec();
         v[0] = 0x46;
         v.splice(20..20, [1u8, 1, 1, 1]); // NOPs after fixed header
-        // fix checksum
+                                          // fix checksum
         v[10] = 0;
         v[11] = 0;
         let ck = internet_checksum(&v[..24]);

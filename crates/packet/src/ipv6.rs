@@ -47,9 +47,8 @@ impl Ipv6Header {
 
     /// Serializes the header into `buf`.
     pub fn encode<B: BufMut>(&self, buf: &mut B) {
-        let word0: u32 = (6u32 << 28)
-            | ((self.traffic_class as u32) << 20)
-            | (self.flow_label & 0x000f_ffff);
+        let word0: u32 =
+            (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0x000f_ffff);
         buf.put_u32(word0);
         buf.put_u16(self.payload_len);
         buf.put_u8(self.next_header);

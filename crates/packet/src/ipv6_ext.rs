@@ -109,7 +109,11 @@ impl FragmentHeader {
     /// Decodes from exactly 8 bytes.
     pub fn decode(data: &[u8]) -> Result<Self> {
         if data.len() < 8 {
-            return Err(PacketError::Truncated { what: "ipv6 fragment header", needed: 8, got: data.len() });
+            return Err(PacketError::Truncated {
+                what: "ipv6 fragment header",
+                needed: 8,
+                got: data.len(),
+            });
         }
         let off_flags = u16::from_be_bytes([data[2], data[3]]);
         Ok(FragmentHeader {

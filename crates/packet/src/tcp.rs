@@ -137,18 +137,15 @@ impl TcpHeader {
         }
         let data_offset = ((data[12] >> 4) as usize) * 4;
         if data_offset < TCP_HEADER_LEN || data_offset > data.len() {
-            return Err(PacketError::BadLength {
-                what: "tcp data offset",
-                value: data_offset,
-            });
+            return Err(PacketError::BadLength { what: "tcp data offset", value: data_offset });
         }
         // scan options for MSS
         let mut mss = None;
         let mut i = TCP_HEADER_LEN;
         while i < data_offset {
             match data[i] {
-                0 => break,       // end of options
-                1 => i += 1,      // NOP
+                0 => break,  // end of options
+                1 => i += 1, // NOP
                 kind => {
                     if i + 1 >= data_offset {
                         return Err(PacketError::BadField { what: "tcp option length" });
@@ -180,7 +177,7 @@ impl TcpHeader {
     }
 
     /// Decodes and verifies a segment carried over IPv4.
-    pub fn decode_v4<'a>(data: &'a [u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(Self, &'a [u8])> {
+    pub fn decode_v4(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(Self, &[u8])> {
         let mut c = pseudo_v4(src, dst, IPPROTO_TCP, data.len() as u16);
         c.add_bytes(data);
         if c.finish() != 0 {
@@ -190,7 +187,7 @@ impl TcpHeader {
     }
 
     /// Decodes and verifies a segment carried over IPv6.
-    pub fn decode_v6<'a>(data: &'a [u8], src: Ipv6Addr, dst: Ipv6Addr) -> Result<(Self, &'a [u8])> {
+    pub fn decode_v6(data: &[u8], src: Ipv6Addr, dst: Ipv6Addr) -> Result<(Self, &[u8])> {
         let mut c = pseudo_v6(src, dst, IPPROTO_TCP, data.len() as u32);
         c.add_bytes(data);
         if c.finish() != 0 {
@@ -268,7 +265,7 @@ mod tests {
         let mut v = wire[..20].to_vec();
         v[12] = (7u8) << 4; // 28 bytes
         v.extend_from_slice(&[1, 1, 2, 4, 2, 24, 0, 0]); // NOP NOP MSS=536 EOL pad
-        // re-checksum
+                                                         // re-checksum
         v[16] = 0;
         v[17] = 0;
         let mut c = pseudo_v4(s, d, IPPROTO_TCP, v.len() as u16);
@@ -285,7 +282,7 @@ mod tests {
         let (s, d) = v4addrs();
         let mut wire = TcpHeader::ack(1, 2, 3, 4).to_vec_v4(s, d, &[]);
         wire[12] = 3 << 4; // 12 bytes < 20
-        // fix checksum so we reach the structural check
+                           // fix checksum so we reach the structural check
         wire[16] = 0;
         wire[17] = 0;
         let mut c = pseudo_v4(s, d, IPPROTO_TCP, wire.len() as u16);

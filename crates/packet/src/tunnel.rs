@@ -81,12 +81,8 @@ mod tests {
 
     #[test]
     fn encap_decap_roundtrip() {
-        let inner_hdr = Ipv6Header::new(
-            "2001:db8::1".parse().unwrap(),
-            "2001:db8::2".parse().unwrap(),
-            6,
-            11,
-        );
+        let inner_hdr =
+            Ipv6Header::new("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap(), 6, 11);
         let mut inner = inner_hdr.to_vec();
         inner.extend_from_slice(b"hello world");
         let entry = Ipv4Addr::new(192, 0, 2, 1);

@@ -24,11 +24,7 @@ pub struct UdpHeader {
 impl UdpHeader {
     /// Builds a header for a payload of `payload_len` bytes.
     pub fn new(src_port: u16, dst_port: u16, payload_len: u16) -> Self {
-        UdpHeader {
-            src_port,
-            dst_port,
-            length: UDP_HEADER_LEN as u16 + payload_len,
-        }
+        UdpHeader { src_port, dst_port, length: UDP_HEADER_LEN as u16 + payload_len }
     }
 
     fn raw(&self, payload: &[u8]) -> Vec<u8> {
@@ -78,10 +74,7 @@ impl UdpHeader {
         }
         let length = u16::from_be_bytes([data[4], data[5]]);
         if (length as usize) < UDP_HEADER_LEN || length as usize > data.len() {
-            return Err(PacketError::BadLength {
-                what: "udp length",
-                value: length as usize,
-            });
+            return Err(PacketError::BadLength { what: "udp length", value: length as usize });
         }
         Ok((
             UdpHeader {
@@ -95,7 +88,7 @@ impl UdpHeader {
 
     /// Decodes and verifies a datagram carried over IPv4. Returns the header
     /// and a slice of the payload.
-    pub fn decode_v4<'a>(data: &'a [u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(Self, &'a [u8])> {
+    pub fn decode_v4(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(Self, &[u8])> {
         let (hdr, payload) = Self::decode_common(data)?;
         let stored = u16::from_be_bytes([data[6], data[7]]);
         if stored != 0 {
@@ -110,7 +103,7 @@ impl UdpHeader {
 
     /// Decodes and verifies a datagram carried over IPv6. A zero checksum is
     /// illegal in IPv6.
-    pub fn decode_v6<'a>(data: &'a [u8], src: Ipv6Addr, dst: Ipv6Addr) -> Result<(Self, &'a [u8])> {
+    pub fn decode_v6(data: &[u8], src: Ipv6Addr, dst: Ipv6Addr) -> Result<(Self, &[u8])> {
         let (hdr, payload) = Self::decode_common(data)?;
         let stored = u16::from_be_bytes([data[6], data[7]]);
         if stored == 0 {

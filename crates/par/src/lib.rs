@@ -1,0 +1,118 @@
+//! Deterministic fork/join helpers over `std::thread::scope`.
+//!
+//! The route engine fans out independent per-destination computations and
+//! must merge them in a stable order regardless of thread count or
+//! scheduling. [`par_map`] guarantees that: the output vector is indexed by
+//! input position, so `par_map(xs, f)` is bit-identical to
+//! `xs.iter().map(f).collect()` whenever `f` itself is deterministic.
+//!
+//! Thread count comes from the `IPV6WEB_THREADS` environment variable when
+//! set (a value of `1` forces the sequential path, used by the determinism
+//! tests), else from `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "IPV6WEB_THREADS";
+
+/// Number of worker threads to use: `IPV6WEB_THREADS` if set to a positive
+/// integer, else the machine's available parallelism, else 1.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item, possibly in parallel, returning results in
+/// input order. `f` receives the item index alongside the item so callers
+/// can seed per-item state deterministically.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (mainly for tests).
+pub fn par_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Work-stealing over an atomic index; each worker keeps (index, result)
+    // pairs locally and the results are scattered back by index afterwards,
+    // so scheduling order never leaks into the output.
+    let next = AtomicUsize::new(0);
+    let buckets: Mutex<Vec<Vec<(usize, U)>>> = Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                buckets.lock().unwrap().push(local);
+            });
+        }
+    });
+
+    let buckets = buckets.into_inner().unwrap();
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for (i, v) in buckets.into_iter().flatten() {
+        debug_assert!(out[i].is_none(), "index {i} produced twice");
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|slot| slot.expect("every index produced exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let par = par_map_with(workers, &items, |_, x| x * x);
+            assert_eq!(par, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn passes_stable_indices() {
+        let items = vec!["a", "b", "c", "d"];
+        let idx = par_map_with(4, &items, |i, _| i);
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u8> = vec![];
+        assert_eq!(par_map_with(8, &none, |_, x| *x), Vec::<u8>::new());
+        assert_eq!(par_map_with(8, &[41], |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -36,19 +36,19 @@ impl StudentT {
         let table: &[f64] = match self {
             // df = 1..=30
             StudentT::P90 => &[
-                6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796,
-                1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717,
-                1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+                6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782,
+                1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+                1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
             ],
             StudentT::P95 => &[
                 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201,
-                2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074,
-                2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+                2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+                2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
             ],
             StudentT::P99 => &[
                 63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106,
-                3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819,
-                2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+                3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807,
+                2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
             ],
         };
         if (df as usize) <= table.len() {
@@ -62,7 +62,8 @@ impl StudentT {
             StudentT::P99 => 2.5758293035489004,
         };
         let d = df as f64;
-        z + (z.powi(3) + z) / (4.0 * d) + (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / (96.0 * d * d)
+        z + (z.powi(3) + z) / (4.0 * d)
+            + (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / (96.0 * d * d)
     }
 
     /// The confidence level as a fraction (e.g. 0.95).
@@ -113,16 +114,8 @@ impl ConfidenceInterval {
 /// Computes the Student-t confidence interval of the mean of `acc`.
 pub fn mean_ci(acc: &Welford, level: StudentT) -> ConfidenceInterval {
     let n = acc.count();
-    let half_width = if n < 2 {
-        f64::INFINITY
-    } else {
-        level.critical(n - 1) * acc.std_error()
-    };
-    ConfidenceInterval {
-        mean: acc.mean(),
-        half_width,
-        n,
-    }
+    let half_width = if n < 2 { f64::INFINITY } else { level.critical(n - 1) * acc.std_error() };
+    ConfidenceInterval { mean: acc.mean(), half_width, n }
 }
 
 /// The paper's stopping rule: keep sampling until the `level` confidence

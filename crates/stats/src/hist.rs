@@ -28,13 +28,7 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(nbins > 0, "nbins must be positive");
         assert!(hi > lo, "hi must exceed lo");
-        Histogram {
-            lo,
-            hi,
-            bins: vec![0; nbins],
-            underflow: 0,
-            overflow: 0,
-        }
+        Histogram { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0 }
     }
 
     /// Adds a sample.
@@ -100,11 +94,7 @@ pub struct ZeroMode {
 /// least one `|diff| ≤ tolerance` (paper tolerance: 0.10).
 pub fn zero_mode(diffs_rel: &[f64], tolerance: f64) -> ZeroMode {
     let sites_at_zero = diffs_rel.iter().filter(|d| d.abs() <= tolerance).count();
-    ZeroMode {
-        present: sites_at_zero >= 1,
-        sites_at_zero,
-        total_sites: diffs_rel.len(),
-    }
+    ZeroMode { present: sites_at_zero >= 1, sites_at_zero, total_sites: diffs_rel.len() }
 }
 
 #[cfg(test)]

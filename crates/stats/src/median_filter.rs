@@ -47,11 +47,7 @@ impl MedianFilter {
             buf.extend_from_slice(&xs[lo..hi]);
             buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median filter input"));
             let m = buf.len();
-            let med = if m % 2 == 1 {
-                buf[m / 2]
-            } else {
-                (buf[m / 2 - 1] + buf[m / 2]) / 2.0
-            };
+            let med = if m % 2 == 1 { buf[m / 2] } else { (buf[m / 2 - 1] + buf[m / 2]) / 2.0 };
             out.push(med);
         }
         out
@@ -96,11 +92,7 @@ pub fn detect_transition(
         let all_down = run.iter().all(|&x| x <= base * (1.0 - threshold));
         if all_up || all_down {
             let post = run.iter().sum::<f64>() / consecutive as f64;
-            return Some(Transition {
-                index: i,
-                magnitude: (post - base) / base,
-                upward: all_up,
-            });
+            return Some(Transition { index: i, magnitude: (post - base) / base, upward: all_up });
         }
     }
     None

@@ -54,12 +54,7 @@ pub fn linear_regression(ys: &[f64]) -> Option<Regression> {
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(Regression {
-        slope,
-        intercept,
-        r2: r2.clamp(0.0, 1.0),
-        n,
-    })
+    Some(Regression { slope, intercept, r2: r2.clamp(0.0, 1.0), n })
 }
 
 /// Trend classification of a performance series.
@@ -160,9 +155,7 @@ mod tests {
     #[test]
     fn big_but_unexplained_drift_is_stationary() {
         // alternate wildly; slope ~0 explanatory power
-        let ys: Vec<f64> = (0..30)
-            .map(|i| if i % 2 == 0 { 50.0 } else { 150.0 })
-            .collect();
+        let ys: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 50.0 } else { 150.0 }).collect();
         assert_eq!(trend_paper(&ys), Trend::Stationary);
     }
 

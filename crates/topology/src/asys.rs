@@ -150,7 +150,8 @@ impl AsNode {
         let v4_base = (16u32 << 24) + (i << 16);
         let v4 = Ipv4Cidr::new(Ipv4Addr::from(v4_base), 16);
         // 2400::/12 style: embed the AS index in segments 1-2.
-        let v6_addr = Ipv6Addr::new(0x2400 + (i >> 16) as u16, (i & 0xffff) as u16, 0, 0, 0, 0, 0, 0);
+        let v6_addr =
+            Ipv6Addr::new(0x2400 + (i >> 16) as u16, (i & 0xffff) as u16, 0, 0, 0, 0, 0, 0);
         let v6 = Ipv6Cidr::new(v6_addr, 32);
         (v4, v6)
     }

@@ -107,7 +107,10 @@ impl DualStackConfig {
             provider_parity: lerp(self.provider_parity, full.provider_parity),
             peering_parity: lerp(self.peering_parity, full.peering_parity),
             tunnel_prob: lerp(self.tunnel_prob, full.tunnel_prob),
-            forwarding_penalty_prob: lerp(self.forwarding_penalty_prob, full.forwarding_penalty_prob),
+            forwarding_penalty_prob: lerp(
+                self.forwarding_penalty_prob,
+                full.forwarding_penalty_prob,
+            ),
             forwarding_factor_range: (
                 lerp(self.forwarding_factor_range.0, full.forwarding_factor_range.0),
                 lerp(self.forwarding_factor_range.1, full.forwarding_factor_range.1),

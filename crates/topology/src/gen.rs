@@ -124,14 +124,15 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
 
     // ---- nodes -----------------------------------------------------------
     let mut nodes = Vec::with_capacity(config.total());
-    let push_tier = |nodes: &mut Vec<AsNode>, tier: Tier, count: usize, rng: &mut ipv6web_stats::StudyRng| {
-        for _ in 0..count {
-            let id = AsId(nodes.len() as u32);
-            let region = pick_region(rng, tier);
-            let (v4_prefix, _) = AsNode::address_plan(id);
-            nodes.push(AsNode { id, tier, region, v4_prefix, v6: None });
-        }
-    };
+    let push_tier =
+        |nodes: &mut Vec<AsNode>, tier: Tier, count: usize, rng: &mut ipv6web_stats::StudyRng| {
+            for _ in 0..count {
+                let id = AsId(nodes.len() as u32);
+                let region = pick_region(rng, tier);
+                let (v4_prefix, _) = AsNode::address_plan(id);
+                nodes.push(AsNode { id, tier, region, v4_prefix, v6: None });
+            }
+        };
     push_tier(&mut nodes, Tier::Tier1, config.n_tier1, &mut rng);
     push_tier(&mut nodes, Tier::Transit, config.n_transit, &mut rng);
     push_tier(&mut nodes, Tier::Access, config.n_access, &mut rng);
@@ -163,11 +164,11 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
     let mut edges: Vec<ProtoEdge> = Vec::new();
     let mut degree = vec![0usize; nodes.len()];
     let add = |edges: &mut Vec<ProtoEdge>,
-                   degree: &mut Vec<usize>,
-                   a: AsId,
-                   b: AsId,
-                   rel_a: Relationship,
-                   props: LinkProps| {
+               degree: &mut Vec<usize>,
+               a: AsId,
+               b: AsId,
+               rel_a: Relationship,
+               props: LinkProps| {
         degree[a.index()] += 1;
         degree[b.index()] += 1;
         edges.push(ProtoEdge { a, b, rel_a, props, v4: true, v6: false, tunnel: None });
@@ -198,7 +199,14 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
         });
         for p in chosen {
             let props = link_props(&mut rng, &nodes[i], &nodes[p]);
-            add(&mut edges, &mut degree, AsId(i as u32), AsId(p as u32), Relationship::CustomerOf, props);
+            add(
+                &mut edges,
+                &mut degree,
+                AsId(i as u32),
+                AsId(p as u32),
+                Relationship::CustomerOf,
+                props,
+            );
         }
     }
     // transit peering
@@ -211,7 +219,14 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
             };
             if coin(&mut rng, p) {
                 let props = link_props(&mut rng, &nodes[i], &nodes[j]);
-                add(&mut edges, &mut degree, AsId(i as u32), AsId(j as u32), Relationship::Peer, props);
+                add(
+                    &mut edges,
+                    &mut degree,
+                    AsId(i as u32),
+                    AsId(j as u32),
+                    Relationship::Peer,
+                    props,
+                );
             }
         }
     }
@@ -235,7 +250,14 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
         });
         for p in chosen {
             let props = link_props(&mut rng, &nodes[i], &nodes[p]);
-            add(&mut edges, &mut degree, AsId(i as u32), AsId(p as u32), Relationship::CustomerOf, props);
+            add(
+                &mut edges,
+                &mut degree,
+                AsId(i as u32),
+                AsId(p as u32),
+                Relationship::CustomerOf,
+                props,
+            );
         }
     }
 
@@ -251,7 +273,14 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
             }
             if coin(&mut rng, config.cdn_access_peering) {
                 let props = link_props(&mut rng, &nodes[i], &nodes[j]);
-                add(&mut edges, &mut degree, AsId(i as u32), AsId(j as u32), Relationship::Peer, props);
+                add(
+                    &mut edges,
+                    &mut degree,
+                    AsId(i as u32),
+                    AsId(j as u32),
+                    Relationship::Peer,
+                    props,
+                );
             }
         }
     }
@@ -297,7 +326,8 @@ fn weighted_pick<R: Rng>(
     k: usize,
     weight: impl Fn(usize) -> f64,
 ) -> Vec<usize> {
-    let mut pool: Vec<(usize, f64)> = candidates.iter().map(|&c| (c, weight(c).max(1e-9))).collect();
+    let mut pool: Vec<(usize, f64)> =
+        candidates.iter().map(|&c| (c, weight(c).max(1e-9))).collect();
     let mut out = Vec::with_capacity(k);
     for _ in 0..k.min(pool.len()) {
         let total: f64 = pool.iter().map(|(_, w)| w).sum();
@@ -318,11 +348,7 @@ fn weighted_pick<R: Rng>(
 fn pick_region<R: Rng>(rng: &mut R, tier: Tier) -> Region {
     // Tier-1s concentrate where the 2011 backbone did.
     let weights: &[(Region, f64)] = match tier {
-        Tier::Tier1 => &[
-            (Region::NorthAmerica, 0.5),
-            (Region::Europe, 0.3),
-            (Region::Asia, 0.2),
-        ],
+        Tier::Tier1 => &[(Region::NorthAmerica, 0.5), (Region::Europe, 0.3), (Region::Asia, 0.2)],
         _ => &[
             (Region::NorthAmerica, 0.30),
             (Region::Europe, 0.25),
@@ -430,9 +456,7 @@ fn stitch_v6_islands<R: Rng>(
         let uplinked = compute_uplinked(edges);
         // Lowest-index stranded dual AS first: its dual providers are all
         // lower-index, hence already uplinked — every fix makes progress.
-        let Some(u) = (0..nodes.len())
-            .find(|&u| nodes[u].is_dual_stack() && !uplinked[u])
-        else {
+        let Some(u) = (0..nodes.len()).find(|&u| nodes[u].is_dual_stack() && !uplinked[u]) else {
             break;
         };
 
@@ -574,9 +598,8 @@ mod tests {
     fn dual_tier1s_meshed_in_v6() {
         let cfg = TopologyConfig::test_small();
         let t = small();
-        let dual_t1: Vec<u32> = (0..cfg.n_tier1 as u32)
-            .filter(|&i| t.node(AsId(i)).is_dual_stack())
-            .collect();
+        let dual_t1: Vec<u32> =
+            (0..cfg.n_tier1 as u32).filter(|&i| t.node(AsId(i)).is_dual_stack()).collect();
         for (x, &i) in dual_t1.iter().enumerate() {
             for &j in &dual_t1[x + 1..] {
                 assert!(

@@ -29,7 +29,7 @@ impl std::fmt::Display for Family {
 }
 
 /// Dense edge identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -129,6 +129,7 @@ impl Topology {
     ///
     /// Returns the edge id. Panics on self-loops, unknown endpoints,
     /// family-less edges, or a v6 edge between non-dual-stack endpoints.
+    #[allow(clippy::too_many_arguments)] // mirrors the edge record field-for-field
     pub fn add_edge(
         &mut self,
         a: AsId,
@@ -236,10 +237,7 @@ impl Topology {
 
     /// Finds the edge between `a` and `b` in `family`, if any.
     pub fn edge_between(&self, a: AsId, b: AsId, family: Family) -> Option<EdgeId> {
-        self.neighbors(a, family)
-            .iter()
-            .find(|(n, _, _)| *n == b)
-            .map(|(_, _, e)| *e)
+        self.neighbors(a, family).iter().find(|(n, _, _)| *n == b).map(|(_, _, e)| *e)
     }
 
     /// Whether the `family` subgraph restricted to dual-stack nodes (for v6)
@@ -247,12 +245,9 @@ impl Topology {
     pub fn is_connected(&self, family: Family) -> bool {
         let eligible: Vec<usize> = match family {
             Family::V4 => (0..self.nodes.len()).collect(),
-            Family::V6 => self
-                .nodes
-                .iter()
-                .filter(|n| n.is_dual_stack())
-                .map(|n| n.id.index())
-                .collect(),
+            Family::V6 => {
+                self.nodes.iter().filter(|n| n.is_dual_stack()).map(|n| n.id.index()).collect()
+            }
         };
         let Some(&start) = eligible.first() else {
             return true;
@@ -288,10 +283,9 @@ mod tests {
                     tier: Tier::Transit,
                     region: Region::Europe,
                     v4_prefix: v4,
-                    v6: dual.contains(&i).then_some(V6Profile {
-                        prefix: v6,
-                        forwarding_factor: 1.0,
-                    }),
+                    v6: dual
+                        .contains(&i)
+                        .then_some(V6Profile { prefix: v6, forwarding_factor: 1.0 }),
                 }
             })
             .collect()
@@ -416,8 +410,10 @@ mod tests {
     fn v6_flips_produce_modified_copy() {
         let mut t = Topology::new(mk_nodes(4, &[0, 1, 2, 3]));
         let e_keep = t.add_edge(AsId(0), AsId(1), Relationship::Peer, props(), true, true, None);
-        let e_gain = t.add_edge(AsId(1), AsId(2), Relationship::ProviderOf, props(), true, false, None);
-        let e_lose = t.add_edge(AsId(2), AsId(3), Relationship::ProviderOf, props(), true, true, None);
+        let e_gain =
+            t.add_edge(AsId(1), AsId(2), Relationship::ProviderOf, props(), true, false, None);
+        let e_lose =
+            t.add_edge(AsId(2), AsId(3), Relationship::ProviderOf, props(), true, true, None);
         let t2 = t.with_v6_flips(&[e_gain], &[e_lose]);
         assert!(t2.edge(e_keep).v6);
         assert!(t2.edge(e_gain).v6, "gained edge carries v6");

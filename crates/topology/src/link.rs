@@ -29,10 +29,7 @@ impl LinkProps {
 
     /// A link that is this link with `extra_ms` added delay (tunnel detours).
     pub fn with_extra_delay(self, extra_ms: f64) -> Self {
-        LinkProps {
-            delay_ms: self.delay_ms + extra_ms,
-            ..self
-        }
+        LinkProps { delay_ms: self.delay_ms + extra_ms, ..self }
     }
 }
 

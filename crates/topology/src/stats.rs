@@ -51,13 +51,11 @@ pub fn measure(topo: &Topology) -> TopologyStats {
         if !e.v4 {
             continue;
         }
-        let dual_endpoints =
-            topo.node(e.a).is_dual_stack() && topo.node(e.b).is_dual_stack();
+        let dual_endpoints = topo.node(e.a).is_dual_stack() && topo.node(e.b).is_dual_stack();
         if !dual_endpoints {
             continue;
         }
-        let both_t1 =
-            topo.node(e.a).tier == Tier::Tier1 && topo.node(e.b).tier == Tier::Tier1;
+        let both_t1 = topo.node(e.a).tier == Tier::Tier1 && topo.node(e.b).tier == Tier::Tier1;
         match e.rel_a {
             Relationship::Peer if !both_t1 => {
                 peer_eligible += 1;
@@ -70,11 +68,8 @@ pub fn measure(topo: &Topology) -> TopologyStats {
             }
         }
     }
-    let degree_v4: Vec<usize> = topo
-        .nodes()
-        .iter()
-        .map(|n| topo.neighbors(n.id, Family::V4).len())
-        .collect();
+    let degree_v4: Vec<usize> =
+        topo.nodes().iter().map(|n| topo.neighbors(n.id, Family::V4).len()).collect();
     TopologyStats {
         n_ases: topo.num_ases(),
         n_dual: topo.dual_stack_count(),
@@ -84,8 +79,7 @@ pub fn measure(topo: &Topology) -> TopologyStats {
         provider_parity: ratio(provider_replicated, provider_eligible),
         peering_parity: ratio(peer_replicated, peer_eligible),
         max_degree_v4: degree_v4.iter().copied().max().unwrap_or(0),
-        mean_degree_v4: degree_v4.iter().sum::<usize>() as f64
-            / degree_v4.len().max(1) as f64,
+        mean_degree_v4: degree_v4.iter().sum::<usize>() as f64 / degree_v4.len().max(1) as f64,
     }
 }
 

@@ -19,10 +19,7 @@ pub fn build_request(host: &str) -> Vec<u8> {
 /// The body is a cheap xorshift stream seeded from `(host, body_len)` so the
 /// same page always has the same bytes without storing it.
 pub fn build_response(host: &str, body_len: usize) -> Vec<u8> {
-    let mut out = format!(
-        "HTTP/1.1 200 OK\r\nServer: ipv6web-sim\r\nContent-Type: text/html\r\nContent-Length: {body_len}\r\nConnection: close\r\n\r\n"
-    )
-    .into_bytes();
+    let mut out = build_response_header(body_len);
     let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
     for b in host.bytes() {
         state = state.rotate_left(7) ^ b as u64;
@@ -36,6 +33,20 @@ pub fn build_response(host: &str, body_len: usize) -> Vec<u8> {
         out.push((state & 0x7f) as u8 | 0x20); // printable-ish
     }
     out
+}
+
+/// Builds only the response header of [`build_response`] — byte-identical
+/// to its first `header_len` bytes, without materializing the body.
+///
+/// The monitoring hot path checks page identity from `Content-Length`
+/// alone (the paper's 6% byte-count rule), so synthesizing the body — by
+/// far the dominant cost of a simulated exchange — is wasted work there.
+/// [`parse_response_len`] accepts a body-less response unchanged.
+pub fn build_response_header(body_len: usize) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 200 OK\r\nServer: ipv6web-sim\r\nContent-Type: text/html\r\nContent-Length: {body_len}\r\nConnection: close\r\n\r\n"
+    )
+    .into_bytes()
 }
 
 /// Parses the `Content-Length` and returns `(header_len, body_len)` of a

@@ -24,7 +24,9 @@ pub mod server;
 pub mod site;
 pub mod zone_build;
 
-pub use http::{build_request, build_response, pages_identical, parse_response_len};
+pub use http::{
+    build_request, build_response, build_response_header, pages_identical, parse_response_len,
+};
 pub use population::{v6_adoption_prob, PopulationConfig};
 pub use server::ServerProfile;
 pub use site::{Site, SiteId, SiteV6};

@@ -176,24 +176,16 @@ fn pick_zipf<R: Rng>(rng: &mut R, pool: &[(AsId, f64)], total: f64) -> AsId {
 /// ASes, or dual-stack transit ASes (6to4 relays).
 pub fn generate(config: &PopulationConfig, topo: &Topology, seed: u64) -> Vec<Site> {
     let mut rng = derive_rng(seed, "population");
-    let content: Vec<AsId> = topo
-        .nodes()
-        .iter()
-        .filter(|n| n.tier == Tier::Content)
-        .map(|n| n.id)
-        .collect();
+    let content: Vec<AsId> =
+        topo.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).collect();
     let dual_content: Vec<AsId> = topo
         .nodes()
         .iter()
         .filter(|n| n.tier == Tier::Content && n.is_dual_stack())
         .map(|n| n.id)
         .collect();
-    let cdns: Vec<AsId> = topo
-        .nodes()
-        .iter()
-        .filter(|n| n.tier == Tier::Cdn)
-        .map(|n| n.id)
-        .collect();
+    let cdns: Vec<AsId> =
+        topo.nodes().iter().filter(|n| n.tier == Tier::Cdn).map(|n| n.id).collect();
     let relays: Vec<AsId> = topo
         .nodes()
         .iter()
@@ -443,10 +435,7 @@ mod tests {
             assert!((0.2..0.6).contains(&f));
         }
         // v4-only sites never carry a v6 penalty
-        assert!(sites
-            .iter()
-            .filter(|s| s.v6.is_none())
-            .all(|s| s.server.v6_service_factor == 1.0));
+        assert!(sites.iter().filter(|s| s.v6.is_none()).all(|s| s.server.v6_service_factor == 1.0));
     }
 
     #[test]

@@ -29,10 +29,7 @@ pub fn build_zone(topo: &Topology, sites: &[Site]) -> ZoneDb {
             }
             None => (None, 0),
         };
-        db.insert(
-            site.name.clone(),
-            ZoneEntry { v4, v6, v6_from_week, ttl: DEFAULT_TTL },
-        );
+        db.insert(site.name.clone(), ZoneEntry { v4, v6, v6_from_week, ttl: DEFAULT_TTL });
     }
     db
 }
@@ -91,10 +88,8 @@ mod tests {
     #[test]
     fn sixto4_sites_get_2002_addresses() {
         let (_, sites, db) = setup();
-        let sixto4: Vec<&Site> = sites
-            .iter()
-            .filter(|s| s.v6.as_ref().is_some_and(|v| v.via_6to4))
-            .collect();
+        let sixto4: Vec<&Site> =
+            sites.iter().filter(|s| s.v6.as_ref().is_some_and(|v| v.via_6to4)).collect();
         assert!(!sixto4.is_empty(), "population must contain 6to4 sites");
         for s in sixto4 {
             let ans = db.query(&s.name, RecordType::Aaaa, 10_000).unwrap();
@@ -108,11 +103,8 @@ mod tests {
     #[test]
     fn native_v6_sites_land_in_origin_prefix() {
         let (topo, sites, db) = setup();
-        let native: Vec<&Site> = sites
-            .iter()
-            .filter(|s| s.v6.as_ref().is_some_and(|v| !v.via_6to4))
-            .take(100)
-            .collect();
+        let native: Vec<&Site> =
+            sites.iter().filter(|s| s.v6.as_ref().is_some_and(|v| !v.via_6to4)).take(100).collect();
         assert!(!native.is_empty());
         for s in native {
             let ans = db.query(&s.name, RecordType::Aaaa, 10_000).unwrap();

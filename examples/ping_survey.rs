@@ -49,7 +49,10 @@ fn main() {
     let mut v6_much_worse = 0usize; // [11]'s criterion: >50% higher RTT
     let mut v6_worse_tunneled = 0usize;
     let mut v6_worse_native = 0usize;
-    println!("{:<10} {:>10} {:>10} {:>8} {:>8}", "dest", "v4 avg ms", "v6 avg ms", "ratio", "tunnel");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>8}",
+        "dest", "v4 avg ms", "v6 avg ms", "ratio", "tunnel"
+    );
     for &dest in &dests {
         let (Some(r4), Some(r6)) = (t4.route(dest), t6.route(dest)) else {
             continue;

@@ -11,10 +11,8 @@
 use ipv6web::{run_study, Scenario};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed: u64 =
+        std::env::args().nth(1).map(|s| s.parse().expect("seed must be an integer")).unwrap_or(42);
 
     eprintln!("building world and running campaign (seed {seed})...");
     let study = run_study(&Scenario::quick(seed));

@@ -32,10 +32,7 @@ fn broken_v6_forwarding_rejects_h1() {
         .flat_map(|a| a.sp_groups.values())
         .filter(|g| g.category == AsCategory::Bad)
         .count();
-    assert!(
-        bad_sp > 0,
-        "a broken data plane must surface network-attributable SP ASes"
-    );
+    assert!(bad_sp > 0, "a broken data plane must surface network-attributable SP ASes");
     assert!(
         !study.report.h1.holds,
         "H1 must be rejected in the broken-forwarding world: {}",
@@ -69,10 +66,7 @@ fn clean_world_has_no_transitions_or_trends() {
         .iter()
         .flat_map(|a| &a.removed)
         .filter(|r| {
-            !matches!(
-                r.cause,
-                ipv6web::analysis::sanitize::RemovalCause::InsufficientSamples
-            )
+            !matches!(r.cause, ipv6web::analysis::sanitize::RemovalCause::InsufficientSamples)
         })
         .count();
     // without injected messiness or route changes, the sanitizer has
@@ -103,13 +97,7 @@ fn route_change_epoch_produces_attributable_transitions() {
         .transition_path_changes
         .iter()
         .fold((0, 0), |(t, c), (_, tt, cc)| (t + tt, c + cc));
-    assert!(
-        transitions > 0,
-        "aggressive route changes must trip the median-filter detector"
-    );
-    assert!(
-        changed > 0,
-        "and some transitions must be attributable to changed paths"
-    );
+    assert!(transitions > 0, "aggressive route changes must trip the median-filter detector");
+    assert!(changed > 0, "and some transitions must be attributable to changed paths");
     assert!(changed <= transitions);
 }

@@ -43,6 +43,52 @@ fn different_seed_different_world() {
 }
 
 #[test]
+fn thread_count_does_not_change_results() {
+    // Route-table fan-out width comes from IPV6WEB_THREADS. The variable is
+    // process-global, so both runs live in this one test; determinism means
+    // any interleaving with sibling tests is harmless by construction.
+    std::env::set_var("IPV6WEB_THREADS", "1");
+    let a = run_study(&tiny(5));
+    std::env::set_var("IPV6WEB_THREADS", "7");
+    let b = run_study(&tiny(5));
+    std::env::remove_var("IPV6WEB_THREADS");
+    assert_eq!(a.report, b.report, "thread count must never leak into the report");
+    assert_eq!(
+        serde_json::to_string(&a.report).unwrap(),
+        serde_json::to_string(&b.report).unwrap()
+    );
+    for (da, db) in a.dbs.iter().zip(&b.dbs) {
+        assert_eq!(da, db, "thread count must never leak into the databases");
+    }
+}
+
+#[test]
+fn memoized_epoch_rebuild_matches_from_scratch() {
+    use ipv6web::bgp::RouteStore;
+    use ipv6web::topology::{AsId, Family};
+    use ipv6web::World;
+
+    let s = tiny(11);
+    assert!(s.route_change.is_some(), "scenario must schedule a route change");
+    let w = World::build(&s);
+    let late = w.topo_late.as_ref().expect("route change produces a late topology");
+    let (_, epoch_tables) = w.v6_epoch.as_ref().expect("route change produces epoch tables");
+
+    // The world's epoch tables come from the memoized rebuild; a from-scratch
+    // store over the late topology must agree exactly.
+    let mut dests: Vec<AsId> = w.sites.iter().map(|site| site.v4_as).collect();
+    dests.extend(w.sites.iter().filter_map(|site| site.v6.as_ref().map(|v| v.dest_as)));
+    let scratch = RouteStore::build(late, Family::V6, &dests);
+    for (v, memoized) in w.vantages.iter().zip(epoch_tables) {
+        let direct = scratch.table_for(v.as_id);
+        assert_eq!(memoized.len(), direct.len(), "vantage {:?}", v.name);
+        for r in direct.iter() {
+            assert_eq!(memoized.route(r.dest), Some(r), "vantage {:?}", v.name);
+        }
+    }
+}
+
+#[test]
 fn worker_count_does_not_change_results() {
     let mut s1 = tiny(3);
     s1.campaign.workers = 1;

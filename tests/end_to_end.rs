@@ -69,13 +69,8 @@ fn sp_groups_agree_with_site_paths() {
 #[test]
 fn every_as_path_vantage_analyzed() {
     let s = study();
-    let expected: Vec<&str> = s
-        .world
-        .vantages
-        .iter()
-        .filter(|v| v.has_as_path)
-        .map(|v| v.name.as_str())
-        .collect();
+    let expected: Vec<&str> =
+        s.world.vantages.iter().filter(|v| v.has_as_path).map(|v| v.name.as_str()).collect();
     let got: Vec<&str> = s.analyses.iter().map(|a| a.vantage.as_str()).collect();
     assert_eq!(expected, got);
 }
@@ -101,10 +96,7 @@ fn fig1_rises_with_visible_jumps() {
     // the IPv6 Day jump is the paper's largest single-week step
     let day = s.world.scenario.timeline.ipv6_day_week;
     let at = |w: u32| {
-        fig1.iter()
-            .find(|p| p.week == w)
-            .map(|p| p.reachable_pct)
-            .expect("week in series")
+        fig1.iter().find(|p| p.week == w).map(|p| p.reachable_pct).expect("week in series")
     };
     let day_step = at(day) - at(day - 1);
     let mut other_steps = Vec::new();
@@ -259,11 +251,7 @@ fn table13_most_dp_paths_mostly_good_but_few_perfect() {
         if total < 99.0 {
             continue; // vantage had no DP paths
         }
-        assert!(
-            b[0] < 60.0,
-            "{v}: fully-good DP paths must be the exception, got {:.0}%",
-            b[0]
-        );
+        assert!(b[0] < 60.0, "{v}: fully-good DP paths must be the exception, got {:.0}%", b[0]);
     }
     assert!(t.n_good_ases > 0, "good-AS set must be non-empty");
 }
@@ -298,11 +286,7 @@ fn sp_bad_category_rare_under_h1() {
     // the H1 regime has ~no forwarding penalties, so genuinely-bad SP
     // destination ASes must be rare everywhere
     for a in &study().analyses {
-        let bad = a
-            .sp_groups
-            .values()
-            .filter(|g| g.category == AsCategory::Bad)
-            .count();
+        let bad = a.sp_groups.values().filter(|g| g.category == AsCategory::Bad).count();
         assert!(
             bad * 10 <= a.sp_groups.len().max(1),
             "{}: {bad}/{} SP ASes network-bad under H1",

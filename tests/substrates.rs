@@ -36,18 +36,10 @@ fn dns_query_resolves_into_generated_topology_addresses() {
 #[test]
 fn bgp_route_feeds_dataplane_feeds_tcp_model() {
     let topo = generate(&TopologyConfig::test_small(), 5);
-    let vantage = topo
-        .nodes()
-        .iter()
-        .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-        .unwrap()
-        .id;
-    let dest = topo
-        .nodes()
-        .iter()
-        .find(|n| n.tier == Tier::Content && n.is_dual_stack())
-        .unwrap()
-        .id;
+    let vantage =
+        topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
+    let dest =
+        topo.nodes().iter().find(|n| n.tier == Tier::Content && n.is_dual_stack()).unwrap().id;
     for family in [Family::V4, Family::V6] {
         let table = BgpTable::build(&topo, vantage, family, &[dest]);
         let Some(route) = table.route(dest) else {
@@ -90,13 +82,8 @@ fn tunneled_probe_packet_survives_encapsulation() {
 fn traceroute_hop_rtts_consistent_with_path_metrics() {
     let topo = generate(&TopologyConfig::test_small(), 7);
     let vantage = topo.nodes().iter().find(|n| n.tier == Tier::Access).unwrap().id;
-    let dests: Vec<AsId> = topo
-        .nodes()
-        .iter()
-        .filter(|n| n.tier == Tier::Content)
-        .map(|n| n.id)
-        .take(5)
-        .collect();
+    let dests: Vec<AsId> =
+        topo.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(5).collect();
     let table = BgpTable::build(&topo, vantage, Family::V4, &dests);
     let cfg = TracerouteConfig {
         hop_silence_prob: 0.0,
@@ -124,12 +111,8 @@ fn probe_pipeline_runs_outside_the_campaign_driver() {
     let topo = generate(&TopologyConfig::test_small(), 9);
     let sites = population::generate(&PopulationConfig::test_small(10), &topo, 9);
     let zone = build_zone(&topo, &sites);
-    let vantage = topo
-        .nodes()
-        .iter()
-        .find(|n| n.tier == Tier::Access && n.is_dual_stack())
-        .unwrap()
-        .id;
+    let vantage =
+        topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
     let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
     dests.extend(sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
     dests.sort();

@@ -1,0 +1,133 @@
+//! Offline vendored property-testing shim with the `proptest` 1.x surface
+//! this workspace uses: the `proptest!` macro family, range/`any`/`Just`/
+//! tuple/`prop_oneof!`/`collection::vec` strategies, `prop_map`, and a
+//! deterministic runner.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case panics with the full generated input
+//!   (and the seed bytes that reproduce it) instead of a minimized one.
+//! - **Deterministic seeds.** Cases derive from a fixed per-test seed, so
+//!   CI runs are reproducible without a persistence file.
+//! - **Regression replay.** `*.proptest-regressions` files next to the test
+//!   source are honored: each `cc <64-hex>` line is decoded into a 32-byte
+//!   ChaCha seed and replayed before the regular cases, so pinned failures
+//!   stay pinned.
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+
+/// The `proptest!` macro: wraps `fn name(pat in strategy, ...) { body }`
+/// items into `#[test]` functions driven by [`test_runner::run`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strat = ($($strat,)+);
+            $crate::test_runner::run(
+                config,
+                file!(),
+                stringify!($name),
+                &strat,
+                |($($pat,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not the
+/// whole process) so the runner can report the offending input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions differ inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,43 @@
+//! `Option` strategies (`proptest::option::of`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy producing `Some` of the inner strategy's value half the time
+/// and `None` otherwise (real proptest's default probability).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed([3u8; 32]);
+        let strat = of(0u32..10);
+        let vals: Vec<Option<u32>> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_none()));
+        assert!(vals.iter().any(|v| v.is_some()));
+        assert!(vals.iter().flatten().all(|&x| x < 10));
+    }
+}

@@ -1,0 +1,14 @@
+//! The usual `use proptest::prelude::*` import surface.
+
+pub use crate::collection;
+pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+};
+
+/// `prop::collection::...` path alias, as real proptest's prelude provides.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

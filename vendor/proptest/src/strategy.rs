@@ -1,0 +1,278 @@
+//! Value-generation strategies.
+
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG driving case generation (ChaCha8, seedable from 32 bytes).
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// A recipe for generating test values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+// Object-safe core for type erasure.
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among several strategies (see `prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V: Debug> Union<V> {
+    /// Builds a union over the given alternatives.
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        Union(alternatives)
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy of mapped values; see [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+);
+
+/// String strategies from a small regex subset, as real proptest provides
+/// for `&str`. Supported syntax: literal characters, `[...]` classes with
+/// ranges (a trailing `-` is a literal), and `{n}` / `{m,n}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex_subset(self)
+            .unwrap_or_else(|e| panic!("unsupported string-strategy pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for (chars, min, max) in &atoms {
+            let n = if min == max { *min } else { rng.gen_range(*min..=*max) };
+            for _ in 0..n {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses the regex subset into `(alphabet, min_reps, max_reps)` atoms.
+#[allow(clippy::type_complexity)]
+fn parse_regex_subset(pattern: &str) -> Result<Vec<(Vec<char>, usize, usize)>, String> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let alphabet = match c {
+            '[' => {
+                let mut chars = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match it.next() {
+                        None => return Err("unterminated character class".into()),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = it.next().expect("range end");
+                            chars.pop();
+                            for x in lo..=hi {
+                                chars.push(x);
+                            }
+                        }
+                        Some(x) => {
+                            chars.push(x);
+                            prev = Some(x);
+                        }
+                    }
+                }
+                if chars.is_empty() {
+                    return Err("empty character class".into());
+                }
+                chars
+            }
+            '\\' => vec![it.next().ok_or("trailing backslash")?],
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                return Err(format!("unsupported metacharacter {c:?}"));
+            }
+            other => vec![other],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let spec: String = it.by_ref().take_while(|&x| x != '}').collect();
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().map_err(|_| "bad repeat lower bound")?,
+                    hi.trim().parse().map_err(|_| "bad repeat upper bound")?,
+                ),
+                None => {
+                    let n = spec.trim().parse().map_err(|_| "bad repeat count")?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if min > max {
+            return Err(format!("repeat range {{{min},{max}}} is inverted"));
+        }
+        atoms.push((alphabet, min, max));
+    }
+    Ok(atoms)
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait ArbitraryValue: Debug + Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($ty:ty),*) => {$(
+        impl ArbitraryValue for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64);
+
+/// Whole-domain strategy for `T`; see [`ArbitraryValue`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_subset_strategy_generates_matching_strings() {
+        let mut rng = TestRng::from_seed([7u8; 32]);
+        let strat = "[a-z0-9-]{1,20}";
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+        }
+        let lit = "ab[01]{2}z".generate(&mut rng);
+        assert_eq!(lit.len(), 5);
+        assert!(lit.starts_with("ab") && lit.ends_with('z'), "{lit:?}");
+    }
+}

@@ -1,0 +1,227 @@
+//! The case runner: regression replay, deterministic case generation,
+//! failure reporting.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// Config with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 65536 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Property violated; the test fails.
+    Fail(String),
+    /// Input rejected by `prop_assume!`; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to derive stable per-test seeds.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Stable 32-byte seed for `(source file, test name, case index)`.
+fn case_seed(file: &str, name: &str, case: u32) -> [u8; 32] {
+    let mut seed = [0u8; 32];
+    seed[0..8].copy_from_slice(&fnv1a(file.as_bytes()).to_le_bytes());
+    seed[8..16].copy_from_slice(&fnv1a(name.as_bytes()).to_le_bytes());
+    seed[16..24].copy_from_slice(&(case as u64).to_le_bytes());
+    seed[24..32].copy_from_slice(&fnv1a(b"proptest-shim").to_le_bytes());
+    seed
+}
+
+/// Locates `<file stem>.proptest-regressions` next to the test source.
+/// `file!()` paths are workspace-root-relative while test binaries run from
+/// the package root, so a few parent-prefixed candidates are probed.
+fn regression_file(source_file: &str) -> Option<PathBuf> {
+    let direct = Path::new(source_file).with_extension("proptest-regressions");
+    let candidates = [
+        direct.clone(),
+        Path::new("..").join(&direct),
+        Path::new("../..").join(&direct),
+    ];
+    candidates.into_iter().find(|p| p.is_file())
+}
+
+/// Parses `cc <64 hex chars>` lines into replay seeds.
+fn parse_regression_seeds(text: &str) -> Vec<[u8; 32]> {
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(hex) = line.strip_prefix("cc ") else { continue };
+        let hex: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        if hex.len() < 64 {
+            continue;
+        }
+        let mut seed = [0u8; 32];
+        let ok = (0..32).all(|i| {
+            u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16)
+                .map(|b| seed[i] = b)
+                .is_ok()
+        });
+        if ok {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+/// Runs a property test: replays pinned regression seeds first, then
+/// `config.cases` deterministic fresh cases. Panics on the first failing
+/// case with the generated input and its reproduction seed.
+pub fn run<S: Strategy>(
+    config: Config,
+    file: &str,
+    name: &str,
+    strategy: &S,
+    mut test: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    // 1. pinned regression seeds
+    if let Some(path) = regression_file(file) {
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        for (i, seed) in parse_regression_seeds(&text).into_iter().enumerate() {
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    let mut rng = TestRng::from_seed(seed);
+                    let value = strategy.generate(&mut rng);
+                    panic!(
+                        "{name}: pinned regression case #{i} from {} still fails: {msg}\n\
+                         input: {value:#?}",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+
+    // 2. fresh deterministic cases
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let seed = case_seed(file, name, case);
+        case += 1;
+        let mut rng = TestRng::from_seed(seed);
+        let value = strategy.generate(&mut rng);
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!("{name}: too many prop_assume! rejections ({rejects})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let mut rng = TestRng::from_seed(seed);
+                let value = strategy.generate(&mut rng);
+                let hex: String = seed.iter().map(|b| format!("{b:02x}")).collect();
+                panic!(
+                    "{name}: case #{case} failed: {msg}\nseed: cc {hex}\ninput: {value:#?}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_seed_parsing() {
+        let text = "# comment\ncc 00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff # {...}\ncc short\n";
+        let seeds = parse_regression_seeds(text);
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0][0], 0x00);
+        assert_eq!(seeds[0][1], 0x11);
+        assert_eq!(seeds[0][31], 0xff);
+    }
+
+    #[test]
+    fn case_seeds_are_stable_and_distinct() {
+        assert_eq!(case_seed("f.rs", "t", 0), case_seed("f.rs", "t", 0));
+        assert_ne!(case_seed("f.rs", "t", 0), case_seed("f.rs", "t", 1));
+        assert_ne!(case_seed("f.rs", "a", 0), case_seed("f.rs", "b", 0));
+    }
+
+    #[test]
+    fn runner_panics_with_input_on_failure() {
+        let result = std::panic::catch_unwind(|| {
+            run(
+                Config::with_cases(5),
+                "no-such-file.rs",
+                "always_fails",
+                &((0u32..10),),
+                |(_x,)| Err(TestCaseError::fail("nope")),
+            );
+        });
+        let err = result.expect_err("should panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("seed: cc "), "{msg}");
+    }
+
+    #[test]
+    fn runner_skips_rejections() {
+        let mut attempts = 0;
+        run(
+            Config::with_cases(3),
+            "no-such-file.rs",
+            "rejects_half",
+            &((0u32..100),),
+            |(x,)| {
+                attempts += 1;
+                if x % 2 == 0 {
+                    Err(TestCaseError::reject("even"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(attempts >= 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Distributions: `Standard` plus the uniform samplers, matching rand 0.8.5
+//! bit-for-bit on the implemented types.
+
+pub mod uniform;
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: full integer ranges, `[0,1)` for
+/// floats (53-bit grid for `f64`, 24-bit for `f32`), fair `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int_via_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+standard_int_via_u32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! standard_int_via_u64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_int_via_u64!(u64, i64, usize, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        // rand 0.8: high word first.
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        let v: u128 = Standard.sample(rng);
+        v as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: compare the most significant bit of an u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Multiply-based [0,1) with 53 bits of precision (rand 0.8.5).
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}

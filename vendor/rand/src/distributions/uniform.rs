@@ -1,0 +1,225 @@
+//! Uniform range sampling, replicating rand 0.8.5's `sample_single` /
+//! `sample_single_inclusive` algorithms exactly (widening-multiply with
+//! rejection zone for integers, the `[1,2)` mantissa trick for floats).
+
+use crate::{Distribution, RngCore, Standard};
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_single_inclusive(start, end, rng)
+    }
+}
+
+/// Widening multiply: `(hi, lo)` words of `a * b`.
+trait WideningMultiply: Sized {
+    fn wmul(self, b: Self) -> (Self, Self);
+}
+
+macro_rules! wmul_impl {
+    ($ty:ty, $wide:ty, $shift:expr) => {
+        impl WideningMultiply for $ty {
+            #[inline]
+            fn wmul(self, b: $ty) -> ($ty, $ty) {
+                let tmp = (self as $wide) * (b as $wide);
+                ((tmp >> $shift) as $ty, tmp as $ty)
+            }
+        }
+    };
+}
+wmul_impl!(u32, u64, 32);
+wmul_impl!(u64, u128, 64);
+
+impl WideningMultiply for usize {
+    #[inline]
+    fn wmul(self, b: usize) -> (usize, usize) {
+        let (hi, lo) = (self as u64).wmul(b as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+impl WideningMultiply for u128 {
+    #[inline]
+    fn wmul(self, b: u128) -> (u128, u128) {
+        // 128x128 -> 256 via four 64x64 partial products.
+        const LOWER_MASK: u128 = 0xffff_ffff_ffff_ffff;
+        let a_lo = self & LOWER_MASK;
+        let a_hi = self >> 64;
+        let b_lo = b & LOWER_MASK;
+        let b_hi = b >> 64;
+
+        let ll = a_lo * b_lo;
+        let lh = a_lo * b_hi;
+        let hl = a_hi * b_lo;
+        let hh = a_hi * b_hi;
+
+        let mid = (ll >> 64) + (lh & LOWER_MASK) + (hl & LOWER_MASK);
+        let lo = (ll & LOWER_MASK) | (mid << 64);
+        let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+        (hi, lo)
+    }
+}
+
+// Shared rejection-sampling loop (rand 0.8.5's sample_single body).
+macro_rules! uniform_int_loop {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $low:ident, $range:ident, $rng:ident) => {{
+        debug_assert!($range != 0);
+        let zone = if (<$unsigned>::MAX as u128) <= (u16::MAX as u128) {
+            // Small types: exact rejection zone via modulo.
+            let unsigned_max: $u_large = <$u_large>::MAX;
+            let ints_to_reject = (unsigned_max - $range + 1) % $range;
+            unsigned_max - ints_to_reject
+        } else {
+            ($range << $range.leading_zeros()).wrapping_sub(1)
+        };
+        loop {
+            let v: $u_large = Standard.sample($rng);
+            let (hi, lo) = v.wmul($range);
+            if lo <= zone {
+                return $low.wrapping_add(hi as $ty);
+            }
+        }
+    }};
+}
+
+// ($ty, $unsigned, $u_large) exactly as in rand 0.8.5's uniform_int_impl!.
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                uniform_int_loop!($ty, $unsigned, $u_large, low, range, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The range covers the whole integer domain.
+                    return Standard.sample(rng);
+                }
+                uniform_int_loop!($ty, $unsigned, $u_large, low, range, rng)
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32);
+uniform_int_impl!(u16, u16, u32);
+uniform_int_impl!(u32, u32, u32);
+uniform_int_impl!(u64, u64, u64);
+uniform_int_impl!(u128, u128, u128);
+uniform_int_impl!(usize, usize, usize);
+uniform_int_impl!(i8, u8, u32);
+uniform_int_impl!(i16, u16, u32);
+uniform_int_impl!(i32, u32, u32);
+uniform_int_impl!(i64, u64, u64);
+uniform_int_impl!(i128, u128, u128);
+uniform_int_impl!(isize, usize, usize);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $next:ident, $exp_bias:expr, $frac_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                debug_assert!(low.is_finite() && high.is_finite() && low < high);
+                let mut scale = high - low;
+                loop {
+                    // Generate a value in [1, 2): exponent 0, random mantissa.
+                    let frac = rng.$next() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(frac | (($exp_bias as $uty) << $frac_bits));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding pushed us onto `high`: shrink scale by one ulp
+                    // (rand 0.8.5's decrease_masked) and retry.
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                debug_assert!(low.is_finite() && high.is_finite() && low <= high);
+                // Largest value0_1 can take is 1 - 2^-frac_bits.
+                let max_rand: $ty = 1.0 - <$ty>::EPSILON / 2.0;
+                let mut scale = (high - low) / max_rand;
+                loop {
+                    let frac = rng.$next() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(frac | (($exp_bias as $uty) << $frac_bits));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res <= high {
+                        return res;
+                    }
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f64, u64, 64 - 52, next_u64, 1023u64, 52);
+uniform_float_impl!(f32, u32, 32 - 23, next_u32, 127u32, 23);
+
+/// `Uniform` distribution object (constructed per range), kept for API
+/// parity; sampling defers to the single-shot path.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform + Copy + PartialOrd> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with empty range");
+        Uniform { low, high, inclusive: false }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive called with empty range");
+        Uniform { low, high, inclusive: true }
+    }
+}
+
+impl<T: SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        if self.inclusive {
+            T::sample_single_inclusive(self.low, self.high, rng)
+        } else {
+            T::sample_single(self.low, self.high, rng)
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal, offline vendored stand-in for the `rand` crate (0.8 API).
+//!
+//! Only the surface this workspace actually uses is implemented, but every
+//! implemented sampler is **bit-compatible with rand 0.8.5**: given the same
+//! `RngCore` word stream it produces the same values. That keeps seeded
+//! study outputs (reports, tables, figures) identical to what the real
+//! crates would produce.
+//!
+//! Covered surface: `RngCore`, `SeedableRng`, `Rng::{gen, gen_range,
+//! gen_bool, sample}`, `distributions::{Distribution, Standard, Uniform}`,
+//! `seq::SliceRandom::{choose, shuffle}`.
+
+pub mod distributions;
+pub mod seq;
+
+pub use distributions::uniform::{SampleRange, SampleUniform};
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of random words.
+///
+/// Mirrors `rand_core::RngCore` 0.6.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed.
+///
+/// Mirrors `rand_core::SeedableRng` 0.6 (the `seed_from_u64` default uses
+/// the same SplitMix64 expansion as rand_core).
+pub trait SeedableRng: Sized {
+    /// Seed byte array type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the generator from a `u64`, expanding it with SplitMix64
+    /// exactly like rand_core 0.6.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 as used by rand_core::SeedableRng::seed_from_u64.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z = z ^ (z >> 31);
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing random value methods, blanket-implemented for every
+/// [`RngCore`] exactly like rand 0.8's `Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (rand 0.8's Bernoulli sampler).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        if p == 1.0 {
+            return true;
+        }
+        // Bernoulli::new: p scaled to 2^64.
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.gen::<u64>() < p_int
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `rand::rngs` namespace (kept for path compatibility).
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic counter "RNG" for exercising the samplers.
+    struct StepRng(u64);
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StepRng(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(2u8..=4);
+            assert!((2..=4).contains(&w));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let g = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&g));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_53_bit_unit_interval() {
+        let mut rng = StepRng(1);
+        for _ in 0..100 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            // 53-bit grid: f * 2^53 must be integral
+            assert_eq!((f * 9007199254740992.0).fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn seed_from_u64_fills_seed_deterministically() {
+        struct S([u8; 8]);
+        impl SeedableRng for S {
+            type Seed = [u8; 8];
+            fn from_seed(seed: [u8; 8]) -> Self {
+                S(seed)
+            }
+        }
+        let a = S::seed_from_u64(42).0;
+        let b = S::seed_from_u64(42).0;
+        assert_eq!(a, b);
+        assert_ne!(a, S::seed_from_u64(43).0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline vendored stand-in for `rand_chacha` 0.3.
+//!
+//! Implements the full ChaCha stream cipher (8-round variant) and exposes
+//! [`ChaCha8Rng`] with the exact word-stream semantics of
+//! `rand_chacha::ChaCha8Rng` 0.3 / `rand_core::block::BlockRng` 0.6:
+//!
+//! - the buffer holds four consecutive 64-byte ChaCha blocks (64 `u32`
+//!   words) generated at counters `c, c+1, c+2, c+3`;
+//! - `next_u32` consumes one word;
+//! - `next_u64` consumes two consecutive words (low word first), including
+//!   the buffer-straddling case where the low half is the last word of one
+//!   buffer and the high half is the first word of the next.
+//!
+//! This makes seeded streams identical to the real crate, which keeps the
+//! repository's recorded study outputs stable.
+
+use rand::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // 4 ChaCha blocks
+const CHACHA8_DOUBLE_ROUNDS: usize = 4;
+
+/// A ChaCha random number generator with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    /// 64-bit block counter (advances by 4 per buffer refill).
+    counter: u64,
+    /// 64-bit stream id (always 0 for `from_seed`).
+    stream: u64,
+    results: [u32; BUF_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Computes one 16-word ChaCha8 block at `counter` into `out`.
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        let initial: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let mut state = initial;
+        for _ in 0..CHACHA8_DOUBLE_ROUNDS {
+            // column round
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // diagonal round
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *o = s.wrapping_add(*i);
+        }
+    }
+
+    /// Refills the 4-block buffer and advances the counter.
+    fn generate(&mut self) {
+        for b in 0..4 {
+            let counter = self.counter.wrapping_add(b as u64);
+            let (lo, hi) = (b * 16, (b + 1) * 16);
+            // Split borrow: copy out key/stream use only &self fields.
+            let mut tmp = [0u32; 16];
+            self.block(counter, &mut tmp);
+            self.results[lo..hi].copy_from_slice(&tmp);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+
+    /// Sets the stream id (API parity with rand_chacha).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = BUF_WORDS; // force regeneration
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            results: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate();
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // BlockRng::next_u64 semantics (rand_core 0.6).
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            u64::from(self.results[index]) | (u64::from(self.results[index + 1]) << 32)
+        } else if index >= BUF_WORDS {
+            self.generate();
+            self.index = 2;
+            u64::from(self.results[0]) | (u64::from(self.results[1]) << 32)
+        } else {
+            // Straddle: low half is the last word of this buffer, high half
+            // the first word of the next.
+            let x = u64::from(self.results[BUF_WORDS - 1]);
+            self.generate();
+            self.index = 1;
+            (u64::from(self.results[0]) << 32) | x
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Byte-fill from whole words (matches BlockRng::fill_bytes for
+        // word-aligned requests, which is all this workspace uses).
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u32().to_le_bytes();
+            let n = (dest.len() - i).min(4);
+            dest[i..i + n].copy_from_slice(&word[..n]);
+            i += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed_byte: u8) -> ChaCha8Rng {
+        ChaCha8Rng::from_seed([seed_byte; 32])
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = rng(7);
+        let mut b = rng(7);
+        let xs: Vec<u64> = (0..200).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..200).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rng(1);
+        let mut b = rng(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_u64_is_two_u32_words_low_first() {
+        let mut a = rng(9);
+        let mut b = rng(9);
+        let lo = a.next_u32() as u64;
+        let hi = a.next_u32() as u64;
+        assert_eq!(b.next_u64(), lo | (hi << 32));
+    }
+
+    #[test]
+    fn straddling_u64_spans_buffer_refill() {
+        let mut a = rng(5);
+        // consume 63 words so index == 63 (== BUF_WORDS - 1)
+        for _ in 0..63 {
+            a.next_u32();
+        }
+        let mut b = rng(5);
+        let mut words = Vec::new();
+        for _ in 0..130 {
+            words.push(b.next_u32());
+        }
+        let v = a.next_u64();
+        assert_eq!(v, u64::from(words[63]) | (u64::from(words[64]) << 32));
+        // after the straddle, the next u32 is word 65
+        assert_eq!(a.next_u32(), words[65]);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = rng(3);
+        for _ in 0..10 {
+            a.next_u32();
+        }
+        let mut c = a.clone();
+        assert_eq!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,483 @@
+//! Offline vendored serde facade.
+//!
+//! Models serialization as conversion to/from a JSON-shaped [`Value`] tree.
+//! The derive macros (re-exported from the local `serde_derive`) emit the
+//! same data layout as real serde's JSON representation: structs as objects
+//! in field-declaration order, newtype structs as their inner value, unit
+//! enum variants as strings, data-carrying variants externally tagged.
+//!
+//! Only the surface this workspace uses is implemented: `#[derive(Serialize,
+//! Deserialize)]` plus `serde_json::{to_string, to_string_pretty, from_str}`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// A JSON-shaped value tree, the interchange format between `Serialize`,
+/// `Deserialize` and the `serde_json` front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (only produced for negative values).
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object; insertion order is preserved (real serde_json's default
+    /// map also preserves struct field order).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_obj()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Renders this value as a JSON object key, panicking on non-key shapes
+    /// (mirrors real serde_json's "key must be a string" error).
+    pub fn into_object_key(self) -> String {
+        match self {
+            Value::Str(s) => s,
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            other => panic!("map key must be a string or integer, got {other:?}"),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent. Real serde derives treat a
+    /// missing `Option` field as `None`; everything else is an error.
+    fn missing_field(name: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{name}`")))
+    }
+
+    /// Rebuilds `Self` from a JSON object key string (integer-keyed maps
+    /// arrive as decimal strings, like real serde_json).
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        if let Ok(n) = key.parse::<u64>() {
+            if let Ok(v) = Self::from_value(&Value::U64(n)) {
+                return Ok(v);
+            }
+        }
+        if let Ok(n) = key.parse::<i64>() {
+            if let Ok(v) = Self::from_value(&Value::I64(n)) {
+                return Ok(v);
+            }
+        }
+        Self::from_value(&Value::Str(key.to_string()))
+    }
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$ty>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($ty)))),
+                    Value::I64(n) => <$ty>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($ty)))),
+                    _ => Err(DeError::new(concat!("expected unsigned integer for ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$ty>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($ty)))),
+                    Value::I64(n) => <$ty>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($ty)))),
+                    _ => Err(DeError::new(concat!("expected integer for ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(DeError::new("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+// IP addresses: Display strings in human-readable formats, like real serde.
+macro_rules! ser_de_via_display {
+    ($($ty:ty => $what:literal),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Str(self.to_string())
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| DeError::new(concat!("invalid ", $what))),
+                    _ => Err(DeError::new(concat!("expected ", $what, " string"))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_via_display!(
+    std::net::Ipv4Addr => "IPv4 address",
+    std::net::Ipv6Addr => "IPv6 address",
+    std::net::IpAddr => "IP address",
+);
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| DeError::new(format!("expected array of length {N}, got {}", items.len())))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident . $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_arr().ok_or_else(|| DeError::new("expected tuple array"))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected tuple of length {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_value().into_object_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::new("expected object for map"))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize + Ord + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys for deterministic output (serde_json requires an
+        // explicit feature for this; determinism is what this repo needs).
+        let mut pairs: Vec<(&K, &V)> = self.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_value().into_object_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::new("expected object for map"))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::new("expected array for set"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_defaults_to_none() {
+        assert_eq!(Option::<u32>::missing_field("x").unwrap(), None);
+        assert!(u32::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn integer_keys_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(5u64, "a".to_string());
+        let v = m.to_value();
+        let back: BTreeMap<u64, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn negative_integers_use_i64() {
+        assert_eq!((-3i32).to_value(), Value::I64(-3));
+        assert_eq!(3i32.to_value(), Value::U64(3));
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (1u32, "x".to_string(), 2.5f64);
+        let back: (u32, String, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+}
