@@ -90,6 +90,7 @@ impl MonitoredSet {
                 added += 1;
             }
         }
+        ipv6web_obs::add("alexa.sites_ingested", added as u64);
         added
     }
 

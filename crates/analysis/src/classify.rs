@@ -53,15 +53,18 @@ pub fn analyze_vantage(
             continue;
         }
         out.sites_total += 1;
+        ipv6web_obs::inc("analysis.sites_considered");
 
         let site = &sites[site_id.index()];
         let class = classify_site(site, table_v4, table_v6);
 
         match sanitize_site(rec, cfg.min_paired_samples, cfg.tolerance) {
             SanitizeOutcome::Removed { cause, good_v6_perf } => {
+                ipv6web_obs::inc("analysis.sites_removed");
                 out.removed.push(RemovedSite { site: site_id, cause, class, good_v6_perf });
             }
             SanitizeOutcome::Kept { v4_mean, v6_mean } => {
+                ipv6web_obs::inc("analysis.sites_kept");
                 let Some(class) = class else { continue };
                 let v6_dest = site.v6.as_ref().expect("dual site").dest_as;
                 let (Some(r4), Some(r6)) = (table_v4.route(site.v4_as), table_v6.route(v6_dest))

@@ -5,9 +5,10 @@
 //! repro tab8 fig1                # specific artifacts
 //! repro all --scale paper        # full-scale run (minutes)
 //! repro all --seed 7 --json out.json
+//! repro all --metrics BENCH.json --baseline BENCH_baseline.json
 //! ```
 
-use ipv6web_bench::Scale;
+use ipv6web_bench::{check_regression, BenchReport, Scale, DEFAULT_TOLERANCE};
 use ipv6web_core::run_study;
 
 const ARTIFACTS: &[&str] = &[
@@ -18,6 +19,7 @@ const ARTIFACTS: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: repro <artifact...|all> [--scale quick|paper] [--seed N] [--json FILE] [--csv DIR]\n\
+         \x20            [--metrics FILE] [--baseline FILE]\n\
          artifacts: {}",
         ARTIFACTS.join(" ")
     );
@@ -34,6 +36,8 @@ fn main() {
     let mut seed = 42u64;
     let mut json_out: Option<String> = None;
     let mut csv_dir: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -51,6 +55,12 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| usage()));
             }
+            "--metrics" => {
+                metrics_out = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--baseline" => {
+                baseline_path = Some(it.next().unwrap_or_else(|| usage()));
+            }
             "all" => wanted.extend(ARTIFACTS.iter().map(|s| s.to_string())),
             other if ARTIFACTS.contains(&other) => wanted.push(other.to_string()),
             _ => usage(),
@@ -61,10 +71,15 @@ fn main() {
     }
     wanted.dedup();
 
+    if metrics_out.is_some() {
+        ipv6web_obs::reset();
+        ipv6web_obs::enable();
+    }
     eprintln!("running study (scale {scale:?}, seed {seed})...");
     let t0 = std::time::Instant::now();
     let study = run_study(&scale.scenario(seed));
-    eprintln!("study complete in {:.1}s\n", t0.elapsed().as_secs_f64());
+    let wall_s = t0.elapsed().as_secs_f64();
+    eprintln!("study complete in {wall_s:.1}s\n");
     eprint!("{}", study.timings.render());
     eprintln!();
     let r = &study.report;
@@ -116,15 +131,53 @@ fn main() {
     }
 
     if let Some(path) = json_out {
-        // The report itself stays bit-comparable across runs; timings ride
-        // along under a separate top-level key.
+        // The report itself stays bit-comparable across runs. Without
+        // --metrics, timings ride along under a separate top-level key (the
+        // historical behavior); with --metrics they move to BENCH.json and
+        // the report file is written pure, so CI can byte-compare it across
+        // thread counts and runs.
         let mut value = serde_json::to_value(r).expect("report serializes");
-        if let serde_json::Value::Obj(fields) = &mut value {
-            let timings = serde_json::to_value(&study.timings).expect("timings serialize");
-            fields.push(("timings".to_string(), timings));
+        if metrics_out.is_none() {
+            if let serde_json::Value::Obj(fields) = &mut value {
+                let timings = serde_json::to_value(&study.timings).expect("timings serialize");
+                fields.push(("timings".to_string(), timings));
+            }
         }
         let json = serde_json::to_string_pretty(&value).expect("report serializes");
         std::fs::write(&path, json).expect("write json report");
         eprintln!("wrote JSON report to {path}");
+    }
+
+    if let Some(path) = metrics_out {
+        ipv6web_obs::flush_thread();
+        let snap = ipv6web_obs::snapshot();
+        let scale_name = match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        };
+        let bench = BenchReport::assemble(
+            scale_name,
+            seed,
+            ipv6web_par::thread_count() as u64,
+            wall_s,
+            &study.timings,
+            &snap,
+        );
+        std::fs::write(&path, bench.to_json()).expect("write bench metrics");
+        eprintln!("wrote bench metrics to {path}");
+
+        if let Some(base_path) = baseline_path {
+            let base_json = std::fs::read_to_string(&base_path)
+                .unwrap_or_else(|e| panic!("read baseline {base_path}: {e}"));
+            let base = BenchReport::from_json(&base_json)
+                .unwrap_or_else(|e| panic!("parse baseline {base_path}: {e}"));
+            match check_regression(&bench, &base, DEFAULT_TOLERANCE) {
+                Ok(verdict) => eprintln!("bench gate: {verdict}"),
+                Err(verdict) => {
+                    eprintln!("bench gate: FAIL — {verdict}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

@@ -3,7 +3,9 @@
 use ipv6web_core::{run_study, Scenario, StudyResult};
 use std::sync::OnceLock;
 
+pub mod metrics;
 pub mod reference;
+pub use metrics::{check_regression, BenchReport, DerivedMetrics, DEFAULT_TOLERANCE};
 pub use reference::{render_comparison, shape_checks, ShapeCheck};
 
 /// Scale of a reproduction run.

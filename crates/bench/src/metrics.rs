@@ -1,0 +1,216 @@
+//! `BENCH.json`: the machine-readable performance report and its CI gate.
+//!
+//! `repro --metrics <path>` writes a [`BenchReport`] *alongside* — never
+//! inside — the bit-comparable study report: wall times vary run to run,
+//! so they must stay out of anything CI byte-compares. The committed
+//! `BENCH_baseline.json` plus [`check_regression`] turn the file into a
+//! smoke gate: a quick-scale run that gets more than 50% slower than the
+//! baseline fails the build.
+
+use ipv6web_obs::{Snapshot, SpanRecord, Timings};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag written into every report, bumped on breaking changes.
+pub const BENCH_SCHEMA: &str = "ipv6web-bench/v1";
+
+/// Regression tolerance of the CI gate: the run may be at most this much
+/// slower than the baseline (0.5 = +50%).
+pub const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// Ratios derived from the raw counters, precomputed for dashboards.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DerivedMetrics {
+    /// Probe attempts per wall-clock second.
+    pub probes_per_sec: f64,
+    /// BGP route computations per wall-clock second.
+    pub routes_per_sec: f64,
+    /// DNS cache hits / (hits + misses); 0 when the cache saw no traffic.
+    pub dns_cache_hit_rate: f64,
+    /// Epoch-rebuild reuse: routes kept / (kept + recomputed); 0 when the
+    /// scenario schedules no route change.
+    pub epoch_reuse_rate: f64,
+    /// Peak concurrent workers observed anywhere (route fan-out or the
+    /// monitor's probe pool).
+    pub peak_workers: u64,
+}
+
+/// One `BENCH.json`: wall time, per-phase spans, and the full metrics
+/// snapshot of a `repro` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag ([`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// Scale the study ran at (`"quick"` / `"paper"`).
+    pub scale: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Worker threads the run was configured for (`IPV6WEB_THREADS`).
+    pub threads: u64,
+    /// End-to-end wall-clock seconds of the study.
+    pub wall_s: f64,
+    /// Phase breakdown (obs spans, completion order).
+    pub phases: Vec<SpanRecord>,
+    /// Counters from the obs snapshot.
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Gauges (high-water marks) from the obs snapshot.
+    pub gauges: std::collections::BTreeMap<String, u64>,
+    /// Derived ratios.
+    pub derived: DerivedMetrics,
+    /// Histograms from the obs snapshot (sparse buckets).
+    pub histograms: std::collections::BTreeMap<String, ipv6web_obs::HistogramSnapshot>,
+}
+
+impl BenchReport {
+    /// Assembles a report from a finished run's timings and snapshot.
+    pub fn assemble(
+        scale: &str,
+        seed: u64,
+        threads: u64,
+        wall_s: f64,
+        timings: &Timings,
+        snap: &Snapshot,
+    ) -> BenchReport {
+        let per_sec = |n: u64| if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 };
+        let rate = |hit: &str, miss: &str| snap.hit_rate(hit, miss).unwrap_or(0.0);
+        let derived = DerivedMetrics {
+            probes_per_sec: per_sec(snap.counter("monitor.probes")),
+            routes_per_sec: per_sec(snap.counter("bgp.routes_computed")),
+            dns_cache_hit_rate: rate("dns.cache_hits", "dns.cache_misses"),
+            epoch_reuse_rate: rate("bgp.epoch.reused", "bgp.epoch.recomputed"),
+            peak_workers: snap.gauge("monitor.peak_workers").max(snap.gauge("par.peak_threads")),
+        };
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            scale: scale.to_string(),
+            seed,
+            threads,
+            wall_s,
+            phases: timings.phases.clone(),
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            derived,
+            histograms: snap.histograms.clone(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench report serializes")
+    }
+
+    /// Parses a report, rejecting unknown schema tags.
+    pub fn from_json(s: &str) -> Result<BenchReport, String> {
+        let r: BenchReport = serde_json::from_str(s).map_err(|e| format!("{e:?}"))?;
+        if r.schema != BENCH_SCHEMA {
+            return Err(format!("unsupported bench schema {:?} (want {BENCH_SCHEMA:?})", r.schema));
+        }
+        Ok(r)
+    }
+}
+
+/// The CI gate: fails when `current` is more than `tolerance` slower than
+/// `baseline` (wall clock). Returns a human-readable verdict either way.
+pub fn check_regression(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> Result<String, String> {
+    if current.scale != baseline.scale {
+        return Err(format!(
+            "scale mismatch: run is {:?}, baseline is {:?} — not comparable",
+            current.scale, baseline.scale
+        ));
+    }
+    let limit = baseline.wall_s * (1.0 + tolerance);
+    let pct = if baseline.wall_s > 0.0 {
+        (current.wall_s / baseline.wall_s - 1.0) * 100.0
+    } else {
+        f64::INFINITY
+    };
+    if current.wall_s > limit {
+        Err(format!(
+            "wall time regression: {:.3}s vs baseline {:.3}s ({pct:+.1}%, limit +{:.0}%)",
+            current.wall_s,
+            baseline.wall_s,
+            tolerance * 100.0
+        ))
+    } else {
+        Ok(format!(
+            "wall time OK: {:.3}s vs baseline {:.3}s ({pct:+.1}%, limit +{:.0}%)",
+            current.wall_s,
+            baseline.wall_s,
+            tolerance * 100.0
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(wall_s: f64) -> BenchReport {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("monitor.probes".into(), 1000);
+        snap.counters.insert("bgp.routes_computed".into(), 500);
+        snap.counters.insert("dns.cache_hits".into(), 75);
+        snap.counters.insert("dns.cache_misses".into(), 25);
+        snap.gauges.insert("monitor.peak_workers".into(), 8);
+        snap.gauges.insert("par.peak_threads".into(), 4);
+        let timings = Timings {
+            phases: vec![SpanRecord { name: "world: topology".into(), depth: 0, seconds: 0.1 }],
+        };
+        BenchReport::assemble("quick", 42, 4, wall_s, &timings, &snap)
+    }
+
+    #[test]
+    fn derived_metrics_computed() {
+        let r = report(10.0);
+        assert!((r.derived.probes_per_sec - 100.0).abs() < 1e-9);
+        assert!((r.derived.routes_per_sec - 50.0).abs() < 1e-9);
+        assert!((r.derived.dns_cache_hit_rate - 0.75).abs() < 1e-9);
+        assert_eq!(r.derived.epoch_reuse_rate, 0.0, "no epoch counters → 0");
+        assert_eq!(r.derived.peak_workers, 8, "max over both worker gauges");
+    }
+
+    #[test]
+    fn zero_wall_time_does_not_divide_by_zero() {
+        let r = report(0.0);
+        assert_eq!(r.derived.probes_per_sec, 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = report(2.5);
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn unknown_schema_rejected() {
+        let mut r = report(1.0);
+        r.schema = "ipv6web-bench/v999".into();
+        assert!(BenchReport::from_json(&r.to_json()).is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = report(10.0);
+        assert!(check_regression(&report(14.9), &base, DEFAULT_TOLERANCE).is_ok());
+        assert!(check_regression(&report(3.0), &base, DEFAULT_TOLERANCE).is_ok(), "faster is fine");
+    }
+
+    #[test]
+    fn gate_fails_on_regression() {
+        let base = report(10.0);
+        let err = check_regression(&report(15.1), &base, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_scale_mismatch() {
+        let base = report(10.0);
+        let mut cur = report(10.0);
+        cur.scale = "paper".into();
+        assert!(check_regression(&cur, &base, DEFAULT_TOLERANCE).is_err());
+    }
+}

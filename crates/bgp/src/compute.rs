@@ -118,6 +118,7 @@ fn better(cand: (RouteKind, u32, u32), inc: (RouteKind, u32, u32)) -> bool {
 
 /// Computes best routes from all ASes to `dest` over the `family` subgraph.
 pub fn routes_to_dest(topo: &Topology, dest: AsId, family: Family) -> RoutesToDest {
+    ipv6web_obs::inc("bgp.routes_computed");
     let n = topo.num_ases();
     let mut entries: Vec<Option<Entry>> = vec![None; n];
     entries[dest.index()] = Some(Entry { kind: RouteKind::Customer, hops: 0, next: None });

@@ -58,6 +58,8 @@ impl RouteStore {
 
     /// Snapshots one vantage point's table from the shared computations.
     pub fn table_for(&self, vantage_as: AsId) -> BgpTable {
+        ipv6web_obs::inc("bgp.tables_built");
+        ipv6web_obs::add("bgp.store.route_lookups", self.routes.len() as u64);
         let mut routes = BTreeMap::new();
         for (&dest, r) in &self.routes {
             if let (Some(as_path), Some(edges)) = (r.as_path(vantage_as), r.edge_path(vantage_as)) {
@@ -118,6 +120,8 @@ impl RouteStore {
         }
 
         let recomputed = stale.len();
+        ipv6web_obs::add("bgp.epoch.reused", kept.len() as u64);
+        ipv6web_obs::add("bgp.epoch.recomputed", recomputed as u64);
         let fresh = ipv6web_par::par_map(&stale, |_, &dest| {
             Arc::new(routes_to_dest(late, dest, self.family))
         });

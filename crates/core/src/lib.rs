@@ -27,7 +27,8 @@ pub mod scenario;
 pub mod study;
 pub mod world;
 
-pub use report::{PhaseTiming, Report, StudyTimings};
+pub use ipv6web_obs::{SpanRecord, Timings};
+pub use report::Report;
 pub use scenario::Scenario;
 pub use study::{run_study, StudyResult};
 pub use world::World;

@@ -63,66 +63,6 @@ pub struct Report {
     pub transition_path_changes: Vec<(String, usize, usize)>,
 }
 
-/// Wall-clock timing of one study phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PhaseTiming {
-    /// Phase label, e.g. `"world: route tables (v6)"`.
-    pub name: String,
-    /// Elapsed wall-clock seconds.
-    pub seconds: f64,
-}
-
-/// Per-phase wall-clock breakdown of a study run.
-///
-/// Kept out of [`Report`] on purpose: reports are compared bit-for-bit
-/// across runs and machines, and timings never reproduce. `repro` prints
-/// this block and appends it to the JSON report under a separate
-/// `"timings"` key.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct StudyTimings {
-    /// Phases in execution order.
-    pub phases: Vec<PhaseTiming>,
-}
-
-impl StudyTimings {
-    /// Appends a phase measurement.
-    pub fn record(&mut self, name: &str, elapsed: std::time::Duration) {
-        self.phases.push(PhaseTiming { name: name.to_string(), seconds: elapsed.as_secs_f64() });
-    }
-
-    /// Runs `f`, recording its wall-clock time under `name`.
-    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
-        let t0 = std::time::Instant::now();
-        let out = f();
-        self.record(name, t0.elapsed());
-        out
-    }
-
-    /// Appends all phases of `other`, prefixing each name.
-    pub fn absorb(&mut self, prefix: &str, other: &StudyTimings) {
-        for p in &other.phases {
-            self.phases
-                .push(PhaseTiming { name: format!("{prefix}{}", p.name), seconds: p.seconds });
-        }
-    }
-
-    /// Sum of all recorded phases, in seconds.
-    pub fn total_seconds(&self) -> f64 {
-        self.phases.iter().map(|p| p.seconds).sum()
-    }
-
-    /// Renders the aligned text block `repro` prints.
-    pub fn render(&self) -> String {
-        let width = self.phases.iter().map(|p| p.name.len()).max().unwrap_or(0).max(5);
-        let mut out = String::from("Study phase timings (wall clock):\n");
-        for p in &self.phases {
-            out.push_str(&format!("  {:<width$}  {:>8.3}s\n", p.name, p.seconds));
-        }
-        out.push_str(&format!("  {:<width$}  {:>8.3}s\n", "total", self.total_seconds()));
-        out
-    }
-}
-
 /// Clones the subset of `db` covering ranked-list sites only (Fig 1 tracks
 /// the top-1M list, not Penn's DNS-cache tail).
 fn list_only_db(db: &MonitorDb, n_list: usize) -> MonitorDb {

@@ -1,6 +1,6 @@
 //! Full study execution.
 
-use crate::report::{Report, StudyTimings};
+use crate::report::Report;
 use crate::scenario::Scenario;
 use crate::world::World;
 use ipv6web_analysis::{analyze_vantage, AnalysisConfig, VantageAnalysis};
@@ -23,8 +23,9 @@ pub struct StudyResult {
     /// The paper: every table and figure.
     pub report: Report,
     /// Wall-clock breakdown of the run (world build, campaigns, analysis,
-    /// report). Not part of [`Report`] — timings never reproduce bit-for-bit.
-    pub timings: StudyTimings,
+    /// report), collected from the obs span log of the calling thread.
+    /// Not part of [`Report`] — timings never reproduce bit-for-bit.
+    pub timings: ipv6web_obs::Timings,
 }
 
 fn probe_ctx<'a>(world: &'a World, vantage_idx: usize) -> ProbeContext<'a> {
@@ -50,15 +51,18 @@ fn probe_ctx<'a>(world: &'a World, vantage_idx: usize) -> ProbeContext<'a> {
 /// Runs the complete study: weekly campaigns from all six vantage points,
 /// the World IPv6 Day experiment, analysis, and report assembly.
 pub fn run_study(scenario: &Scenario) -> StudyResult {
+    // Collect only the spans this run produces, so back-to-back studies on
+    // one thread (e.g. test suites) keep independent phase breakdowns.
+    let mark = ipv6web_obs::span_mark();
     let world = World::build(scenario);
-    let mut timings = world.timings.clone();
 
     // --- weekly campaigns ---------------------------------------------------
     let mut dbs = Vec::with_capacity(world.vantages.len());
     for (i, vantage) in world.vantages.iter().enumerate() {
         let ctx = probe_ctx(&world, i);
         let sites = &world.sites;
-        let db = timings.time(&format!("campaign: {}", vantage.name), || {
+        let db = {
+            let _s = ipv6web_obs::span(format!("campaign: {}", vantage.name));
             run_campaign(
                 &ctx,
                 vantage,
@@ -67,32 +71,34 @@ pub fn run_study(scenario: &Scenario) -> StudyResult {
                 |id| sites[id as usize].first_seen_week,
                 &scenario.campaign,
             )
-        });
+        };
         dbs.push(db);
     }
 
     // --- World IPv6 Day (paper: all Table 8 vantage points except Comcast) --
     let participants = world.ipv6_day_participants();
     let mut day_dbs = Vec::new();
-    let t_day = std::time::Instant::now();
-    for (i, vantage) in world.vantages.iter().enumerate() {
-        if !vantage.has_as_path || vantage.name == "Comcast" {
-            continue;
+    {
+        let _s = ipv6web_obs::span("ipv6 day rounds");
+        for (i, vantage) in world.vantages.iter().enumerate() {
+            if !vantage.has_as_path || vantage.name == "Comcast" {
+                continue;
+            }
+            let ctx = probe_ctx(&world, i);
+            let db = run_ipv6_day_rounds(
+                &ctx,
+                vantage,
+                &participants,
+                scenario.timeline.ipv6_day_week,
+                &scenario.campaign,
+            );
+            day_dbs.push((i, db));
         }
-        let ctx = probe_ctx(&world, i);
-        let db = run_ipv6_day_rounds(
-            &ctx,
-            vantage,
-            &participants,
-            scenario.timeline.ipv6_day_week,
-            &scenario.campaign,
-        );
-        day_dbs.push((i, db));
     }
-    timings.record("ipv6 day rounds", t_day.elapsed());
 
     // --- analysis ------------------------------------------------------------
-    let analyses: Vec<VantageAnalysis> = timings.time("analysis", || {
+    let analyses: Vec<VantageAnalysis> = {
+        let _s = ipv6web_obs::span("analysis");
         world
             .vantages
             .iter()
@@ -108,9 +114,10 @@ pub fn run_study(scenario: &Scenario) -> StudyResult {
                 )
             })
             .collect()
-    });
+    };
     let day_cfg = AnalysisConfig::ipv6_day();
-    let day_analyses: Vec<VantageAnalysis> = timings.time("analysis: ipv6 day", || {
+    let day_analyses: Vec<VantageAnalysis> = {
+        let _s = ipv6web_obs::span("analysis: ipv6 day");
         day_dbs
             .iter()
             .map(|(i, db)| {
@@ -123,10 +130,13 @@ pub fn run_study(scenario: &Scenario) -> StudyResult {
                 )
             })
             .collect()
-    });
+    };
 
-    let report =
-        timings.time("report assembly", || Report::build(&world, &dbs, &analyses, &day_analyses));
+    let report = {
+        let _s = ipv6web_obs::span("report assembly");
+        Report::build(&world, &dbs, &analyses, &day_analyses)
+    };
+    let timings = ipv6web_obs::Timings { phases: ipv6web_obs::take_spans_since(mark) };
     StudyResult { world, dbs, day_dbs, analyses, day_analyses, report, timings }
 }
 

@@ -1,6 +1,5 @@
 //! World construction: topology, population, DNS, vantage points, tables.
 
-use crate::report::StudyTimings;
 use crate::scenario::Scenario;
 use ipv6web_alexa::TopList;
 use ipv6web_bgp::{BgpTable, RouteStore};
@@ -40,8 +39,6 @@ pub struct World {
     pub topo_late: Option<Topology>,
     /// Injected performance disturbances.
     pub disturbances: Disturbances,
-    /// Wall-clock breakdown of the build phases.
-    pub timings: StudyTimings,
 }
 
 /// Picks six dual-stack access ASes for the vantage points, preferring the
@@ -93,21 +90,31 @@ fn pick_vantage_ases(topo: &Topology) -> [AsId; 6] {
 impl World {
     /// Builds a world from a scenario.
     ///
+    /// Each build phase runs under an [`ipv6web_obs::span`]; collect them
+    /// with [`ipv6web_obs::take_spans_since`] (as [`crate::run_study`]
+    /// does) for the wall-clock breakdown.
+    ///
     /// # Panics
     /// Panics when the scenario fails validation or the topology cannot
     /// host six vantage points.
     pub fn build(scenario: &Scenario) -> World {
         scenario.validate().expect("invalid scenario");
-        let mut timings = StudyTimings::default();
-        let topo = timings
-            .time("world: topology", || generate_topology(&scenario.topology, scenario.seed));
+        let topo = {
+            let _s = ipv6web_obs::span("world: topology");
+            generate_topology(&scenario.topology, scenario.seed)
+        };
 
         let mut pop_cfg = scenario.population.clone();
         pop_cfg.n_sites = scenario.total_sites();
         pop_cfg.adoption_curve = scenario.timeline.curve();
-        let sites = timings
-            .time("world: population", || population::generate(&pop_cfg, &topo, scenario.seed));
-        let zone = timings.time("world: dns zone", || build_zone(&topo, &sites));
+        let sites = {
+            let _s = ipv6web_obs::span("world: population");
+            population::generate(&pop_cfg, &topo, scenario.seed)
+        };
+        let zone = {
+            let _s = ipv6web_obs::span("world: dns zone");
+            build_zone(&topo, &sites)
+        };
 
         let n_list = scenario.population.n_sites;
         let list = TopList::from_parts(
@@ -135,21 +142,24 @@ impl World {
         // family serves all six vantage points, and the v6 store survives to
         // seed the post-route-change rebuild below.
         let vantage_ids: Vec<AsId> = vantages.iter().map(|v| v.as_id).collect();
-        let t4 = timings.time("world: route tables (v4)", || {
+        let t4 = {
+            let _s = ipv6web_obs::span("world: route tables (v4)");
             RouteStore::build(&topo, Family::V4, &dests).tables_for(&vantage_ids)
-        });
-        let store_v6 = timings
-            .time("world: route tables (v6)", || RouteStore::build(&topo, Family::V6, &dests));
+        };
+        let store_v6 = {
+            let _s = ipv6web_obs::span("world: route tables (v6)");
+            RouteStore::build(&topo, Family::V6, &dests)
+        };
         let t6 = store_v6.tables_for(&vantage_ids);
         let tables: Vec<(BgpTable, BgpTable)> = t4.into_iter().zip(t6).collect();
 
         // Mid-campaign IPv6 route changes: flip a slice of edges and
         // recompute the IPv6 tables for the second epoch. IPv4 stays put —
         // the paper's transitions were an IPv6-deployment phenomenon.
-        let t_epoch = std::time::Instant::now();
         let (v6_epoch, topo_late) = match scenario.route_change {
             None => (None, None),
             Some((week, gain_frac, loss_frac)) => {
+                let _s = ipv6web_obs::span("world: route tables (v6 epoch)");
                 let mut rng = derive_rng(scenario.seed, "route-change");
                 let mut gain_candidates: Vec<EdgeId> = topo
                     .edges()
@@ -181,9 +191,6 @@ impl World {
                 (Some((week, t6_late)), Some(late))
             }
         };
-        if scenario.route_change.is_some() {
-            timings.record("world: route tables (v6 epoch)", t_epoch.elapsed());
-        }
 
         let disturbances = Disturbances::generate(
             &scenario.disturbances,
@@ -204,7 +211,6 @@ impl World {
             v6_epoch,
             topo_late,
             disturbances,
-            timings,
         }
     }
 

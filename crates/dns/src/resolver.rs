@@ -81,11 +81,13 @@ impl Resolver {
         week: u32,
         now_s: u64,
     ) -> Option<Vec<Record>> {
+        ipv6web_obs::inc("dns.queries");
         let key = (name.to_string(), qtype);
         // RFC 2308 negative caching: a fresh NXDOMAIN answers any qtype.
         if let Some(&until) = self.negative.get(name) {
             if until > now_s {
                 self.stats.cache_hits += 1;
+                ipv6web_obs::inc("dns.cache_hits");
                 return None;
             }
             self.negative.remove(name);
@@ -93,11 +95,13 @@ impl Resolver {
         if let Some(line) = self.cache.get(&key) {
             if line.expires_at > now_s {
                 self.stats.cache_hits += 1;
+                ipv6web_obs::inc("dns.cache_hits");
                 return Some(line.records.clone());
             }
             self.cache.remove(&key);
         }
         self.stats.cache_misses += 1;
+        ipv6web_obs::inc("dns.cache_misses");
 
         // Full wire round trip.
         let id = self.next_id;
@@ -110,11 +114,14 @@ impl Resolver {
             Some(records) => DnsMessage::response(&parsed_q, records, false),
             None => DnsMessage::response(&parsed_q, &[], true),
         };
-        let parsed_r = DnsMessage::decode(&resp.to_vec()).expect("own response parses");
+        let rwire = resp.to_vec();
+        let parsed_r = DnsMessage::decode(&rwire).expect("own response parses");
         assert_eq!(parsed_r.header.id, id, "transaction id must match");
 
+        ipv6web_obs::observe("dns.wire_bytes", (qwire.len() + rwire.len()) as u64);
         if parsed_r.header.rcode == RCODE_NXDOMAIN {
             self.stats.nxdomain += 1;
+            ipv6web_obs::inc("dns.nxdomain");
             self.negative.insert(name.to_string(), now_s + NEGATIVE_TTL_S);
             return None;
         }

@@ -87,6 +87,7 @@ pub fn probe_site(
     salt: u32,
     ipv6_day_mode: bool,
 ) -> ProbeOutcome {
+    ipv6web_obs::inc("monitor.probes");
     let site = &ctx.sites[site_id.index()];
     let mut rng = derive_rng(
         ctx.seed,
@@ -96,20 +97,25 @@ pub fn probe_site(
 
     // --- phase 1: DNS ------------------------------------------------------
     let Some(a) = resolver.resolve(ctx.zone, &site.name, RecordType::A, week, now_s) else {
+        ipv6web_obs::inc("monitor.outcome.nxdomain");
         return ProbeOutcome::NxDomain;
     };
     let aaaa =
         resolver.resolve(ctx.zone, &site.name, RecordType::Aaaa, week, now_s).unwrap_or_default();
     if a.is_empty() || aaaa.is_empty() {
+        ipv6web_obs::inc("monitor.outcome.v4_only");
         return ProbeOutcome::V4Only;
     }
     if site.v6.as_ref().is_some_and(|v| v.whitelist_only) && !ctx.white_listed {
         // the authority answers AAAA only to certified resolvers
+        ipv6web_obs::inc("monitor.whitelist_denials");
+        ipv6web_obs::inc("monitor.outcome.v4_only");
         return ProbeOutcome::V4Only;
     }
 
     // --- phase 2: routability + one download per family --------------------
     let Some(route4) = ctx.table_v4.route(site.v4_as) else {
+        ipv6web_obs::inc("monitor.outcome.unroutable");
         return ProbeOutcome::Unroutable(Family::V4);
     };
     let v6_dest = site.v6.as_ref().expect("AAAA implies v6 presence").dest_as;
@@ -118,6 +124,7 @@ pub fn probe_site(
         _ => ctx.table_v6,
     };
     let Some(route6) = v6_table.route(v6_dest) else {
+        ipv6web_obs::inc("monitor.outcome.unroutable");
         return ProbeOutcome::Unroutable(Family::V6);
     };
 
@@ -132,6 +139,7 @@ pub fn probe_site(
     let (_, len4) = parse_response_len(&resp4).expect("well-formed response");
     let (_, len6) = parse_response_len(&resp6).expect("well-formed response");
     if !pages_identical(len4 as u64, len6 as u64, ctx.identity_threshold) {
+        ipv6web_obs::inc("monitor.outcome.different_content");
         return ProbeOutcome::DifferentContent;
     }
 
@@ -172,11 +180,20 @@ pub fn probe_site(
             // "each after proper resetting to avoid local caching effects"
             resolver.flush();
             let out = download_time(&mut rng, bytes, &eff, think_ms, &ctx.tcp);
+            ipv6web_obs::inc("monitor.downloads");
             times.push(out.time_s);
             match ctx.ci_rule.decide(&times) {
-                SamplingDecision::Continue => continue,
-                SamplingDecision::GiveUp => return None,
+                SamplingDecision::Continue => {
+                    // every extra pass is a CI-rule repeat
+                    ipv6web_obs::inc("monitor.ci_repeats");
+                    continue;
+                }
+                SamplingDecision::GiveUp => {
+                    ipv6web_obs::inc("monitor.ci_giveups");
+                    return None;
+                }
                 SamplingDecision::Accept => {
+                    ipv6web_obs::observe("monitor.downloads_per_sample", times.count());
                     let ci = mean_ci(&times, StudentT::P95);
                     debug_assert!(
                         ci.relative_half_width() <= ctx.ci_rule.relative_tolerance + 1e-9
@@ -196,12 +213,15 @@ pub fn probe_site(
     // "first for IPv4 and then IPv6"
     let m4 = dp.metrics(route4, Family::V4);
     let Some(v4) = measure(Family::V4, m4) else {
+        ipv6web_obs::inc("monitor.outcome.unconfident");
         return ProbeOutcome::Unconfident(Family::V4);
     };
     let m6 = dp.metrics(route6, Family::V6);
     let Some(v6) = measure(Family::V6, m6) else {
+        ipv6web_obs::inc("monitor.outcome.unconfident");
         return ProbeOutcome::Unconfident(Family::V6);
     };
+    ipv6web_obs::inc("monitor.outcome.measured");
     ProbeOutcome::Measured { v4, v6 }
 }
 

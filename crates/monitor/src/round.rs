@@ -134,6 +134,8 @@ fn run_pool(
     workers: usize,
 ) -> Vec<(SiteId, ProbeOutcome)> {
     let workers = workers.min(sites.len().max(1));
+    ipv6web_obs::inc("monitor.rounds");
+    ipv6web_obs::gauge_max("monitor.peak_workers", workers as u64);
     if workers == 1 {
         let mut resolver = Resolver::new();
         let mut out: Vec<(SiteId, ProbeOutcome)> = sites
@@ -168,6 +170,9 @@ fn run_pool(
                     let outcome = probe_site(ctx, &mut resolver, site, week, salt, ipv6_day_mode);
                     res_tx.send((site, outcome)).expect("result channel open");
                 }
+                // merge this worker's metric shard at pool join: totals are
+                // then independent of scheduling and worker count
+                ipv6web_obs::flush_thread();
             });
         }
         drop(res_tx);

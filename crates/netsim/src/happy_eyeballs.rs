@@ -102,6 +102,7 @@ pub fn race<R: Rng>(
     v6_broken: bool,
     cfg: &HappyEyeballsConfig,
 ) -> Option<RaceOutcome> {
+    ipv6web_obs::inc("netsim.he.races");
     let t6 = attempt(rng, v6, v6_broken, cfg);
     let t4 = attempt(rng, v4, false, cfg);
     match (t6, t4) {
@@ -112,6 +113,7 @@ pub fn race<R: Rng>(
             if t6 <= cfg.fallback_timer_ms || t6 <= v4_finish {
                 Some(RaceOutcome { winner: Family::V6, connect_ms: t6, v6_lost_on_timer: false })
             } else {
+                ipv6web_obs::inc("netsim.he.fallbacks");
                 Some(RaceOutcome {
                     winner: Family::V4,
                     connect_ms: v4_finish,
@@ -122,12 +124,18 @@ pub fn race<R: Rng>(
         (Some(t6), None) => {
             Some(RaceOutcome { winner: Family::V6, connect_ms: t6, v6_lost_on_timer: false })
         }
-        (None, Some(t4)) => Some(RaceOutcome {
-            winner: Family::V4,
-            // if a v6 route existed but broke, the user waits out the timer
-            connect_ms: if v6.is_some() { cfg.fallback_timer_ms + t4 } else { t4 },
-            v6_lost_on_timer: false,
-        }),
+        (None, Some(t4)) => {
+            if v6.is_some() {
+                // a v6 route existed but never connected: silent fallback
+                ipv6web_obs::inc("netsim.he.fallbacks");
+            }
+            Some(RaceOutcome {
+                winner: Family::V4,
+                // if a v6 route existed but broke, the user waits out the timer
+                connect_ms: if v6.is_some() { cfg.fallback_timer_ms + t4 } else { t4 },
+                v6_lost_on_timer: false,
+            })
+        }
         (None, None) => None,
     }
 }

@@ -1,0 +1,231 @@
+//! Log-scale histograms with an associative, commutative merge.
+//!
+//! Buckets are powers of two: bucket 0 holds the value `0`, bucket `i`
+//! (for `i >= 1`) holds values in `[2^(i-1), 2^i)`. Values are unsigned
+//! integers on purpose — every statistic the study observes (download
+//! repeats, route hops, byte counts) is a count, and integer sums make
+//! [`Histogram::merge`] exactly associative and commutative, so per-worker
+//! shards can land in any order without changing the merged result.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Lower bound (inclusive) of a bucket's value range.
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Upper bound (inclusive) of a bucket's value range.
+pub fn bucket_hi(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed-size log₂ histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; N_BUCKETS] }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Folds `other` into `self`. Associative and commutative: merging any
+    /// number of shards in any order or grouping yields the same result.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Serializable view with only the non-empty buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| BucketCount { lo: bucket_lo(i), hi: bucket_hi(i), n })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`]: `n` observations in
+/// the inclusive value range `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Observations that landed in the bucket.
+    pub n: u64,
+}
+
+/// JSON-friendly snapshot of a [`Histogram`] (sparse buckets).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by range.
+    pub buckets: Vec<BucketCount>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..N_BUCKETS {
+            assert!(bucket_lo(i) <= bucket_hi(i), "bucket {i}");
+            assert_eq!(bucket_of(bucket_lo(i)), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(bucket_hi(i)), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn observe_tracks_stats() {
+        let mut h = Histogram::new();
+        for v in [3, 0, 9, 9, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1021);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.iter().map(|b| b.n).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        // Three shards with arbitrary observations; every grouping and
+        // ordering of merges must agree exactly.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in [1u64, 5, 17, 0] {
+            a.observe(v);
+        }
+        for v in [2u64, 2, 1 << 40] {
+            b.observe(v);
+        }
+        for v in [u64::MAX, 7] {
+            c.observe(v);
+        }
+
+        // (a ⊕ b) ⊕ c
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "associativity");
+
+        // c ⊕ b ⊕ a
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(ab_c, cba, "commutativity");
+
+        // identity
+        let mut with_empty = ab_c.clone();
+        with_empty.merge(&Histogram::new());
+        assert_eq!(ab_c, with_empty, "empty histogram is the identity");
+    }
+
+    #[test]
+    fn empty_snapshot_is_clean() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert!(snap.buckets.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! The process-wide metrics registry: counters, gauges, and histograms,
+//! collected in per-thread shards.
+//!
+//! Every mutation lands in a thread-local [`Shard`]; shards merge into the
+//! global accumulator when a worker calls [`flush_thread`] (the fork/join
+//! helpers do this at join) or when the thread exits (the shard's `Drop`).
+//! All merge operators — addition for counters, maximum for gauges,
+//! element-wise addition for histograms — are associative and commutative,
+//! so the merged totals are independent of scheduling and worker count:
+//! `IPV6WEB_THREADS=1` and `=N` produce identical counter values.
+//!
+//! Collection is off by default. Every recording call starts with one
+//! relaxed atomic load and returns immediately when disabled, so the
+//! instrumented hot paths pay near zero when nobody is measuring.
+
+use crate::hist::Histogram;
+use crate::snapshot::Snapshot;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when metric collection is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric collection on (counters, gauges, histograms).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns metric collection off. Already-collected values stay until
+/// [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Shard {
+    fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+/// Wrapper whose `Drop` flushes whatever the thread never flushed
+/// explicitly — worker threads merge on exit even without cooperation.
+#[derive(Default)]
+struct ShardCell(RefCell<Shard>);
+
+impl Drop for ShardCell {
+    fn drop(&mut self) {
+        merge_into_global(std::mem::take(&mut *self.0.borrow_mut()));
+    }
+}
+
+thread_local! {
+    static SHARD: ShardCell = ShardCell::default();
+}
+
+static GLOBAL: Mutex<Shard> = Mutex::new(Shard {
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+    hists: BTreeMap::new(),
+});
+
+fn merge_into_global(local: Shard) {
+    if local.is_empty() {
+        return;
+    }
+    let mut g = match GLOBAL.lock() {
+        Ok(g) => g,
+        // a panicking worker still merges what it had
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    for (k, v) in local.counters {
+        *g.counters.entry(k).or_insert(0) += v;
+    }
+    for (k, v) in local.gauges {
+        let slot = g.gauges.entry(k).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+    for (k, h) in local.hists {
+        g.hists.entry(k).or_default().merge(&h);
+    }
+}
+
+#[inline]
+fn with_shard(f: impl FnOnce(&mut Shard)) {
+    // If the thread is exiting and its shard is already gone, drop the
+    // update rather than panic.
+    let _ = SHARD.try_with(|cell| f(&mut cell.0.borrow_mut()));
+}
+
+/// Adds `n` to the named counter.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| *s.counters.entry(name).or_insert(0) += n);
+}
+
+/// Increments the named counter by one.
+#[inline]
+pub fn inc(name: &'static str) {
+    add(name, 1);
+}
+
+/// Raises the named high-water-mark gauge to at least `v`. Gauges merge by
+/// maximum across shards (e.g. peak worker count), which keeps them
+/// order-independent like every other metric.
+#[inline]
+pub fn gauge_max(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| {
+        let slot = s.gauges.entry(name).or_insert(0);
+        *slot = (*slot).max(v);
+    });
+}
+
+/// Records one observation into the named log-scale histogram.
+#[inline]
+pub fn observe(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| s.hists.entry(name).or_default().observe(v));
+}
+
+/// Merges this thread's shard into the global accumulator. Fork/join
+/// helpers call this as each worker finishes; threads that skip it are
+/// covered by the shard's `Drop` at thread exit.
+pub fn flush_thread() {
+    let local = SHARD.try_with(|cell| std::mem::take(&mut *cell.0.borrow_mut()));
+    if let Ok(local) = local {
+        merge_into_global(local);
+    }
+}
+
+/// Clears all merged metrics *and* the calling thread's shard. Other
+/// threads' unflushed shards are untouched — callers reset between runs,
+/// when no workers are live (the study joins all of its pools).
+pub fn reset() {
+    let _ = SHARD.try_with(|cell| *cell.0.borrow_mut() = Shard::default());
+    let mut g = match GLOBAL.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *g = Shard::default();
+}
+
+/// Flushes the calling thread and snapshots the merged state. Worker
+/// threads spawned by the study are joined (and therefore flushed) before
+/// any caller can snapshot.
+pub fn snapshot() -> Snapshot {
+    flush_thread();
+    let g = match GLOBAL.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    Snapshot {
+        counters: g.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        gauges: g.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        histograms: g.hists.iter().map(|(&k, h)| (k.to_string(), h.snapshot())).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The registry is process-global; tests in this module serialize on a
+    // lock and reset around themselves so they never see each other's data.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn isolated() -> MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        enable();
+        guard
+    }
+
+    #[test]
+    fn disabled_is_a_no_op() {
+        let _g = isolated();
+        disable();
+        inc("t.disabled");
+        gauge_max("t.disabled.g", 9);
+        observe("t.disabled.h", 3);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        enable();
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let _g = isolated();
+        inc("t.c");
+        add("t.c", 4);
+        assert_eq!(snapshot().counter("t.c"), 5);
+        assert_eq!(snapshot().counter("t.absent"), 0);
+        disable();
+    }
+
+    #[test]
+    fn gauges_keep_maximum() {
+        let _g = isolated();
+        gauge_max("t.g", 3);
+        gauge_max("t.g", 11);
+        gauge_max("t.g", 7);
+        assert_eq!(snapshot().gauge("t.g"), 11);
+        disable();
+    }
+
+    #[test]
+    fn shards_merge_across_threads() {
+        let _g = isolated();
+        const WORKERS: u64 = 4;
+        const PER_WORKER: u64 = 1000;
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                s.spawn(move || {
+                    for i in 0..PER_WORKER {
+                        inc("t.sharded");
+                        observe("t.sharded.h", i % 7);
+                    }
+                    gauge_max("t.sharded.g", w + 1);
+                    flush_thread();
+                });
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.sharded"), WORKERS * PER_WORKER);
+        assert_eq!(snap.gauge("t.sharded.g"), WORKERS);
+        let h = &snap.histograms["t.sharded.h"];
+        assert_eq!(h.count, WORKERS * PER_WORKER);
+        disable();
+    }
+
+    #[test]
+    fn thread_exit_flushes_without_cooperation() {
+        let _g = isolated();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                add("t.autoflush", 42);
+                // no flush_thread(): the shard's Drop must cover it
+            });
+        });
+        assert_eq!(snapshot().counter("t.autoflush"), 42);
+        disable();
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _g = isolated();
+        inc("t.reset");
+        observe("t.reset.h", 1);
+        reset();
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.reset"), 0);
+        assert!(snap.histograms.is_empty());
+        disable();
+    }
+}

@@ -1,0 +1,76 @@
+//! A serializable view of the merged metric state.
+
+use crate::hist::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Merged counters, gauges, and histograms at one point in time. Keys are
+/// sorted (`BTreeMap`), so serialization is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotone counters.
+    pub counters: BTreeMap<String, u64>,
+    /// High-water-mark gauges.
+    pub gauges: BTreeMap<String, u64>,
+    /// Log-scale histograms (sparse buckets).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of a counter, 0 when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, 0 when never raised.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// `hits / (hits + misses)` for a counter pair, `None` when neither
+    /// fired (avoids 0/0 in derived rates).
+    pub fn hit_rate(&self, hits: &str, misses: &str) -> Option<f64> {
+        let h = self.counter(hits);
+        let m = self.counter(misses);
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let s = Snapshot::default();
+        assert_eq!(s.counter("x"), 0);
+        assert_eq!(s.gauge("x"), 0);
+        assert_eq!(s.hit_rate("h", "m"), None);
+    }
+
+    #[test]
+    fn hit_rate_computes() {
+        let mut s = Snapshot::default();
+        s.counters.insert("h".into(), 3);
+        s.counters.insert("m".into(), 1);
+        assert_eq!(s.hit_rate("h", "m"), Some(0.75));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut s = Snapshot::default();
+        s.counters.insert("a".into(), 7);
+        s.gauges.insert("g".into(), 2);
+        let mut h = crate::Histogram::new();
+        h.observe(5);
+        h.observe(0);
+        s.histograms.insert("h".into(), h.snapshot());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -80,6 +80,7 @@ impl Ipv4Header {
 
     /// Serializes to a fresh vector.
     pub fn to_vec(&self) -> Vec<u8> {
+        ipv6web_obs::inc("packet.v4_headers_encoded");
         let mut v = Vec::with_capacity(IPV4_HEADER_LEN);
         self.encode(&mut v);
         v

@@ -59,6 +59,7 @@ impl Ipv6Header {
 
     /// Serializes to a fresh vector.
     pub fn to_vec(&self) -> Vec<u8> {
+        ipv6web_obs::inc("packet.v6_headers_encoded");
         let mut v = Vec::with_capacity(IPV6_HEADER_LEN);
         self.encode(&mut v);
         v

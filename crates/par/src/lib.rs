@@ -49,6 +49,11 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     let workers = workers.max(1).min(items.len().max(1));
+    // Counters fire on both the serial and parallel paths so totals do not
+    // depend on IPV6WEB_THREADS; only the gauge reflects the configuration.
+    ipv6web_obs::gauge_max("par.peak_threads", workers as u64);
+    ipv6web_obs::add("par.fanouts", 1);
+    ipv6web_obs::add("par.items", items.len() as u64);
     if workers == 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
@@ -69,6 +74,9 @@ where
                     }
                     local.push((i, f(i, &items[i])));
                 }
+                // per-worker metric shards merge at the join, so counter
+                // totals are identical for any IPV6WEB_THREADS value
+                ipv6web_obs::flush_thread();
                 buckets.lock().unwrap().push(local);
             });
         }

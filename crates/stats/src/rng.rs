@@ -16,6 +16,7 @@ pub type StudyRng = ChaCha8Rng;
 /// Uses an FNV-1a hash of the label mixed into the seed material so distinct
 /// labels give statistically independent streams.
 pub fn derive_rng(seed: u64, label: &str) -> StudyRng {
+    ipv6web_obs::inc("stats.rng_derivations");
     let mut h: u64 = 0xcbf29ce484222325;
     for b in label.as_bytes() {
         h ^= *b as u64;

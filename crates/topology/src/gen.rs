@@ -316,6 +316,9 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
     for e in edges {
         topo.add_edge(e.a, e.b, e.rel_a, e.props, e.v4, e.v6, e.tunnel);
     }
+    ipv6web_obs::gauge_max("topology.nodes", topo.num_ases() as u64);
+    ipv6web_obs::gauge_max("topology.edges", topo.edges().len() as u64);
+    ipv6web_obs::add("topology.generated", 1);
     topo
 }
 

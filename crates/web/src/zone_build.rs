@@ -31,6 +31,7 @@ pub fn build_zone(topo: &Topology, sites: &[Site]) -> ZoneDb {
         };
         db.insert(site.name.clone(), ZoneEntry { v4, v6, v6_from_week, ttl: DEFAULT_TTL });
     }
+    ipv6web_obs::add("web.zone_entries", db.len() as u64);
     db
 }
 

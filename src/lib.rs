@@ -37,6 +37,7 @@
 //!
 //! | Re-export | Crate | Role |
 //! |---|---|---|
+//! | [`obs`] | `ipv6web-obs` | metrics registry: counters, histograms, span timers |
 //! | [`stats`] | `ipv6web-stats` | confidence intervals, median filter, regression |
 //! | [`packet`] | `ipv6web-packet` | IPv4/IPv6/ICMP/UDP/TCP wire formats, 6in4/6to4 |
 //! | [`topology`] | `ipv6web-topology` | dual-stack AS graph generator |
@@ -56,6 +57,7 @@ pub use ipv6web_core as core;
 pub use ipv6web_dns as dns;
 pub use ipv6web_monitor as monitor;
 pub use ipv6web_netsim as netsim;
+pub use ipv6web_obs as obs;
 pub use ipv6web_packet as packet;
 pub use ipv6web_stats as stats;
 pub use ipv6web_topology as topology;
@@ -68,6 +70,7 @@ mod tests {
     #[test]
     fn facade_reexports_compile() {
         // spot-check one item per crate so a broken re-export fails here
+        let _ = crate::obs::Histogram::new();
         let _ = crate::stats::RelativeCiRule::paper();
         let _ = crate::packet::ipv4::IPPROTO_IPV6;
         let _ = crate::topology::TopologyConfig::test_small();
