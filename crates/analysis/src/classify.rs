@@ -1,7 +1,7 @@
 //! Classification and the per-vantage analysis builder.
 
 use crate::hypotheses::categorize;
-use crate::sanitize::{sanitize_site, SanitizeOutcome};
+use crate::sanitize::{sanitize_site_windows, SanitizeOutcome};
 use crate::types::{AnalysisConfig, AsGroup, RemovedSite, SiteClass, SitePerf, VantageAnalysis};
 use ipv6web_bgp::BgpTable;
 use ipv6web_monitor::MonitorDb;
@@ -31,6 +31,23 @@ pub fn analyze_vantage(
     table_v4: &BgpTable,
     table_v6: &BgpTable,
 ) -> VantageAnalysis {
+    analyze_vantage_faulted(cfg, sites, db, table_v4, table_v6, &[])
+}
+
+/// [`analyze_vantage`] with fault attribution: transition removals whose
+/// onset falls inside one of `fault_windows` (inclusive week ranges from
+/// the campaign's fault plan) are flagged
+/// [`RemovedSite::fault_attributed`], tying the Table 3 ↑/↓ buckets back
+/// to injected disruptions. With no windows this is exactly
+/// [`analyze_vantage`].
+pub fn analyze_vantage_faulted(
+    cfg: &AnalysisConfig,
+    sites: &[Site],
+    db: &MonitorDb,
+    table_v4: &BgpTable,
+    table_v6: &BgpTable,
+    fault_windows: &[(u32, u32)],
+) -> VantageAnalysis {
     let mut out = VantageAnalysis {
         vantage: db.vantage.clone(),
         sites_total: 0,
@@ -58,12 +75,18 @@ pub fn analyze_vantage(
         let site = &sites[site_id.index()];
         let class = classify_site(site, table_v4, table_v6);
 
-        match sanitize_site(rec, cfg.min_paired_samples, cfg.tolerance) {
-            SanitizeOutcome::Removed { cause, good_v6_perf } => {
+        match sanitize_site_windows(rec, cfg.min_paired_samples, cfg.tolerance, fault_windows) {
+            (SanitizeOutcome::Removed { cause, good_v6_perf }, fault_attributed) => {
                 ipv6web_obs::inc("analysis.sites_removed");
-                out.removed.push(RemovedSite { site: site_id, cause, class, good_v6_perf });
+                out.removed.push(RemovedSite {
+                    site: site_id,
+                    cause,
+                    class,
+                    good_v6_perf,
+                    fault_attributed,
+                });
             }
-            SanitizeOutcome::Kept { v4_mean, v6_mean } => {
+            (SanitizeOutcome::Kept { v4_mean, v6_mean }, _) => {
                 ipv6web_obs::inc("analysis.sites_kept");
                 let Some(class) = class else { continue };
                 let v6_dest = site.v6.as_ref().expect("dual site").dest_as;
@@ -194,11 +217,12 @@ pub(crate) mod tests {
             vantage_name: "MiniVP",
             white_listed: false,
             v6_epoch: None,
+            faults: None,
         };
         let mut ccfg = CampaignConfig::test_small();
         ccfg.total_weeks = 26;
         ccfg.workers = 8;
-        let db = run_campaign(&ctx, &vantage, &list, &[], |_| 0, &ccfg);
+        let db = run_campaign(&ctx, &vantage, &list, &[], |_| 0, &ccfg).expect("valid config");
         Campaign { topo, sites, db, table_v4, table_v6 }
     }
 

@@ -31,12 +31,12 @@ pub mod sanitize;
 pub mod tables;
 pub mod types;
 
-pub use classify::analyze_vantage;
+pub use classify::{analyze_vantage, analyze_vantage_faulted};
 pub use export::{fig1_csv, fig3a_csv, hop_table_csv, kept_sites_csv, table11_csv, table8_csv};
 pub use figures::{fig1_series, fig3a_series, fig3b_series};
 pub use hypotheses::{h1_verdict, h2_verdict, HypothesisVerdict};
 pub use misc::{better_v6_profile, BetterV6Profile};
-pub use sanitize::{sanitize_site, RemovalCause};
+pub use sanitize::{sanitize_site, sanitize_site_windows, RemovalCause};
 pub use types::{
     AnalysisConfig, AsCategory, AsGroup, RemovedSite, SiteClass, SitePerf, VantageAnalysis,
 };

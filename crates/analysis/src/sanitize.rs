@@ -60,42 +60,93 @@ pub fn sanitize_site(
     min_paired_samples: usize,
     tolerance: f64,
 ) -> SanitizeOutcome {
+    sanitize_impl(rec, min_paired_samples, tolerance).0
+}
+
+/// [`sanitize_site`] plus fault attribution: the second element is true
+/// when the site was removed for a sharp transition (↑/↓) whose onset week
+/// falls inside one of `fault_windows` (`(from, to)`, both ends inclusive
+/// — a disruption shifts the level both when it starts and when it
+/// recovers). This connects the Table 3 transition buckets back to
+/// injected disruptions, the way the paper footnotes route changes behind
+/// part of its transition removals.
+pub fn sanitize_site_windows(
+    rec: &SiteRecord,
+    min_paired_samples: usize,
+    tolerance: f64,
+    fault_windows: &[(u32, u32)],
+) -> (SanitizeOutcome, bool) {
+    let (out, onset_idx) = sanitize_impl(rec, min_paired_samples, tolerance);
+    let attributed = match (&out, onset_idx) {
+        (SanitizeOutcome::Removed { .. }, Some(idx)) => {
+            let weeks = rec.paired_weeks();
+            weeks
+                .get(idx)
+                .is_some_and(|&w| fault_windows.iter().any(|&(from, to)| from <= w && w <= to))
+        }
+        _ => false,
+    };
+    if attributed {
+        ipv6web_obs::inc("analysis.fault_window_transitions");
+    }
+    (out, attributed)
+}
+
+/// The shared implementation; the second element is the paired-series
+/// index of the detected transition onset, when removal was a transition.
+fn sanitize_impl(
+    rec: &SiteRecord,
+    min_paired_samples: usize,
+    tolerance: f64,
+) -> (SanitizeOutcome, Option<usize>) {
     let (v4, v6) = paired_series(rec);
     let good_perf =
         if v4.is_empty() { None } else { Some(mean(&v6) >= mean(&v4) * (1.0 - tolerance)) };
     if v4.len() < min_paired_samples {
-        return SanitizeOutcome::Removed {
-            cause: RemovalCause::InsufficientSamples,
-            good_v6_perf: good_perf,
-        };
+        return (
+            SanitizeOutcome::Removed {
+                cause: RemovalCause::InsufficientSamples,
+                good_v6_perf: good_perf,
+            },
+            None,
+        );
     }
     // transitions (either family)
     for series in [&v4, &v6] {
         if let Some(t) = detect_transition_paper(series) {
-            return SanitizeOutcome::Removed {
-                cause: if t.upward {
-                    RemovalCause::TransitionUp
-                } else {
-                    RemovalCause::TransitionDown
+            return (
+                SanitizeOutcome::Removed {
+                    cause: if t.upward {
+                        RemovalCause::TransitionUp
+                    } else {
+                        RemovalCause::TransitionDown
+                    },
+                    good_v6_perf: good_perf,
                 },
-                good_v6_perf: good_perf,
-            };
+                Some(t.index),
+            );
         }
     }
     // trends (either family)
     for series in [&v4, &v6] {
         match trend_paper(series) {
             Trend::Upward => {
-                return SanitizeOutcome::Removed {
-                    cause: RemovalCause::TrendUp,
-                    good_v6_perf: good_perf,
-                }
+                return (
+                    SanitizeOutcome::Removed {
+                        cause: RemovalCause::TrendUp,
+                        good_v6_perf: good_perf,
+                    },
+                    None,
+                )
             }
             Trend::Downward => {
-                return SanitizeOutcome::Removed {
-                    cause: RemovalCause::TrendDown,
-                    good_v6_perf: good_perf,
-                }
+                return (
+                    SanitizeOutcome::Removed {
+                        cause: RemovalCause::TrendDown,
+                        good_v6_perf: good_perf,
+                    },
+                    None,
+                )
             }
             Trend::Stationary => {}
         }
@@ -105,13 +156,16 @@ pub fn sanitize_site(
         let acc: Welford = series.iter().copied().collect();
         let ci = mean_ci(&acc, StudentT::P95);
         if ci.relative_half_width() > tolerance {
-            return SanitizeOutcome::Removed {
-                cause: RemovalCause::InsufficientSamples,
-                good_v6_perf: good_perf,
-            };
+            return (
+                SanitizeOutcome::Removed {
+                    cause: RemovalCause::InsufficientSamples,
+                    good_v6_perf: good_perf,
+                },
+                None,
+            );
         }
     }
-    SanitizeOutcome::Kept { v4_mean: mean(&v4), v6_mean: mean(&v6) }
+    (SanitizeOutcome::Kept { v4_mean: mean(&v4), v6_mean: mean(&v6) }, None)
 }
 
 #[cfg(test)]
@@ -238,6 +292,35 @@ mod tests {
                 good_v6_perf: Some(false)
             }
         );
+    }
+
+    #[test]
+    fn fault_window_transition_attributed() {
+        let mut v4 = vec![50.0; 12];
+        v4.extend(vec![90.0; 12]);
+        let v6 = v4.clone();
+        let rec = rec_from(&v4, &v6);
+        let (out, hit) = sanitize_site_windows(&rec, 8, 0.10, &[(8, 16)]);
+        assert!(
+            matches!(out, SanitizeOutcome::Removed { cause: RemovalCause::TransitionUp, .. }),
+            "got {out:?}"
+        );
+        assert!(hit, "onset inside the window must attribute");
+        let (_, miss) = sanitize_site_windows(&rec, 8, 0.10, &[(20, 23)]);
+        assert!(!miss, "window elsewhere must not attribute");
+        let (_, none) = sanitize_site_windows(&rec, 8, 0.10, &[]);
+        assert!(!none, "no windows, no attribution");
+    }
+
+    #[test]
+    fn trend_removals_never_attributed() {
+        let v4: Vec<f64> = (0..30).map(|i| 50.0 + 1.5 * i as f64).collect();
+        let (out, hit) = sanitize_site_windows(&rec_from(&v4, &v4.clone()), 8, 0.10, &[(0, 30)]);
+        assert!(
+            matches!(out, SanitizeOutcome::Removed { cause: RemovalCause::TrendUp, .. }),
+            "got {out:?}"
+        );
+        assert!(!hit, "trends have no onset; only transitions attribute");
     }
 
     #[test]

@@ -692,18 +692,21 @@ mod tests {
                 cause: RemovalCause::TransitionUp,
                 class: Some(SiteClass::Sp),
                 good_v6_perf: Some(true),
+                fault_attributed: false,
             },
             RemovedSite {
                 site: SiteId(10),
                 cause: RemovalCause::InsufficientSamples,
                 class: Some(SiteClass::Dp),
                 good_v6_perf: Some(false),
+                fault_attributed: false,
             },
             RemovedSite {
                 site: SiteId(11),
                 cause: RemovalCause::TrendDown,
                 class: Some(SiteClass::Dp),
                 good_v6_perf: Some(false),
+                fault_attributed: false,
             },
         ];
         let mut sp_groups = std::collections::BTreeMap::new();

@@ -79,6 +79,10 @@ pub struct RemovedSite {
     /// Whether its IPv6 performance (over whatever samples existed) was
     /// good relative to IPv4 — `None` when too few samples to say.
     pub good_v6_perf: Option<bool>,
+    /// True when the removal was a sharp transition whose onset falls
+    /// inside a known fault-injection window — the disturbance behind the
+    /// Table 3 bucket is an injected one, not organic messiness.
+    pub fault_attributed: bool,
 }
 
 /// A kept site's summary.

@@ -58,7 +58,7 @@ fn ablation_peering_parity(c: &mut Criterion) {
     for lambda in [0.0, 0.5, 1.0] {
         let mut s = tiny(11);
         s.topology.dual = s.topology.dual.toward_parity(lambda);
-        let study = run_study(&s);
+        let study = run_study(&s).expect("valid scenario");
         println!(
             "ablation toward_parity lambda={lambda}: DP share {:.1}%, H2 {}",
             100.0 * dp_share(&study),
@@ -79,7 +79,7 @@ fn ablation_forwarding_penalty(c: &mut Criterion) {
     for (label, prob, range) in [("h1-holds", 0.04, (0.55, 0.9)), ("h1-fails", 0.8, (0.03, 0.15))] {
         let mut s = tiny(13);
         s.topology.dual = s.topology.dual.with_forwarding_penalty(prob, range);
-        let study = run_study(&s);
+        let study = run_study(&s).expect("valid scenario");
         println!(
             "ablation forwarding_penalty={label}: bad SP groups {}, H1 {}",
             bad_sp_groups(&study),
@@ -99,7 +99,7 @@ fn ablation_forwarding_penalty(c: &mut Criterion) {
 fn ablation_disturbances(c: &mut Criterion) {
     let mut s = tiny(17);
     s.disturbances = ipv6web_monitor::DisturbanceConfig::none();
-    let study = run_study(&s);
+    let study = run_study(&s).expect("valid scenario");
     let transitions: usize = study
         .analyses
         .iter()

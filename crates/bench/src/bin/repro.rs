@@ -4,12 +4,15 @@
 //! repro all                      # everything, quick scale
 //! repro tab8 fig1                # specific artifacts
 //! repro all --scale paper        # full-scale run (minutes)
+//! repro all --scale faults       # quick scale under the demo fault plan
 //! repro all --seed 7 --json out.json
+//! repro all --fault-plan plan.json --checkpoint-dir ckpt/
 //! repro all --metrics BENCH.json --baseline BENCH_baseline.json
 //! ```
 
 use ipv6web_bench::{check_regression, BenchReport, Scale, DEFAULT_TOLERANCE};
 use ipv6web_core::run_study;
+use ipv6web_faults::FaultPlan;
 
 const ARTIFACTS: &[&str] = &[
     "fig1", "fig3a", "fig3b", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8",
@@ -18,7 +21,8 @@ const ARTIFACTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <artifact...|all> [--scale quick|paper] [--seed N] [--json FILE] [--csv DIR]\n\
+        "usage: repro <artifact...|all> [--scale quick|paper|faults] [--seed N] [--json FILE]\n\
+         \x20            [--csv DIR] [--fault-plan FILE] [--checkpoint-dir DIR]\n\
          \x20            [--metrics FILE] [--baseline FILE]\n\
          artifacts: {}",
         ARTIFACTS.join(" ")
@@ -38,6 +42,8 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut fault_plan_path: Option<String> = None;
+    let mut checkpoint_dir: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -61,6 +67,12 @@ fn main() {
             "--baseline" => {
                 baseline_path = Some(it.next().unwrap_or_else(|| usage()));
             }
+            "--fault-plan" => {
+                fault_plan_path = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
             "all" => wanted.extend(ARTIFACTS.iter().map(|s| s.to_string())),
             other if ARTIFACTS.contains(&other) => wanted.push(other.to_string()),
             _ => usage(),
@@ -75,9 +87,26 @@ fn main() {
         ipv6web_obs::reset();
         ipv6web_obs::enable();
     }
+    let mut scenario = scale.scenario(seed);
+    if let Some(path) = &fault_plan_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("repro: cannot read fault plan {path}: {e}");
+            std::process::exit(2);
+        });
+        scenario.faults = serde_json::from_str::<FaultPlan>(&text).unwrap_or_else(|e| {
+            eprintln!("repro: cannot parse fault plan {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    if checkpoint_dir.is_some() {
+        scenario.checkpoint_dir = checkpoint_dir;
+    }
     eprintln!("running study (scale {scale:?}, seed {seed})...");
     let t0 = std::time::Instant::now();
-    let study = run_study(&scale.scenario(seed));
+    let study = run_study(&scenario).unwrap_or_else(|e| {
+        eprintln!("repro: {e}");
+        std::process::exit(2);
+    });
     let wall_s = t0.elapsed().as_secs_f64();
     eprintln!("study complete in {wall_s:.1}s\n");
     eprint!("{}", study.timings.render());
@@ -154,6 +183,7 @@ fn main() {
         let scale_name = match scale {
             Scale::Quick => "quick",
             Scale::Paper => "paper",
+            Scale::Faults => "faults",
         };
         let bench = BenchReport::assemble(
             scale_name,

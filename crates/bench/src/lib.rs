@@ -15,14 +15,17 @@ pub enum Scale {
     Quick,
     /// The full paper-scale world (minutes).
     Paper,
+    /// The quick world under the demo fault plan: the chaos scenario.
+    Faults,
 }
 
 impl Scale {
-    /// Parses `quick` / `paper`.
+    /// Parses `quick` / `paper` / `faults`.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "quick" => Some(Scale::Quick),
             "paper" => Some(Scale::Paper),
+            "faults" => Some(Scale::Faults),
             _ => None,
         }
     }
@@ -32,6 +35,7 @@ impl Scale {
         match self {
             Scale::Quick => Scenario::quick(seed),
             Scale::Paper => Scenario::paper(seed),
+            Scale::Faults => Scenario::faults(seed),
         }
     }
 }
@@ -40,7 +44,7 @@ impl Scale {
 /// this so each bench target measures *its* stage, not the shared campaign.
 pub fn shared_quick_study() -> &'static StudyResult {
     static STUDY: OnceLock<StudyResult> = OnceLock::new();
-    STUDY.get_or_init(|| run_study(&Scenario::quick(42)))
+    STUDY.get_or_init(|| run_study(&Scenario::quick(42)).expect("quick scenario is valid"))
 }
 
 #[cfg(test)]
@@ -51,6 +55,7 @@ mod tests {
     fn scale_parses() {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("faults"), Some(Scale::Faults));
         assert_eq!(Scale::parse("huge"), None);
     }
 

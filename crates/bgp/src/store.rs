@@ -128,6 +128,31 @@ impl RouteStore {
         kept.extend(stale.into_iter().zip(fresh));
         (RouteStore { family: self.family, routes: kept }, recomputed)
     }
+
+    /// Applies a sequence of flip `events` (gains, losses) cumulatively:
+    /// each event's topology and store build on the previous event's
+    /// result. Returns one `(topology, store, recomputed)` per event, in
+    /// order — the memoization chain for a campaign with several routing
+    /// epochs (the scenario's scheduled route change plus any injected BGP
+    /// session flaps). A single event is exactly
+    /// [`Topology::with_v6_flips`] + [`RouteStore::rebuild_with_flips`].
+    pub fn rebuild_sequence(
+        &self,
+        topo: &Topology,
+        events: &[(Vec<EdgeId>, Vec<EdgeId>)],
+    ) -> Vec<(Topology, RouteStore, usize)> {
+        let mut out: Vec<(Topology, RouteStore, usize)> = Vec::with_capacity(events.len());
+        for (gains, losses) in events {
+            let next = {
+                let (prev_topo, prev_store) = out.last().map_or((topo, self), |(t, s, _)| (t, s));
+                let late = prev_topo.with_v6_flips(gains, losses);
+                let (store, n) = prev_store.rebuild_with_flips(&late, gains, losses);
+                (late, store, n)
+            };
+            out.push(next);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +233,46 @@ mod tests {
         let scratch = RouteStore::build(&late, Family::V6, &dests);
         for v in topo.nodes().iter().map(|n| n.id) {
             let a = rebuilt.table_for(v);
+            let b = scratch.table_for(v);
+            assert_eq!(a.len(), b.len(), "vantage {v:?}");
+            for r in b.iter() {
+                assert_eq!(a.route(r.dest), Some(r), "vantage {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_sequence_chains_cumulatively() {
+        let (topo, dests, _) = world();
+        let store = RouteStore::build(&topo, Family::V6, &dests);
+        let gains: Vec<EdgeId> = topo
+            .edges()
+            .iter()
+            .filter(|e| {
+                e.v4 && !e.v6 && topo.node(e.a).is_dual_stack() && topo.node(e.b).is_dual_stack()
+            })
+            .map(|e| e.id)
+            .take(4)
+            .collect();
+        assert!(gains.len() >= 2, "need at least two eligible edges");
+        let (first, second) = (vec![gains[0], gains[1]], gains[2..].to_vec());
+
+        let chain =
+            store.rebuild_sequence(&topo, &[(first.clone(), vec![]), (second.clone(), vec![])]);
+        assert_eq!(chain.len(), 2);
+
+        // the single-event entry matches the direct call exactly
+        let late1 = topo.with_v6_flips(&first, &[]);
+        let (direct1, n1) = store.rebuild_with_flips(&late1, &first, &[]);
+        assert_eq!(chain[0].2, n1);
+        assert_eq!(chain[0].1.len(), direct1.len());
+
+        // the second entry equals a from-scratch build on both events' flips
+        let all: Vec<EdgeId> = first.iter().chain(&second).copied().collect();
+        let late2 = topo.with_v6_flips(&all, &[]);
+        let scratch = RouteStore::build(&late2, Family::V6, &dests);
+        for v in topo.nodes().iter().map(|n| n.id) {
+            let a = chain[1].1.table_for(v);
             let b = scratch.table_for(v);
             assert_eq!(a.len(), b.len(), "vantage {v:?}");
             for r in b.iter() {

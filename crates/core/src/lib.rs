@@ -17,7 +17,7 @@
 //! ```no_run
 //! use ipv6web_core::{run_study, Scenario};
 //!
-//! let study = run_study(&Scenario::quick(42));
+//! let study = run_study(&Scenario::quick(42)).expect("valid scenario");
 //! println!("{}", study.report.render());
 //! assert!(study.report.h1.holds && study.report.h2.holds);
 //! ```
@@ -30,5 +30,5 @@ pub mod world;
 pub use ipv6web_obs::{SpanRecord, Timings};
 pub use report::Report;
 pub use scenario::Scenario;
-pub use study::{run_study, StudyResult};
+pub use study::{run_study, StudyError, StudyResult};
 pub use world::World;

@@ -2,6 +2,7 @@
 
 use ipv6web_alexa::AdoptionTimeline;
 use ipv6web_analysis::AnalysisConfig;
+use ipv6web_faults::FaultPlan;
 use ipv6web_monitor::{CampaignConfig, DisturbanceConfig};
 use ipv6web_netsim::TcpConfig;
 use ipv6web_stats::RelativeCiRule;
@@ -45,6 +46,14 @@ pub struct Scenario {
     /// edges starts carrying IPv6 and that fraction of native v6 edges
     /// stops — the real path changes behind part of Table 3's transitions.
     pub route_change: Option<(u32, f64, f64)>,
+    /// Deterministic fault injection: link flaps, loss bursts, BGP session
+    /// flaps, DNS and HTTP disruptions, vantage outages. An empty plan
+    /// (the default) runs the fault-free pipeline bit-identically.
+    pub faults: FaultPlan,
+    /// Directory for per-round campaign checkpoints; `None` disables
+    /// checkpointing. A later run with the same directory resumes each
+    /// vantage point from its last completed round.
+    pub checkpoint_dir: Option<String>,
 }
 
 impl Scenario {
@@ -69,6 +78,8 @@ impl Scenario {
             analysis: AnalysisConfig::paper(),
             fig1_from_week: 17, // 2010-12-09
             route_change: Some((26, 0.03, 0.01)),
+            faults: FaultPlan::default(),
+            checkpoint_dir: None,
         }
     }
 
@@ -103,7 +114,17 @@ impl Scenario {
             analysis,
             fig1_from_week: 4,
             route_change: Some((13, 0.03, 0.01)),
+            faults: FaultPlan::default(),
+            checkpoint_dir: None,
         }
+    }
+
+    /// [`Scenario::quick`] with the demo fault plan active: the `repro
+    /// faults` chaos scenario.
+    pub fn faults(seed: u64) -> Self {
+        let mut s = Scenario::quick(seed);
+        s.faults = FaultPlan::demo(s.timeline.total_weeks);
+        s
     }
 
     /// Validates cross-component consistency.
@@ -132,6 +153,8 @@ impl Scenario {
                 return Err("route-change fractions outside [0,1]".into());
             }
         }
+        self.campaign.validate().map_err(|e| format!("campaign: {e}"))?;
+        self.faults.validate(self.timeline.total_weeks).map_err(|e| format!("fault plan: {e}"))?;
         Ok(())
     }
 
@@ -179,5 +202,25 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn faults_preset_validates_and_is_nonempty() {
+        let s = Scenario::faults(1);
+        assert_eq!(s.validate(), Ok(()));
+        assert!(!s.faults.is_empty());
+    }
+
+    #[test]
+    fn pre_fault_scenario_json_still_deserializes() {
+        // scenario files written before this crate knew about fault
+        // injection carry neither `faults` nor `checkpoint_dir`
+        let mut v = serde_json::to_value(&Scenario::quick(7)).unwrap();
+        if let serde_json::Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "faults" && k != "checkpoint_dir");
+        }
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Scenario::quick(7), "omitted fields default to the no-fault pipeline");
     }
 }

@@ -3,8 +3,45 @@
 use crate::report::Report;
 use crate::scenario::Scenario;
 use crate::world::World;
-use ipv6web_analysis::{analyze_vantage, AnalysisConfig, VantageAnalysis};
-use ipv6web_monitor::{run_campaign, run_ipv6_day_rounds, MonitorDb, ProbeContext};
+use ipv6web_analysis::{analyze_vantage_faulted, AnalysisConfig, VantageAnalysis};
+use ipv6web_monitor::{
+    checkpoint_path, run_campaign_resumable, run_ipv6_day_rounds, CampaignError, MonitorDb,
+    ProbeContext, ProbeFaults,
+};
+use std::path::Path;
+
+/// Why a study run could not complete.
+#[derive(Debug)]
+pub enum StudyError {
+    /// The scenario failed [`Scenario::validate`].
+    InvalidScenario(String),
+    /// A campaign aborted (bad config, or a checkpoint write/read failed).
+    Campaign(CampaignError),
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StudyError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            StudyError::Campaign(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::InvalidScenario(_) => None,
+            StudyError::Campaign(e) => Some(e),
+        }
+    }
+}
+
+impl From<CampaignError> for StudyError {
+    fn from(e: CampaignError) -> Self {
+        StudyError::Campaign(e)
+    }
+}
 
 /// Everything a study run produces.
 pub struct StudyResult {
@@ -28,7 +65,11 @@ pub struct StudyResult {
     pub timings: ipv6web_obs::Timings,
 }
 
-fn probe_ctx<'a>(world: &'a World, vantage_idx: usize) -> ProbeContext<'a> {
+fn probe_ctx<'a>(
+    world: &'a World,
+    vantage_idx: usize,
+    faults: Option<&'a ProbeFaults<'a>>,
+) -> ProbeContext<'a> {
     let s = &world.scenario;
     ProbeContext {
         topo: &world.topo,
@@ -45,32 +86,79 @@ fn probe_ctx<'a>(world: &'a World, vantage_idx: usize) -> ProbeContext<'a> {
         vantage_name: &world.vantages[vantage_idx].name,
         white_listed: world.vantages[vantage_idx].white_listed,
         v6_epoch: world.v6_epoch.as_ref().map(|(week, tables)| (*week, &tables[vantage_idx])),
+        faults,
     }
+}
+
+/// The per-vantage fault wiring: the injector plus this vantage point's
+/// slice of the cumulative v6 epoch chain. `None` when the plan is empty,
+/// so the fault-free pipeline stays bit-identical.
+fn probe_faults(world: &World, vantage_idx: usize) -> Option<ProbeFaults<'_>> {
+    world.injector.as_ref().map(|injector| ProbeFaults {
+        injector,
+        retry: world.scenario.faults.retry,
+        v6_epochs: world
+            .fault_epochs
+            .iter()
+            .map(|(week, tables)| (*week, &tables[vantage_idx]))
+            .collect(),
+    })
+}
+
+/// Loads a previous partial run from the checkpoint directory, if one was
+/// left behind for this vantage point.
+fn load_resume(dir: Option<&Path>, vantage: &str) -> Result<Option<MonitorDb>, CampaignError> {
+    let Some(dir) = dir else { return Ok(None) };
+    let path = checkpoint_path(dir, vantage);
+    if !path.exists() {
+        return Ok(None);
+    }
+    MonitorDb::load_json(&path)
+        .map(Some)
+        .map_err(|source| CampaignError::Checkpoint { path, source })
 }
 
 /// Runs the complete study: weekly campaigns from all six vantage points,
 /// the World IPv6 Day experiment, analysis, and report assembly.
-pub fn run_study(scenario: &Scenario) -> StudyResult {
+///
+/// When the scenario carries a checkpoint directory, each vantage point's
+/// database is snapshotted after every round and a rerun resumes from the
+/// last completed round instead of re-probing. A non-empty
+/// [`Scenario::faults`] plan drives deterministic fault injection
+/// throughout; an empty plan reproduces the fault-free pipeline
+/// bit-identically.
+pub fn run_study(scenario: &Scenario) -> Result<StudyResult, StudyError> {
+    scenario.validate().map_err(StudyError::InvalidScenario)?;
     // Collect only the spans this run produces, so back-to-back studies on
     // one thread (e.g. test suites) keep independent phase breakdowns.
     let mark = ipv6web_obs::span_mark();
     let world = World::build(scenario);
+    let ckpt_dir = scenario.checkpoint_dir.as_deref().map(Path::new);
+    if let Some(dir) = ckpt_dir {
+        std::fs::create_dir_all(dir).map_err(|source| {
+            StudyError::Campaign(CampaignError::Checkpoint { path: dir.to_path_buf(), source })
+        })?;
+    }
 
     // --- weekly campaigns ---------------------------------------------------
     let mut dbs = Vec::with_capacity(world.vantages.len());
     for (i, vantage) in world.vantages.iter().enumerate() {
-        let ctx = probe_ctx(&world, i);
+        let faults = probe_faults(&world, i);
+        let ctx = probe_ctx(&world, i, faults.as_ref());
         let sites = &world.sites;
         let db = {
             let _s = ipv6web_obs::span(format!("campaign: {}", vantage.name));
-            run_campaign(
+            let resume = load_resume(ckpt_dir, &vantage.name)?;
+            run_campaign_resumable(
                 &ctx,
                 vantage,
                 &world.list,
                 &world.tail_ids,
                 |id| sites[id as usize].first_seen_week,
                 &scenario.campaign,
-            )
+                resume,
+                ckpt_dir,
+            )?
         };
         dbs.push(db);
     }
@@ -84,19 +172,21 @@ pub fn run_study(scenario: &Scenario) -> StudyResult {
             if !vantage.has_as_path || vantage.name == "Comcast" {
                 continue;
             }
-            let ctx = probe_ctx(&world, i);
+            let faults = probe_faults(&world, i);
+            let ctx = probe_ctx(&world, i, faults.as_ref());
             let db = run_ipv6_day_rounds(
                 &ctx,
                 vantage,
                 &participants,
                 scenario.timeline.ipv6_day_week,
                 &scenario.campaign,
-            );
+            )?;
             day_dbs.push((i, db));
         }
     }
 
     // --- analysis ------------------------------------------------------------
+    let fault_windows = scenario.faults.disruption_windows();
     let analyses: Vec<VantageAnalysis> = {
         let _s = ipv6web_obs::span("analysis");
         world
@@ -105,12 +195,13 @@ pub fn run_study(scenario: &Scenario) -> StudyResult {
             .enumerate()
             .filter(|(_, v)| v.has_as_path)
             .map(|(i, _)| {
-                analyze_vantage(
+                analyze_vantage_faulted(
                     &scenario.analysis,
                     &world.sites,
                     &dbs[i],
                     &world.tables[i].0,
                     &world.tables[i].1,
+                    &fault_windows,
                 )
             })
             .collect()
@@ -121,12 +212,13 @@ pub fn run_study(scenario: &Scenario) -> StudyResult {
         day_dbs
             .iter()
             .map(|(i, db)| {
-                analyze_vantage(
+                analyze_vantage_faulted(
                     &day_cfg,
                     &world.sites,
                     db,
                     &world.tables[*i].0,
                     &world.tables[*i].1,
+                    &fault_windows,
                 )
             })
             .collect()
@@ -137,7 +229,7 @@ pub fn run_study(scenario: &Scenario) -> StudyResult {
         Report::build(&world, &dbs, &analyses, &day_analyses)
     };
     let timings = ipv6web_obs::Timings { phases: ipv6web_obs::take_spans_since(mark) };
-    StudyResult { world, dbs, day_dbs, analyses, day_analyses, report, timings }
+    Ok(StudyResult { world, dbs, day_dbs, analyses, day_analyses, report, timings })
 }
 
 #[cfg(test)]
@@ -147,7 +239,7 @@ mod tests {
 
     fn study() -> &'static StudyResult {
         static S: OnceLock<StudyResult> = OnceLock::new();
-        S.get_or_init(|| run_study(&Scenario::quick(2)))
+        S.get_or_init(|| run_study(&Scenario::quick(2)).expect("quick study runs"))
     }
 
     #[test]
@@ -215,5 +307,17 @@ mod tests {
         let s = study();
         assert!(s.report.h1.holds, "{}", s.report.h1.summary);
         assert!(s.report.h2.holds, "{}", s.report.h2.summary);
+    }
+
+    #[test]
+    fn invalid_scenario_is_a_typed_error() {
+        let mut s = Scenario::quick(1);
+        s.campaign.workers = 0;
+        match run_study(&s) {
+            Err(StudyError::InvalidScenario(msg)) => {
+                assert!(msg.contains("workers"), "unexpected message: {msg}")
+            }
+            other => panic!("expected InvalidScenario, got {:?}", other.err()),
+        }
     }
 }

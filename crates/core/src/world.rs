@@ -3,6 +3,7 @@
 use crate::scenario::Scenario;
 use ipv6web_alexa::TopList;
 use ipv6web_bgp::{BgpTable, RouteStore};
+use ipv6web_faults::FaultInjector;
 use ipv6web_monitor::{Disturbances, VantagePoint};
 use ipv6web_stats::derive_rng;
 use ipv6web_topology::{
@@ -39,6 +40,14 @@ pub struct World {
     pub topo_late: Option<Topology>,
     /// Injected performance disturbances.
     pub disturbances: Disturbances,
+    /// The fault injector, when the scenario's plan is non-empty.
+    pub injector: Option<FaultInjector>,
+    /// Cumulative v6 routing epochs `(week, per-vantage tables)` sorted by
+    /// week, covering the scenario's scheduled route change *and* injected
+    /// BGP session flaps — the chain probes walk when faults are active.
+    /// Empty when the plan is empty (then `v6_epoch` alone carries the
+    /// scenario epoch, exactly as before fault injection existed).
+    pub fault_epochs: Vec<(u32, Vec<BgpTable>)>,
 }
 
 /// Picks six dual-stack access ASes for the vantage points, preferring the
@@ -153,43 +162,89 @@ impl World {
         let t6 = store_v6.tables_for(&vantage_ids);
         let tables: Vec<(BgpTable, BgpTable)> = t4.into_iter().zip(t6).collect();
 
+        // The scenario's scheduled route-change edge sample. The RNG
+        // stream and candidate filters are the same whether or not fault
+        // injection is active, so the scenario epoch is identical in both
+        // modes.
+        let scenario_event = scenario.route_change.map(|(week, gain_frac, loss_frac)| {
+            let mut rng = derive_rng(scenario.seed, "route-change");
+            let mut gain_candidates: Vec<EdgeId> = topo
+                .edges()
+                .iter()
+                .filter(|e| {
+                    e.v4 && !e.v6
+                        && topo.node(e.a).is_dual_stack()
+                        && topo.node(e.b).is_dual_stack()
+                })
+                .map(|e| e.id)
+                .collect();
+            let mut loss_candidates: Vec<EdgeId> = topo
+                .edges()
+                .iter()
+                .filter(|e| e.v6 && e.v4 && e.tunnel.is_none())
+                .map(|e| e.id)
+                .collect();
+            gain_candidates.shuffle(&mut rng);
+            loss_candidates.shuffle(&mut rng);
+            let n_gain = (gain_candidates.len() as f64 * gain_frac).round() as usize;
+            let n_loss = (loss_candidates.len() as f64 * loss_frac).round() as usize;
+            gain_candidates.truncate(n_gain);
+            loss_candidates.truncate(n_loss);
+            (week, gain_candidates, loss_candidates)
+        });
+
         // Mid-campaign IPv6 route changes: flip a slice of edges and
         // recompute the IPv6 tables for the second epoch. IPv4 stays put —
         // the paper's transitions were an IPv6-deployment phenomenon.
-        let (v6_epoch, topo_late) = match scenario.route_change {
-            None => (None, None),
-            Some((week, gain_frac, loss_frac)) => {
-                let _s = ipv6web_obs::span("world: route tables (v6 epoch)");
-                let mut rng = derive_rng(scenario.seed, "route-change");
-                let mut gain_candidates: Vec<EdgeId> = topo
-                    .edges()
-                    .iter()
-                    .filter(|e| {
-                        e.v4 && !e.v6
-                            && topo.node(e.a).is_dual_stack()
-                            && topo.node(e.b).is_dual_stack()
-                    })
-                    .map(|e| e.id)
-                    .collect();
-                let mut loss_candidates: Vec<EdgeId> = topo
-                    .edges()
-                    .iter()
-                    .filter(|e| e.v6 && e.v4 && e.tunnel.is_none())
-                    .map(|e| e.id)
-                    .collect();
-                gain_candidates.shuffle(&mut rng);
-                loss_candidates.shuffle(&mut rng);
-                let n_gain = (gain_candidates.len() as f64 * gain_frac).round() as usize;
-                let n_loss = (loss_candidates.len() as f64 * loss_frac).round() as usize;
-                let gains = &gain_candidates[..n_gain];
-                let losses = &loss_candidates[..n_loss];
-                let late = topo.with_v6_flips(gains, losses);
-                // memoized rebuild: only destinations the flipped edges can
-                // affect are recomputed; the rest reuse the early store
-                let (late_store, _recomputed) = store_v6.rebuild_with_flips(&late, gains, losses);
-                let t6_late = late_store.tables_for(&vantage_ids);
-                (Some((week, t6_late)), Some(late))
+        let (v6_epoch, topo_late, injector, fault_epochs) = if scenario.faults.is_empty() {
+            // fault-free: the single scheduled epoch, exactly as before
+            let (v6_epoch, topo_late) = match scenario_event {
+                None => (None, None),
+                Some((week, gains, losses)) => {
+                    let _s = ipv6web_obs::span("world: route tables (v6 epoch)");
+                    let late = topo.with_v6_flips(&gains, &losses);
+                    // memoized rebuild: only destinations the flipped edges
+                    // can affect are recomputed; the rest reuse the early
+                    // store
+                    let (late_store, _recomputed) =
+                        store_v6.rebuild_with_flips(&late, &gains, &losses);
+                    let t6_late = late_store.tables_for(&vantage_ids);
+                    (Some((week, t6_late)), Some(late))
+                }
+            };
+            (v6_epoch, topo_late, None, Vec::new())
+        } else {
+            // fault injection: BGP session flaps add extra routing epochs;
+            // all epochs (scenario event included) chain cumulatively
+            // through the memoized store
+            let _s = ipv6web_obs::span("world: route tables (v6 epochs, faulted)");
+            let injector = FaultInjector::new(scenario.faults.clone(), scenario.seed);
+            let mut events: Vec<(u32, Vec<EdgeId>, Vec<EdgeId>, bool)> = injector
+                .bgp_events(&topo)
+                .into_iter()
+                .map(|(week, gains, losses)| (week, gains, losses, false))
+                .collect();
+            if let Some((week, gains, losses)) = scenario_event {
+                events.push((week, gains, losses, true));
             }
+            // stable order: by week, the scenario event first on ties
+            events.sort_by_key(|&(week, _, _, is_scenario)| (week, !is_scenario));
+            let flips: Vec<(Vec<EdgeId>, Vec<EdgeId>)> =
+                events.iter().map(|(_, g, l, _)| (g.clone(), l.clone())).collect();
+            let chain = store_v6.rebuild_sequence(&topo, &flips);
+            let mut v6_epoch = None;
+            let mut topo_late = None;
+            let mut fault_epochs = Vec::with_capacity(chain.len());
+            for ((week, _, _, is_scenario), (late_topo, late_store, _n)) in events.iter().zip(chain)
+            {
+                let tables = late_store.tables_for(&vantage_ids);
+                if *is_scenario {
+                    v6_epoch = Some((*week, tables.clone()));
+                    topo_late = Some(late_topo);
+                }
+                fault_epochs.push((*week, tables));
+            }
+            (v6_epoch, topo_late, Some(injector), fault_epochs)
         };
 
         let disturbances = Disturbances::generate(
@@ -211,6 +266,8 @@ impl World {
             v6_epoch,
             topo_late,
             disturbances,
+            injector,
+            fault_epochs,
         }
     }
 

@@ -18,6 +18,6 @@ pub mod wire;
 pub mod zone;
 
 pub use records::{Record, RecordData, RecordType};
-pub use resolver::{Resolver, ResolverStats};
+pub use resolver::{DnsError, Resolver, ResolverStats};
 pub use wire::{DnsHeader, DnsMessage, DnsQuestion, DnsRecordWire};
 pub use zone::{ZoneDb, ZoneEntry};

@@ -33,6 +33,30 @@ struct CacheLine {
 /// minimum; the simulated zones use a flat value).
 const NEGATIVE_TTL_S: u64 = 300;
 
+/// An injected failure of one resolver exchange, as classified by a
+/// fault-aware caller. Nothing is cached for a failed exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsError {
+    /// The authority answered SERVFAIL.
+    ServFail,
+    /// The query timed out.
+    Timeout,
+    /// The response arrived torn and failed to parse.
+    Truncated,
+}
+
+impl std::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnsError::ServFail => write!(f, "SERVFAIL"),
+            DnsError::Timeout => write!(f, "query timed out"),
+            DnsError::Truncated => write!(f, "truncated response"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
 /// A caching stub resolver bound to a [`ZoneDb`] authority.
 #[derive(Debug, Clone)]
 pub struct Resolver {
@@ -134,6 +158,29 @@ impl Resolver {
         self.cache
             .insert(key, CacheLine { records: records.clone(), expires_at: now_s + ttl as u64 });
         Some(records)
+    }
+
+    /// [`Resolver::resolve`] with an optional injected fault. `fault: None`
+    /// is exactly `resolve` (same cache traffic, same counters); an
+    /// injected fault fails the exchange before it reaches cache or
+    /// authority, leaving resolver state untouched so a retry behaves like
+    /// a fresh query.
+    pub fn resolve_faulted(
+        &mut self,
+        zone: &ZoneDb,
+        name: &str,
+        qtype: RecordType,
+        week: u32,
+        now_s: u64,
+        fault: Option<DnsError>,
+    ) -> Result<Option<Vec<Record>>, DnsError> {
+        match fault {
+            None => Ok(self.resolve(zone, name, qtype, week, now_s)),
+            Some(err) => {
+                ipv6web_obs::inc("dns.faulted");
+                Err(err)
+            }
+        }
     }
 
     /// Drops all cached entries — the monitor's "proper resetting to avoid
@@ -245,6 +292,22 @@ mod tests {
         assert_eq!(r.cache_len(), 0);
         r.resolve(&db, "a.example", RecordType::A, 0, 1);
         assert_eq!(r.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn faulted_exchange_leaves_state_untouched() {
+        let db = zone();
+        let mut r = Resolver::new();
+        assert_eq!(
+            r.resolve_faulted(&db, "a.example", RecordType::A, 0, 0, Some(DnsError::ServFail)),
+            Err(DnsError::ServFail)
+        );
+        assert_eq!(r.cache_len(), 0);
+        assert_eq!(r.stats(), ResolverStats::default(), "no counters move on a faulted exchange");
+        // retry without fault behaves like a fresh query
+        let ok = r.resolve_faulted(&db, "a.example", RecordType::A, 0, 0, None).unwrap();
+        assert_eq!(ok.unwrap().len(), 1);
+        assert_eq!(r.stats().cache_misses, 1);
     }
 
     #[test]

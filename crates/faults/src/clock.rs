@@ -1,0 +1,139 @@
+//! Simulated time for fault handling: a per-probe clock and the
+//! retry/backoff policy that spends it.
+
+use serde::{Deserialize, Serialize};
+
+/// How a consumer retries through injected faults.
+///
+/// All times are simulated milliseconds — nothing here reads a wall clock,
+/// so retry behavior is as deterministic as the faults themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts per operation (first try included) before giving up.
+    pub max_attempts: u32,
+    /// Backoff before retry 1, ms; doubles per retry.
+    pub base_backoff_ms: f64,
+    /// Ceiling on a single backoff interval, ms.
+    pub backoff_cap_ms: f64,
+    /// Total simulated time one probe may spend on fault handling before
+    /// it is abandoned, ms.
+    pub probe_budget_ms: f64,
+    /// Cost charged for one timed-out exchange (DNS query or TCP connect),
+    /// ms.
+    pub timeout_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl RetryPolicy {
+    /// A resolver-library-like default: 4 tries, 250 ms initial backoff
+    /// capped at 2 s, 3 s per timeout, 15 s of fault handling per probe.
+    pub fn paper() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 250.0,
+            backoff_cap_ms: 2_000.0,
+            probe_budget_ms: 15_000.0,
+            timeout_ms: 3_000.0,
+        }
+    }
+
+    /// Capped exponential backoff before retry `attempt` (0-based: the
+    /// backoff taken after the `attempt`-th failure).
+    pub fn backoff_ms(&self, attempt: u32) -> f64 {
+        let exp = 2f64.powi(attempt.min(30) as i32);
+        (self.base_backoff_ms * exp).min(self.backoff_cap_ms)
+    }
+
+    /// Sanity-checks the policy.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("retry.max_attempts must be at least 1".into());
+        }
+        for (name, v) in [
+            ("base_backoff_ms", self.base_backoff_ms),
+            ("backoff_cap_ms", self.backoff_cap_ms),
+            ("probe_budget_ms", self.probe_budget_ms),
+            ("timeout_ms", self.timeout_ms),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("retry.{name} must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Simulated per-probe clock with a fault-handling budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultClock {
+    now_ms: f64,
+    budget_ms: f64,
+}
+
+impl FaultClock {
+    /// A clock at zero with the given budget.
+    pub fn new(budget_ms: f64) -> Self {
+        FaultClock { now_ms: 0.0, budget_ms }
+    }
+
+    /// Elapsed simulated time, ms.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Advances simulated time.
+    pub fn advance(&mut self, ms: f64) {
+        self.now_ms += ms.max(0.0);
+    }
+
+    /// True once the fault-handling budget is spent.
+    pub fn expired(&self) -> bool {
+        self.now_ms >= self.budget_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy::paper();
+        assert_eq!(p.backoff_ms(0), 250.0);
+        assert_eq!(p.backoff_ms(1), 500.0);
+        assert_eq!(p.backoff_ms(2), 1000.0);
+        assert_eq!(p.backoff_ms(3), 2000.0);
+        assert_eq!(p.backoff_ms(10), 2000.0, "capped");
+        assert_eq!(p.backoff_ms(100), 2000.0, "huge attempts must not overflow");
+    }
+
+    #[test]
+    fn clock_budget() {
+        let mut c = FaultClock::new(1000.0);
+        assert!(!c.expired());
+        c.advance(400.0);
+        c.advance(-50.0); // negative advances are ignored
+        assert_eq!(c.now_ms(), 400.0);
+        c.advance(600.0);
+        assert!(c.expired());
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(RetryPolicy::paper().validate().is_ok());
+        let mut p = RetryPolicy::paper();
+        p.max_attempts = 0;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::paper();
+        p.timeout_ms = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::paper();
+        p.base_backoff_ms = -1.0;
+        assert!(p.validate().is_err());
+    }
+}

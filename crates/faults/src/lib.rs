@@ -1,0 +1,45 @@
+//! Deterministic fault injection for the measurement substrate.
+//!
+//! Real campaigns are messy: DNS servers fail, links flap, BGP sessions
+//! reset mid-campaign, servers stall or tear connections down, and whole
+//! vantage points go dark for weeks. The paper's Section 4 sanitization
+//! exists *because* of that mess — this crate makes the mess reproducible
+//! so the robustness of the pipeline can be tested instead of assumed.
+//!
+//! Three pieces:
+//!
+//! * [`FaultPlan`] — a serde-able description of *what* goes wrong and
+//!   *when* (per-family link flaps and loss bursts, BGP session flaps that
+//!   feed extra route-change epochs, DNS SERVFAIL/timeout/truncation,
+//!   per-server HTTP stalls and resets, whole-vantage outages), plus the
+//!   [`RetryPolicy`] consumers use to probe through it.
+//! * [`FaultClock`] — simulated per-probe time, so retries and backoff
+//!   consume a budget without ever touching the wall clock.
+//! * [`FaultInjector`] — the pure decision function. Every decision is
+//!   keyed on `(seed, entity, week, round, attempt)` through
+//!   [`ipv6web_stats::derive_rng`] label streams, never on scheduling, so
+//!   a plan replays bit-identically at any thread count.
+//!
+//! Every injected fault is counted under exactly one
+//! `faults.injected.<kind>` obs counter paired with `faults.injected_total`
+//! (see [`record_injection`]), which is what the accounting proptests in
+//! `tests/faults.rs` verify.
+
+pub mod clock;
+pub mod inject;
+pub mod plan;
+
+pub use clock::{FaultClock, RetryPolicy};
+pub use inject::{FaultInjector, LinkImpact};
+pub use plan::{
+    BgpFlap, DnsDisruption, DnsFaultKind, FaultPlan, HttpDisruption, HttpFaultKind, LinkFlap,
+    LossBurst, VantageOutage,
+};
+
+/// Records one injected fault: increments the given `faults.injected.*`
+/// counter and the `faults.injected_total` roll-up together, so the sum of
+/// the per-kind counters always equals the total.
+pub fn record_injection(kind: &'static str) {
+    ipv6web_obs::inc(kind);
+    ipv6web_obs::inc("faults.injected_total");
+}

@@ -5,6 +5,7 @@
 //! repository aggregates them. [`MonitorDb`] is the in-memory equivalent,
 //! serializable with serde for snapshotting.
 
+use crate::round::RoundError;
 use ipv6web_web::SiteId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -39,6 +40,10 @@ pub struct SiteRecord {
     pub samples_v6: Vec<PerfSample>,
     /// Rounds where the performance phase gave up (no confidence).
     pub unconfident_rounds: u32,
+    /// Rounds discarded because a response failed to parse.
+    pub malformed_rounds: u32,
+    /// Rounds lost to injected faults (DNS failure or exchange timeout).
+    pub faulted_rounds: u32,
 }
 
 impl SiteRecord {
@@ -57,12 +62,27 @@ pub struct MonitorDb {
     /// Vantage point name this database belongs to.
     pub vantage: String,
     records: BTreeMap<SiteId, SiteRecord>,
+    /// Rounds that finished degraded (worker/channel failure lost in-flight
+    /// probes); the round's partial results are still recorded.
+    pub round_errors: Vec<RoundError>,
+    /// Weeks this vantage point was down entirely (injected outage); no
+    /// round ran, nothing was recorded.
+    pub outage_weeks: Vec<u32>,
+    /// Rounds completed so far: weeks `< completed_weeks` are done (probed
+    /// or skipped as an outage). The campaign resume point.
+    pub completed_weeks: u32,
 }
 
 impl MonitorDb {
     /// Fresh database for a vantage point.
     pub fn new(vantage: impl Into<String>) -> Self {
-        MonitorDb { vantage: vantage.into(), records: BTreeMap::new() }
+        MonitorDb {
+            vantage: vantage.into(),
+            records: BTreeMap::new(),
+            round_errors: Vec::new(),
+            outage_weeks: Vec::new(),
+            completed_weeks: 0,
+        }
     }
 
     /// Record for `site`, creating it (with `added_week`) on first touch.
@@ -115,9 +135,23 @@ impl MonitorDb {
 
     /// Writes the database as pretty JSON (the central repository's
     /// archival format).
+    ///
+    /// The write is atomic — JSON lands in a sibling temp file first and is
+    /// renamed into place — so a crash mid-write (or mid-campaign
+    /// checkpoint) never leaves a torn snapshot behind. Errors carry the
+    /// target path.
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self).expect("db serializes");
-        std::fs::write(path, json)
+        let path = path.as_ref();
+        let with_path =
+            |e: std::io::Error| std::io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+            .map_err(with_path)?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json).map_err(with_path)?;
+        std::fs::rename(&tmp, path).map_err(with_path)
     }
 
     /// Loads a database written by [`MonitorDb::save_json`].
@@ -146,6 +180,8 @@ impl MonitorDb {
             mine.samples_v4.extend_from_slice(&rec.samples_v4);
             mine.samples_v6.extend_from_slice(&rec.samples_v6);
             mine.unconfident_rounds += rec.unconfident_rounds;
+            mine.malformed_rounds += rec.malformed_rounds;
+            mine.faulted_rounds += rec.faulted_rounds;
         }
     }
 }

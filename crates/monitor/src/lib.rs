@@ -32,6 +32,9 @@ pub mod vantage;
 
 pub use db::{MonitorDb, PerfSample, SiteRecord};
 pub use disturbance::{Disturbance, DisturbanceConfig, DisturbanceKind, Disturbances};
-pub use probe::{probe_site, ProbeContext, ProbeOutcome};
-pub use round::{run_campaign, run_ipv6_day_rounds, CampaignConfig};
+pub use probe::{probe_site, ProbeContext, ProbeFaults, ProbeOutcome};
+pub use round::{
+    checkpoint_path, run_campaign, run_campaign_resumable, run_ipv6_day_rounds, CampaignConfig,
+    CampaignError, ConfigError, RoundError,
+};
 pub use vantage::{VantageKind, VantagePoint};

@@ -1,17 +1,46 @@
 //! Monitoring one site in one round (the per-thread unit of work).
+//!
+//! With fault injection active ([`ProbeContext::faults`]), every exchange
+//! of the pipeline can fail: DNS queries SERVFAIL/time out/truncate, HTTP
+//! exchanges stall, reset or arrive torn, and injected link faults
+//! black-hole or degrade a family's path. The probe retries transient
+//! failures under the plan's [`RetryPolicy`] — capped exponential backoff
+//! on a simulated [`FaultClock`], never the wall clock — and classifies
+//! what it cannot recover into dedicated [`ProbeOutcome`] variants instead
+//! of panicking. With `faults: None` the pipeline is bit-identical to the
+//! fault-free implementation: fault decisions live on separate RNG label
+//! streams and no extra draw ever touches the probe's own stream.
 
 use crate::db::PerfSample;
 use crate::disturbance::Disturbances;
 use ipv6web_bgp::BgpTable;
-use ipv6web_dns::{RecordType, Resolver, ZoneDb};
+use ipv6web_dns::{DnsError, Record, RecordType, Resolver, ZoneDb};
+use ipv6web_faults::{DnsFaultKind, FaultClock, FaultInjector, HttpFaultKind, RetryPolicy};
 use ipv6web_netsim::{download_time, DataPlane, PathMetrics, TcpConfig};
 use ipv6web_stats::ci::SamplingDecision;
 use ipv6web_stats::{derive_rng, lognormal, mean_ci, RelativeCiRule, StudentT, Welford};
 use ipv6web_topology::{Family, Topology};
 use ipv6web_web::{
-    build_request, build_response_header, pages_identical, parse_response_len, Site, SiteId,
+    build_request, build_response_header, pages_identical, parse_response_len, truncate_response,
+    Site, SiteId,
 };
 use rand::Rng;
+
+/// Per-campaign fault wiring, shared read-only by every probe of one
+/// vantage point.
+#[derive(Debug)]
+pub struct ProbeFaults<'a> {
+    /// The fault decision function.
+    pub injector: &'a FaultInjector,
+    /// How probes retry through injected faults.
+    pub retry: RetryPolicy,
+    /// The cumulative v6 routing epoch chain — `(effective week, table)`
+    /// sorted by week, covering the scenario's scheduled route change
+    /// *and* injected BGP session flaps. When present it supersedes
+    /// [`ProbeContext::v6_epoch`]: a probe uses the latest epoch whose week
+    /// has arrived, falling back to [`ProbeContext::table_v6`].
+    pub v6_epochs: Vec<(u32, &'a BgpTable)>,
+}
 
 /// Everything a probe needs, shared read-only across worker threads.
 #[derive(Clone, Copy)]
@@ -46,8 +75,11 @@ pub struct ProbeContext<'a> {
     /// from white-list-gated sites (the Google model).
     pub white_listed: bool,
     /// Mid-campaign IPv6 route change: from the given week onward, v6
-    /// routes come from this table instead of `table_v6`.
+    /// routes come from this table instead of `table_v6`. Superseded by
+    /// `faults` (whose epoch chain includes this event) when present.
     pub v6_epoch: Option<(u32, &'a BgpTable)>,
+    /// Fault injection wiring; `None` runs the fault-free pipeline.
+    pub faults: Option<&'a ProbeFaults<'a>>,
 }
 
 /// What one probe of one site produced.
@@ -70,6 +102,15 @@ pub enum ProbeOutcome {
     },
     /// The sampling cap was reached without confidence in `0`.
     Unconfident(Family),
+    /// A response arrived that failed to parse (truncated/corrupted); the
+    /// sanitizer discards the round.
+    Malformed,
+    /// DNS failed beyond the retry policy; nothing can be concluded about
+    /// the site's records this round.
+    DnsFailure,
+    /// The exchange over `0` kept failing past the retry budget (resets,
+    /// black-holed path) — the round's equivalent of a stuck connection.
+    TimedOut(Family),
 }
 
 /// Runs the Fig 2 pipeline for `site` at `week`.
@@ -87,6 +128,25 @@ pub fn probe_site(
     salt: u32,
     ipv6_day_mode: bool,
 ) -> ProbeOutcome {
+    let mut fs = ctx.faults.map(FaultSession::new);
+    let out = probe_site_inner(ctx, resolver, &mut fs, site_id, week, salt, ipv6_day_mode);
+    if let Some(fs) = fs {
+        if fs.retried > 0 {
+            ipv6web_obs::observe("faults.retries_per_probe", u64::from(fs.retried));
+        }
+    }
+    out
+}
+
+fn probe_site_inner(
+    ctx: &ProbeContext<'_>,
+    resolver: &mut Resolver,
+    fs: &mut Option<FaultSession<'_>>,
+    site_id: SiteId,
+    week: u32,
+    salt: u32,
+    ipv6_day_mode: bool,
+) -> ProbeOutcome {
     ipv6web_obs::inc("monitor.probes");
     let site = &ctx.sites[site_id.index()];
     let mut rng = derive_rng(
@@ -96,12 +156,23 @@ pub fn probe_site(
     let now_s = week as u64 * 604_800 + rng.gen_range(0..600_000);
 
     // --- phase 1: DNS ------------------------------------------------------
-    let Some(a) = resolver.resolve(ctx.zone, &site.name, RecordType::A, week, now_s) else {
+    let Ok(a) =
+        resolve_through_faults(ctx, resolver, fs, site_id, RecordType::A, week, salt, now_s)
+    else {
+        ipv6web_obs::inc("monitor.outcome.dns_failure");
+        return ProbeOutcome::DnsFailure;
+    };
+    let Some(a) = a else {
         ipv6web_obs::inc("monitor.outcome.nxdomain");
         return ProbeOutcome::NxDomain;
     };
-    let aaaa =
-        resolver.resolve(ctx.zone, &site.name, RecordType::Aaaa, week, now_s).unwrap_or_default();
+    let Ok(aaaa) =
+        resolve_through_faults(ctx, resolver, fs, site_id, RecordType::Aaaa, week, salt, now_s)
+    else {
+        ipv6web_obs::inc("monitor.outcome.dns_failure");
+        return ProbeOutcome::DnsFailure;
+    };
+    let aaaa = aaaa.unwrap_or_default();
     if a.is_empty() || aaaa.is_empty() {
         ipv6web_obs::inc("monitor.outcome.v4_only");
         return ProbeOutcome::V4Only;
@@ -118,15 +189,46 @@ pub fn probe_site(
         ipv6web_obs::inc("monitor.outcome.unroutable");
         return ProbeOutcome::Unroutable(Family::V4);
     };
-    let v6_dest = site.v6.as_ref().expect("AAAA implies v6 presence").dest_as;
-    let v6_table = match ctx.v6_epoch {
-        Some((epoch_week, late)) if week >= epoch_week => late,
-        _ => ctx.table_v6,
+    // An AAAA answer without site v6 metadata cannot happen through the
+    // simulated zone; treat it defensively as v4-only rather than panicking.
+    let Some(site_v6) = site.v6.as_ref() else {
+        ipv6web_obs::inc("monitor.outcome.v4_only");
+        return ProbeOutcome::V4Only;
     };
-    let Some(route6) = v6_table.route(v6_dest) else {
+    let v6_table = match fs.as_ref() {
+        Some(s) => s
+            .faults
+            .v6_epochs
+            .iter()
+            .rev()
+            .find(|(epoch_week, _)| week >= *epoch_week)
+            .map_or(ctx.table_v6, |(_, late)| *late),
+        None => match ctx.v6_epoch {
+            Some((epoch_week, late)) if week >= epoch_week => late,
+            _ => ctx.table_v6,
+        },
+    };
+    let Some(route6) = v6_table.route(site_v6.dest_as) else {
         ipv6web_obs::inc("monitor.outcome.unroutable");
         return ProbeOutcome::Unroutable(Family::V6);
     };
+
+    // Injected link faults: a down link on the path black-holes the family
+    // (connects keep timing out until the retry budget is spent); loss
+    // bursts degrade the measured path instead.
+    let mut extra_loss = [0.0f64; 2];
+    if let Some(s) = fs.as_mut() {
+        for (slot, family, route) in [(0usize, Family::V4, &route4), (1usize, Family::V6, &route6)]
+        {
+            let impact = s.faults.injector.link_impact(week, family, &route.edges);
+            if impact.down {
+                s.burn_retries();
+                ipv6web_obs::inc("monitor.outcome.timed_out");
+                return ProbeOutcome::TimedOut(family);
+            }
+            extra_loss[slot] = impact.extra_loss;
+        }
+    }
 
     // The HTTP exchange, once per family. Only `Content-Length` feeds the
     // identity rule, so the simulated server sends headers without
@@ -134,10 +236,55 @@ pub fn probe_site(
     // a fraction of the cost.
     let req = build_request(&site.name);
     debug_assert!(req.starts_with(b"GET / HTTP/1.1"));
-    let resp4 = build_response_header(site.page_bytes(Family::V4) as usize);
-    let resp6 = build_response_header(site.page_bytes(Family::V6) as usize);
-    let (_, len4) = parse_response_len(&resp4).expect("well-formed response");
-    let (_, len6) = parse_response_len(&resp6).expect("well-formed response");
+    let fetch = |family: Family, fs: &mut Option<FaultSession<'_>>| -> Result<Vec<u8>, ()> {
+        let resp = build_response_header(site.page_bytes(family) as usize);
+        let Some(s) = fs.as_mut() else { return Ok(resp) };
+        let mut attempt = 0u32;
+        loop {
+            match s.faults.injector.http_fault(
+                ctx.vantage_name,
+                site_id.0,
+                family,
+                "hdr",
+                week,
+                salt,
+                attempt,
+            ) {
+                // a stall delays an untimed exchange: harmless here
+                None | Some((HttpFaultKind::Stall, _)) => {
+                    if attempt > 0 {
+                        ipv6web_obs::inc("faults.probe.recovered");
+                    }
+                    return Ok(resp);
+                }
+                // torn mid-header: delivered, but unparseable
+                Some((HttpFaultKind::Truncate, _)) => return Ok(truncate_response(&resp)),
+                Some((HttpFaultKind::Reset, _)) => {
+                    let cost = s.faults.retry.timeout_ms;
+                    if !s.try_again(attempt, cost) {
+                        return Err(());
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    };
+    let Ok(resp4) = fetch(Family::V4, fs) else {
+        ipv6web_obs::inc("monitor.outcome.timed_out");
+        return ProbeOutcome::TimedOut(Family::V4);
+    };
+    let Ok(resp6) = fetch(Family::V6, fs) else {
+        ipv6web_obs::inc("monitor.outcome.timed_out");
+        return ProbeOutcome::TimedOut(Family::V6);
+    };
+    let Some((_, len4)) = parse_response_len(&resp4) else {
+        ipv6web_obs::inc("monitor.outcome.malformed");
+        return ProbeOutcome::Malformed;
+    };
+    let Some((_, len6)) = parse_response_len(&resp6) else {
+        ipv6web_obs::inc("monitor.outcome.malformed");
+        return ProbeOutcome::Malformed;
+    };
     if !pages_identical(len4 as u64, len6 as u64, ctx.identity_threshold) {
         ipv6web_obs::inc("monitor.outcome.different_content");
         return ProbeOutcome::DifferentContent;
@@ -147,8 +294,14 @@ pub fn probe_site(
     let dp = DataPlane::new(ctx.topo);
     let shared_round_factor = lognormal(&mut rng, 1.0, ctx.round_noise_sigma);
     let disturbance_factor = ctx.disturbances.factor(site_id, week);
+    // unique id per downloaded exchange, so retries of different downloads
+    // never share a fault decision stream
+    let mut exchange = 0u32;
 
-    let mut measure = |family: Family, metrics: PathMetrics| -> Option<PerfSample> {
+    let mut measure = |family: Family,
+                       metrics: PathMetrics,
+                       fs: &mut Option<FaultSession<'_>>|
+     -> MeasureEnd {
         let bytes = site.page_bytes(family);
         let v6_factor =
             if ipv6_day_mode && family == Family::V6 { 1.0 } else { site.server.v6_service_factor };
@@ -179,7 +332,41 @@ pub fn probe_site(
         loop {
             // "each after proper resetting to avoid local caching effects"
             resolver.flush();
-            let out = download_time(&mut rng, bytes, &eff, think_ms, &ctx.tcp);
+            // server-side faults for this download: stalls slow it, resets
+            // and truncations force a retried exchange
+            let mut injected_stall_ms = 0.0;
+            if let Some(s) = fs.as_mut() {
+                let mut attempt = 0u32;
+                loop {
+                    exchange += 1;
+                    match s.faults.injector.http_fault(
+                        ctx.vantage_name,
+                        site_id.0,
+                        family,
+                        "dl",
+                        week,
+                        salt,
+                        exchange,
+                    ) {
+                        None => break,
+                        Some((HttpFaultKind::Stall, stall_ms)) => {
+                            injected_stall_ms = stall_ms;
+                            break;
+                        }
+                        Some((HttpFaultKind::Reset | HttpFaultKind::Truncate, _)) => {
+                            let cost = s.faults.retry.timeout_ms;
+                            if !s.try_again(attempt, cost) {
+                                return MeasureEnd::TimedOut;
+                            }
+                            attempt += 1;
+                        }
+                    }
+                }
+                if attempt > 0 {
+                    ipv6web_obs::inc("faults.probe.recovered");
+                }
+            }
+            let out = download_time(&mut rng, bytes, &eff, think_ms + injected_stall_ms, &ctx.tcp);
             ipv6web_obs::inc("monitor.downloads");
             times.push(out.time_s);
             match ctx.ci_rule.decide(&times) {
@@ -190,7 +377,7 @@ pub fn probe_site(
                 }
                 SamplingDecision::GiveUp => {
                     ipv6web_obs::inc("monitor.ci_giveups");
-                    return None;
+                    return MeasureEnd::Unconfident;
                 }
                 SamplingDecision::Accept => {
                     ipv6web_obs::observe("monitor.downloads_per_sample", times.count());
@@ -200,7 +387,7 @@ pub fn probe_site(
                     );
                     let speed =
                         bytes as f64 / 1024.0 / ci.mean * shared_round_factor * disturbance_factor;
-                    return Some(PerfSample {
+                    return MeasureEnd::Sample(PerfSample {
                         week,
                         speed_kbps: speed,
                         downloads: times.count() as u32,
@@ -211,24 +398,153 @@ pub fn probe_site(
     };
 
     // "first for IPv4 and then IPv6"
-    let m4 = dp.metrics(route4, Family::V4);
-    let Some(v4) = measure(Family::V4, m4) else {
-        ipv6web_obs::inc("monitor.outcome.unconfident");
-        return ProbeOutcome::Unconfident(Family::V4);
+    let mut m4 = dp.metrics(route4, Family::V4);
+    if extra_loss[0] > 0.0 {
+        m4 = m4.with_extra_loss(extra_loss[0]);
+    }
+    let v4 = match measure(Family::V4, m4, fs) {
+        MeasureEnd::Sample(s) => s,
+        MeasureEnd::Unconfident => {
+            ipv6web_obs::inc("monitor.outcome.unconfident");
+            return ProbeOutcome::Unconfident(Family::V4);
+        }
+        MeasureEnd::TimedOut => {
+            ipv6web_obs::inc("monitor.outcome.timed_out");
+            return ProbeOutcome::TimedOut(Family::V4);
+        }
     };
-    let m6 = dp.metrics(route6, Family::V6);
-    let Some(v6) = measure(Family::V6, m6) else {
-        ipv6web_obs::inc("monitor.outcome.unconfident");
-        return ProbeOutcome::Unconfident(Family::V6);
+    let mut m6 = dp.metrics(route6, Family::V6);
+    if extra_loss[1] > 0.0 {
+        m6 = m6.with_extra_loss(extra_loss[1]);
+    }
+    let v6 = match measure(Family::V6, m6, fs) {
+        MeasureEnd::Sample(s) => s,
+        MeasureEnd::Unconfident => {
+            ipv6web_obs::inc("monitor.outcome.unconfident");
+            return ProbeOutcome::Unconfident(Family::V6);
+        }
+        MeasureEnd::TimedOut => {
+            ipv6web_obs::inc("monitor.outcome.timed_out");
+            return ProbeOutcome::TimedOut(Family::V6);
+        }
     };
     ipv6web_obs::inc("monitor.outcome.measured");
     ProbeOutcome::Measured { v4, v6 }
+}
+
+enum MeasureEnd {
+    Sample(PerfSample),
+    Unconfident,
+    TimedOut,
+}
+
+/// Cost charged for a failed DNS exchange that answers quickly (SERVFAIL,
+/// torn response) — unlike a timeout, the failure is visible almost
+/// immediately.
+const DNS_FAIL_COST_MS: f64 = 40.0;
+
+/// Per-probe fault-handling state: the sim-time clock plus retry counting.
+struct FaultSession<'a> {
+    faults: &'a ProbeFaults<'a>,
+    clock: FaultClock,
+    retried: u32,
+}
+
+impl<'a> FaultSession<'a> {
+    fn new(faults: &'a ProbeFaults<'a>) -> Self {
+        FaultSession { faults, clock: FaultClock::new(faults.retry.probe_budget_ms), retried: 0 }
+    }
+
+    /// Charges one failed exchange (`cost_ms`) and decides whether attempt
+    /// `attempt + 1` may run: on yes, charges the backoff and counts the
+    /// retry; on no (attempt cap or budget exhausted), counts the
+    /// abandonment.
+    fn try_again(&mut self, attempt: u32, cost_ms: f64) -> bool {
+        self.clock.advance(cost_ms);
+        if attempt + 1 >= self.faults.retry.max_attempts || self.clock.expired() {
+            ipv6web_obs::inc("faults.probe.abandoned");
+            return false;
+        }
+        self.clock.advance(self.faults.retry.backoff_ms(attempt));
+        self.retried += 1;
+        ipv6web_obs::inc("faults.probe.retried");
+        true
+    }
+
+    /// Spends the whole retry budget against a black-holed path (every
+    /// connect times out; nothing to vary per attempt).
+    fn burn_retries(&mut self) {
+        let mut attempt = 0u32;
+        loop {
+            let cost = self.faults.retry.timeout_ms;
+            if !self.try_again(attempt, cost) {
+                return;
+            }
+            attempt += 1;
+        }
+    }
+}
+
+fn dns_error_of(kind: DnsFaultKind) -> DnsError {
+    match kind {
+        DnsFaultKind::ServFail => DnsError::ServFail,
+        DnsFaultKind::Timeout => DnsError::Timeout,
+        DnsFaultKind::Truncated => DnsError::Truncated,
+    }
+}
+
+/// One DNS lookup, retried through injected faults. `Err(())` means the
+/// retry policy was exhausted; `Ok(None)` is an authoritative NXDOMAIN.
+#[allow(clippy::too_many_arguments)]
+fn resolve_through_faults(
+    ctx: &ProbeContext<'_>,
+    resolver: &mut Resolver,
+    fs: &mut Option<FaultSession<'_>>,
+    site_id: SiteId,
+    qtype: RecordType,
+    week: u32,
+    salt: u32,
+    now_s: u64,
+) -> Result<Option<Vec<Record>>, ()> {
+    let name = &ctx.sites[site_id.index()].name;
+    let Some(s) = fs.as_mut() else {
+        return Ok(resolver.resolve(ctx.zone, name, qtype, week, now_s));
+    };
+    let qtag = match qtype {
+        RecordType::A => "A",
+        RecordType::Aaaa => "AAAA",
+    };
+    let mut attempt = 0u32;
+    loop {
+        let fault =
+            s.faults.injector.dns_fault(ctx.vantage_name, site_id.0, qtag, week, salt, attempt);
+        match resolver.resolve_faulted(ctx.zone, name, qtype, week, now_s, fault.map(dns_error_of))
+        {
+            Ok(answer) => {
+                if attempt > 0 {
+                    ipv6web_obs::inc("faults.probe.recovered");
+                }
+                return Ok(answer);
+            }
+            Err(err) => {
+                let cost = match err {
+                    DnsError::Timeout => s.faults.retry.timeout_ms,
+                    DnsError::ServFail | DnsError::Truncated => DNS_FAIL_COST_MS,
+                };
+                if !s.try_again(attempt, cost) {
+                    return Err(());
+                }
+                attempt += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::disturbance::{DisturbanceConfig, Disturbances};
+    use ipv6web_faults::{DnsDisruption, FaultPlan, HttpDisruption, LinkFlap};
     use ipv6web_topology::{generate as gen_topo, AsId, Tier, TopologyConfig};
     use ipv6web_web::{build_zone, population, PopulationConfig};
 
@@ -275,6 +591,7 @@ mod tests {
             vantage_name: "TestVP",
             white_listed: false,
             v6_epoch: None,
+            faults: None,
         }
     }
 
@@ -446,5 +763,153 @@ mod tests {
         let empty = ipv6web_dns::ZoneDb::new();
         let c2 = ProbeContext { zone: &empty, ..c };
         assert_eq!(probe_site(&c2, &mut r, SiteId(0), 10, 0, false), ProbeOutcome::NxDomain);
+    }
+
+    // ---- fault injection --------------------------------------------------
+
+    #[test]
+    fn zero_probability_plan_is_bit_identical_to_no_faults() {
+        let w = world();
+        let c = ctx(&w);
+        let mut plan = FaultPlan::default();
+        plan.dns_faults.push(DnsDisruption {
+            kind: DnsFaultKind::ServFail,
+            prob: 0.0,
+            from_week: 0,
+            weeks: 52,
+        });
+        plan.http_faults.push(HttpDisruption {
+            kind: HttpFaultKind::Reset,
+            prob: 0.0,
+            stall_ms: 0.0,
+            from_week: 0,
+            weeks: 52,
+        });
+        let injector = FaultInjector::new(plan, c.seed);
+        let pf =
+            ProbeFaults { injector: &injector, retry: RetryPolicy::paper(), v6_epochs: vec![] };
+        let c_faulted = ProbeContext { faults: Some(&pf), ..c };
+        for sid in w.sites.iter().take(30).map(|s| s.id) {
+            let mut r1 = Resolver::new();
+            let mut r2 = Resolver::new();
+            assert_eq!(
+                probe_site(&c, &mut r1, sid, 50, 0, false),
+                probe_site(&c_faulted, &mut r2, sid, 50, 0, false),
+                "zero-probability faults must not perturb the probe stream"
+            );
+        }
+    }
+
+    #[test]
+    fn certain_dns_fault_abandons_probe() {
+        let w = world();
+        let c = ctx(&w);
+        let mut plan = FaultPlan::default();
+        plan.dns_faults.push(DnsDisruption {
+            kind: DnsFaultKind::Timeout,
+            prob: 1.0,
+            from_week: 0,
+            weeks: 52,
+        });
+        let injector = FaultInjector::new(plan, c.seed);
+        let pf =
+            ProbeFaults { injector: &injector, retry: RetryPolicy::paper(), v6_epochs: vec![] };
+        let c_faulted = ProbeContext { faults: Some(&pf), ..c };
+        let mut r = Resolver::new();
+        assert_eq!(
+            probe_site(&c_faulted, &mut r, SiteId(0), 10, 0, false),
+            ProbeOutcome::DnsFailure
+        );
+    }
+
+    #[test]
+    fn certain_truncation_yields_malformed() {
+        let w = world();
+        let c = ctx(&w);
+        let mut plan = FaultPlan::default();
+        plan.http_faults.push(HttpDisruption {
+            kind: HttpFaultKind::Truncate,
+            prob: 1.0,
+            stall_ms: 0.0,
+            from_week: 0,
+            weeks: 52,
+        });
+        let injector = FaultInjector::new(plan, c.seed);
+        let pf =
+            ProbeFaults { injector: &injector, retry: RetryPolicy::paper(), v6_epochs: vec![] };
+        let c_faulted = ProbeContext { faults: Some(&pf), ..c };
+        let sid = find_site(&w, |s| s.v6.as_ref().is_some_and(|v| v.from_week == 0));
+        let mut r = Resolver::new();
+        assert_eq!(probe_site(&c_faulted, &mut r, sid, 50, 0, false), ProbeOutcome::Malformed);
+    }
+
+    #[test]
+    fn certain_reset_times_out_after_retries() {
+        let w = world();
+        let c = ctx(&w);
+        let mut plan = FaultPlan::default();
+        plan.http_faults.push(HttpDisruption {
+            kind: HttpFaultKind::Reset,
+            prob: 1.0,
+            stall_ms: 0.0,
+            from_week: 0,
+            weeks: 52,
+        });
+        let injector = FaultInjector::new(plan, c.seed);
+        let pf =
+            ProbeFaults { injector: &injector, retry: RetryPolicy::paper(), v6_epochs: vec![] };
+        let c_faulted = ProbeContext { faults: Some(&pf), ..c };
+        let sid = find_site(&w, |s| s.v6.as_ref().is_some_and(|v| v.from_week == 0));
+        let mut r = Resolver::new();
+        assert_eq!(
+            probe_site(&c_faulted, &mut r, sid, 50, 0, false),
+            ProbeOutcome::TimedOut(Family::V4)
+        );
+    }
+
+    #[test]
+    fn full_link_flap_black_holes_family() {
+        let w = world();
+        let c = ctx(&w);
+        let mut plan = FaultPlan::default();
+        plan.link_flaps.push(LinkFlap {
+            family: Family::V6,
+            from_week: 50,
+            weeks: 1,
+            edge_frac: 1.0,
+        });
+        let injector = FaultInjector::new(plan, c.seed);
+        let pf =
+            ProbeFaults { injector: &injector, retry: RetryPolicy::paper(), v6_epochs: vec![] };
+        let c_faulted = ProbeContext { faults: Some(&pf), ..c };
+        let sid = find_site(&w, |s| {
+            s.v6.as_ref().is_some_and(|v| v.from_week == 0)
+                && pages_identical(s.page_bytes_v4, s.page_bytes_v6, 0.06)
+        });
+        let mut r = Resolver::new();
+        match probe_site(&c_faulted, &mut r, sid, 50, 0, false) {
+            // intra-AS v6 (empty edge list) cannot flap; anything else must
+            ProbeOutcome::TimedOut(Family::V6) | ProbeOutcome::Measured { .. } => {}
+            other => panic!("expected v6 timeout or local measure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_probe_is_deterministic() {
+        let w = world();
+        let c = ctx(&w);
+        let plan = FaultPlan::demo(52);
+        let injector = FaultInjector::new(plan, c.seed);
+        let pf =
+            ProbeFaults { injector: &injector, retry: injector.plan().retry, v6_epochs: vec![] };
+        let c_faulted = ProbeContext { faults: Some(&pf), ..c };
+        for sid in w.sites.iter().take(20).map(|s| s.id) {
+            let mut r1 = Resolver::new();
+            let mut r2 = Resolver::new();
+            assert_eq!(
+                probe_site(&c_faulted, &mut r1, sid, 26, 0, false),
+                probe_site(&c_faulted, &mut r2, sid, 26, 0, false)
+            );
+        }
     }
 }

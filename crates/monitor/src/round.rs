@@ -6,10 +6,19 @@
 //! a bounded crossbeam channel (capacity = worker count, so a slow round
 //! never buffers the whole site list). The worker count is validated
 //! against [`CampaignConfig::max_workers`] up front — an out-of-range
-//! configuration is an error, not a silent clamp. Every probe derives its
-//! randomness from `(seed, vantage, week, site)`, so results are
-//! independent of thread scheduling — the parallel run and a serial run
-//! produce the same database.
+//! configuration is a typed [`ConfigError`], not a panic or a silent
+//! clamp. Every probe derives its randomness from `(seed, vantage, week,
+//! site)`, so results are independent of thread scheduling — the parallel
+//! run and a serial run produce the same database.
+//!
+//! The campaign degrades rather than dies: a worker or channel failure
+//! mid-round loses only the in-flight probes (recorded as a
+//! [`RoundError`], the round's partial results kept), an injected vantage
+//! outage skips whole rounds (recorded in
+//! [`MonitorDb::outage_weeks`]), and with a checkpoint directory the
+//! database is snapshotted after every round so
+//! [`run_campaign_resumable`] can pick up where a crashed or
+//! powered-down vantage point left off.
 
 use crate::db::MonitorDb;
 use crate::probe::{probe_site, ProbeContext, ProbeOutcome};
@@ -20,6 +29,7 @@ use ipv6web_stats::derive_rng;
 use ipv6web_web::SiteId;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 
 /// Campaign execution parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,31 +59,101 @@ impl CampaignConfig {
 
     /// Checks the worker settings. Replaces the old behavior of silently
     /// clamping any requested count into `1..=25`.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.max_workers == 0 {
-            return Err("max_workers must be at least 1".into());
+            return Err(ConfigError::ZeroWorkerCap);
         }
         if self.workers == 0 {
-            return Err("workers must be at least 1".into());
+            return Err(ConfigError::ZeroWorkers);
         }
         if self.workers > self.max_workers {
-            return Err(format!(
-                "workers ({}) exceeds max_workers ({})",
-                self.workers, self.max_workers
-            ));
+            return Err(ConfigError::WorkersExceedCap {
+                workers: self.workers,
+                max_workers: self.max_workers,
+            });
         }
         Ok(())
     }
+}
 
-    /// The validated worker count; panics with the validation error on a
-    /// misconfigured campaign (callers that want a `Result` use
-    /// [`Self::validate`] first).
-    pub fn validated_workers(&self) -> usize {
-        if let Err(e) = self.validate() {
-            panic!("invalid campaign config: {e}");
+/// A campaign configuration the tool refuses to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: the pool would never probe anything.
+    ZeroWorkers,
+    /// `max_workers == 0`: the cap admits no pool at all.
+    ZeroWorkerCap,
+    /// The requested pool exceeds the tool's hard thread cap.
+    WorkersExceedCap {
+        /// Requested worker threads.
+        workers: usize,
+        /// The configured cap.
+        max_workers: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::ZeroWorkerCap => write!(f, "max_workers must be at least 1"),
+            ConfigError::WorkersExceedCap { workers, max_workers } => {
+                write!(f, "workers ({workers}) exceeds max_workers ({max_workers})")
+            }
         }
-        self.workers
     }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why a campaign could not run (or stopped).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The configuration failed [`CampaignConfig::validate`].
+    Config(ConfigError),
+    /// A per-round checkpoint could not be written.
+    Checkpoint {
+        /// The snapshot path that failed.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Config(e) => write!(f, "invalid campaign config: {e}"),
+            CampaignError::Checkpoint { path, source } => {
+                write!(f, "checkpoint {} failed: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Config(e) => Some(e),
+            CampaignError::Checkpoint { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ConfigError> for CampaignError {
+    fn from(e: ConfigError) -> Self {
+        CampaignError::Config(e)
+    }
+}
+
+/// A round that finished degraded: some in-flight probes were lost to a
+/// worker or channel failure. The round's surviving results are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundError {
+    /// The campaign week of the degraded round.
+    pub week: u32,
+    /// Probes whose outcome never arrived.
+    pub lost_probes: usize,
 }
 
 /// Applies one probe outcome to the database.
@@ -118,13 +198,32 @@ fn apply_outcome(
             rec.dual_since.get_or_insert(week);
             rec.unconfident_rounds += 1;
         }
+        ProbeOutcome::Malformed => {
+            // DNS said dual-stack before the exchange tore; the performance
+            // round is discarded (the sanitizer's job), reachability stands
+            rec.has_a = true;
+            rec.has_aaaa = true;
+            rec.dual_since.get_or_insert(week);
+            rec.malformed_rounds += 1;
+        }
+        ProbeOutcome::DnsFailure => {
+            // nothing can be concluded about the site's records this round
+            rec.faulted_rounds += 1;
+        }
+        ProbeOutcome::TimedOut(_) => {
+            rec.has_a = true;
+            rec.has_aaaa = true;
+            rec.dual_since.get_or_insert(week);
+            rec.faulted_rounds += 1;
+        }
     }
 }
 
-/// Runs one round's sites through the worker pool, returning
-/// `(site, outcome)` pairs sorted by site id so callers never observe
-/// completion order. `workers` must already be validated
-/// ([`CampaignConfig::validated_workers`]).
+/// Runs one round's sites through the worker pool, returning `(site,
+/// outcome)` pairs sorted by site id so callers never observe completion
+/// order, plus the number of probes whose outcome never arrived (zero
+/// unless a worker died mid-round). `workers` must already be validated
+/// ([`CampaignConfig::validate`]).
 fn run_pool(
     ctx: &ProbeContext<'_>,
     sites: &[SiteId],
@@ -132,7 +231,7 @@ fn run_pool(
     salt: u32,
     ipv6_day_mode: bool,
     workers: usize,
-) -> Vec<(SiteId, ProbeOutcome)> {
+) -> (Vec<(SiteId, ProbeOutcome)>, usize) {
     let workers = workers.min(sites.len().max(1));
     ipv6web_obs::inc("monitor.rounds");
     ipv6web_obs::gauge_max("monitor.peak_workers", workers as u64);
@@ -143,7 +242,7 @@ fn run_pool(
             .map(|&s| (s, probe_site(ctx, &mut resolver, s, week, salt, ipv6_day_mode)))
             .collect();
         out.sort_by_key(|(s, _)| s.0);
-        return out;
+        return (out, 0);
     }
 
     // Both channels are bounded to the worker count: the feeder blocks once
@@ -168,7 +267,10 @@ fn run_pool(
                 let mut resolver = Resolver::new();
                 while let Ok(site) = work_rx.recv() {
                     let outcome = probe_site(ctx, &mut resolver, site, week, salt, ipv6_day_mode);
-                    res_tx.send((site, outcome)).expect("result channel open");
+                    if res_tx.send((site, outcome)).is_err() {
+                        // drain side gone — stop probing, keep what arrived
+                        break;
+                    }
                 }
                 // merge this worker's metric shard at pool join: totals are
                 // then independent of scheduling and worker count
@@ -180,7 +282,35 @@ fn run_pool(
         res_rx.iter().collect::<Vec<_>>()
     });
     out.sort_by_key(|(s, _)| s.0);
-    out
+    let lost = sites.len().saturating_sub(out.len());
+    (out, lost)
+}
+
+/// Appends a degraded round to the database and the metrics stream.
+fn note_lost(db: &mut MonitorDb, week: u32, lost: usize) {
+    if lost > 0 {
+        ipv6web_obs::inc("monitor.degraded_rounds");
+        ipv6web_obs::add("monitor.lost_probes", lost as u64);
+        db.round_errors.push(RoundError { week, lost_probes: lost });
+    }
+}
+
+/// Writes the per-round checkpoint, if a checkpoint directory was given.
+/// The checkpoint file a vantage point's campaign writes under `dir`:
+/// the vantage name lowercased with non-alphanumerics mapped to `_`,
+/// plus `.json`.
+pub fn checkpoint_path(dir: &Path, vantage: &str) -> std::path::PathBuf {
+    let slug: String = vantage
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    dir.join(format!("{slug}.json"))
+}
+
+fn checkpoint(db: &MonitorDb, dir: Option<&Path>) -> Result<(), CampaignError> {
+    let Some(dir) = dir else { return Ok(()) };
+    let path = checkpoint_path(dir, &db.vantage);
+    db.save_json(&path).map_err(|source| CampaignError::Checkpoint { path, source })
 }
 
 /// Runs a full weekly campaign for one vantage point.
@@ -196,27 +326,69 @@ pub fn run_campaign(
     extra_ids: &[u32],
     extra_first_seen: impl Fn(u32) -> u32,
     cfg: &CampaignConfig,
-) -> MonitorDb {
-    let workers = cfg.validated_workers();
-    let mut db = MonitorDb::new(vantage.name.clone());
+) -> Result<MonitorDb, CampaignError> {
+    run_campaign_resumable(ctx, vantage, list, extra_ids, extra_first_seen, cfg, None, None)
+}
+
+/// [`run_campaign`] with crash recovery: `resume` continues a previous
+/// partial run (its [`MonitorDb::completed_weeks`] rounds are skipped
+/// without re-probing), and `checkpoint_dir` snapshots the database after
+/// every round so the next invocation can resume from it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_resumable(
+    ctx: &ProbeContext<'_>,
+    vantage: &VantagePoint,
+    list: &TopList,
+    extra_ids: &[u32],
+    extra_first_seen: impl Fn(u32) -> u32,
+    cfg: &CampaignConfig,
+    resume: Option<MonitorDb>,
+    checkpoint_dir: Option<&Path>,
+) -> Result<MonitorDb, CampaignError> {
+    cfg.validate()?;
+    let workers = cfg.workers;
+    let mut db = resume.unwrap_or_else(|| MonitorDb::new(vantage.name.clone()));
+    let resume_from = db.completed_weeks.max(vantage.start_week);
     let mut monitored = MonitoredSet::new();
     for week in vantage.start_week..cfg.total_weeks {
+        // an injected outage takes the whole vantage point down for the
+        // round: nothing is probed, nothing enters the monitored set — the
+        // site ingest below is skipped exactly as a dead monitor would
+        // skip it, and churned-in sites join on recovery
+        if let Some(pf) = ctx.faults {
+            if pf.injector.vantage_out(&vantage.name, week) {
+                if week >= resume_from {
+                    ipv6web_faults::record_injection("faults.injected.vantage_outage");
+                    db.outage_weeks.push(week);
+                    db.completed_weeks = week + 1;
+                    checkpoint(&db, checkpoint_dir)?;
+                }
+                continue;
+            }
+        }
         monitored.ingest(week, list.snapshot(week));
         if vantage.external_inputs {
             monitored
                 .ingest(week, extra_ids.iter().copied().filter(|&id| extra_first_seen(id) <= week));
+        }
+        if week < resume_from {
+            continue; // already probed by the run being resumed
         }
         // randomized order per round "to avoid time-of-day biases"
         let mut order: Vec<SiteId> = monitored.members().map(SiteId).collect();
         let mut rng = derive_rng(ctx.seed, &format!("{}:order:{week}", vantage.name));
         order.shuffle(&mut rng);
 
-        for (site, outcome) in run_pool(ctx, &order, week, 0, false, workers) {
-            let added = monitored.added_week(site.0).expect("probed sites are monitored");
+        let (results, lost) = run_pool(ctx, &order, week, 0, false, workers);
+        for (site, outcome) in results {
+            let added = monitored.added_week(site.0).unwrap_or(week);
             apply_outcome(&mut db, site, added, week, outcome);
         }
+        note_lost(&mut db, week, lost);
+        db.completed_weeks = week + 1;
+        checkpoint(&db, checkpoint_dir)?;
     }
-    db
+    Ok(db)
 }
 
 /// Runs the World IPv6 Day side experiment: `cfg.ipv6_day_rounds` rounds
@@ -228,22 +400,26 @@ pub fn run_ipv6_day_rounds(
     participants: &[SiteId],
     event_week: u32,
     cfg: &CampaignConfig,
-) -> MonitorDb {
-    let workers = cfg.validated_workers();
+) -> Result<MonitorDb, CampaignError> {
+    cfg.validate()?;
     let mut db = MonitorDb::new(format!("{} (IPv6 Day)", vantage.name));
     for round in 0..cfg.ipv6_day_rounds {
-        for (site, outcome) in run_pool(ctx, participants, event_week, round + 1, true, workers) {
+        let (results, lost) = run_pool(ctx, participants, event_week, round + 1, true, cfg.workers);
+        for (site, outcome) in results {
             apply_outcome(&mut db, site, event_week, event_week, outcome);
         }
+        note_lost(&mut db, event_week, lost);
     }
-    db
+    Ok(db)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::disturbance::{DisturbanceConfig, Disturbances};
+    use crate::probe::ProbeFaults;
     use ipv6web_bgp::BgpTable;
+    use ipv6web_faults::{FaultInjector, FaultPlan, RetryPolicy, VantageOutage};
     use ipv6web_netsim::TcpConfig;
     use ipv6web_stats::RelativeCiRule;
     use ipv6web_topology::{generate as gen_topo, AsId, Family, Tier, TopologyConfig};
@@ -305,6 +481,7 @@ mod tests {
             vantage_name: "TestVP",
             white_listed: false,
             v6_epoch: None,
+            faults: None,
         }
     }
 
@@ -313,7 +490,7 @@ mod tests {
         let w = world(400);
         let c = ctx(&w);
         let cfg = CampaignConfig::test_small();
-        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg);
+        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg).unwrap();
         assert!(db.len() > 300, "most sites monitored, got {}", db.len());
         let dual: Vec<SiteId> = db.dual_stack_sites().collect();
         assert!(!dual.is_empty(), "some dual-stack sites observed");
@@ -326,6 +503,8 @@ mod tests {
                 assert!(rec.samples_v4.is_empty(), "{site}: v4-only site sampled");
             }
         }
+        assert!(db.round_errors.is_empty(), "healthy run loses nothing");
+        assert_eq!(db.completed_weeks, cfg.total_weeks);
     }
 
     #[test]
@@ -337,8 +516,8 @@ mod tests {
         cfg1.workers = 1;
         let mut cfg8 = cfg1;
         cfg8.workers = 8;
-        let db1 = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg1);
-        let db8 = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg8);
+        let db1 = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg1).unwrap();
+        let db8 = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg8).unwrap();
         assert_eq!(db1, db8, "scheduling must not affect results");
     }
 
@@ -348,23 +527,31 @@ mod tests {
         assert!(CampaignConfig::test_small().validate().is_ok());
         let mut zero = CampaignConfig::test_small();
         zero.workers = 0;
-        assert!(zero.validate().is_err());
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroWorkers));
         let mut over = CampaignConfig::test_small();
         over.workers = over.max_workers + 1;
-        assert!(over.validate().is_err(), "over-cap must be an error, not a clamp");
+        assert_eq!(
+            over.validate(),
+            Err(ConfigError::WorkersExceedCap { workers: 26, max_workers: 25 }),
+            "over-cap must be an error, not a clamp"
+        );
         let mut no_cap = CampaignConfig::test_small();
         no_cap.max_workers = 0;
-        assert!(no_cap.validate().is_err());
+        assert_eq!(no_cap.validate(), Err(ConfigError::ZeroWorkerCap));
     }
 
     #[test]
-    #[should_panic(expected = "invalid campaign config")]
-    fn campaign_panics_on_over_cap_workers() {
+    fn campaign_errors_on_over_cap_workers() {
         let w = world(10);
         let c = ctx(&w);
         let mut cfg = CampaignConfig::test_small();
         cfg.workers = cfg.max_workers + 10;
-        run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg);
+        let err = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg).unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Config(ConfigError::WorkersExceedCap { .. })),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("exceeds max_workers"), "{err}");
     }
 
     #[test]
@@ -374,7 +561,7 @@ mod tests {
         let mut late = w.vantage.clone();
         late.start_week = 15;
         let cfg = CampaignConfig::test_small();
-        let db = run_campaign(&c, &late, &w.list, &[], |_| 0, &cfg);
+        let db = run_campaign(&c, &late, &w.list, &[], |_| 0, &cfg).unwrap();
         for (_, rec) in db.iter() {
             assert!(rec.added_week >= 15);
             for s in rec.samples_v4.iter().chain(&rec.samples_v6) {
@@ -392,7 +579,7 @@ mod tests {
         let extra = [5000u32, 5001];
         // not flagged: extras ignored (and they're beyond the site vec, so
         // probing them would panic — their absence proves they're skipped)
-        let db = run_campaign(&c, &w.vantage, &w.list, &extra, |_| 0, &cfg);
+        let db = run_campaign(&c, &w.vantage, &w.list, &extra, |_| 0, &cfg).unwrap();
         assert!(db.record(SiteId(5000)).is_none());
     }
 
@@ -401,7 +588,7 @@ mod tests {
         let w = world(300);
         let c = ctx(&w);
         let cfg = CampaignConfig::test_small();
-        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg);
+        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg).unwrap();
         let late_site = w
             .sites
             .iter()
@@ -416,7 +603,7 @@ mod tests {
         let w = world(500);
         let c = ctx(&w);
         let cfg = CampaignConfig::test_small();
-        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg);
+        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg).unwrap();
         let early = db.reachability_at(1);
         let late = db.reachability_at(cfg.total_weeks - 1);
         // churn adds v4-only sites to the denominator, so small dips are
@@ -438,7 +625,7 @@ mod tests {
             .map(|s| s.id)
             .collect();
         assert!(!participants.is_empty(), "some participants in population");
-        let db = run_ipv6_day_rounds(&c, &w.vantage, &participants, 10, &cfg);
+        let db = run_ipv6_day_rounds(&c, &w.vantage, &participants, 10, &cfg).unwrap();
         let sampled = participants
             .iter()
             .filter(|s| db.record(**s).is_some_and(|r| r.samples_v4.len() >= 2))
@@ -450,5 +637,69 @@ mod tests {
                 assert_eq!(s.week, 10);
             }
         }
+    }
+
+    #[test]
+    fn resumed_campaign_matches_uninterrupted_run() {
+        let w = world(120);
+        let c = ctx(&w);
+        let mut cfg = CampaignConfig::test_small();
+        cfg.total_weeks = 6;
+        let full = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg).unwrap();
+
+        // simulate a crash after week 2 by running a truncated campaign...
+        let mut head_cfg = cfg;
+        head_cfg.total_weeks = 3;
+        let partial = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &head_cfg).unwrap();
+        assert_eq!(partial.completed_weeks, 3);
+        // ...then resuming it to the full horizon
+        let resumed =
+            run_campaign_resumable(&c, &w.vantage, &w.list, &[], |_| 0, &cfg, Some(partial), None)
+                .unwrap();
+        assert_eq!(resumed, full, "resume must not re-probe or skip any round");
+    }
+
+    #[test]
+    fn checkpoints_written_every_round_and_loadable() {
+        let w = world(60);
+        let c = ctx(&w);
+        let mut cfg = CampaignConfig::test_small();
+        cfg.total_weeks = 3;
+        let dir = std::env::temp_dir().join("ipv6web-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let db =
+            run_campaign_resumable(&c, &w.vantage, &w.list, &[], |_| 0, &cfg, None, Some(&dir))
+                .unwrap();
+        let snap = MonitorDb::load_json(dir.join("testvp.json")).unwrap();
+        assert_eq!(snap, db, "final checkpoint equals the returned database");
+        std::fs::remove_file(dir.join("testvp.json")).ok();
+    }
+
+    #[test]
+    fn injected_outage_skips_rounds_and_recovers() {
+        let w = world(100);
+        let base = ctx(&w);
+        let mut cfg = CampaignConfig::test_small();
+        cfg.total_weeks = 8;
+        let mut plan = FaultPlan::default();
+        plan.vantage_outages.push(VantageOutage {
+            vantage: "TestVP".into(),
+            from_week: 2,
+            weeks: 2,
+        });
+        let injector = FaultInjector::new(plan, base.seed);
+        let pf =
+            ProbeFaults { injector: &injector, retry: RetryPolicy::paper(), v6_epochs: vec![] };
+        let c = ProbeContext { faults: Some(&pf), ..base };
+        let db = run_campaign(&c, &w.vantage, &w.list, &[], |_| 0, &cfg).unwrap();
+        assert_eq!(db.outage_weeks, vec![2, 3]);
+        assert_eq!(db.completed_weeks, cfg.total_weeks);
+        for (_, rec) in db.iter() {
+            for s in rec.samples_v4.iter().chain(&rec.samples_v6) {
+                assert!(s.week != 2 && s.week != 3, "no samples during the outage");
+            }
+        }
+        // rounds resumed after the outage window
+        assert!(db.iter().any(|(_, r)| r.samples_v4.iter().any(|s| s.week > 3)));
     }
 }

@@ -71,10 +71,11 @@ fn campaign_snapshot_and_central_merge() {
             vantage_name: &name,
             white_listed: false,
             v6_epoch: None,
+            faults: None,
         };
         let cfg =
             CampaignConfig { total_weeks: 10, workers: 4, max_workers: 25, ipv6_day_rounds: 2 };
-        let db = run_campaign(&ctx, &vantage, &list, &[], |_| 0, &cfg);
+        let db = run_campaign(&ctx, &vantage, &list, &[], |_| 0, &cfg).unwrap();
         assert!(!db.is_empty());
         let path = dir.join(format!("{name}.json"));
         db.save_json(&path).unwrap();

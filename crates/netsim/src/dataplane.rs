@@ -42,6 +42,15 @@ impl PathMetrics {
             forwarding_factor: 1.0,
         }
     }
+
+    /// These metrics with `extra` loss probability composed onto the path
+    /// (independent loss processes: `1 - (1-loss)(1-extra)`). Used by fault
+    /// injection to model loss bursts without recomputing the path.
+    pub fn with_extra_loss(mut self, extra: f64) -> Self {
+        let extra = extra.clamp(0.0, 1.0);
+        self.loss = 1.0 - (1.0 - self.loss) * (1.0 - extra);
+        self
+    }
 }
 
 /// The data plane: resolves routes against the topology.

@@ -255,12 +255,15 @@ mod tests {
     #[test]
     fn thread_exit_flushes_without_cooperation() {
         let _g = isolated();
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                add("t.autoflush", 42);
-                // no flush_thread(): the shard's Drop must cover it
-            });
-        });
+        // plain spawn + join, not thread::scope: scope unblocks when the
+        // closure returns, which can be before the thread's TLS destructors
+        // (the shard's Drop) have run; join() waits for full termination
+        std::thread::spawn(|| {
+            add("t.autoflush", 42);
+            // no flush_thread(): the shard's Drop must cover it
+        })
+        .join()
+        .unwrap();
         assert_eq!(snapshot().counter("t.autoflush"), 42);
         disable();
     }

@@ -49,6 +49,17 @@ pub fn build_response_header(body_len: usize) -> Vec<u8> {
     .into_bytes()
 }
 
+/// A response torn before the header terminator — what a connection cut
+/// mid-header leaves behind. [`parse_response_len`] rejects the result,
+/// which is exactly how fault injection exercises the monitor's
+/// malformed-response path.
+pub fn truncate_response(response: &[u8]) -> Vec<u8> {
+    match response.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(sep) => response[..sep].to_vec(),
+        None => response[..response.len() / 2].to_vec(),
+    }
+}
+
 /// Parses the `Content-Length` and returns `(header_len, body_len)` of a
 /// response, or `None` if malformed.
 pub fn parse_response_len(response: &[u8]) -> Option<(usize, usize)> {

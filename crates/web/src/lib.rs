@@ -26,8 +26,9 @@ pub mod zone_build;
 
 pub use http::{
     build_request, build_response, build_response_header, pages_identical, parse_response_len,
+    truncate_response,
 };
 pub use population::{v6_adoption_prob, PopulationConfig};
-pub use server::ServerProfile;
+pub use server::{ServerFault, ServerProfile};
 pub use site::{Site, SiteId, SiteV6};
 pub use zone_build::build_zone;

@@ -62,6 +62,32 @@ impl ServerProfile {
     }
 }
 
+/// An injected server-side failure of one HTTP exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServerFault {
+    /// The server stalls before responding: extra think time, then the
+    /// exchange completes normally.
+    Stall {
+        /// Extra think time, milliseconds.
+        extra_ms: f64,
+    },
+    /// The connection is reset before any response bytes arrive.
+    Reset,
+    /// The response is cut before the header terminator.
+    Truncated,
+}
+
+impl ServerFault {
+    /// Extra think time this fault adds to a completing exchange, ms
+    /// (zero for faults that kill the exchange instead of slowing it).
+    pub fn stall_ms(&self) -> f64 {
+        match self {
+            ServerFault::Stall { extra_ms } => *extra_ms,
+            ServerFault::Reset | ServerFault::Truncated => 0.0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,7 @@ fn main() {
     for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut scenario = Scenario::quick(7);
         scenario.topology.dual = scenario.topology.dual.toward_parity(lambda);
-        let study = run_study(&scenario);
+        let study = run_study(&scenario).expect("valid scenario");
 
         // the ratio is computed over same-location (SP+DP) sites: DL sites
         // mix in CDN economics and 6to4 detours, which peering parity is

@@ -15,7 +15,7 @@ fn main() {
         std::env::args().nth(1).map(|s| s.parse().expect("seed must be an integer")).unwrap_or(42);
 
     eprintln!("building world and running campaign (seed {seed})...");
-    let study = run_study(&Scenario::quick(seed));
+    let study = run_study(&Scenario::quick(seed)).expect("valid scenario");
 
     println!("{}", study.report.render());
 

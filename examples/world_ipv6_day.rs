@@ -14,7 +14,7 @@
 use ipv6web::{run_study, Scenario};
 
 fn main() {
-    let study = run_study(&Scenario::quick(2026));
+    let study = run_study(&Scenario::quick(2026)).expect("valid scenario");
     let day_week = study.world.scenario.timeline.ipv6_day_week;
     let participants = study.world.ipv6_day_participants();
 

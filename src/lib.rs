@@ -29,7 +29,7 @@
 //! ```no_run
 //! use ipv6web::{run_study, Scenario};
 //!
-//! let study = run_study(&Scenario::quick(42));
+//! let study = run_study(&Scenario::quick(42)).expect("valid scenario");
 //! println!("{}", study.report.render());
 //! ```
 //!
@@ -46,6 +46,7 @@
 //! | [`dns`] | `ipv6web-dns` | zones, resolver, wire codec |
 //! | [`web`] | `ipv6web-web` | sites, servers, CDNs, population generator |
 //! | [`alexa`] | `ipv6web-alexa` | ranked lists, churn, adoption timeline |
+//! | [`faults`] | `ipv6web-faults` | deterministic fault-injection plans and injector |
 //! | [`monitor`] | `ipv6web-monitor` | the paper's monitoring tool (Fig 2) |
 //! | [`analysis`] | `ipv6web-analysis` | sanitization, SP/DP, H1/H2, tables, figures |
 //! | [`core`] | `ipv6web-core` | scenarios, study driver, the [`Report`] |
@@ -55,6 +56,7 @@ pub use ipv6web_analysis as analysis;
 pub use ipv6web_bgp as bgp;
 pub use ipv6web_core as core;
 pub use ipv6web_dns as dns;
+pub use ipv6web_faults as faults;
 pub use ipv6web_monitor as monitor;
 pub use ipv6web_netsim as netsim;
 pub use ipv6web_obs as obs;
@@ -63,7 +65,7 @@ pub use ipv6web_stats as stats;
 pub use ipv6web_topology as topology;
 pub use ipv6web_web as web;
 
-pub use ipv6web_core::{run_study, Report, Scenario, StudyResult, World};
+pub use ipv6web_core::{run_study, Report, Scenario, StudyError, StudyResult, World};
 
 #[cfg(test)]
 mod tests {
@@ -77,6 +79,7 @@ mod tests {
         let _ = crate::netsim::TcpConfig::paper();
         let _ = crate::dns::RecordType::Aaaa;
         let _ = crate::alexa::AdoptionTimeline::paper();
+        let _ = crate::faults::FaultPlan::default();
         let _ = crate::monitor::CampaignConfig::test_small();
         let _ = crate::analysis::AnalysisConfig::paper();
         let _ = crate::Scenario::quick(1);

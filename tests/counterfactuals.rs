@@ -25,7 +25,7 @@ fn broken_v6_forwarding_rejects_h1() {
     // world where the equipment vendors' claims were false.
     let mut s = tiny(13);
     s.topology.dual = s.topology.dual.with_forwarding_penalty(0.8, (0.03, 0.15));
-    let study = run_study(&s);
+    let study = run_study(&s).expect("valid scenario");
     let bad_sp = study
         .analyses
         .iter()
@@ -46,7 +46,7 @@ fn full_parity_world_dissolves_dp() {
     // peering at parity, no tunnels, no forwarding penalty.
     let mut s = tiny(11);
     s.topology.dual = s.topology.dual.toward_parity(1.0);
-    let study = run_study(&s);
+    let study = run_study(&s).expect("valid scenario");
     let dp: usize = study.analyses.iter().map(|a| a.count_of(SiteClass::Dp)).sum();
     assert_eq!(dp, 0, "identical topologies must yield identical paths");
     let sp: usize = study.analyses.iter().map(|a| a.count_of(SiteClass::Sp)).sum();
@@ -60,7 +60,7 @@ fn clean_world_has_no_transitions_or_trends() {
     let mut s = tiny(17);
     s.disturbances = ipv6web::monitor::DisturbanceConfig::none();
     s.route_change = None;
-    let study = run_study(&s);
+    let study = run_study(&s).expect("valid scenario");
     let non_insufficient: usize = study
         .analyses
         .iter()
@@ -90,7 +90,7 @@ fn route_change_epoch_produces_attributable_transitions() {
     s.tail_sites = 100;
     s.disturbances = ipv6web::monitor::DisturbanceConfig::none();
     s.route_change = Some((10, 0.25, 0.10));
-    let study = run_study(&s);
+    let study = run_study(&s).expect("valid scenario");
     assert!(!study.report.transition_path_changes.is_empty());
     let (transitions, changed): (usize, usize) = study
         .report

@@ -19,8 +19,8 @@ fn tiny(seed: u64) -> Scenario {
 
 #[test]
 fn same_seed_identical_report() {
-    let a = run_study(&tiny(7));
-    let b = run_study(&tiny(7));
+    let a = run_study(&tiny(7)).expect("valid scenario");
+    let b = run_study(&tiny(7)).expect("valid scenario");
     assert_eq!(a.report, b.report, "same seed must reproduce the report exactly");
     let ja = serde_json::to_string(&a.report).unwrap();
     let jb = serde_json::to_string(&b.report).unwrap();
@@ -33,8 +33,8 @@ fn same_seed_identical_report() {
 
 #[test]
 fn different_seed_different_world() {
-    let a = run_study(&tiny(1));
-    let b = run_study(&tiny(2));
+    let a = run_study(&tiny(1)).expect("valid scenario");
+    let b = run_study(&tiny(2)).expect("valid scenario");
     assert_ne!(
         serde_json::to_string(&a.report).unwrap(),
         serde_json::to_string(&b.report).unwrap(),
@@ -48,9 +48,9 @@ fn thread_count_does_not_change_results() {
     // process-global, so both runs live in this one test; determinism means
     // any interleaving with sibling tests is harmless by construction.
     std::env::set_var("IPV6WEB_THREADS", "1");
-    let a = run_study(&tiny(5));
+    let a = run_study(&tiny(5)).expect("valid scenario");
     std::env::set_var("IPV6WEB_THREADS", "7");
-    let b = run_study(&tiny(5));
+    let b = run_study(&tiny(5)).expect("valid scenario");
     std::env::remove_var("IPV6WEB_THREADS");
     assert_eq!(a.report, b.report, "thread count must never leak into the report");
     assert_eq!(
@@ -95,8 +95,8 @@ fn worker_count_does_not_change_results() {
     let mut s2 = tiny(3);
     s2.campaign.workers = 16;
     // scenario inequality is fine — compare only the measurement outputs
-    let a = run_study(&s1);
-    let b = run_study(&s2);
+    let a = run_study(&s1).expect("valid scenario");
+    let b = run_study(&s2).expect("valid scenario");
     for (da, db) in a.dbs.iter().zip(&b.dbs) {
         assert_eq!(da, db, "thread scheduling must never leak into results");
     }

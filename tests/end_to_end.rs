@@ -7,7 +7,7 @@ use std::sync::OnceLock;
 
 fn study() -> &'static StudyResult {
     static S: OnceLock<StudyResult> = OnceLock::new();
-    S.get_or_init(|| run_study(&Scenario::quick(42)))
+    S.get_or_init(|| run_study(&Scenario::quick(42)).expect("valid scenario"))
 }
 
 // ---------------------------------------------------------------- invariants

@@ -29,9 +29,9 @@ fn report_bytes_identical_with_metrics_on_and_off() {
     let _g = OBS_LOCK.lock().unwrap();
     obs::disable();
     obs::reset();
-    let off = run_study(&tiny(13));
+    let off = run_study(&tiny(13)).expect("valid scenario");
     obs::enable();
-    let on = run_study(&tiny(13));
+    let on = run_study(&tiny(13)).expect("valid scenario");
     obs::disable();
     obs::reset();
     assert_eq!(
@@ -54,7 +54,7 @@ fn counters_identical_across_thread_and_worker_counts() {
         std::env::set_var("IPV6WEB_THREADS", threads);
         let mut s = tiny(17);
         s.campaign.workers = workers;
-        let _study = run_study(&s);
+        let _study = run_study(&s).expect("valid scenario");
         std::env::remove_var("IPV6WEB_THREADS");
         obs::disable();
         obs::flush_thread();
@@ -80,7 +80,7 @@ fn disabled_registry_stays_empty_through_a_study() {
     let _g = OBS_LOCK.lock().unwrap();
     obs::disable();
     obs::reset();
-    let _study = run_study(&tiny(19));
+    let _study = run_study(&tiny(19)).expect("valid scenario");
     obs::flush_thread();
     let snap = obs::snapshot();
     assert!(snap.counters.is_empty(), "disabled collection must record nothing");
@@ -93,7 +93,7 @@ fn study_timings_cover_every_phase() {
     // lock: a concurrent sibling with collection enabled would otherwise
     // absorb this study's counters into its snapshot
     let _g = OBS_LOCK.lock().unwrap();
-    let study = run_study(&tiny(23));
+    let study = run_study(&tiny(23)).expect("valid scenario");
     let names: Vec<&str> = study.timings.phases.iter().map(|p| p.name.as_str()).collect();
     for phase in [
         "world: topology",
@@ -112,6 +112,6 @@ fn study_timings_cover_every_phase() {
     assert!(names.iter().filter(|n| n.starts_with("campaign: ")).count() >= 6, "six campaigns");
     assert!(study.timings.total_seconds() > 0.0);
     // spans collected per run: a second study must not inherit this one's
-    let again = run_study(&tiny(23));
+    let again = run_study(&tiny(23)).expect("valid scenario");
     assert_eq!(again.timings.phases.len(), study.timings.phases.len());
 }

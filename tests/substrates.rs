@@ -135,6 +135,7 @@ fn probe_pipeline_runs_outside_the_campaign_driver() {
         vantage_name: "adhoc",
         white_listed: false,
         v6_epoch: None,
+        faults: None,
     };
     let mut resolver = Resolver::new();
     let mut measured = 0;
