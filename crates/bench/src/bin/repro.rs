@@ -8,10 +8,11 @@
 //! repro all --seed 7 --json out.json
 //! repro all --fault-plan plan.json --checkpoint-dir ckpt/
 //! repro all --metrics BENCH.json --baseline BENCH_baseline.json
+//! repro all --sequential           # reference pipeline, for byte-comparison
 //! ```
 
-use ipv6web_bench::{check_regression, BenchReport, Scale, DEFAULT_TOLERANCE};
-use ipv6web_core::run_study;
+use ipv6web_bench::{check_regression, render_diff, BenchReport, Scale, DEFAULT_TOLERANCE};
+use ipv6web_core::{run_study_mode, ExecutionMode};
 use ipv6web_faults::FaultPlan;
 
 const ARTIFACTS: &[&str] = &[
@@ -23,7 +24,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <artifact...|all> [--scale quick|paper|faults] [--seed N] [--json FILE]\n\
          \x20            [--csv DIR] [--fault-plan FILE] [--checkpoint-dir DIR]\n\
-         \x20            [--metrics FILE] [--baseline FILE]\n\
+         \x20            [--metrics FILE] [--baseline FILE] [--sequential]\n\
          artifacts: {}",
         ARTIFACTS.join(" ")
     );
@@ -44,6 +45,7 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut fault_plan_path: Option<String> = None;
     let mut checkpoint_dir: Option<String> = None;
+    let mut mode = ExecutionMode::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -73,6 +75,9 @@ fn main() {
             "--checkpoint-dir" => {
                 checkpoint_dir = Some(it.next().unwrap_or_else(|| usage()));
             }
+            "--sequential" => {
+                mode = ExecutionMode::Sequential;
+            }
             "all" => wanted.extend(ARTIFACTS.iter().map(|s| s.to_string())),
             other if ARTIFACTS.contains(&other) => wanted.push(other.to_string()),
             _ => usage(),
@@ -101,9 +106,9 @@ fn main() {
     if checkpoint_dir.is_some() {
         scenario.checkpoint_dir = checkpoint_dir;
     }
-    eprintln!("running study (scale {scale:?}, seed {seed})...");
+    eprintln!("running study (scale {scale:?}, seed {seed}, {mode:?})...");
     let t0 = std::time::Instant::now();
-    let study = run_study(&scenario).unwrap_or_else(|e| {
+    let study = run_study_mode(&scenario, mode).unwrap_or_else(|e| {
         eprintln!("repro: {e}");
         std::process::exit(2);
     });
@@ -205,6 +210,7 @@ fn main() {
                 Ok(verdict) => eprintln!("bench gate: {verdict}"),
                 Err(verdict) => {
                     eprintln!("bench gate: FAIL — {verdict}");
+                    eprint!("{}", render_diff(&bench, &base));
                     std::process::exit(1);
                 }
             }

@@ -5,7 +5,7 @@ use std::sync::OnceLock;
 
 pub mod metrics;
 pub mod reference;
-pub use metrics::{check_regression, BenchReport, DerivedMetrics, DEFAULT_TOLERANCE};
+pub use metrics::{check_regression, render_diff, BenchReport, DerivedMetrics, DEFAULT_TOLERANCE};
 pub use reference::{render_comparison, shape_checks, ShapeCheck};
 
 /// Scale of a reproduction run.

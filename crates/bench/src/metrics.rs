@@ -144,6 +144,38 @@ pub fn check_regression(
     }
 }
 
+/// Renders a side-by-side wall-clock and top-level phase comparison of two
+/// bench reports — printed by `repro` when the gate fails so the log shows
+/// *where* the time went, not just that it regressed.
+pub fn render_diff(current: &BenchReport, baseline: &BenchReport) -> String {
+    let mut out = String::new();
+    let mut row = |name: &str, cur: Option<f64>, base: Option<f64>| {
+        let fmt = |v: Option<f64>| v.map_or_else(|| "      —".to_string(), |s| format!("{s:7.3}"));
+        let delta = match (cur, base) {
+            (Some(c), Some(b)) if b > 0.0 => format!("{:+.1}%", (c / b - 1.0) * 100.0),
+            _ => "—".to_string(),
+        };
+        out.push_str(&format!("{name:<32} {}s {}s  {delta}\n", fmt(cur), fmt(base)));
+    };
+    row("wall", Some(current.wall_s), Some(baseline.wall_s));
+    let top = |r: &BenchReport| -> Vec<(String, f64)> {
+        r.phases.iter().filter(|p| p.depth == 0).map(|p| (p.name.clone(), p.seconds)).collect()
+    };
+    let cur_phases = top(current);
+    let base_phases = top(baseline);
+    let find =
+        |set: &[(String, f64)], name: &str| set.iter().find(|(n, _)| n == name).map(|(_, s)| *s);
+    for (name, secs) in &cur_phases {
+        row(name, Some(*secs), find(&base_phases, name));
+    }
+    for (name, secs) in &base_phases {
+        if find(&cur_phases, name).is_none() {
+            row(name, None, Some(*secs));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +244,22 @@ mod tests {
         let mut cur = report(10.0);
         cur.scale = "paper".into();
         assert!(check_regression(&cur, &base, DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn diff_renders_wall_and_phases_side_by_side() {
+        let base = report(10.0);
+        let mut cur = report(15.0);
+        cur.phases.push(SpanRecord { name: "campaign: Penn".into(), depth: 0, seconds: 2.0 });
+        cur.phases.push(SpanRecord { name: "detail".into(), depth: 1, seconds: 0.5 });
+        let diff = render_diff(&cur, &base);
+        assert!(diff.contains("wall"), "{diff}");
+        assert!(diff.contains("+50.0%"), "wall delta missing:\n{diff}");
+        assert!(diff.contains("world: topology"), "shared phase missing:\n{diff}");
+        assert!(diff.contains("campaign: Penn"), "current-only phase missing:\n{diff}");
+        assert!(!diff.contains("detail"), "nested spans must stay out of the summary:\n{diff}");
+        // a phase only the baseline has still shows up
+        let diff_rev = render_diff(&base, &cur);
+        assert!(diff_rev.contains("campaign: Penn"), "baseline-only phase missing:\n{diff_rev}");
     }
 }

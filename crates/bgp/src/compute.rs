@@ -70,20 +70,25 @@ impl RoutesToDest {
     }
 
     /// AS-path from `src` to the destination, if reachable.
+    ///
+    /// Also returns `None` if the next-hop chain is corrupt (a broken
+    /// link, a loop, or a repeated AS) — the computation never produces
+    /// such a table, but a caller walking one must degrade to
+    /// "unreachable", not bring down the campaign.
     pub fn as_path(&self, src: AsId) -> Option<AsPath> {
         self.entries[src.index()]?;
         let mut ases = vec![src];
         let mut cur = src;
-        let mut guard = 0;
         while cur != self.dest {
-            let e = self.entries[cur.index()].expect("chain consistent");
-            let (next, _) = e.next.expect("non-dest entry has next hop");
+            let e = self.entries[cur.index()]?;
+            let (next, _) = e.next?;
             ases.push(next);
             cur = next;
-            guard += 1;
-            assert!(guard <= self.entries.len(), "routing loop");
+            if ases.len() > self.entries.len() {
+                return None; // routing loop
+            }
         }
-        Some(AsPath::new(ases))
+        AsPath::try_new(ases)
     }
 
     /// Whether any AS's installed route steps over one of `edges`.
@@ -95,16 +100,20 @@ impl RoutesToDest {
         self.entries.iter().flatten().filter_map(|e| e.next).any(|(_, eid)| edges.contains(&eid))
     }
 
-    /// Edge ids along the path from `src`, in order, if reachable.
+    /// Edge ids along the path from `src`, in order, if reachable. `None`
+    /// on a corrupt chain, like [`RoutesToDest::as_path`].
     pub fn edge_path(&self, src: AsId) -> Option<Vec<EdgeId>> {
         self.entries[src.index()]?;
         let mut edges = Vec::new();
         let mut cur = src;
         while cur != self.dest {
-            let e = self.entries[cur.index()].expect("chain consistent");
-            let (next, eid) = e.next.expect("non-dest entry has next hop");
+            let e = self.entries[cur.index()]?;
+            let (next, eid) = e.next?;
             edges.push(eid);
             cur = next;
+            if edges.len() > self.entries.len() {
+                return None; // routing loop
+            }
         }
         Some(edges)
     }
@@ -555,6 +564,62 @@ mod tests {
             unreachable.len(),
             dual.len()
         );
+    }
+
+    #[test]
+    fn corrupt_route_chain_degrades_to_unreachable() {
+        // Hand-built damaged tables — shapes the computation never emits,
+        // but a walker must survive: a next-hop cycle (0 -> 1 -> 0 with
+        // dest 2), a chain into a missing entry, and a non-dest entry
+        // without a next hop.
+        let cycle = RoutesToDest {
+            dest: AsId(2),
+            family: Family::V4,
+            entries: vec![
+                Some(Entry {
+                    kind: RouteKind::Provider,
+                    hops: 1,
+                    next: Some((AsId(1), EdgeId(0))),
+                }),
+                Some(Entry {
+                    kind: RouteKind::Provider,
+                    hops: 1,
+                    next: Some((AsId(0), EdgeId(1))),
+                }),
+                Some(Entry { kind: RouteKind::Customer, hops: 0, next: None }),
+            ],
+        };
+        assert_eq!(cycle.as_path(AsId(0)), None);
+        assert_eq!(cycle.edge_path(AsId(0)), None);
+        assert!(cycle.as_path(AsId(2)).is_some(), "dest itself still resolves");
+
+        let broken_link = RoutesToDest {
+            dest: AsId(2),
+            family: Family::V4,
+            entries: vec![
+                Some(Entry {
+                    kind: RouteKind::Provider,
+                    hops: 2,
+                    next: Some((AsId(1), EdgeId(0))),
+                }),
+                None, // chain steps into a hole
+                Some(Entry { kind: RouteKind::Customer, hops: 0, next: None }),
+            ],
+        };
+        assert_eq!(broken_link.as_path(AsId(0)), None);
+        assert_eq!(broken_link.edge_path(AsId(0)), None);
+
+        let no_next = RoutesToDest {
+            dest: AsId(2),
+            family: Family::V4,
+            entries: vec![
+                Some(Entry { kind: RouteKind::Provider, hops: 1, next: None }),
+                None,
+                Some(Entry { kind: RouteKind::Customer, hops: 0, next: None }),
+            ],
+        };
+        assert_eq!(no_next.as_path(AsId(0)), None);
+        assert_eq!(no_next.edge_path(AsId(0)), None);
     }
 
     #[test]

@@ -23,6 +23,17 @@ impl AsPath {
         AsPath(ases)
     }
 
+    /// Fallible [`AsPath::new`]: `None` on an empty list or repeated
+    /// consecutive ASes. For callers reconstructing paths from data that
+    /// might be corrupt (e.g. a damaged routing table) rather than from
+    /// the route computation itself.
+    pub fn try_new(ases: Vec<AsId>) -> Option<Self> {
+        if ases.is_empty() || ases.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        Some(AsPath(ases))
+    }
+
     /// Source AS (the vantage point's AS).
     pub fn source(&self) -> AsId {
         self.0[0]
@@ -121,6 +132,14 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_path_panics() {
         AsPath::new(vec![]);
+    }
+
+    #[test]
+    fn try_new_rejects_what_new_panics_on() {
+        assert_eq!(AsPath::try_new(vec![]), None);
+        assert_eq!(AsPath::try_new(vec![AsId(1), AsId(1), AsId(2)]), None);
+        let ok = AsPath::try_new(vec![AsId(1), AsId(5)]).expect("valid path");
+        assert_eq!(ok, p(&[1, 5]));
     }
 
     #[test]

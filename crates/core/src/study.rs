@@ -6,7 +6,6 @@ use crate::world::World;
 use ipv6web_analysis::{analyze_vantage_faulted, AnalysisConfig, VantageAnalysis};
 use ipv6web_monitor::{
     checkpoint_path, run_campaign_resumable, run_ipv6_day_rounds, CampaignError, MonitorDb,
-    ProbeContext, ProbeFaults,
 };
 use std::path::Path;
 
@@ -65,44 +64,34 @@ pub struct StudyResult {
     pub timings: ipv6web_obs::Timings,
 }
 
-fn probe_ctx<'a>(
-    world: &'a World,
-    vantage_idx: usize,
-    faults: Option<&'a ProbeFaults<'a>>,
-) -> ProbeContext<'a> {
-    let s = &world.scenario;
-    ProbeContext {
-        topo: &world.topo,
-        sites: &world.sites,
-        zone: &world.zone,
-        table_v4: &world.tables[vantage_idx].0,
-        table_v6: &world.tables[vantage_idx].1,
-        disturbances: &world.disturbances,
-        tcp: s.tcp,
-        ci_rule: s.ci_rule,
-        identity_threshold: s.identity_threshold,
-        round_noise_sigma: s.round_noise_sigma,
-        seed: s.seed,
-        vantage_name: &world.vantages[vantage_idx].name,
-        white_listed: world.vantages[vantage_idx].white_listed,
-        v6_epoch: world.v6_epoch.as_ref().map(|(week, tables)| (*week, &tables[vantage_idx])),
-        faults,
-    }
+/// How the study schedules its per-vantage work. Both modes produce
+/// byte-identical reports and databases — the paper ran its six monitors
+/// concurrently, and every probe derives its randomness from
+/// `(seed, vantage, week, site)`, never from scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One vantage point after another — the reference pipeline, kept for
+    /// byte-comparison in CI and tests.
+    Sequential,
+    /// Campaigns, IPv6-day rounds, and analyses fan out over the vantage
+    /// points via `ipv6web_par`, under the global `IPV6WEB_THREADS`
+    /// budget (each campaign's probe pool borrows its share, so the
+    /// two-level fan-out never oversubscribes).
+    #[default]
+    VantageParallel,
 }
 
-/// The per-vantage fault wiring: the injector plus this vantage point's
-/// slice of the cumulative v6 epoch chain. `None` when the plan is empty,
-/// so the fault-free pipeline stays bit-identical.
-fn probe_faults(world: &World, vantage_idx: usize) -> Option<ProbeFaults<'_>> {
-    world.injector.as_ref().map(|injector| ProbeFaults {
-        injector,
-        retry: world.scenario.faults.retry,
-        v6_epochs: world
-            .fault_epochs
-            .iter()
-            .map(|(week, tables)| (*week, &tables[vantage_idx]))
-            .collect(),
-    })
+/// Runs `task(i)` for every index, sequentially or fanned out over the
+/// vantage points, returning results in index order either way.
+fn for_each_vantage<R: Send>(
+    mode: ExecutionMode,
+    idxs: &[usize],
+    task: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    match mode {
+        ExecutionMode::Sequential => idxs.iter().map(|&i| task(i)).collect(),
+        ExecutionMode::VantageParallel => ipv6web_par::par_map(idxs, |_, &i| task(i)),
+    }
 }
 
 /// Loads a previous partial run from the checkpoint directory, if one was
@@ -128,6 +117,14 @@ fn load_resume(dir: Option<&Path>, vantage: &str) -> Result<Option<MonitorDb>, C
 /// throughout; an empty plan reproduces the fault-free pipeline
 /// bit-identically.
 pub fn run_study(scenario: &Scenario) -> Result<StudyResult, StudyError> {
+    run_study_mode(scenario, ExecutionMode::default())
+}
+
+/// [`run_study`] with an explicit [`ExecutionMode`]. The mode is an
+/// execution detail, not part of the scenario: it must never change a
+/// single byte of the result, which is exactly what the determinism suite
+/// asserts by running both modes against each other.
+pub fn run_study_mode(scenario: &Scenario, mode: ExecutionMode) -> Result<StudyResult, StudyError> {
     scenario.validate().map_err(StudyError::InvalidScenario)?;
     // Collect only the spans this run produces, so back-to-back studies on
     // one thread (e.g. test suites) keep independent phase breakdowns.
@@ -141,87 +138,103 @@ pub fn run_study(scenario: &Scenario) -> Result<StudyResult, StudyError> {
     }
 
     // --- weekly campaigns ---------------------------------------------------
-    let mut dbs = Vec::with_capacity(world.vantages.len());
-    for (i, vantage) in world.vantages.iter().enumerate() {
-        let faults = probe_faults(&world, i);
-        let ctx = probe_ctx(&world, i, faults.as_ref());
-        let sites = &world.sites;
-        let db = {
-            let _s = ipv6web_obs::span(format!("campaign: {}", vantage.name));
-            let resume = load_resume(ckpt_dir, &vantage.name)?;
-            run_campaign_resumable(
-                &ctx,
-                vantage,
-                &world.list,
-                &world.tail_ids,
-                |id| sites[id as usize].first_seen_week,
-                &scenario.campaign,
-                resume,
-                ckpt_dir,
-            )?
+    // One task per vantage point, run sequentially or fanned out under the
+    // shared worker budget. Each task captures its own span subtree on the
+    // thread it ran on; the subtrees are attached back here in
+    // `world.vantages` order, so the phase breakdown is identical no
+    // matter where (or in what order) the campaigns actually ran.
+    let all_idxs: Vec<usize> = (0..world.vantages.len()).collect();
+    let campaign_task =
+        |i: usize| -> Result<(MonitorDb, Vec<ipv6web_obs::SpanRecord>), CampaignError> {
+            let vantage = &world.vantages[i];
+            let faults = world.probe_faults(i);
+            let ctx = world.probe_ctx(i, faults.as_ref());
+            let sites = &world.sites;
+            let mark = ipv6web_obs::span_mark();
+            let db = {
+                let _s = ipv6web_obs::span(format!("campaign: {}", vantage.name));
+                let resume = load_resume(ckpt_dir, &vantage.name)?;
+                run_campaign_resumable(
+                    &ctx,
+                    vantage,
+                    &world.list,
+                    &world.tail_ids,
+                    |id| sites[id as usize].first_seen_week,
+                    &scenario.campaign,
+                    resume,
+                    ckpt_dir,
+                )?
+            };
+            Ok((db, ipv6web_obs::take_spans_since(mark)))
         };
+    let mut dbs = Vec::with_capacity(world.vantages.len());
+    for result in for_each_vantage(mode, &all_idxs, campaign_task) {
+        // the first failure in vantage order wins, same as the serial loop
+        let (db, spans) = result?;
+        ipv6web_obs::attach_spans(spans);
         dbs.push(db);
     }
 
     // --- World IPv6 Day (paper: all Table 8 vantage points except Comcast) --
     let participants = world.ipv6_day_participants();
-    let mut day_dbs = Vec::new();
-    {
+    let day_idxs: Vec<usize> = world
+        .vantages
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.has_as_path && v.name != "Comcast")
+        .map(|(i, _)| i)
+        .collect();
+    let day_results = {
         let _s = ipv6web_obs::span("ipv6 day rounds");
-        for (i, vantage) in world.vantages.iter().enumerate() {
-            if !vantage.has_as_path || vantage.name == "Comcast" {
-                continue;
-            }
-            let faults = probe_faults(&world, i);
-            let ctx = probe_ctx(&world, i, faults.as_ref());
-            let db = run_ipv6_day_rounds(
+        for_each_vantage(mode, &day_idxs, |i| {
+            let faults = world.probe_faults(i);
+            let ctx = world.probe_ctx(i, faults.as_ref());
+            run_ipv6_day_rounds(
                 &ctx,
-                vantage,
+                &world.vantages[i],
                 &participants,
                 scenario.timeline.ipv6_day_week,
                 &scenario.campaign,
-            )?;
-            day_dbs.push((i, db));
-        }
+            )
+        })
+    };
+    let mut day_dbs = Vec::with_capacity(day_idxs.len());
+    for (&i, result) in day_idxs.iter().zip(day_results) {
+        day_dbs.push((i, result?));
     }
 
     // --- analysis ------------------------------------------------------------
     let fault_windows = scenario.faults.disruption_windows();
+    let ana_idxs: Vec<usize> =
+        world.vantages.iter().enumerate().filter(|(_, v)| v.has_as_path).map(|(i, _)| i).collect();
     let analyses: Vec<VantageAnalysis> = {
         let _s = ipv6web_obs::span("analysis");
-        world
-            .vantages
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.has_as_path)
-            .map(|(i, _)| {
-                analyze_vantage_faulted(
-                    &scenario.analysis,
-                    &world.sites,
-                    &dbs[i],
-                    &world.tables[i].0,
-                    &world.tables[i].1,
-                    &fault_windows,
-                )
-            })
-            .collect()
+        for_each_vantage(mode, &ana_idxs, |i| {
+            analyze_vantage_faulted(
+                &scenario.analysis,
+                &world.sites,
+                &dbs[i],
+                &world.tables[i].0,
+                &world.tables[i].1,
+                &fault_windows,
+            )
+        })
     };
     let day_cfg = AnalysisConfig::ipv6_day();
     let day_analyses: Vec<VantageAnalysis> = {
         let _s = ipv6web_obs::span("analysis: ipv6 day");
-        day_dbs
-            .iter()
-            .map(|(i, db)| {
-                analyze_vantage_faulted(
-                    &day_cfg,
-                    &world.sites,
-                    db,
-                    &world.tables[*i].0,
-                    &world.tables[*i].1,
-                    &fault_windows,
-                )
-            })
-            .collect()
+        let day_ana_idxs: Vec<usize> = (0..day_dbs.len()).collect();
+        for_each_vantage(mode, &day_ana_idxs, |k| {
+            let (i, db) = &day_dbs[k];
+            analyze_vantage_faulted(
+                &day_cfg,
+                &world.sites,
+                db,
+                &world.tables[*i].0,
+                &world.tables[*i].1,
+                &fault_windows,
+            )
+        })
     };
 
     let report = {

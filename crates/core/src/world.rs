@@ -4,7 +4,7 @@ use crate::scenario::Scenario;
 use ipv6web_alexa::TopList;
 use ipv6web_bgp::{BgpTable, RouteStore};
 use ipv6web_faults::FaultInjector;
-use ipv6web_monitor::{Disturbances, VantagePoint};
+use ipv6web_monitor::{Disturbances, ProbeContext, ProbeFaults, VantagePoint};
 use ipv6web_stats::derive_rng;
 use ipv6web_topology::{
     generate as generate_topology, AsId, EdgeId, Family, Region, Tier, Topology,
@@ -283,6 +283,52 @@ impl World {
             })
             .map(|s| s.id)
             .collect()
+    }
+
+    /// The probe context for vantage point `vantage_idx`: everything one
+    /// campaign's probes read, borrowed from this world. `faults` is the
+    /// matching [`World::probe_faults`] wiring (or `None` for the
+    /// fault-free pipeline). Public so tests can drive
+    /// [`ipv6web_monitor::run_campaign_resumable`] for a single vantage
+    /// point — e.g. to stage partial checkpoints before a resumed study.
+    pub fn probe_ctx<'a>(
+        &'a self,
+        vantage_idx: usize,
+        faults: Option<&'a ProbeFaults<'a>>,
+    ) -> ProbeContext<'a> {
+        let s = &self.scenario;
+        ProbeContext {
+            topo: &self.topo,
+            sites: &self.sites,
+            zone: &self.zone,
+            table_v4: &self.tables[vantage_idx].0,
+            table_v6: &self.tables[vantage_idx].1,
+            disturbances: &self.disturbances,
+            tcp: s.tcp,
+            ci_rule: s.ci_rule,
+            identity_threshold: s.identity_threshold,
+            round_noise_sigma: s.round_noise_sigma,
+            seed: s.seed,
+            vantage_name: &self.vantages[vantage_idx].name,
+            white_listed: self.vantages[vantage_idx].white_listed,
+            v6_epoch: self.v6_epoch.as_ref().map(|(week, tables)| (*week, &tables[vantage_idx])),
+            faults,
+        }
+    }
+
+    /// The per-vantage fault wiring: the injector plus this vantage
+    /// point's slice of the cumulative v6 epoch chain. `None` when the
+    /// plan is empty, so the fault-free pipeline stays bit-identical.
+    pub fn probe_faults(&self, vantage_idx: usize) -> Option<ProbeFaults<'_>> {
+        self.injector.as_ref().map(|injector| ProbeFaults {
+            injector,
+            retry: self.scenario.faults.retry,
+            v6_epochs: self
+                .fault_epochs
+                .iter()
+                .map(|(week, tables)| (*week, &tables[vantage_idx]))
+                .collect(),
+        })
     }
 }
 

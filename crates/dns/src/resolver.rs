@@ -106,6 +106,16 @@ impl Resolver {
         now_s: u64,
     ) -> Option<Vec<Record>> {
         ipv6web_obs::inc("dns.queries");
+        // The wire codec carries labels of at most 63 bytes and the decoder
+        // refuses names deeper than 32 labels. A name outside those bounds
+        // can never round-trip, so it can never resolve — answer NXDOMAIN-ish
+        // up front rather than tearing the codec on the hot path.
+        if name.split('.').any(|l| l.len() > 63)
+            || name.split('.').filter(|l| !l.is_empty()).count() > 32
+        {
+            ipv6web_obs::inc("dns.unencodable_names");
+            return None;
+        }
         let key = (name.to_string(), qtype);
         // RFC 2308 negative caching: a fresh NXDOMAIN answers any qtype.
         if let Some(&until) = self.negative.get(name) {
@@ -132,15 +142,25 @@ impl Resolver {
         self.next_id = self.next_id.wrapping_add(1).max(1);
         let qmsg = DnsMessage::query(id, name, qtype);
         let qwire = qmsg.to_vec();
-        let parsed_q = DnsMessage::decode(&qwire).expect("own query parses");
+        // The codec is exercised on our own well-formed messages, so a
+        // decode failure means a codec bug, not bad input. Degrade to an
+        // unanswered query (counted, uncached) instead of panicking the
+        // whole campaign thread.
+        let Ok(parsed_q) = DnsMessage::decode(&qwire) else {
+            ipv6web_obs::inc("dns.codec_errors");
+            return None;
+        };
         let auth = zone.query(&parsed_q.questions[0].name, qtype, week);
         let resp = match &auth {
             Some(records) => DnsMessage::response(&parsed_q, records, false),
             None => DnsMessage::response(&parsed_q, &[], true),
         };
         let rwire = resp.to_vec();
-        let parsed_r = DnsMessage::decode(&rwire).expect("own response parses");
-        assert_eq!(parsed_r.header.id, id, "transaction id must match");
+        let Ok(parsed_r) = DnsMessage::decode(&rwire) else {
+            ipv6web_obs::inc("dns.codec_errors");
+            return None;
+        };
+        debug_assert_eq!(parsed_r.header.id, id, "transaction id must match");
 
         ipv6web_obs::observe("dns.wire_bytes", (qwire.len() + rwire.len()) as u64);
         if parsed_r.header.rcode == RCODE_NXDOMAIN {
@@ -308,6 +328,35 @@ mod tests {
         let ok = r.resolve_faulted(&db, "a.example", RecordType::A, 0, 0, None).unwrap();
         assert_eq!(ok.unwrap().len(), 1);
         assert_eq!(r.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn oversized_label_is_unresolvable_not_a_panic() {
+        let db = zone();
+        let mut r = Resolver::new();
+        let long = format!("{}.example", "x".repeat(64));
+        assert_eq!(r.resolve(&db, &long, RecordType::A, 0, 0), None);
+        // rejected before the cache or authority saw it
+        assert_eq!(r.cache_len(), 0);
+        assert_eq!(r.stats().cache_misses, 0);
+        assert_eq!(r.stats().nxdomain, 0);
+        // a 63-byte label is the legal maximum and goes through the codec
+        let max = format!("{}.example", "x".repeat(63));
+        assert_eq!(r.resolve(&db, &max, RecordType::A, 0, 0), None, "NXDOMAIN, not a panic");
+        assert_eq!(r.stats().nxdomain, 1);
+    }
+
+    #[test]
+    fn too_many_labels_is_unresolvable_not_a_panic() {
+        let db = zone();
+        let mut r = Resolver::new();
+        let deep = vec!["a"; 33].join(".");
+        assert_eq!(r.resolve(&db, &deep, RecordType::A, 0, 0), None);
+        assert_eq!(r.cache_len(), 0);
+        assert_eq!(r.stats().cache_misses, 0, "never reached the wire");
+        let legal = vec!["a"; 32].join(".");
+        assert_eq!(r.resolve(&db, &legal, RecordType::A, 0, 0), None, "NXDOMAIN, not a panic");
+        assert_eq!(r.stats().nxdomain, 1);
     }
 
     #[test]

@@ -251,6 +251,34 @@ mod tests {
     }
 
     #[test]
+    fn fault_streams_are_vantage_keyed_not_call_ordered() {
+        // Each decision is a pure function of (seed, vantage, site, week,
+        // salt, attempt) — never of how many draws other vantages made
+        // before it. This is what lets campaigns race across threads and
+        // still inject the exact same faults.
+        let inj = FaultInjector::new(plan_with_dns(0.5), 99);
+        let penn_alone: Vec<Option<DnsFaultKind>> =
+            (0..40).map(|site| inj.dns_fault("Penn", site, "A", 1, 0, 0)).collect();
+        // Replay Penn's queries interleaved with heavy traffic from the
+        // other vantages, in a different order.
+        let mut penn_interleaved = Vec::new();
+        for site in (0..40).rev() {
+            for other in ["Comcast", "LU", "UPCB", "HE", "FreeBSD"] {
+                let _ = inj.dns_fault(other, site, "A", 1, 0, 0);
+                let _ = inj.dns_fault(other, site, "AAAA", 1, 0, 1);
+            }
+            penn_interleaved.push(inj.dns_fault("Penn", site, "A", 1, 0, 0));
+        }
+        penn_interleaved.reverse();
+        assert_eq!(penn_alone, penn_interleaved, "Penn's stream moved with scheduling");
+        // ...and the vantage really is part of the key: two vantages do
+        // not share one fault stream.
+        let comcast: Vec<Option<DnsFaultKind>> =
+            (0..40).map(|site| inj.dns_fault("Comcast", site, "A", 1, 0, 0)).collect();
+        assert_ne!(penn_alone, comcast, "distinct vantages drew identical streams");
+    }
+
+    #[test]
     fn http_fault_carries_stall_duration() {
         let mut p = FaultPlan::default();
         p.http_faults.push(HttpDisruption {

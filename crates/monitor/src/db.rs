@@ -49,10 +49,33 @@ pub struct SiteRecord {
 impl SiteRecord {
     /// Paired samples (same week present in both families), the unit the
     /// cross-family analysis runs on.
+    ///
+    /// Samples are appended in round (week) order, so this is a two-pointer
+    /// merge walk over the two sorted vectors — no per-call set allocation,
+    /// which matters because the sanitizer runs it once per site per
+    /// analysis pass. A v4 week that appears several times (the IPv6 Day
+    /// databases stack all rounds on one week) is emitted once per v4
+    /// sample, exactly like the set-membership implementation it replaces.
     pub fn paired_weeks(&self) -> Vec<u32> {
-        let v6_weeks: std::collections::BTreeSet<u32> =
-            self.samples_v6.iter().map(|s| s.week).collect();
-        self.samples_v4.iter().map(|s| s.week).filter(|w| v6_weeks.contains(w)).collect()
+        debug_assert!(
+            self.samples_v4.windows(2).all(|w| w[0].week <= w[1].week),
+            "v4 samples out of week order"
+        );
+        debug_assert!(
+            self.samples_v6.windows(2).all(|w| w[0].week <= w[1].week),
+            "v6 samples out of week order"
+        );
+        let mut out = Vec::new();
+        let mut j = 0;
+        for s in &self.samples_v4 {
+            while j < self.samples_v6.len() && self.samples_v6[j].week < s.week {
+                j += 1;
+            }
+            if j < self.samples_v6.len() && self.samples_v6[j].week == s.week {
+                out.push(s.week);
+            }
+        }
+        out
     }
 }
 
@@ -179,6 +202,10 @@ impl MonitorDb {
             }
             mine.samples_v4.extend_from_slice(&rec.samples_v4);
             mine.samples_v6.extend_from_slice(&rec.samples_v6);
+            // restore the week-sortedness invariant `paired_weeks` walks on
+            // (stable: same-week samples keep their per-database order)
+            mine.samples_v4.sort_by_key(|s| s.week);
+            mine.samples_v6.sort_by_key(|s| s.week);
             mine.unconfident_rounds += rec.unconfident_rounds;
             mine.malformed_rounds += rec.malformed_rounds;
             mine.faulted_rounds += rec.faulted_rounds;
@@ -212,6 +239,48 @@ mod tests {
         r.samples_v4 = vec![sample(1, 10.0), sample(2, 11.0), sample(4, 12.0)];
         r.samples_v6 = vec![sample(2, 9.0), sample(3, 9.0), sample(4, 9.0)];
         assert_eq!(r.paired_weeks(), vec![2, 4]);
+    }
+
+    #[test]
+    fn paired_weeks_preserves_v4_multiplicity() {
+        // IPv6 Day databases stack every round's samples on one week; the
+        // pairing must emit the week once per v4 sample, like the old
+        // set-membership implementation did.
+        let mut r = SiteRecord::default();
+        r.samples_v4 = vec![sample(10, 10.0), sample(10, 11.0), sample(10, 12.0)];
+        r.samples_v6 = vec![sample(10, 9.0), sample(10, 9.5)];
+        assert_eq!(r.paired_weeks(), vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn paired_weeks_empty_families() {
+        let mut r = SiteRecord::default();
+        assert!(r.paired_weeks().is_empty());
+        r.samples_v4 = vec![sample(1, 1.0)];
+        assert!(r.paired_weeks().is_empty(), "no v6 samples, nothing pairs");
+        r.samples_v4.clear();
+        r.samples_v6 = vec![sample(1, 1.0)];
+        assert!(r.paired_weeks().is_empty(), "no v4 samples, nothing pairs");
+    }
+
+    #[test]
+    fn merge_restores_week_order_for_pairing() {
+        // central has later weeks than the incoming db; after the merge
+        // the sample vectors must be week-sorted again so paired_weeks'
+        // two-pointer walk sees its invariant
+        let mut central = MonitorDb::new("repo");
+        let r = central.record_mut(SiteId(1), 0);
+        r.samples_v4.push(sample(5, 10.0));
+        r.samples_v6.push(sample(5, 9.0));
+        let mut other = MonitorDb::new("other");
+        let o = other.record_mut(SiteId(1), 0);
+        o.samples_v4.push(sample(2, 8.0));
+        o.samples_v6.push(sample(2, 7.0));
+        central.merge_samples_from(&other);
+        let m = central.record(SiteId(1)).unwrap();
+        let weeks: Vec<u32> = m.samples_v4.iter().map(|s| s.week).collect();
+        assert_eq!(weeks, vec![2, 5]);
+        assert_eq!(m.paired_weeks(), vec![2, 5]);
     }
 
     #[test]

@@ -232,7 +232,12 @@ fn run_pool(
     ipv6_day_mode: bool,
     workers: usize,
 ) -> (Vec<(SiteId, ProbeOutcome)>, usize) {
-    let workers = workers.min(sites.len().max(1));
+    // Two-level budget: the configured pool width is additionally clamped
+    // to this thread's share of the global IPV6WEB_THREADS budget, so a
+    // vantage-parallel study (campaign fan-out × per-round pool) never
+    // oversubscribes the machine. On a share of 1 the round runs inline —
+    // no channels, no spawns — which is also the fast path on small hosts.
+    let workers = workers.min(sites.len().max(1)).min(ipv6web_par::allowance());
     ipv6web_obs::inc("monitor.rounds");
     ipv6web_obs::gauge_max("monitor.peak_workers", workers as u64);
     if workers == 1 {

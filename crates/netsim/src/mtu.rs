@@ -105,8 +105,12 @@ pub fn discover_pmtud<R: Rng>(
                 return Pmtud::Blackhole(hop_idx);
             };
             let ptb = Icmpv6Message::packet_too_big(next_mtu as u32, &[0u8; 64]);
-            let parsed =
-                Icmpv6Message::decode(&ptb.to_vec(src, dst), src, dst).expect("own PTB parses");
+            // A PTB that fails to round-trip the codec is a PTB the sender
+            // never understood — identical to a filtered one: blackhole.
+            let Ok(parsed) = Icmpv6Message::decode(&ptb.to_vec(src, dst), src, dst) else {
+                ipv6web_obs::inc("netsim.ptb_codec_errors");
+                return Pmtud::Blackhole(hop_idx);
+            };
             debug_assert_eq!(parsed.mtu(), Some(next_mtu as u32));
         }
         current = next_mtu;

@@ -82,18 +82,28 @@ pub fn ping<R: Rng>(
     let payload = vec![0xa5u8; cfg.payload_len];
     let ident: u16 = rng.gen();
     for seq in 0..cfg.count {
-        // Build, "send", answer, and parse a real echo exchange.
+        // Build, "send", answer, and parse a real echo exchange. A codec
+        // failure anywhere in the exchange means this probe never came
+        // back: count it lost and move on, never panic mid-campaign. The
+        // `continue`s are unreachable while the codec is healthy, so they
+        // cannot perturb the RNG stream of a normal run.
         let echo_ok = match family {
             Family::V4 => {
                 let req = Icmpv4Message::echo_request(ident, seq as u16, payload.clone());
                 let wire = req.to_vec();
-                let parsed = Icmpv4Message::decode(&wire).expect("own echo parses");
-                let reply = Icmpv4Message::echo_reply(
-                    parsed.echo_ident().expect("echo"),
-                    parsed.echo_seq().expect("echo"),
-                    parsed.payload.clone(),
-                );
-                let reply_parsed = Icmpv4Message::decode(&reply.to_vec()).expect("reply parses");
+                let Ok(parsed) = Icmpv4Message::decode(&wire) else {
+                    ipv6web_obs::inc("netsim.ping_codec_errors");
+                    continue;
+                };
+                let (Some(p_ident), Some(p_seq)) = (parsed.echo_ident(), parsed.echo_seq()) else {
+                    ipv6web_obs::inc("netsim.ping_codec_errors");
+                    continue;
+                };
+                let reply = Icmpv4Message::echo_reply(p_ident, p_seq, parsed.payload.clone());
+                let Ok(reply_parsed) = Icmpv4Message::decode(&reply.to_vec()) else {
+                    ipv6web_obs::inc("netsim.ping_codec_errors");
+                    continue;
+                };
                 reply_parsed.echo_ident() == Some(ident)
                     && reply_parsed.echo_seq() == Some(seq as u16)
             }
@@ -112,18 +122,28 @@ pub fn ping<R: Rng>(
                 };
                 let req = Icmpv6Message::echo_request(ident, seq as u16, payload.clone());
                 let wire = req.to_vec(src, dst);
-                let parsed = Icmpv6Message::decode(&wire, src, dst).expect("own echo parses");
-                let reply = Icmpv6Message::echo_reply(
-                    parsed.echo_ident().expect("echo"),
-                    parsed.echo_seq().expect("echo"),
-                    parsed.payload.clone(),
-                );
-                let reply_parsed =
-                    Icmpv6Message::decode(&reply.to_vec(dst, src), dst, src).expect("reply parses");
+                let Ok(parsed) = Icmpv6Message::decode(&wire, src, dst) else {
+                    ipv6web_obs::inc("netsim.ping_codec_errors");
+                    continue;
+                };
+                let (Some(p_ident), Some(p_seq)) = (parsed.echo_ident(), parsed.echo_seq()) else {
+                    ipv6web_obs::inc("netsim.ping_codec_errors");
+                    continue;
+                };
+                let reply = Icmpv6Message::echo_reply(p_ident, p_seq, parsed.payload.clone());
+                let Ok(reply_parsed) = Icmpv6Message::decode(&reply.to_vec(dst, src), dst, src)
+                else {
+                    ipv6web_obs::inc("netsim.ping_codec_errors");
+                    continue;
+                };
                 reply_parsed.echo_ident() == Some(ident)
             }
         };
-        assert!(echo_ok, "echo exchange must be self-consistent");
+        if !echo_ok {
+            // A mangled exchange is a lost probe, not a crash.
+            ipv6web_obs::inc("netsim.ping_codec_errors");
+            continue;
+        }
 
         // Round trip crosses every link twice: loss applies both ways.
         let delivered = !coin(rng, metrics.loss) && !coin(rng, metrics.loss);
@@ -246,6 +266,20 @@ mod tests {
         assert_eq!(out.received, 0);
         assert_eq!(out.avg_ms, None);
         assert_eq!(out.loss_rate(), 1.0);
+    }
+
+    #[test]
+    fn zero_count_ping_is_well_formed() {
+        let (topo, src, dst) = world();
+        let mut rng = derive_rng(6, "ping");
+        let cfg = PingConfig { count: 0, payload_len: 56, jitter_sigma: 0.05 };
+        let out = ping(&mut rng, &topo, src, dst, &metrics(80.0, 0.0), Family::V4, &cfg);
+        assert_eq!(out.sent, 0);
+        assert_eq!(out.received, 0);
+        assert_eq!(out.loss_rate(), 0.0, "0/0 probes lost is 0, not NaN");
+        assert_eq!(out.min_ms, None);
+        assert_eq!(out.avg_ms, None);
+        assert_eq!(out.max_ms, None);
     }
 
     #[test]

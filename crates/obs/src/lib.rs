@@ -40,4 +40,6 @@ pub use registry::{
     add, disable, enable, enabled, flush_thread, gauge_max, inc, observe, reset, snapshot,
 };
 pub use snapshot::Snapshot;
-pub use span::{record_span, span, span_mark, take_spans_since, Span, SpanRecord, Timings};
+pub use span::{
+    attach_spans, record_span, span, span_mark, take_spans_since, Span, SpanRecord, Timings,
+};

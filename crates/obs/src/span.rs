@@ -84,6 +84,27 @@ pub fn record_span(name: impl Into<String>, elapsed: std::time::Duration) {
     });
 }
 
+/// Splices spans that were recorded on another thread — captured there
+/// with [`span_mark`] / [`take_spans_since`] — into this thread's log,
+/// offsetting each record's depth by the current nesting depth. This is
+/// how a fork/join caller re-homes its workers' phase breakdowns: capture
+/// per task on the worker, then attach in a deterministic task order at
+/// the join, so the merged span tree never depends on scheduling.
+pub fn attach_spans(records: Vec<SpanRecord>) {
+    if records.is_empty() {
+        return;
+    }
+    SPAN_LOG.with(|l| {
+        let mut l = l.borrow_mut();
+        let base = l.depth;
+        let adopted = records.into_iter().map(|mut r| {
+            r.depth += base;
+            r
+        });
+        l.records.extend(adopted);
+    });
+}
+
 /// Current length of this thread's span log — pass to
 /// [`take_spans_since`] to collect only the spans a scope produced.
 pub fn span_mark() -> usize {
@@ -233,6 +254,41 @@ mod tests {
         assert!(rendered.contains("  parent"));
         assert!(rendered.contains("    child"), "nested spans indent");
         assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn attach_spans_rehomes_worker_spans_under_current_depth() {
+        let mark = span_mark();
+        // capture a small span tree on a worker thread...
+        let captured = std::thread::scope(|s| {
+            s.spawn(|| {
+                let m = span_mark();
+                {
+                    let _outer = span("task");
+                    drop(span("task: step"));
+                }
+                take_spans_since(m)
+            })
+            .join()
+            .unwrap()
+        });
+        // ...and attach it on this thread while one span is open
+        {
+            let _parent = span("join point");
+            attach_spans(captured);
+        }
+        let got = take_spans_since(mark);
+        let names: Vec<&str> = got.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["task: step", "task", "join point"]);
+        let depth: std::collections::BTreeMap<&str, u32> =
+            got.iter().map(|r| (r.name.as_str(), r.depth)).collect();
+        assert_eq!(depth["join point"], 0);
+        assert_eq!(depth["task"], 1, "attached subtree nests under the open span");
+        assert_eq!(depth["task: step"], 2, "relative depths inside the subtree survive");
+        // attaching at top level keeps depths as captured
+        let m2 = span_mark();
+        attach_spans(vec![SpanRecord { name: "flat".into(), depth: 0, seconds: 0.0 }]);
+        assert_eq!(take_spans_since(m2)[0].depth, 0);
     }
 
     #[test]

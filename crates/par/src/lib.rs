@@ -9,7 +9,22 @@
 //! Thread count comes from the `IPV6WEB_THREADS` environment variable when
 //! set (a value of `1` forces the sequential path, used by the determinism
 //! tests), else from `std::thread::available_parallelism`.
+//!
+//! # The two-level worker budget
+//!
+//! `IPV6WEB_THREADS` is a *global* cap, not a per-fan-out width. Nested
+//! parallelism — the study driver fanning campaigns out over vantage
+//! points while each campaign runs its own probe pool — must not multiply
+//! into `vantages × workers` threads. Every thread therefore carries an
+//! [`allowance`]: its share of the global budget. A fresh thread's
+//! allowance is the full budget ([`thread_count`]); [`par_map`] spends the
+//! caller's allowance on its workers and splits it among them (worker `w`
+//! of `W` gets `⌊B/W⌋` plus one of the `B mod W` remainders), so any
+//! nested fan-out — another `par_map`, or a worker pool that clamps to
+//! [`allowance`] — borrows from the same global budget instead of
+//! oversubscribing. The sum of live leaf workers never exceeds the budget.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -29,32 +44,80 @@ pub fn thread_count() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+thread_local! {
+    // 0 = unset: the thread has not been handed a share yet and may use the
+    // full global budget. Resolved lazily through `allowance()` so tests
+    // that flip IPV6WEB_THREADS mid-process observe the change.
+    static ALLOWANCE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// This thread's share of the global worker budget: the worker count any
+/// fan-out started here may use. [`thread_count`] for a thread that was
+/// not spawned by [`par_map`]; the assigned share inside a `par_map`
+/// worker. Worker pools outside this crate clamp their width to it so
+/// nested parallelism stays within `IPV6WEB_THREADS` in total.
+pub fn allowance() -> usize {
+    let a = ALLOWANCE.with(|c| c.get());
+    if a == 0 {
+        thread_count()
+    } else {
+        a
+    }
+}
+
+/// Worker `w`'s share when a budget of `budget` is split over `workers`
+/// workers: `⌊budget/workers⌋`, with the first `budget mod workers`
+/// workers taking one extra. Shares sum exactly to `budget` and every
+/// share is ≥ 1 whenever `workers ≤ budget`.
+fn worker_share(budget: usize, workers: usize, w: usize) -> usize {
+    budget / workers + usize::from(w < budget % workers)
+}
+
 /// Applies `f` to every item, possibly in parallel, returning results in
 /// input order. `f` receives the item index alongside the item so callers
 /// can seed per-item state deterministically.
+///
+/// The fan-out width is this thread's [`allowance`], which the spawned
+/// workers inherit in shares — see the module docs on the two-level
+/// budget.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    par_map_with(thread_count(), items, f)
+    par_map_budget(allowance(), items, f)
 }
 
-/// [`par_map`] with an explicit worker count (mainly for tests).
+/// [`par_map`] with an explicit worker budget (mainly for tests). The
+/// explicit count plays the role of the caller's allowance: it is split
+/// among the spawned workers exactly like `par_map` splits the global
+/// budget.
 pub fn par_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let workers = workers.max(1).min(items.len().max(1));
+    par_map_budget(workers, items, f)
+}
+
+fn par_map_budget<T, U, F>(budget: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let budget = budget.max(1);
+    let workers = budget.min(items.len().max(1));
     // Counters fire on both the serial and parallel paths so totals do not
     // depend on IPV6WEB_THREADS; only the gauge reflects the configuration.
     ipv6web_obs::gauge_max("par.peak_threads", workers as u64);
     ipv6web_obs::add("par.fanouts", 1);
     ipv6web_obs::add("par.items", items.len() as u64);
     if workers == 1 || items.len() <= 1 {
+        // Inline on the calling thread, which keeps its full allowance:
+        // a lone item's nested fan-outs may still use the whole budget.
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
 
@@ -64,8 +127,11 @@ where
     let next = AtomicUsize::new(0);
     let buckets: Mutex<Vec<Vec<(usize, U)>>> = Mutex::new(Vec::with_capacity(workers));
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        let (next, buckets, f) = (&next, &buckets, &f);
+        for w in 0..workers {
+            let share = worker_share(budget, workers, w);
+            scope.spawn(move || {
+                ALLOWANCE.with(|c| c.set(share));
                 let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -122,5 +188,64 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn allowance_is_positive_on_fresh_threads() {
+        assert!(allowance() >= 1);
+        std::thread::scope(|s| {
+            s.spawn(|| assert!(allowance() >= 1));
+        });
+    }
+
+    #[test]
+    fn worker_shares_sum_to_budget_and_stay_positive() {
+        for budget in 1..=32usize {
+            for workers in 1..=budget {
+                let shares: Vec<usize> =
+                    (0..workers).map(|w| worker_share(budget, workers, w)).collect();
+                assert_eq!(shares.iter().sum::<usize>(), budget, "budget {budget} × {workers}");
+                assert!(shares.iter().all(|&s| s >= 1));
+                // the split is as even as integers allow
+                let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn workers_inherit_their_share_as_allowance() {
+        // Budget 5 over 2 workers: shares are {3, 2}. Whatever item lands
+        // on whatever worker, the observed allowance is one of the shares.
+        let items = [(); 2];
+        let seen = par_map_with(5, &items, |_, _| allowance());
+        for a in &seen {
+            assert!(*a == 2 || *a == 3, "allowance {a} is not a share of 5/2");
+        }
+    }
+
+    #[test]
+    fn nested_fan_out_never_exceeds_the_budget() {
+        // Outer fan-out of budget 3 over 6 items, each item running a
+        // nested par_map: the number of concurrently live leaf bodies must
+        // never exceed the global budget of 3.
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..6).collect();
+        let _ = par_map_with(3, &items, |_, _| {
+            let inner: Vec<u32> = (0..4).collect();
+            par_map(&inner, |_, x| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+                *x
+            })
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak {} > budget 3",
+            peak.load(Ordering::SeqCst)
+        );
     }
 }

@@ -217,6 +217,21 @@ mod tests {
     }
 
     #[test]
+    fn critical_table_boundary_df() {
+        // df = 0 (zero or one sample) must not panic at any level
+        for level in [StudentT::P90, StudentT::P95, StudentT::P99] {
+            assert!(level.critical(0).is_infinite());
+            assert!(level.critical(1).is_finite());
+            // df 30 is the last table row, df 31 the first Cornish–Fisher
+            // value: the handoff must stay monotone and nearly seamless.
+            let t30 = level.critical(30);
+            let t31 = level.critical(31);
+            assert!(t31 < t30, "t(31)={t31} should be below t(30)={t30}");
+            assert!(t30 - t31 < 0.01, "table/series gap too wide: {}", t30 - t31);
+        }
+    }
+
+    #[test]
     fn ci_of_constant_samples_is_tight() {
         let acc: Welford = [5.0; 10].into_iter().collect();
         let ci = mean_ci(&acc, StudentT::P95);
@@ -301,6 +316,19 @@ mod tests {
         #[test]
         fn critical_decreases_with_df(df in 1u64..500) {
             prop_assert!(StudentT::P95.critical(df) >= StudentT::P95.critical(df + 1) - 1e-9);
+        }
+
+        #[test]
+        fn critical_never_panics_and_stays_sane(df in 0u64..200) {
+            for level in [StudentT::P90, StudentT::P95, StudentT::P99] {
+                let t = level.critical(df);
+                if df == 0 {
+                    prop_assert!(t.is_infinite());
+                } else {
+                    prop_assert!(t.is_finite() && t > 0.0, "t({df})={t}");
+                    prop_assert!(t >= level.critical(df + 1) - 1e-9);
+                }
+            }
         }
 
         #[test]

@@ -65,7 +65,9 @@ pub use ipv6web_stats as stats;
 pub use ipv6web_topology as topology;
 pub use ipv6web_web as web;
 
-pub use ipv6web_core::{run_study, Report, Scenario, StudyError, StudyResult, World};
+pub use ipv6web_core::{
+    run_study, run_study_mode, ExecutionMode, Report, Scenario, StudyError, StudyResult, World,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,12 @@
 //! Reproducibility: the same scenario and seed must produce bit-identical
 //! results, and different seeds must not.
 
-use ipv6web::{run_study, Scenario};
+use ipv6web::{run_study, run_study_mode, ExecutionMode, Scenario};
+use std::sync::Mutex;
+
+/// `IPV6WEB_THREADS` is process-global: tests that set it run under one
+/// lock so concurrent siblings never observe a half-configured budget.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn tiny(seed: u64) -> Scenario {
     let mut s = Scenario::quick(seed);
@@ -47,6 +52,7 @@ fn thread_count_does_not_change_results() {
     // Route-table fan-out width comes from IPV6WEB_THREADS. The variable is
     // process-global, so both runs live in this one test; determinism means
     // any interleaving with sibling tests is harmless by construction.
+    let _g = ENV_LOCK.lock().unwrap();
     std::env::set_var("IPV6WEB_THREADS", "1");
     let a = run_study(&tiny(5)).expect("valid scenario");
     std::env::set_var("IPV6WEB_THREADS", "7");
@@ -86,6 +92,89 @@ fn memoized_epoch_rebuild_matches_from_scratch() {
             assert_eq!(memoized.route(r.dest), Some(r), "vantage {:?}", v.name);
         }
     }
+}
+
+#[test]
+fn sequential_and_parallel_reports_are_byte_identical() {
+    // The tentpole guarantee: scheduling the six campaigns across threads
+    // must never change a byte of the report or the raw databases, at any
+    // worker budget.
+    let _g = ENV_LOCK.lock().unwrap();
+    let mut runs = Vec::new();
+    for threads in ["1", "4"] {
+        std::env::set_var("IPV6WEB_THREADS", threads);
+        for mode in [ExecutionMode::Sequential, ExecutionMode::VantageParallel] {
+            let s = run_study_mode(&tiny(21), mode).expect("valid scenario");
+            runs.push((threads, mode, serde_json::to_string(&s.report).unwrap(), s.dbs));
+        }
+    }
+    std::env::remove_var("IPV6WEB_THREADS");
+    let (_, _, ref json0, ref dbs0) = runs[0];
+    for (threads, mode, json, dbs) in &runs[1..] {
+        assert_eq!(json, json0, "report diverged at IPV6WEB_THREADS={threads}, mode={mode:?}");
+        assert_eq!(dbs, dbs0, "databases diverged at IPV6WEB_THREADS={threads}, mode={mode:?}");
+    }
+}
+
+#[test]
+fn staggered_checkpoints_resume_to_identical_report() {
+    // A mid-campaign kill under vantage-parallel execution leaves each
+    // vantage a different distance through its campaign — some with no
+    // checkpoint at all. Resuming from that ragged state must reproduce an
+    // uninterrupted run byte for byte.
+    use ipv6web::monitor::{checkpoint_path, run_campaign_resumable};
+    use ipv6web::World;
+
+    let _g = ENV_LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join("ipv6web-staggered-ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut s = tiny(19);
+    let clean = run_study(&s).expect("valid scenario");
+
+    // Replay the "crashed" first run: vantage i got truncations[i] weeks in
+    // before the kill (0 = never started).
+    let world = World::build(&s);
+    let truncations = [6u32, 9, 0, 12, 4, 8];
+    assert_eq!(world.vantages.len(), truncations.len());
+    for (i, &cut) in truncations.iter().enumerate() {
+        if cut == 0 {
+            continue;
+        }
+        let faults = world.probe_faults(i);
+        let ctx = world.probe_ctx(i, faults.as_ref());
+        let mut cfg = s.campaign;
+        cfg.total_weeks = cut.min(s.campaign.total_weeks);
+        run_campaign_resumable(
+            &ctx,
+            &world.vantages[i],
+            &world.list,
+            &world.tail_ids,
+            |id| world.sites[id as usize].first_seen_week,
+            &cfg,
+            None,
+            Some(&dir),
+        )
+        .expect("partial campaign runs");
+    }
+    let on_disk = (0..world.vantages.len())
+        .filter(|&i| checkpoint_path(&dir, &world.vantages[i].name).exists())
+        .count();
+    assert!(on_disk >= 2, "staggered kill must leave real checkpoints behind");
+    assert!(on_disk < world.vantages.len(), "…but not for every vantage");
+
+    s.checkpoint_dir = Some(dir.to_string_lossy().into_owned());
+    let resumed = run_study(&s).expect("valid scenario");
+    assert_eq!(
+        serde_json::to_string(&clean.report).unwrap(),
+        serde_json::to_string(&resumed.report).unwrap(),
+        "resume from a staggered kill must not change the report"
+    );
+    for (da, db) in clean.dbs.iter().zip(&resumed.dbs) {
+        assert_eq!(da, db, "resume must reproduce every database exactly");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

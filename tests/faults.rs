@@ -6,13 +6,16 @@ use ipv6web::faults::{
     LossBurst, VantageOutage,
 };
 use ipv6web::topology::Family;
-use ipv6web::{obs, run_study, Scenario};
+use ipv6web::{obs, run_study, run_study_mode, ExecutionMode, Scenario};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
 /// The obs registry is process-global; tests that enable/reset it run
 /// under one lock so their snapshots cannot interleave.
 static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Same story for the IPV6WEB_THREADS variable.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn tiny(seed: u64) -> Scenario {
     let mut s = Scenario::quick(seed);
@@ -39,6 +42,7 @@ fn faulted_run_identical_across_thread_counts() {
     // Fault decisions are keyed on (seed, entity, week, round), never on
     // scheduling, so the chaos scenario must be exactly as reproducible as
     // the clean one.
+    let _g = ENV_LOCK.lock().unwrap();
     std::env::set_var("IPV6WEB_THREADS", "1");
     let a = run_study(&tiny_faulted(31)).expect("valid scenario");
     std::env::set_var("IPV6WEB_THREADS", "4");
@@ -51,6 +55,34 @@ fn faulted_run_identical_across_thread_counts() {
     );
     for (da, db) in a.dbs.iter().zip(&b.dbs) {
         assert_eq!(da, db, "thread count must never leak into faulted databases");
+    }
+}
+
+#[test]
+fn faulted_sequential_and_parallel_runs_are_byte_identical() {
+    // Vantage-parallel execution under a live fault plan: injected chaos is
+    // entity-keyed, so racing the six campaigns must reproduce the
+    // sequential pipeline byte for byte at every worker budget.
+    let _g = ENV_LOCK.lock().unwrap();
+    let mut runs = Vec::new();
+    for threads in ["1", "4"] {
+        std::env::set_var("IPV6WEB_THREADS", threads);
+        for mode in [ExecutionMode::Sequential, ExecutionMode::VantageParallel] {
+            let s = run_study_mode(&tiny_faulted(23), mode).expect("valid scenario");
+            runs.push((threads, mode, serde_json::to_string(&s.report).unwrap(), s.dbs));
+        }
+    }
+    std::env::remove_var("IPV6WEB_THREADS");
+    let (_, _, ref json0, ref dbs0) = runs[0];
+    for (threads, mode, json, dbs) in &runs[1..] {
+        assert_eq!(
+            json, json0,
+            "faulted report diverged at IPV6WEB_THREADS={threads}, mode={mode:?}"
+        );
+        assert_eq!(
+            dbs, dbs0,
+            "faulted databases diverged at IPV6WEB_THREADS={threads}, mode={mode:?}"
+        );
     }
 }
 

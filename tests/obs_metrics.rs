@@ -73,6 +73,33 @@ fn counters_identical_across_thread_and_worker_counts() {
     // gauges are allowed to differ (they report the configuration itself)
     assert_eq!(serial.gauge("par.peak_threads"), 1);
     assert_eq!(parallel.gauge("par.peak_threads"), 4);
+    // even with 8 probe workers configured, the shared budget caps them
+    assert!(parallel.gauge("monitor.peak_workers") <= 4, "probe pool broke the thread budget");
+}
+
+#[test]
+fn worker_budget_is_never_exceeded() {
+    // Two-level fan-out: six campaigns race at the top, each opening a
+    // probe pool below. The peak concurrency observed at EITHER level must
+    // stay inside IPV6WEB_THREADS, regardless of how many workers the
+    // campaign config asks for.
+    let _g = OBS_LOCK.lock().unwrap();
+    obs::reset();
+    obs::enable();
+    std::env::set_var("IPV6WEB_THREADS", "4");
+    let mut s = tiny(29);
+    s.campaign.workers = 8;
+    let _study = run_study(&s).expect("valid scenario");
+    std::env::remove_var("IPV6WEB_THREADS");
+    obs::disable();
+    obs::flush_thread();
+    let snap = obs::snapshot();
+    obs::reset();
+    let outer = snap.gauge("par.peak_threads");
+    let inner = snap.gauge("monitor.peak_workers");
+    assert!(outer >= 2, "vantage fan-out never actually ran in parallel");
+    assert!(outer <= 4, "par.peak_threads {outer} exceeds the budget of 4");
+    assert!(inner <= 4, "monitor.peak_workers {inner} exceeds the budget of 4");
 }
 
 #[test]
