@@ -179,8 +179,8 @@ pub(crate) mod tests {
         let topo = gen_topo(&TopologyConfig::test_small(), seed);
         let mut pcfg = PopulationConfig::test_small(26);
         pcfg.n_sites = 1200;
-        let sites = population::generate(&pcfg, &topo, seed);
-        let zone = build_zone(&topo, &sites);
+        let (sites, names) = population::generate(&pcfg, &topo, seed);
+        let zone = build_zone(&topo, &sites, names);
         let vantage_as =
             topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();

@@ -22,7 +22,8 @@ const ARTIFACTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <artifact...|all> [--scale quick|paper|faults] [--seed N] [--json FILE]\n\
+        "usage: repro <artifact...|all> [--scale quick|paper|faults|internet|internet-smoke]\n\
+         \x20            [--seed N] [--json FILE]\n\
          \x20            [--csv DIR] [--fault-plan FILE] [--checkpoint-dir DIR]\n\
          \x20            [--metrics FILE] [--baseline FILE] [--sequential]\n\
          artifacts: {}",
@@ -51,7 +52,13 @@ fn main() {
         match a.as_str() {
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                scale = Scale::parse(&v).unwrap_or_else(|| usage());
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "repro: unknown scale `{v}` \
+                         (expected quick, paper, faults, internet, or internet-smoke)"
+                    );
+                    usage()
+                });
             }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage());
@@ -183,15 +190,11 @@ fn main() {
     }
 
     if let Some(path) = metrics_out {
+        ipv6web_obs::record_peak_rss();
         ipv6web_obs::flush_thread();
         let snap = ipv6web_obs::snapshot();
-        let scale_name = match scale {
-            Scale::Quick => "quick",
-            Scale::Paper => "paper",
-            Scale::Faults => "faults",
-        };
         let bench = BenchReport::assemble(
-            scale_name,
+            scale.name(),
             seed,
             ipv6web_par::thread_count() as u64,
             wall_s,

@@ -5,7 +5,9 @@ use std::sync::OnceLock;
 
 pub mod metrics;
 pub mod reference;
-pub use metrics::{check_regression, render_diff, BenchReport, DerivedMetrics, DEFAULT_TOLERANCE};
+pub use metrics::{
+    check_regression, render_diff, BenchReport, DerivedMetrics, DEFAULT_TOLERANCE, PEAK_RSS_GAUGE,
+};
 pub use reference::{render_comparison, shape_checks, ShapeCheck};
 
 /// Scale of a reproduction run.
@@ -17,16 +19,36 @@ pub enum Scale {
     Paper,
     /// The quick world under the demo fault plan: the chaos scenario.
     Faults,
+    /// Paper-magnitude world: ~37k ASes, 1M sites, streamed route tables.
+    Internet,
+    /// Downsized internet tier for CI smoke runs (~5k ASes, 50k sites),
+    /// exercising the same streamed/interned pipeline.
+    InternetSmoke,
 }
 
 impl Scale {
-    /// Parses `quick` / `paper` / `faults`.
+    /// Parses `quick` / `paper` / `faults` / `internet` /
+    /// `internet-smoke`.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "quick" => Some(Scale::Quick),
             "paper" => Some(Scale::Paper),
             "faults" => Some(Scale::Faults),
+            "internet" => Some(Scale::Internet),
+            "internet-smoke" => Some(Scale::InternetSmoke),
             _ => None,
+        }
+    }
+
+    /// The canonical spelling [`Scale::parse`] accepts — also the scale
+    /// label stamped into bench metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+            Scale::Faults => "faults",
+            Scale::Internet => "internet",
+            Scale::InternetSmoke => "internet-smoke",
         }
     }
 
@@ -36,6 +58,8 @@ impl Scale {
             Scale::Quick => Scenario::quick(seed),
             Scale::Paper => Scenario::paper(seed),
             Scale::Faults => Scenario::faults(seed),
+            Scale::Internet => Scenario::internet(seed),
+            Scale::InternetSmoke => Scenario::internet_smoke(seed),
         }
     }
 }

@@ -108,8 +108,13 @@ impl BenchReport {
     }
 }
 
+/// The gauge both reports must carry for the memory gate to engage.
+pub const PEAK_RSS_GAUGE: &str = "process.peak_rss_kb";
+
 /// The CI gate: fails when `current` is more than `tolerance` slower than
-/// `baseline` (wall clock). Returns a human-readable verdict either way.
+/// `baseline` (wall clock), or — when both reports carry the
+/// [`PEAK_RSS_GAUGE`] gauge — more than `tolerance` hungrier in peak
+/// resident memory. Returns a human-readable verdict either way.
 pub fn check_regression(
     current: &BenchReport,
     baseline: &BenchReport,
@@ -128,20 +133,39 @@ pub fn check_regression(
         f64::INFINITY
     };
     if current.wall_s > limit {
-        Err(format!(
+        return Err(format!(
             "wall time regression: {:.3}s vs baseline {:.3}s ({pct:+.1}%, limit +{:.0}%)",
             current.wall_s,
             baseline.wall_s,
             tolerance * 100.0
-        ))
-    } else {
-        Ok(format!(
-            "wall time OK: {:.3}s vs baseline {:.3}s ({pct:+.1}%, limit +{:.0}%)",
-            current.wall_s,
-            baseline.wall_s,
-            tolerance * 100.0
-        ))
+        ));
     }
+    let wall_verdict = format!(
+        "wall time OK: {:.3}s vs baseline {:.3}s ({pct:+.1}%, limit +{:.0}%)",
+        current.wall_s,
+        baseline.wall_s,
+        tolerance * 100.0
+    );
+    // memory gate: engaged only when both runs recorded a peak RSS (older
+    // baselines predate the gauge and must keep gating on wall time alone)
+    let rss = (current.gauges.get(PEAK_RSS_GAUGE), baseline.gauges.get(PEAK_RSS_GAUGE));
+    if let (Some(&cur_kb), Some(&base_kb)) = rss {
+        if base_kb > 0 {
+            let rss_pct = (cur_kb as f64 / base_kb as f64 - 1.0) * 100.0;
+            if cur_kb as f64 > base_kb as f64 * (1.0 + tolerance) {
+                return Err(format!(
+                    "peak RSS regression: {cur_kb} kB vs baseline {base_kb} kB \
+                     ({rss_pct:+.1}%, limit +{:.0}%)",
+                    tolerance * 100.0
+                ));
+            }
+            return Ok(format!(
+                "{wall_verdict}; peak RSS OK: {cur_kb} kB vs baseline {base_kb} kB \
+                 ({rss_pct:+.1}%)"
+            ));
+        }
+    }
+    Ok(wall_verdict)
 }
 
 /// Renders a side-by-side wall-clock and top-level phase comparison of two
@@ -236,6 +260,24 @@ mod tests {
         let base = report(10.0);
         let err = check_regression(&report(15.1), &base, DEFAULT_TOLERANCE).unwrap_err();
         assert!(err.contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn rss_gate_engages_only_when_both_reports_have_the_gauge() {
+        let mut base = report(10.0);
+        let mut cur = report(10.0);
+        // gauge missing on either side → wall-only verdict
+        assert!(check_regression(&cur, &base, DEFAULT_TOLERANCE).unwrap().contains("wall time OK"));
+        base.gauges.insert(PEAK_RSS_GAUGE.into(), 100_000);
+        assert!(!check_regression(&cur, &base, DEFAULT_TOLERANCE).unwrap().contains("RSS"));
+        // both present, within tolerance → OK, verdict mentions RSS
+        cur.gauges.insert(PEAK_RSS_GAUGE.into(), 120_000);
+        let ok = check_regression(&cur, &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(ok.contains("peak RSS OK"), "{ok}");
+        // blown past tolerance → FAIL
+        cur.gauges.insert(PEAK_RSS_GAUGE.into(), 160_000);
+        let err = check_regression(&cur, &base, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("peak RSS regression"), "{err}");
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub enum RouteKind {
     Provider,
 }
 
-/// Per-AS routing entry toward one destination.
+/// Per-AS routing entry toward one destination (transient, used while
+/// computing; the stored form is the columnar [`RoutesToDest`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Entry {
     kind: RouteKind,
@@ -40,15 +41,70 @@ struct Entry {
     next: Option<(AsId, EdgeId)>,
 }
 
+/// `kind` column sentinel for "no route at this AS".
+const UNREACHABLE: u8 = 3;
+/// `next_as` column sentinel for "no next hop" (the destination itself).
+const NO_NEXT: u32 = u32::MAX;
+
 /// Best routes from every AS to a single destination in one family.
+///
+/// Stored columnar (SoA): four flat per-AS columns instead of a
+/// `Vec<Option<Entry>>`. A study at internet scale keeps thousands of
+/// these alive at ~37k ASes each, and the columns cut the per-AS cost
+/// to 13 bytes with no niche/padding overhead.
 #[derive(Debug, Clone)]
 pub struct RoutesToDest {
     dest: AsId,
     family: Family,
-    entries: Vec<Option<Entry>>,
+    /// [`RouteKind`] as `u8`, or [`UNREACHABLE`].
+    kind: Vec<u8>,
+    /// Next-hop AS id, or [`NO_NEXT`].
+    next_as: Vec<u32>,
+    /// Edge to the next hop (valid only when `next_as` is set).
+    next_edge: Vec<u32>,
 }
 
 impl RoutesToDest {
+    /// Packs the transient per-AS entries into columns. Hop counts are
+    /// not retained — they are derivable by walking the next-hop chain,
+    /// and no stored-table consumer needs them.
+    fn from_entries(dest: AsId, family: Family, entries: &[Option<Entry>]) -> Self {
+        let mut kind = Vec::with_capacity(entries.len());
+        let mut next_as = Vec::with_capacity(entries.len());
+        let mut next_edge = Vec::with_capacity(entries.len());
+        for e in entries {
+            match e {
+                None => {
+                    kind.push(UNREACHABLE);
+                    next_as.push(NO_NEXT);
+                    next_edge.push(0);
+                }
+                Some(e) => {
+                    kind.push(e.kind as u8);
+                    next_as.push(e.next.map_or(NO_NEXT, |(a, _)| a.0));
+                    next_edge.push(e.next.map_or(0, |(_, eid)| eid.0));
+                }
+            }
+        }
+        RoutesToDest { dest, family, kind, next_as, next_edge }
+    }
+
+    fn kind_at(&self, i: usize) -> Option<RouteKind> {
+        match self.kind[i] {
+            0 => Some(RouteKind::Customer),
+            1 => Some(RouteKind::Peer),
+            2 => Some(RouteKind::Provider),
+            _ => None,
+        }
+    }
+
+    fn next_at(&self, i: usize) -> Option<(AsId, EdgeId)> {
+        if self.next_as[i] == NO_NEXT {
+            None
+        } else {
+            Some((AsId(self.next_as[i]), EdgeId(self.next_edge[i])))
+        }
+    }
     /// The destination these routes lead to.
     pub fn dest(&self) -> AsId {
         self.dest
@@ -61,12 +117,12 @@ impl RoutesToDest {
 
     /// Whether `src` has any route to the destination.
     pub fn reachable_from(&self, src: AsId) -> bool {
-        self.entries[src.index()].is_some()
+        self.kind[src.index()] != UNREACHABLE
     }
 
     /// How the route at `src` was learned, if reachable.
     pub fn kind(&self, src: AsId) -> Option<RouteKind> {
-        self.entries[src.index()].map(|e| e.kind)
+        self.kind_at(src.index())
     }
 
     /// AS-path from `src` to the destination, if reachable.
@@ -76,15 +132,19 @@ impl RoutesToDest {
     /// such a table, but a caller walking one must degrade to
     /// "unreachable", not bring down the campaign.
     pub fn as_path(&self, src: AsId) -> Option<AsPath> {
-        self.entries[src.index()]?;
+        if !self.reachable_from(src) {
+            return None;
+        }
         let mut ases = vec![src];
         let mut cur = src;
         while cur != self.dest {
-            let e = self.entries[cur.index()]?;
-            let (next, _) = e.next?;
+            if !self.reachable_from(cur) {
+                return None;
+            }
+            let (next, _) = self.next_at(cur.index())?;
             ases.push(next);
             cur = next;
-            if ases.len() > self.entries.len() {
+            if ases.len() > self.kind.len() {
                 return None; // routing loop
             }
         }
@@ -97,21 +157,29 @@ impl RoutesToDest {
     /// points at its next hop), so checking every entry's next-hop edge
     /// covers every edge of every path in `O(|ASes|)`.
     pub fn uses_any_edge(&self, edges: &std::collections::BTreeSet<EdgeId>) -> bool {
-        self.entries.iter().flatten().filter_map(|e| e.next).any(|(_, eid)| edges.contains(&eid))
+        (0..self.kind.len()).any(|i| {
+            self.kind[i] != UNREACHABLE
+                && self.next_as[i] != NO_NEXT
+                && edges.contains(&EdgeId(self.next_edge[i]))
+        })
     }
 
     /// Edge ids along the path from `src`, in order, if reachable. `None`
     /// on a corrupt chain, like [`RoutesToDest::as_path`].
     pub fn edge_path(&self, src: AsId) -> Option<Vec<EdgeId>> {
-        self.entries[src.index()]?;
+        if !self.reachable_from(src) {
+            return None;
+        }
         let mut edges = Vec::new();
         let mut cur = src;
         while cur != self.dest {
-            let e = self.entries[cur.index()]?;
-            let (next, eid) = e.next?;
+            if !self.reachable_from(cur) {
+                return None;
+            }
+            let (next, eid) = self.next_at(cur.index())?;
             edges.push(eid);
             cur = next;
-            if edges.len() > self.entries.len() {
+            if edges.len() > self.kind.len() {
                 return None; // routing loop
             }
         }
@@ -230,7 +298,7 @@ pub fn routes_to_dest(topo: &Topology, dest: AsId, family: Family) -> RoutesToDe
         }
     }
 
-    RoutesToDest { dest, family, entries }
+    RoutesToDest::from_entries(dest, family, &entries)
 }
 
 /// Checks valley-freeness of a path: zero or more "up" (customer→provider)
@@ -572,10 +640,10 @@ mod tests {
         // but a walker must survive: a next-hop cycle (0 -> 1 -> 0 with
         // dest 2), a chain into a missing entry, and a non-dest entry
         // without a next hop.
-        let cycle = RoutesToDest {
-            dest: AsId(2),
-            family: Family::V4,
-            entries: vec![
+        let cycle = RoutesToDest::from_entries(
+            AsId(2),
+            Family::V4,
+            &[
                 Some(Entry {
                     kind: RouteKind::Provider,
                     hops: 1,
@@ -588,15 +656,15 @@ mod tests {
                 }),
                 Some(Entry { kind: RouteKind::Customer, hops: 0, next: None }),
             ],
-        };
+        );
         assert_eq!(cycle.as_path(AsId(0)), None);
         assert_eq!(cycle.edge_path(AsId(0)), None);
         assert!(cycle.as_path(AsId(2)).is_some(), "dest itself still resolves");
 
-        let broken_link = RoutesToDest {
-            dest: AsId(2),
-            family: Family::V4,
-            entries: vec![
+        let broken_link = RoutesToDest::from_entries(
+            AsId(2),
+            Family::V4,
+            &[
                 Some(Entry {
                     kind: RouteKind::Provider,
                     hops: 2,
@@ -605,19 +673,19 @@ mod tests {
                 None, // chain steps into a hole
                 Some(Entry { kind: RouteKind::Customer, hops: 0, next: None }),
             ],
-        };
+        );
         assert_eq!(broken_link.as_path(AsId(0)), None);
         assert_eq!(broken_link.edge_path(AsId(0)), None);
 
-        let no_next = RoutesToDest {
-            dest: AsId(2),
-            family: Family::V4,
-            entries: vec![
+        let no_next = RoutesToDest::from_entries(
+            AsId(2),
+            Family::V4,
+            &[
                 Some(Entry { kind: RouteKind::Provider, hops: 1, next: None }),
                 None,
                 Some(Entry { kind: RouteKind::Customer, hops: 0, next: None }),
             ],
-        };
+        );
         assert_eq!(no_next.as_path(AsId(0)), None);
         assert_eq!(no_next.edge_path(AsId(0)), None);
     }

@@ -126,7 +126,7 @@ mod tests {
         assert_eq!(family, Family::V4);
         assert_eq!(paths.len(), t.len());
         for (parsed, route) in paths.iter().zip(t.iter()) {
-            assert!(parsed.same_route(&route.as_path));
+            assert!(parsed.as_ref().same_route(route.as_path));
         }
     }
 

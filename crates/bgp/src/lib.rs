@@ -25,6 +25,6 @@ pub mod table;
 
 pub use compute::{routes_to_dest, RouteKind, RoutesToDest};
 pub use dump::{dump, parse_dump, DumpParseError};
-pub use path::AsPath;
+pub use path::{AsPath, AsPathRef};
 pub use store::RouteStore;
-pub use table::{BgpTable, Route};
+pub use table::{BgpTable, RouteRef};

@@ -70,9 +70,78 @@ impl AsPath {
     pub fn same_route(&self, other: &AsPath) -> bool {
         self.0 == other.0
     }
+
+    /// Borrowed view of this path.
+    pub fn as_ref(&self) -> AsPathRef<'_> {
+        AsPathRef(&self.0)
+    }
 }
 
 impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_ref().fmt(f)
+    }
+}
+
+/// A borrowed AS-level path — the same invariants and vocabulary as
+/// [`AsPath`], over a slice interned in a routing-table arena instead of
+/// a per-route allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsPathRef<'a>(&'a [AsId]);
+
+impl<'a> AsPathRef<'a> {
+    /// Wraps an interned symbol run. Callers must uphold the [`AsPath`]
+    /// invariants (non-empty, no repeated consecutive AS).
+    pub(crate) fn from_symbols(ases: &'a [AsId]) -> Self {
+        debug_assert!(!ases.is_empty(), "empty AS path");
+        debug_assert!(ases.windows(2).all(|w| w[0] != w[1]), "repeated AS in path");
+        AsPathRef(ases)
+    }
+
+    /// Source AS (the vantage point's AS).
+    pub fn source(&self) -> AsId {
+        self.0[0]
+    }
+
+    /// Destination (origin) AS.
+    pub fn dest(&self) -> AsId {
+        *self.0.last().expect("non-empty")
+    }
+
+    /// Number of AS hops (edges). A path within one AS has 0 hops.
+    pub fn hops(&self) -> usize {
+        self.0.len() - 1
+    }
+
+    /// All ASes in order, source first.
+    pub fn ases(&self) -> &'a [AsId] {
+        self.0
+    }
+
+    /// Whether the path traverses `asn` (including endpoints).
+    pub fn contains(&self, asn: AsId) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// The ASes *crossed* by the path: everything except the source
+    /// (the paper's Table 2 counts destination ASes as crossed).
+    pub fn crossed(&self) -> &'a [AsId] {
+        &self.0[1..]
+    }
+
+    /// True if both paths visit exactly the same ASes in the same order —
+    /// the paper's SP (same path) criterion.
+    pub fn same_route(&self, other: AsPathRef<'_>) -> bool {
+        self.0 == other.0
+    }
+
+    /// Copies the view into an owned [`AsPath`].
+    pub fn to_owned(&self) -> AsPath {
+        AsPath(self.0.to_vec())
+    }
+}
+
+impl fmt::Display for AsPathRef<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let parts: Vec<String> = self.0.iter().map(|a| a.to_string()).collect();
         write!(f, "{}", parts.join(" "))

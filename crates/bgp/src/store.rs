@@ -14,7 +14,8 @@
 //! bit-identical regardless of worker count.
 
 use crate::compute::{routes_to_dest, RoutesToDest};
-use crate::table::{BgpTable, Route};
+use crate::path::AsPath;
+use crate::table::BgpTable;
 use ipv6web_topology::{AsId, EdgeId, Family, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -60,19 +61,67 @@ impl RouteStore {
     pub fn table_for(&self, vantage_as: AsId) -> BgpTable {
         ipv6web_obs::inc("bgp.tables_built");
         ipv6web_obs::add("bgp.store.route_lookups", self.routes.len() as u64);
-        let mut routes = BTreeMap::new();
+        let mut table = BgpTable::empty(vantage_as, self.family);
         for (&dest, r) in &self.routes {
             if let (Some(as_path), Some(edges)) = (r.as_path(vantage_as), r.edge_path(vantage_as)) {
-                routes.insert(dest, Route { dest, as_path, edges });
+                table.push_route(dest, as_path.ases(), &edges);
             }
         }
-        BgpTable { vantage_as, family: self.family, routes }
+        table
     }
 
     /// Tables for several vantage points, each a view over the same
     /// memoized computations.
     pub fn tables_for(&self, vantage_ases: &[AsId]) -> Vec<BgpTable> {
         vantage_ases.iter().map(|&v| self.table_for(v)).collect()
+    }
+
+    /// Builds every vantage point's table **without retaining the per-AS
+    /// route computations**: each destination's routes are computed (in
+    /// parallel), the handful of vantage-point entries extracted, and the
+    /// ~`13 bytes × |ASes|` computation dropped before the next
+    /// destination lands.
+    ///
+    /// At the internet tier (~37k ASes, thousands of hosting ASes) a
+    /// retained [`RouteStore`] would hold gigabytes; the streamed build
+    /// peaks at one in-flight computation per worker thread while
+    /// producing tables bit-identical to
+    /// [`RouteStore::build`]`.tables_for(...)`. The trade: there is no
+    /// store left to memoize a route-change epoch from — epoch tables
+    /// must be streamed again from the flipped topology.
+    pub fn stream_tables(
+        topo: &Topology,
+        family: Family,
+        dests: &[AsId],
+        vantage_ases: &[AsId],
+    ) -> Vec<BgpTable> {
+        let uniq: Vec<AsId> = dests.iter().copied().collect::<BTreeSet<_>>().into_iter().collect();
+        type VantageRoutes = Vec<Option<(AsPath, Vec<EdgeId>)>>;
+        let per_dest: Vec<VantageRoutes> = ipv6web_par::par_map(&uniq, |_, &dest| {
+            let r = routes_to_dest(topo, dest, family);
+            vantage_ases
+                .iter()
+                .map(|&v| match (r.as_path(v), r.edge_path(v)) {
+                    (Some(p), Some(e)) => Some((p, e)),
+                    _ => None,
+                })
+                .collect()
+        });
+        ipv6web_obs::add("bgp.store.streamed_dests", uniq.len() as u64);
+        vantage_ases
+            .iter()
+            .enumerate()
+            .map(|(vi, &v)| {
+                ipv6web_obs::inc("bgp.tables_built");
+                let mut table = BgpTable::empty(v, family);
+                for (di, &dest) in uniq.iter().enumerate() {
+                    if let Some((p, e)) = &per_dest[di][vi] {
+                        table.push_route(dest, p.ases(), e);
+                    }
+                }
+                table
+            })
+            .collect()
     }
 
     /// The store for the post-event topology `late` (the same graph with

@@ -29,6 +29,6 @@ pub mod world;
 
 pub use ipv6web_obs::{SpanRecord, Timings};
 pub use report::Report;
-pub use scenario::Scenario;
+pub use scenario::{Scenario, StreamRoutes};
 pub use study::{run_study, run_study_mode, ExecutionMode, StudyError, StudyResult};
 pub use world::World;

@@ -10,6 +10,35 @@ use ipv6web_topology::TopologyConfig;
 use ipv6web_web::PopulationConfig;
 use serde::{Deserialize, Serialize};
 
+/// Whether BGP tables are built by streaming per-destination route
+/// computations instead of retaining a memoized
+/// [`ipv6web_bgp::RouteStore`].
+///
+/// A transparent `bool`: `StreamRoutes(true)` bounds table-building
+/// memory at internet scale (the store would hold destinations × ASes
+/// worth of next-hop columns), at the cost of from-scratch epoch
+/// rebuilds. Absent in a scenario file — every file written before the
+/// internet tier existed — it deserializes to `false`, the store-backed
+/// pipeline those scenarios always ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamRoutes(pub bool);
+
+impl serde::Serialize for StreamRoutes {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl serde::Deserialize for StreamRoutes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        bool::from_value(v).map(StreamRoutes)
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, serde::DeError> {
+        Ok(StreamRoutes(false))
+    }
+}
+
 /// A complete, reproducible study configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -54,6 +83,9 @@ pub struct Scenario {
     /// checkpointing. A later run with the same directory resumes each
     /// vantage point from its last completed round.
     pub checkpoint_dir: Option<String>,
+    /// Stream route tables instead of retaining a `RouteStore` (see
+    /// [`StreamRoutes`]). On only in the internet tier.
+    pub stream_routes: StreamRoutes,
 }
 
 impl Scenario {
@@ -80,6 +112,7 @@ impl Scenario {
             route_change: Some((26, 0.03, 0.01)),
             faults: FaultPlan::default(),
             checkpoint_dir: None,
+            stream_routes: StreamRoutes(false),
         }
     }
 
@@ -116,7 +149,61 @@ impl Scenario {
             route_change: Some((13, 0.03, 0.01)),
             faults: FaultPlan::default(),
             checkpoint_dir: None,
+            stream_routes: StreamRoutes(false),
         }
+    }
+
+    /// The paper-magnitude "whole internet" tier: ~37k ASes (the
+    /// internet's size in 2011), one million ranked sites plus a 100k
+    /// DNS-cache tail, 26 weekly rounds. Site names are interned, tables
+    /// are columnar, and route tables are **streamed**
+    /// ([`StreamRoutes`]) — the memoized store would not fit in memory at
+    /// this scale. Hosting concentrates into a 2,500-AS pool, matching
+    /// the paper's observation that the top sites cluster into a few
+    /// thousand hosting/CDN ASes and keeping the destination set (and
+    /// with it route-computation time) bounded.
+    pub fn internet(seed: u64) -> Self {
+        let mut timeline = AdoptionTimeline::paper();
+        timeline.total_weeks = 26;
+        timeline.iana_week = 8;
+        timeline.ipv6_day_week = 20;
+        let mut population = PopulationConfig::paper_scale(timeline.total_weeks, timeline.curve());
+        population.n_sites = 1_000_000;
+        population.hosting_pool_cap = Some(2_500);
+        let mut campaign = CampaignConfig::paper();
+        campaign.total_weeks = timeline.total_weeks;
+        Scenario {
+            seed,
+            topology: TopologyConfig::internet_scale(),
+            population,
+            tail_sites: 100_000,
+            timeline,
+            campaign,
+            disturbances: DisturbanceConfig::paper(),
+            tcp: TcpConfig::paper(),
+            ci_rule: RelativeCiRule::paper(),
+            identity_threshold: 0.06,
+            round_noise_sigma: 0.08,
+            analysis: AnalysisConfig::paper(),
+            fig1_from_week: 8,
+            route_change: Some((13, 0.03, 0.01)),
+            faults: FaultPlan::default(),
+            checkpoint_dir: None,
+            stream_routes: StreamRoutes(true),
+        }
+    }
+
+    /// A downsized internet tier (~5k ASes, 50k sites) exercising the
+    /// same streamed, interned, columnar pipeline as
+    /// [`Scenario::internet`] at CI-smoke cost. Used by the determinism
+    /// tests and the `internet-smoke` CI job.
+    pub fn internet_smoke(seed: u64) -> Self {
+        let mut s = Scenario::internet(seed);
+        s.topology = TopologyConfig::scaled(5_000);
+        s.population.n_sites = 50_000;
+        s.population.hosting_pool_cap = Some(600);
+        s.tail_sites = 5_000;
+        s
     }
 
     /// [`Scenario::quick`] with the demo fault plan active: the `repro
@@ -172,6 +259,23 @@ mod tests {
     fn presets_validate() {
         assert_eq!(Scenario::paper(1).validate(), Ok(()));
         assert_eq!(Scenario::quick(1).validate(), Ok(()));
+        assert_eq!(Scenario::internet(1).validate(), Ok(()));
+        assert_eq!(Scenario::internet_smoke(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn internet_tiers_stream_routes_and_older_json_does_not() {
+        assert!(Scenario::internet(1).stream_routes.0);
+        assert!(Scenario::internet_smoke(1).stream_routes.0);
+        // scenario files that predate the internet tier carry no
+        // `stream_routes` key; they must keep the store-backed pipeline
+        let mut v = serde_json::to_value(&Scenario::quick(7)).unwrap();
+        if let serde_json::Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "stream_routes");
+        }
+        let back: Scenario = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert!(!back.stream_routes.0);
+        assert_eq!(back, Scenario::quick(7));
     }
 
     #[test]

@@ -116,13 +116,13 @@ impl World {
         let mut pop_cfg = scenario.population.clone();
         pop_cfg.n_sites = scenario.total_sites();
         pop_cfg.adoption_curve = scenario.timeline.curve();
-        let sites = {
+        let (sites, names) = {
             let _s = ipv6web_obs::span("world: population");
             population::generate(&pop_cfg, &topo, scenario.seed)
         };
         let zone = {
             let _s = ipv6web_obs::span("world: dns zone");
-            build_zone(&topo, &sites)
+            build_zone(&topo, &sites, names)
         };
 
         let n_list = scenario.population.n_sites;
@@ -151,15 +151,34 @@ impl World {
         // family serves all six vantage points, and the v6 store survives to
         // seed the post-route-change rebuild below.
         let vantage_ids: Vec<AsId> = vantages.iter().map(|v| v.as_id).collect();
-        let t4 = {
-            let _s = ipv6web_obs::span("world: route tables (v4)");
-            RouteStore::build(&topo, Family::V4, &dests).tables_for(&vantage_ids)
+        // Streaming mode (internet tier) never retains a RouteStore: the
+        // per-destination computations are extracted and dropped on the
+        // fly, so `store_v6` is `None` and epoch rebuilds stream from the
+        // flipped topology instead of the memoized store.
+        let (t4, store_v6) = if scenario.stream_routes.0 {
+            let t4 = {
+                let _s = ipv6web_obs::span("world: route tables (v4)");
+                RouteStore::stream_tables(&topo, Family::V4, &dests, &vantage_ids)
+            };
+            (t4, None)
+        } else {
+            let t4 = {
+                let _s = ipv6web_obs::span("world: route tables (v4)");
+                RouteStore::build(&topo, Family::V4, &dests).tables_for(&vantage_ids)
+            };
+            let store_v6 = {
+                let _s = ipv6web_obs::span("world: route tables (v6)");
+                RouteStore::build(&topo, Family::V6, &dests)
+            };
+            (t4, Some(store_v6))
         };
-        let store_v6 = {
-            let _s = ipv6web_obs::span("world: route tables (v6)");
-            RouteStore::build(&topo, Family::V6, &dests)
+        let t6 = match &store_v6 {
+            Some(store) => store.tables_for(&vantage_ids),
+            None => {
+                let _s = ipv6web_obs::span("world: route tables (v6)");
+                RouteStore::stream_tables(&topo, Family::V6, &dests, &vantage_ids)
+            }
         };
-        let t6 = store_v6.tables_for(&vantage_ids);
         let tables: Vec<(BgpTable, BgpTable)> = t4.into_iter().zip(t6).collect();
 
         // The scenario's scheduled route-change edge sample. The RNG
@@ -203,12 +222,19 @@ impl World {
                 Some((week, gains, losses)) => {
                     let _s = ipv6web_obs::span("world: route tables (v6 epoch)");
                     let late = topo.with_v6_flips(&gains, &losses);
-                    // memoized rebuild: only destinations the flipped edges
-                    // can affect are recomputed; the rest reuse the early
-                    // store
-                    let (late_store, _recomputed) =
-                        store_v6.rebuild_with_flips(&late, &gains, &losses);
-                    let t6_late = late_store.tables_for(&vantage_ids);
+                    let t6_late = match &store_v6 {
+                        // memoized rebuild: only destinations the flipped
+                        // edges can affect are recomputed; the rest reuse
+                        // the early store
+                        Some(store) => {
+                            let (late_store, _recomputed) =
+                                store.rebuild_with_flips(&late, &gains, &losses);
+                            late_store.tables_for(&vantage_ids)
+                        }
+                        // streaming mode: from-scratch streamed build on
+                        // the flipped topology
+                        None => RouteStore::stream_tables(&late, Family::V6, &dests, &vantage_ids),
+                    };
                     (Some((week, t6_late)), Some(late))
                 }
             };
@@ -231,13 +257,35 @@ impl World {
             events.sort_by_key(|&(week, _, _, is_scenario)| (week, !is_scenario));
             let flips: Vec<(Vec<EdgeId>, Vec<EdgeId>)> =
                 events.iter().map(|(_, g, l, _)| (g.clone(), l.clone())).collect();
-            let chain = store_v6.rebuild_sequence(&topo, &flips);
+            // per-event cumulative `(topology, per-vantage tables)`
+            let chain: Vec<(Topology, Vec<BgpTable>)> = match &store_v6 {
+                Some(store) => store
+                    .rebuild_sequence(&topo, &flips)
+                    .into_iter()
+                    .map(|(late_topo, late_store, _n)| {
+                        let tables = late_store.tables_for(&vantage_ids);
+                        (late_topo, tables)
+                    })
+                    .collect(),
+                // streaming mode: apply flips cumulatively and stream each
+                // epoch's tables from scratch
+                None => {
+                    let mut cur = topo.clone();
+                    flips
+                        .iter()
+                        .map(|(gains, losses)| {
+                            cur = cur.with_v6_flips(gains, losses);
+                            let tables =
+                                RouteStore::stream_tables(&cur, Family::V6, &dests, &vantage_ids);
+                            (cur.clone(), tables)
+                        })
+                        .collect()
+                }
+            };
             let mut v6_epoch = None;
             let mut topo_late = None;
             let mut fault_epochs = Vec::with_capacity(chain.len());
-            for ((week, _, _, is_scenario), (late_topo, late_store, _n)) in events.iter().zip(chain)
-            {
-                let tables = late_store.tables_for(&vantage_ids);
+            for ((week, _, _, is_scenario), (late_topo, tables)) in events.iter().zip(chain) {
                 if *is_scenario {
                     v6_epoch = Some((*week, tables.clone()));
                     topo_late = Some(late_topo);

@@ -12,11 +12,13 @@
 //! * [`wire`] — an RFC 1035 message codec (header, question, answer with
 //!   A/AAAA RDATA) so queries and responses exist as real bytes.
 
+pub mod names;
 pub mod records;
 pub mod resolver;
 pub mod wire;
 pub mod zone;
 
+pub use names::{NameId, NameTable};
 pub use records::{Record, RecordData, RecordType};
 pub use resolver::{DnsError, Resolver, ResolverStats};
 pub use wire::{DnsHeader, DnsMessage, DnsQuestion, DnsRecordWire};

@@ -4,10 +4,14 @@
 //! record. The database is *time-aware*: each entry records the campaign
 //! week from which its AAAA record exists, so reachability timelines
 //! (Fig 1) fall out of plain DNS queries at different times.
+//!
+//! Names are interned: the database owns a [`NameTable`] and stores entries
+//! in a dense vector indexed by [`NameId`], so a million-site zone is one
+//! byte arena plus one entry array instead of a map of heap strings.
 
+use crate::names::{NameId, NameTable};
 use crate::records::{Record, RecordData, RecordType};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// Authoritative data for one name.
@@ -23,10 +27,13 @@ pub struct ZoneEntry {
     pub ttl: u32,
 }
 
-/// The simulated global DNS: name → entry.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// The simulated global DNS: interned name → entry.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ZoneDb {
-    entries: HashMap<String, ZoneEntry>,
+    names: NameTable,
+    /// Indexed by [`NameId`]; `None` for interned names without records.
+    entries: Vec<Option<ZoneEntry>>,
+    occupied: usize,
 }
 
 impl ZoneDb {
@@ -35,31 +42,79 @@ impl ZoneDb {
         Self::default()
     }
 
-    /// Registers (or replaces) a name.
-    pub fn insert(&mut self, name: impl Into<String>, entry: ZoneEntry) {
-        self.entries.insert(name.into(), entry);
+    /// A database that adopts an existing name table (e.g. the site
+    /// population's), so [`NameId`]s minted elsewhere stay valid here.
+    pub fn with_names(names: NameTable) -> Self {
+        let entries = vec![None; names.len()];
+        ZoneDb { names, entries, occupied: 0 }
+    }
+
+    /// Registers (or replaces) a name, interning it if new.
+    pub fn insert(&mut self, name: impl AsRef<str>, entry: ZoneEntry) -> NameId {
+        let id = self.names.intern(name.as_ref());
+        if id.index() >= self.entries.len() {
+            self.entries.resize(id.index() + 1, None);
+        }
+        self.insert_id(id, entry);
+        id
+    }
+
+    /// Registers (or replaces) the entry of an already-interned name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not minted by this database's name table.
+    pub fn insert_id(&mut self, id: NameId, entry: ZoneEntry) {
+        assert!(id.index() < self.names.len(), "unknown NameId {}", id.0);
+        let slot = &mut self.entries[id.index()];
+        if slot.is_none() {
+            self.occupied += 1;
+        }
+        *slot = Some(entry);
     }
 
     /// Number of registered names.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.occupied
     }
 
     /// True when no names are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.occupied == 0
     }
 
-    /// Raw entry lookup.
+    /// The name table backing this zone.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// The string form of an interned name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not minted by this database's name table.
+    pub fn name_of(&self, id: NameId) -> &str {
+        self.names.get(id)
+    }
+
+    /// The id of `name`, if interned.
+    pub fn id_of(&self, name: &str) -> Option<NameId> {
+        self.names.id_of(name)
+    }
+
+    /// Raw entry lookup by name.
     pub fn entry(&self, name: &str) -> Option<&ZoneEntry> {
-        self.entries.get(name)
+        self.entry_by_id(self.names.id_of(name)?)
+    }
+
+    /// Raw entry lookup by interned id.
+    pub fn entry_by_id(&self, id: NameId) -> Option<&ZoneEntry> {
+        self.entries.get(id.index())?.as_ref()
     }
 
     /// Authoritative answer for `(name, qtype)` as of campaign `week`.
     /// Returns an empty vec for NODATA (name exists, no such record) and
     /// `None` for NXDOMAIN.
     pub fn query(&self, name: &str, qtype: RecordType, week: u32) -> Option<Vec<Record>> {
-        let e = self.entries.get(name)?;
+        let e = self.entry(name)?;
         let mut answers = Vec::new();
         match qtype {
             RecordType::A => answers.push(Record {
@@ -86,6 +141,32 @@ impl ZoneDb {
     /// dual-stack criterion.
     pub fn is_dual_stack(&self, name: &str, week: u32) -> bool {
         matches!(self.query(name, RecordType::Aaaa, week), Some(v) if !v.is_empty())
+    }
+}
+
+impl Serialize for ZoneDb {
+    fn to_value(&self) -> Value {
+        // `(name, entry)` pairs in interning order — deterministic, and the
+        // table is rebuilt (not persisted) on the way back in.
+        Value::Arr(
+            self.names
+                .iter()
+                .filter_map(|(id, name)| {
+                    self.entry_by_id(id).map(|e| Value::Arr(vec![name.to_value(), e.to_value()]))
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for ZoneDb {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs: Vec<(String, ZoneEntry)> = Deserialize::from_value(v)?;
+        let mut db = ZoneDb::new();
+        for (name, entry) in pairs {
+            db.insert(name, entry);
+        }
+        Ok(db)
     }
 }
 
@@ -158,5 +239,38 @@ mod tests {
         );
         assert_eq!(db.len(), 2);
         assert!(!db.is_dual_stack("dual.example", 99));
+    }
+
+    #[test]
+    fn interned_ids_resolve_entries() {
+        let db = db();
+        let id = db.id_of("dual.example").expect("interned");
+        assert_eq!(db.name_of(id), "dual.example");
+        assert_eq!(db.entry_by_id(id), db.entry("dual.example"));
+    }
+
+    #[test]
+    fn adopted_name_table_keeps_ids_valid() {
+        let mut names = NameTable::new();
+        let a = names.intern("a.example");
+        let b = names.intern("b.example");
+        let mut db = ZoneDb::with_names(names);
+        assert!(db.is_empty());
+        db.insert_id(
+            a,
+            ZoneEntry { v4: Ipv4Addr::new(192, 0, 2, 9), v6: None, v6_from_week: 0, ttl: 60 },
+        );
+        assert_eq!(db.len(), 1);
+        assert!(db.entry("a.example").is_some());
+        assert!(db.entry_by_id(b).is_none(), "interned but record-less name is NXDOMAIN");
+        assert_eq!(db.query("b.example", RecordType::A, 0), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let db = db();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: ZoneDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, db);
     }
 }

@@ -7,8 +7,7 @@
 
 use crate::round::RoundError;
 use ipv6web_web::SiteId;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One accepted performance measurement (a round's mean download speed).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -80,11 +79,25 @@ impl SiteRecord {
 }
 
 /// A vantage point's results database.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Records live in an insertion-ordered arena indexed by a dense
+/// `site index → slot` table instead of a per-site tree: at the
+/// internet tier a vantage point touches ~10⁶ sites, and the arena
+/// keeps that to two flat allocations (plus each record's sample
+/// vectors) with O(1) lookup. [`MonitorDb::iter`] presents the
+/// canonical site-id order regardless of insertion order, and
+/// equality/serialization go through that view, so campaigns that
+/// touch sites in different orders (resume, merge) still compare and
+/// snapshot identically.
+#[derive(Debug, Clone, Default)]
 pub struct MonitorDb {
     /// Vantage point name this database belongs to.
     pub vantage: String,
-    records: BTreeMap<SiteId, SiteRecord>,
+    /// `site.index() → slot + 1` (0 = never touched). Grows to the
+    /// highest touched site index, which is bounded by the population.
+    slots: Vec<u32>,
+    /// Arena of records in first-touch order, parallel per slot.
+    records: Vec<SiteRecord>,
     /// Rounds that finished degraded (worker/channel failure lost in-flight
     /// probes); the round's partial results are still recorded.
     pub round_errors: Vec<RoundError>,
@@ -101,7 +114,8 @@ impl MonitorDb {
     pub fn new(vantage: impl Into<String>) -> Self {
         MonitorDb {
             vantage: vantage.into(),
-            records: BTreeMap::new(),
+            slots: Vec::new(),
+            records: Vec::new(),
             round_errors: Vec::new(),
             outage_weeks: Vec::new(),
             completed_weeks: 0,
@@ -110,19 +124,33 @@ impl MonitorDb {
 
     /// Record for `site`, creating it (with `added_week`) on first touch.
     pub fn record_mut(&mut self, site: SiteId, added_week: u32) -> &mut SiteRecord {
-        self.records
-            .entry(site)
-            .or_insert_with(|| SiteRecord { added_week, ..SiteRecord::default() })
+        let i = site.index();
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, 0);
+        }
+        if self.slots[i] == 0 {
+            self.records.push(SiteRecord { added_week, ..SiteRecord::default() });
+            self.slots[i] =
+                u32::try_from(self.records.len()).expect("u32 site space bounds slot count");
+        }
+        &mut self.records[(self.slots[i] - 1) as usize]
     }
 
     /// Read-only record lookup.
     pub fn record(&self, site: SiteId) -> Option<&SiteRecord> {
-        self.records.get(&site)
+        match self.slots.get(site.index()) {
+            Some(&slot) if slot != 0 => Some(&self.records[(slot - 1) as usize]),
+            _ => None,
+        }
     }
 
     /// All `(site, record)` pairs in site order.
     pub fn iter(&self) -> impl Iterator<Item = (SiteId, &SiteRecord)> {
-        self.records.iter().map(|(k, v)| (*k, v))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &slot)| slot != 0)
+            .map(|(i, &slot)| (SiteId(i as u32), &self.records[(slot - 1) as usize]))
     }
 
     /// Number of sites ever touched.
@@ -137,20 +165,20 @@ impl MonitorDb {
 
     /// Sites observed dual-stack (both records seen at some round).
     pub fn dual_stack_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
-        self.records.iter().filter(|(_, r)| r.dual_since.is_some()).map(|(s, _)| *s)
+        self.iter().filter(|(_, r)| r.dual_since.is_some()).map(|(s, _)| s)
     }
 
     /// Fraction of monitored sites that were IPv6-reachable as of `week`
     /// (the Fig 1 series): sites whose `dual_since ≤ week`, over sites
     /// monitored by `week`.
     pub fn reachability_at(&self, week: u32) -> f64 {
-        let monitored = self.records.values().filter(|r| r.added_week <= week).count();
+        let monitored = self.records.iter().filter(|r| r.added_week <= week).count();
         if monitored == 0 {
             return 0.0;
         }
         let dual = self
             .records
-            .values()
+            .iter()
             .filter(|r| r.added_week <= week && r.dual_since.is_some_and(|w| w <= week))
             .count();
         dual as f64 / monitored as f64
@@ -210,6 +238,57 @@ impl MonitorDb {
             mine.malformed_rounds += rec.malformed_rounds;
             mine.faulted_rounds += rec.faulted_rounds;
         }
+    }
+}
+
+/// Equality over the canonical (site-ordered) view: two databases with
+/// the same records are equal even when first-touch order differed
+/// (a resumed campaign replays weeks, a merge interleaves vantages).
+impl PartialEq for MonitorDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.vantage == other.vantage
+            && self.len() == other.len()
+            && self.iter().eq(other.iter())
+            && self.round_errors == other.round_errors
+            && self.outage_weeks == other.outage_weeks
+            && self.completed_weeks == other.completed_weeks
+    }
+}
+
+/// Snapshots serialize records as `[site_id, record]` pairs in site
+/// order — the arena's slot table is an in-memory acceleration
+/// structure, not part of the archival format.
+impl Serialize for MonitorDb {
+    fn to_value(&self) -> Value {
+        let records: Vec<Value> = self
+            .iter()
+            .map(|(site, rec)| Value::Arr(vec![site.to_value(), rec.to_value()]))
+            .collect();
+        Value::Obj(vec![
+            ("vantage".to_string(), self.vantage.to_value()),
+            ("records".to_string(), Value::Arr(records)),
+            ("round_errors".to_string(), self.round_errors.to_value()),
+            ("outage_weeks".to_string(), self.outage_weeks.to_value()),
+            ("completed_weeks".to_string(), self.completed_weeks.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MonitorDb {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            v.get_field(name).ok_or_else(|| DeError::new(format!("MonitorDb missing `{name}`")))
+        };
+        let mut db = MonitorDb::new(String::from_value(field("vantage")?)?);
+        let pairs: Vec<(SiteId, SiteRecord)> = Deserialize::from_value(field("records")?)?;
+        for (site, rec) in pairs {
+            let added = rec.added_week;
+            *db.record_mut(site, added) = rec;
+        }
+        db.round_errors = Deserialize::from_value(field("round_errors")?)?;
+        db.outage_weeks = Deserialize::from_value(field("outage_weeks")?)?;
+        db.completed_weeks = Deserialize::from_value(field("completed_weeks")?)?;
+        Ok(db)
     }
 }
 
@@ -356,6 +435,19 @@ mod tests {
         std::fs::write(&path, "not json at all").unwrap();
         assert!(MonitorDb::load_json(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn equality_ignores_first_touch_order() {
+        let mut a = MonitorDb::new("x");
+        a.record_mut(SiteId(9), 1).has_a = true;
+        a.record_mut(SiteId(2), 0).has_aaaa = true;
+        let mut b = MonitorDb::new("x");
+        b.record_mut(SiteId(2), 0).has_aaaa = true;
+        b.record_mut(SiteId(9), 1).has_a = true;
+        assert_eq!(a, b, "arena insertion order must not leak into equality");
+        let ids: Vec<u32> = a.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(ids, vec![2, 9], "iteration is in site order");
     }
 
     #[test]

@@ -220,7 +220,7 @@ fn probe_site_inner(
     if let Some(s) = fs.as_mut() {
         for (slot, family, route) in [(0usize, Family::V4, &route4), (1usize, Family::V6, &route6)]
         {
-            let impact = s.faults.injector.link_impact(week, family, &route.edges);
+            let impact = s.faults.injector.link_impact(week, family, route.edges);
             if impact.down {
                 s.burn_retries();
                 ipv6web_obs::inc("monitor.outcome.timed_out");
@@ -234,7 +234,7 @@ fn probe_site_inner(
     // identity rule, so the simulated server sends headers without
     // materializing the (deterministic) body — byte-identical decisions at
     // a fraction of the cost.
-    let req = build_request(&site.name);
+    let req = build_request(ctx.zone.name_of(site.name));
     debug_assert!(req.starts_with(b"GET / HTTP/1.1"));
     let fetch = |family: Family, fs: &mut Option<FaultSession<'_>>| -> Result<Vec<u8>, ()> {
         let resp = build_response_header(site.page_bytes(family) as usize);
@@ -506,7 +506,7 @@ fn resolve_through_faults(
     salt: u32,
     now_s: u64,
 ) -> Result<Option<Vec<Record>>, ()> {
-    let name = &ctx.sites[site_id.index()].name;
+    let name = ctx.zone.name_of(ctx.sites[site_id.index()].name);
     let Some(s) = fs.as_mut() else {
         return Ok(resolver.resolve(ctx.zone, name, qtype, week, now_s));
     };
@@ -560,8 +560,8 @@ mod tests {
 
     fn world() -> World {
         let topo = gen_topo(&TopologyConfig::test_small(), 21);
-        let sites = population::generate(&PopulationConfig::test_small(52), &topo, 21);
-        let zone = build_zone(&topo, &sites);
+        let (sites, names) = population::generate(&PopulationConfig::test_small(52), &topo, 21);
+        let zone = build_zone(&topo, &sites, names);
         let vantage =
             topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
@@ -758,9 +758,9 @@ mod tests {
         let w = world();
         let c = ctx(&w);
         let mut r = Resolver::new();
-        // site id beyond population has no zone entry — simulate by a site
-        // whose name we blank out of the zone: use a fresh empty zone.
-        let empty = ipv6web_dns::ZoneDb::new();
+        // site id beyond population has no zone entry — simulate by a
+        // record-less zone that still knows the interned names.
+        let empty = ipv6web_dns::ZoneDb::with_names(w.zone.names().clone());
         let c2 = ProbeContext { zone: &empty, ..c };
         assert_eq!(probe_site(&c2, &mut r, SiteId(0), 10, 0, false), ProbeOutcome::NxDomain);
     }

@@ -445,8 +445,8 @@ mod tests {
         let topo = gen_topo(&TopologyConfig::test_small(), 77);
         let mut pop_cfg = PopulationConfig::test_small(20);
         pop_cfg.n_sites = n_sites;
-        let sites = population::generate(&pop_cfg, &topo, 77);
-        let zone = build_zone(&topo, &sites);
+        let (sites, names) = population::generate(&pop_cfg, &topo, 77);
+        let zone = build_zone(&topo, &sites, names);
         let vantage_as =
             topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();

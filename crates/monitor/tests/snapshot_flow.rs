@@ -19,8 +19,8 @@ fn campaign_snapshot_and_central_merge() {
     let topo = generate(&TopologyConfig::test_small(), 99);
     let mut pcfg = PopulationConfig::test_small(10);
     pcfg.n_sites = 250;
-    let sites = population::generate(&pcfg, &topo, 99);
-    let zone = build_zone(&topo, &sites);
+    let (sites, names) = population::generate(&pcfg, &topo, 99);
+    let zone = build_zone(&topo, &sites, names);
     let list = TopList::from_parts(sites.iter().map(|s| (s.id.0, s.rank, s.first_seen_week)));
     let disturbances = Disturbances::generate(&DisturbanceConfig::none(), sites.len(), 10, 99);
 

@@ -1,6 +1,6 @@
 //! From BGP routes to path metrics.
 
-use ipv6web_bgp::Route;
+use ipv6web_bgp::RouteRef;
 use ipv6web_topology::{Family, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -75,7 +75,7 @@ impl<'a> DataPlane<'a> {
     /// IPv6 paths pay each crossed AS's `forwarding_factor` (applied to the
     /// bottleneck bandwidth) and each tunnel's extra delay and hidden hops;
     /// IPv4 paths see factors of exactly 1.0.
-    pub fn metrics(&self, route: &Route, family: Family) -> PathMetrics {
+    pub fn metrics(&self, route: RouteRef<'_>, family: Family) -> PathMetrics {
         if route.edges.is_empty() {
             return PathMetrics::local();
         }
@@ -84,7 +84,7 @@ impl<'a> DataPlane<'a> {
         let mut pass_prob = 1.0;
         let mut hidden = 0usize;
         let mut tunneled = false;
-        for &eid in &route.edges {
+        for &eid in route.edges {
             let e = self.topo.edge(eid);
             one_way_ms += e.effective_delay_ms();
             bottleneck = bottleneck.min(e.props.bandwidth_kbps);
@@ -126,7 +126,7 @@ mod tests {
         generate(&TopologyConfig::test_small(), seed)
     }
 
-    fn any_route(t: &ipv6web_topology::Topology, family: Family) -> ipv6web_bgp::Route {
+    fn any_table(t: &ipv6web_topology::Topology, family: Family) -> BgpTable {
         let vantage =
             t.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let dests: Vec<AsId> = t
@@ -136,9 +136,7 @@ mod tests {
             .map(|n| n.id)
             .take(5)
             .collect();
-        let table = BgpTable::build(t, vantage, family, &dests);
-        let route = table.iter().next().unwrap().clone();
-        route
+        BgpTable::build(t, vantage, family, &dests)
     }
 
     #[test]
@@ -153,8 +151,9 @@ mod tests {
     fn metrics_accumulate_over_edges() {
         let t = topo_with(3);
         let dp = DataPlane::new(&t);
-        let route = any_route(&t, Family::V4);
-        let m = dp.metrics(&route, Family::V4);
+        let table = any_table(&t, Family::V4);
+        let route = table.iter().next().unwrap();
+        let m = dp.metrics(route, Family::V4);
         assert_eq!(m.as_hops, route.edges.len());
         assert!(m.rtt_ms > 0.0);
         // RTT at least twice the sum of link delays
@@ -177,8 +176,8 @@ mod tests {
         let dp = DataPlane::new(&t);
         for seed_route in 0..3 {
             let _ = seed_route;
-            let route = any_route(&t, Family::V4);
-            let m = dp.metrics(&route, Family::V4);
+            let table = any_table(&t, Family::V4);
+            let m = dp.metrics(table.iter().next().unwrap(), Family::V4);
             assert!(!m.tunneled);
         }
     }
@@ -217,8 +216,9 @@ mod tests {
         cfg.dual = DualStackConfig::year2011().with_forwarding_penalty(1.0, (0.5, 0.5));
         let t = generate(&cfg, 7);
         let dp = DataPlane::new(&t);
-        let route = any_route(&t, Family::V6);
-        let m = dp.metrics(&route, Family::V6);
+        let table = any_table(&t, Family::V6);
+        let route = table.iter().next().unwrap();
+        let m = dp.metrics(route, Family::V6);
         assert!(m.forwarding_factor < 1.0);
         let min_bw = route
             .edges
@@ -234,8 +234,8 @@ mod tests {
         cfg.dual = DualStackConfig::year2011().with_forwarding_penalty(0.0, (0.9, 1.0));
         let t = generate(&cfg, 11);
         let dp = DataPlane::new(&t);
-        let route = any_route(&t, Family::V6);
-        let m = dp.metrics(&route, Family::V6);
+        let table = any_table(&t, Family::V6);
+        let m = dp.metrics(table.iter().next().unwrap(), Family::V6);
         assert_eq!(m.forwarding_factor, 1.0, "H1: data-plane parity");
     }
 
@@ -243,8 +243,9 @@ mod tests {
     fn loss_composes_monotonically() {
         let t = topo_with(9);
         let dp = DataPlane::new(&t);
-        let route = any_route(&t, Family::V4);
-        let m = dp.metrics(&route, Family::V4);
+        let table = any_table(&t, Family::V4);
+        let route = table.iter().next().unwrap();
+        let m = dp.metrics(route, Family::V4);
         let max_single = route.edges.iter().map(|&e| t.edge(e).props.loss).fold(0.0, f64::max);
         let sum: f64 = route.edges.iter().map(|&e| t.edge(e).props.loss).sum();
         assert!(m.loss >= max_single);

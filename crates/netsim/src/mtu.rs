@@ -12,7 +12,7 @@
 //!    ICMP message is filtered (the blackhole case);
 //! 3. repeat until the packet fits end to end.
 
-use ipv6web_bgp::Route;
+use ipv6web_bgp::RouteRef;
 use ipv6web_packet::tunnel::TUNNEL_OVERHEAD;
 use ipv6web_packet::Icmpv6Message;
 use ipv6web_stats::coin;
@@ -67,7 +67,7 @@ pub fn link_mtu(topo: &Topology, edge: ipv6web_topology::EdgeId) -> u16 {
 }
 
 /// The true end-to-end MTU of a route (minimum link MTU).
-pub fn path_mtu(topo: &Topology, route: &Route) -> u16 {
+pub fn path_mtu(topo: &Topology, route: RouteRef<'_>) -> u16 {
     route.edges.iter().map(|&e| link_mtu(topo, e)).min().unwrap_or(BASE_MTU)
 }
 
@@ -78,7 +78,7 @@ pub fn path_mtu(topo: &Topology, route: &Route) -> u16 {
 pub fn discover_pmtud<R: Rng>(
     rng: &mut R,
     topo: &Topology,
-    route: &Route,
+    route: RouteRef<'_>,
     family: Family,
     cfg: &PmtudConfig,
 ) -> Pmtud {
@@ -125,7 +125,7 @@ mod tests {
     use ipv6web_stats::derive_rng;
     use ipv6web_topology::{generate, AsId, Tier, TopologyConfig};
 
-    fn routes(family: Family, seed: u64) -> (ipv6web_topology::Topology, Vec<Route>) {
+    fn routes(family: Family, seed: u64) -> (ipv6web_topology::Topology, BgpTable) {
         let topo = generate(&TopologyConfig::test_small(), seed);
         let vantage =
             topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
@@ -136,15 +136,14 @@ mod tests {
             .map(|n| n.id)
             .collect();
         let table = BgpTable::build(&topo, vantage, family, &dests);
-        let rs: Vec<Route> = table.iter().cloned().collect();
-        (topo, rs)
+        (topo, table)
     }
 
     #[test]
     fn v4_paths_full_mtu() {
-        let (topo, rs) = routes(Family::V4, 3);
+        let (topo, table) = routes(Family::V4, 3);
         let mut rng = derive_rng(1, "pmtud");
-        for r in rs.iter().take(20) {
+        for r in table.iter().take(20) {
             assert_eq!(path_mtu(&topo, r), BASE_MTU);
             assert_eq!(
                 discover_pmtud(&mut rng, &topo, r, Family::V4, &PmtudConfig::paper_era()),
@@ -157,8 +156,8 @@ mod tests {
     fn tunneled_v6_path_discovers_reduced_mtu() {
         let mut rng = derive_rng(2, "pmtud");
         for seed in 0..20u64 {
-            let (topo, rs) = routes(Family::V6, seed);
-            for r in &rs {
+            let (topo, table) = routes(Family::V6, seed);
+            for r in table.iter() {
                 if r.edges.iter().any(|&e| topo.edge(e).tunnel.is_some()) {
                     let true_mtu = path_mtu(&topo, r);
                     assert_eq!(true_mtu, BASE_MTU - TUNNEL_OVERHEAD as u16);
@@ -176,8 +175,8 @@ mod tests {
         let mut rng = derive_rng(3, "pmtud");
         let cfg = PmtudConfig { ptb_filter_prob: 1.0, max_probes: 8 };
         for seed in 0..20u64 {
-            let (topo, rs) = routes(Family::V6, seed);
-            for r in &rs {
+            let (topo, table) = routes(Family::V6, seed);
+            for r in table.iter() {
                 if let Some(pos) = r.edges.iter().position(|&e| topo.edge(e).tunnel.is_some()) {
                     let out = discover_pmtud(&mut rng, &topo, r, Family::V6, &cfg);
                     assert_eq!(out, Pmtud::Blackhole(pos));
@@ -192,8 +191,8 @@ mod tests {
     fn untunneled_v6_path_unaffected_by_filtering() {
         let mut rng = derive_rng(4, "pmtud");
         let cfg = PmtudConfig { ptb_filter_prob: 1.0, max_probes: 8 };
-        let (topo, rs) = routes(Family::V6, 5);
-        let clean = rs
+        let (topo, table) = routes(Family::V6, 5);
+        let clean = table
             .iter()
             .find(|r| r.edges.iter().all(|&e| topo.edge(e).tunnel.is_none()))
             .expect("some native v6 route");
@@ -206,15 +205,11 @@ mod tests {
 
     #[test]
     fn empty_route_is_base_mtu() {
-        let (topo, rs) = routes(Family::V4, 7);
-        let _ = rs;
-        // fabricate a local (0-edge) route via the table of the vantage to itself:
-        // path_mtu on no edges falls back to BASE_MTU
-        let local = Route {
-            dest: AsId(0),
-            as_path: ipv6web_bgp::AsPath::new(vec![AsId(0)]),
-            edges: vec![],
-        };
-        assert_eq!(path_mtu(&topo, &local), BASE_MTU);
+        let (topo, _table) = routes(Family::V4, 7);
+        // fabricate a local (0-edge) route: path_mtu on no edges falls
+        // back to BASE_MTU
+        let path = ipv6web_bgp::AsPath::new(vec![AsId(0)]);
+        let local = RouteRef { dest: AsId(0), as_path: path.as_ref(), edges: &[] };
+        assert_eq!(path_mtu(&topo, local), BASE_MTU);
     }
 }

@@ -9,7 +9,7 @@
 //! Exceeded messages (built and parsed with `ipv6web-packet`), some hops
 //! silently drop probes, and many destinations filter the final probe.
 
-use ipv6web_bgp::Route;
+use ipv6web_bgp::RouteRef;
 use ipv6web_packet::{
     Icmpv4Message, Icmpv6Message, Ipv4Header, Ipv6Header, UdpHeader, IPPROTO_UDP,
 };
@@ -94,7 +94,7 @@ impl Traceroute {
 pub fn traceroute<R: Rng>(
     rng: &mut R,
     topo: &Topology,
-    route: &Route,
+    route: RouteRef<'_>,
     family: Family,
     cfg: &TracerouteConfig,
 ) -> Traceroute {
@@ -113,7 +113,7 @@ pub fn traceroute<R: Rng>(
 
     // Cumulative one-way delay to hop k.
     let mut cum_delay = vec![2.0f64];
-    for &eid in &route.edges {
+    for &eid in route.edges {
         let prev = *cum_delay.last().expect("non-empty");
         cum_delay.push(prev + topo.edge(eid).effective_delay_ms());
     }
@@ -199,20 +199,19 @@ mod tests {
     use ipv6web_stats::derive_rng;
     use ipv6web_topology::{generate, Tier, TopologyConfig};
 
-    fn setup() -> (ipv6web_topology::Topology, Vec<Route>) {
+    fn setup() -> (ipv6web_topology::Topology, BgpTable) {
         let t = generate(&TopologyConfig::test_small(), 31);
         let vantage =
             t.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
         let dests: Vec<AsId> =
             t.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(40).collect();
         let table = BgpTable::build(&t, vantage, Family::V4, &dests);
-        let routes: Vec<Route> = table.iter().cloned().collect();
-        (t, routes)
+        (t, table)
     }
 
     #[test]
     fn always_on_config_reaches_destination() {
-        let (t, routes) = setup();
+        let (t, table) = setup();
         let cfg = TracerouteConfig {
             hop_silence_prob: 0.0,
             dest_filter_prob: 0.0,
@@ -220,15 +219,16 @@ mod tests {
             max_ttl: 30,
         };
         let mut rng = derive_rng(1, "tr");
-        let tr = traceroute(&mut rng, &t, &routes[0], Family::V4, &cfg);
+        let first = table.iter().next().unwrap();
+        let tr = traceroute(&mut rng, &t, first, Family::V4, &cfg);
         assert!(tr.completed);
-        assert_eq!(tr.hops.len(), routes[0].edges.len());
+        assert_eq!(tr.hops.len(), first.edges.len());
         assert!(tr.hops.iter().all(|h| h.addr.is_some() && h.rtt_ms.is_some()));
     }
 
     #[test]
     fn inferred_as_path_matches_bgp_when_fully_responsive() {
-        let (t, routes) = setup();
+        let (t, table) = setup();
         let cfg = TracerouteConfig {
             hop_silence_prob: 0.0,
             dest_filter_prob: 0.0,
@@ -236,7 +236,7 @@ mod tests {
             max_ttl: 30,
         };
         let mut rng = derive_rng(2, "tr");
-        for route in routes.iter().take(10) {
+        for route in table.iter().take(10) {
             let tr = traceroute(&mut rng, &t, route, Family::V4, &cfg);
             let inferred = tr.inferred_as_path();
             // inferred path excludes the source AS (hop 0 never probed)
@@ -246,7 +246,7 @@ mod tests {
 
     #[test]
     fn rtt_increases_along_the_path() {
-        let (t, routes) = setup();
+        let (t, table) = setup();
         let cfg = TracerouteConfig {
             hop_silence_prob: 0.0,
             dest_filter_prob: 0.0,
@@ -254,7 +254,7 @@ mod tests {
             max_ttl: 30,
         };
         let mut rng = derive_rng(3, "tr");
-        let route = routes.iter().find(|r| r.edges.len() >= 3).expect("long route");
+        let route = table.iter().find(|r| r.edges.len() >= 3).expect("long route");
         let tr = traceroute(&mut rng, &t, route, Family::V4, &cfg);
         let rtts: Vec<f64> = tr.hops.iter().filter_map(|h| h.rtt_ms).collect();
         // allow jitter-induced local inversions, but the last hop must be
@@ -264,13 +264,14 @@ mod tests {
 
     #[test]
     fn paper_config_fails_over_half_the_time() {
-        let (t, routes) = setup();
+        let (t, table) = setup();
         let cfg = TracerouteConfig::paper();
         let mut rng = derive_rng(4, "tr");
+        let routes: Vec<RouteRef<'_>> = table.iter().collect();
         let mut failed = 0;
         let n = 200;
         for i in 0..n {
-            let route = &routes[i % routes.len()];
+            let route = routes[i % routes.len()];
             let tr = traceroute(&mut rng, &t, route, Family::V4, &cfg);
             if !tr.completed {
                 failed += 1;
@@ -282,7 +283,7 @@ mod tests {
 
     #[test]
     fn silent_hops_show_as_stars() {
-        let (t, routes) = setup();
+        let (t, table) = setup();
         let cfg = TracerouteConfig {
             hop_silence_prob: 1.0,
             dest_filter_prob: 1.0,
@@ -290,7 +291,7 @@ mod tests {
             max_ttl: 30,
         };
         let mut rng = derive_rng(5, "tr");
-        let tr = traceroute(&mut rng, &t, &routes[0], Family::V4, &cfg);
+        let tr = traceroute(&mut rng, &t, table.iter().next().unwrap(), Family::V4, &cfg);
         assert!(!tr.completed);
         assert!(tr.hops.iter().all(|h| h.addr.is_none()));
         assert!(tr.inferred_as_path().is_empty());
@@ -308,7 +309,7 @@ mod tests {
             .map(|n| n.id)
             .collect();
         let table = BgpTable::build(&t, vantage, Family::V6, &dests);
-        let route = table.iter().next().expect("some v6 route").clone();
+        let route = table.iter().next().expect("some v6 route");
         let cfg = TracerouteConfig {
             hop_silence_prob: 0.0,
             dest_filter_prob: 0.0,
@@ -316,15 +317,15 @@ mod tests {
             max_ttl: 30,
         };
         let mut rng = derive_rng(6, "tr");
-        let tr = traceroute(&mut rng, &t, &route, Family::V6, &cfg);
+        let tr = traceroute(&mut rng, &t, route, Family::V6, &cfg);
         assert!(tr.completed);
         assert!(tr.hops.iter().all(|h| matches!(h.addr, Some(IpAddr::V6(_)))));
     }
 
     #[test]
     fn max_ttl_truncates() {
-        let (t, routes) = setup();
-        let route = routes.iter().find(|r| r.edges.len() >= 3).unwrap();
+        let (t, table) = setup();
+        let route = table.iter().find(|r| r.edges.len() >= 3).unwrap();
         let cfg = TracerouteConfig {
             hop_silence_prob: 0.0,
             dest_filter_prob: 0.0,

@@ -31,11 +31,13 @@
 //! wants numbers) calls [`enable`] first and [`snapshot`] at the end.
 
 mod hist;
+mod process;
 mod registry;
 mod snapshot;
 mod span;
 
 pub use hist::{bucket_hi, bucket_lo, bucket_of, BucketCount, Histogram, HistogramSnapshot};
+pub use process::{peak_rss_kb, record_peak_rss};
 pub use registry::{
     add, disable, enable, enabled, flush_thread, gauge_max, inc, observe, reset, snapshot,
 };

@@ -1,0 +1,42 @@
+//! Process-level gauges: peak memory.
+
+/// Peak resident set size of the current process in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or when procfs is
+/// unavailable.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Records [`peak_rss_kb`] into the `process.peak_rss_kb` gauge (a
+/// high-water mark, so repeated calls keep the maximum). Returns the
+/// value recorded, if the platform exposes one. `repro --metrics` calls
+/// this right before snapshotting so `BENCH.json` carries the run's
+/// memory footprint — the internet-smoke CI job gates on it.
+pub fn record_peak_rss() -> Option<u64> {
+    let kb = peak_rss_kb()?;
+    crate::gauge_max("process.peak_rss_kb", kb);
+    Some(kb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: no test drives record_peak_rss() through the global registry —
+    // the registry is process-global and its own tests serialize on a
+    // private lock this module can't share; recording from here would race
+    // their reset() calls.
+    #[test]
+    fn peak_rss_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("procfs available");
+            assert!(kb > 0, "a running process has resident memory");
+        }
+    }
+}

@@ -50,7 +50,8 @@ impl Ipv4Cidr {
     /// The `i`-th host address inside the prefix (wraps within the prefix).
     pub fn host(&self, i: u32) -> Ipv4Addr {
         let span = if self.len == 32 { 1u64 } else { 1u64 << (32 - self.len as u64) };
-        Ipv4Addr::from(u32::from(self.addr) | ((i as u64 % span) as u32))
+        let offset = u32::try_from(u64::from(i) % span).expect("span ≤ 2^32 keeps offset in u32");
+        Ipv4Addr::from(u32::from(self.addr) | offset)
     }
 }
 

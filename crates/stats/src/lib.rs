@@ -29,7 +29,7 @@ pub mod welford;
 pub use ci::{mean_ci, ConfidenceInterval, RelativeCiRule, StudentT};
 pub use hist::{zero_mode, Histogram, ZeroMode};
 pub use median_filter::{detect_transition, detect_transition_paper, MedianFilter, Transition};
-pub use quantile::{quantile, summary, Summary};
+pub use quantile::{quantile, summary, summary_sorted, Summary};
 pub use regress::{linear_regression, trend, trend_paper, Regression, Trend};
 pub use rng::{coin, derive_rng, lognormal, StudyRng};
 pub use welford::Welford;

@@ -29,23 +29,44 @@ pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
     Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
-/// Sorts a copy of `xs` and produces a [`Summary`]. Returns `None` on empty
-/// input or any NaN.
-pub fn summary(xs: &[f64]) -> Option<Summary> {
-    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+/// Produces a [`Summary`] of an already-sorted, NaN-free slice without
+/// allocating — the entry point for grouped analyses that sort each group
+/// once and summarize in place. Returns `None` on empty input or when a NaN
+/// is present (under a total order NaNs surface at the ends, so both ends
+/// are checked).
+pub fn summary_sorted(sorted: &[f64]) -> Option<Summary> {
+    let (&first, &last) = (sorted.first()?, sorted.last()?);
+    if first.is_nan() || last.is_nan() {
         return None;
     }
-    let mut s = xs.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
     Some(Summary {
-        n: s.len(),
-        min: s[0],
-        p25: quantile(&s, 0.25)?,
-        median: quantile(&s, 0.5)?,
-        p75: quantile(&s, 0.75)?,
-        max: s[s.len() - 1],
-        mean: s.iter().sum::<f64>() / s.len() as f64,
+        n: sorted.len(),
+        min: first,
+        p25: quantile(sorted, 0.25)?,
+        median: quantile(sorted, 0.5)?,
+        p75: quantile(sorted, 0.75)?,
+        max: last,
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
     })
+}
+
+/// Sorts a copy of `xs` and produces a [`Summary`]. Returns `None` on empty
+/// input or any NaN. The NaN check is folded into the single copy pass (so
+/// bad input bails before the sort), and the sort is unstable — `f64`s that
+/// compare equal are interchangeable.
+pub fn summary(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut s = Vec::with_capacity(xs.len());
+    for &x in xs {
+        if x.is_nan() {
+            return None;
+        }
+        s.push(x);
+    }
+    s.sort_unstable_by(f64::total_cmp);
+    summary_sorted(&s)
 }
 
 #[cfg(test)]
@@ -92,6 +113,22 @@ mod tests {
     #[test]
     fn summary_empty_none() {
         assert!(summary(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_sorted_matches_summary_without_alloc() {
+        let mut xs = vec![3.0, 1.0, 2.0, 4.0, 5.0];
+        let via_copy = summary(&xs).unwrap();
+        xs.sort_unstable_by(f64::total_cmp);
+        assert_eq!(summary_sorted(&xs), Some(via_copy));
+    }
+
+    #[test]
+    fn summary_sorted_rejects_nan_and_empty() {
+        assert!(summary_sorted(&[]).is_none());
+        assert!(summary_sorted(&[1.0, f64::NAN]).is_none());
+        // a sign-negative NaN sorts below everything under total order
+        assert!(summary_sorted(&[-f64::NAN, 1.0]).is_none());
     }
 
     proptest! {

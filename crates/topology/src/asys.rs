@@ -5,6 +5,32 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
+/// An identifier-space overflow: a dense index did not fit the `u32` id
+/// type it was being converted into. Raised by the world-generation path
+/// instead of silently truncating with `as u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdOverflow {
+    /// The id type that overflowed (`"AsId"`, `"EdgeId"`, `"SiteId"`, …).
+    pub kind: &'static str,
+    /// The index that did not fit.
+    pub value: usize,
+}
+
+impl IdOverflow {
+    /// Builds an overflow error for id type `kind` at index `value`.
+    pub fn new(kind: &'static str, value: usize) -> Self {
+        IdOverflow { kind, value }
+    }
+}
+
+impl fmt::Display for IdOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} overflow: index {} does not fit in u32", self.kind, self.value)
+    }
+}
+
+impl std::error::Error for IdOverflow {}
+
 /// An AS number. Dense indices starting at 0; display adds a realistic
 /// offset so logs read like AS numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -14,6 +40,12 @@ impl AsId {
     /// Dense index for vector addressing.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Checked conversion from a dense index; errors instead of silently
+    /// truncating when a generated world outgrows the `u32` id space.
+    pub fn from_index(i: usize) -> Result<Self, IdOverflow> {
+        u32::try_from(i).map(AsId).map_err(|_| IdOverflow::new("AsId", i))
     }
 }
 

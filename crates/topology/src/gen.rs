@@ -8,7 +8,7 @@
 //! the IPv4 graph per [`DualStackConfig`], and stranded IPv6 islands are
 //! stitched to the core with 6in4 tunnels.
 
-use crate::asys::{AsId, AsNode, Region, Tier, V6Profile};
+use crate::asys::{AsId, AsNode, IdOverflow, Region, Tier, V6Profile};
 use crate::dualstack::DualStackConfig;
 use crate::graph::{Family, Topology, TunnelInfo};
 use crate::link::LinkProps;
@@ -52,6 +52,19 @@ impl TopologyConfig {
     /// the ~37k-AS 2011 Internet preserving tier proportions).
     pub fn paper_scale() -> Self {
         Self::scaled(4000)
+    }
+
+    /// A full-magnitude topology: ~37k ASes, matching the 2011 Internet the
+    /// paper measured. Peering probabilities are scaled down because they
+    /// multiply *pair counts*, which grow quadratically: at 6½k transit
+    /// ASes the `scaled()` defaults would mesh millions of peerings where
+    /// the 2011 Internet had ~110k edges total.
+    pub fn internet_scale() -> Self {
+        let mut cfg = Self::scaled(37_000);
+        cfg.transit_peer_prob = 0.004;
+        cfg.transit_peer_prob_xregion = 0.0005;
+        cfg.cdn_access_peering = 0.08;
+        cfg
     }
 
     /// Builds a config with `n` total ASes split into realistic tier shares.
@@ -117,27 +130,42 @@ struct ProtoEdge {
 /// `seed`.
 ///
 /// # Panics
-/// Panics if `config.validate()` fails.
+/// Panics if `config.validate()` fails or the AS count overflows the id
+/// space (see [`try_generate`]).
 pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
+    try_generate(config, seed).expect("topology id space overflow")
+}
+
+/// Generates a dual-stack topology from `config`, deterministically in
+/// `seed`, reporting id-space overflow as a typed error instead of
+/// truncating node indices into `u32` ids.
+///
+/// # Panics
+/// Panics if `config.validate()` fails.
+pub fn try_generate(config: &TopologyConfig, seed: u64) -> Result<Topology, IdOverflow> {
     config.validate().expect("invalid topology config");
     let mut rng = derive_rng(seed, "topology");
 
     // ---- nodes -----------------------------------------------------------
     let mut nodes = Vec::with_capacity(config.total());
-    let push_tier =
-        |nodes: &mut Vec<AsNode>, tier: Tier, count: usize, rng: &mut ipv6web_stats::StudyRng| {
-            for _ in 0..count {
-                let id = AsId(nodes.len() as u32);
-                let region = pick_region(rng, tier);
-                let (v4_prefix, _) = AsNode::address_plan(id);
-                nodes.push(AsNode { id, tier, region, v4_prefix, v6: None });
-            }
-        };
-    push_tier(&mut nodes, Tier::Tier1, config.n_tier1, &mut rng);
-    push_tier(&mut nodes, Tier::Transit, config.n_transit, &mut rng);
-    push_tier(&mut nodes, Tier::Access, config.n_access, &mut rng);
-    push_tier(&mut nodes, Tier::Content, config.n_content, &mut rng);
-    push_tier(&mut nodes, Tier::Cdn, config.n_cdn, &mut rng);
+    let push_tier = |nodes: &mut Vec<AsNode>,
+                     tier: Tier,
+                     count: usize,
+                     rng: &mut ipv6web_stats::StudyRng|
+     -> Result<(), IdOverflow> {
+        for _ in 0..count {
+            let id = AsId::from_index(nodes.len())?;
+            let region = pick_region(rng, tier);
+            let (v4_prefix, _) = AsNode::address_plan(id);
+            nodes.push(AsNode { id, tier, region, v4_prefix, v6: None });
+        }
+        Ok(())
+    };
+    push_tier(&mut nodes, Tier::Tier1, config.n_tier1, &mut rng)?;
+    push_tier(&mut nodes, Tier::Transit, config.n_transit, &mut rng)?;
+    push_tier(&mut nodes, Tier::Access, config.n_access, &mut rng)?;
+    push_tier(&mut nodes, Tier::Content, config.n_content, &mut rng)?;
+    push_tier(&mut nodes, Tier::Cdn, config.n_cdn, &mut rng)?;
 
     // ---- IPv6 adoption ----------------------------------------------------
     let d = &config.dual;
@@ -179,7 +207,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
     for i in t1_range.clone() {
         for j in (i + 1)..config.n_tier1 {
             let props = link_props(&mut rng, &nodes[i], &nodes[j]);
-            add(&mut edges, &mut degree, AsId(i as u32), AsId(j as u32), Relationship::Peer, props);
+            add(&mut edges, &mut degree, nodes[i].id, nodes[j].id, Relationship::Peer, props);
         }
     }
 
@@ -199,14 +227,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
         });
         for p in chosen {
             let props = link_props(&mut rng, &nodes[i], &nodes[p]);
-            add(
-                &mut edges,
-                &mut degree,
-                AsId(i as u32),
-                AsId(p as u32),
-                Relationship::CustomerOf,
-                props,
-            );
+            add(&mut edges, &mut degree, nodes[i].id, nodes[p].id, Relationship::CustomerOf, props);
         }
     }
     // transit peering
@@ -219,14 +240,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
             };
             if coin(&mut rng, p) {
                 let props = link_props(&mut rng, &nodes[i], &nodes[j]);
-                add(
-                    &mut edges,
-                    &mut degree,
-                    AsId(i as u32),
-                    AsId(j as u32),
-                    Relationship::Peer,
-                    props,
-                );
+                add(&mut edges, &mut degree, nodes[i].id, nodes[j].id, Relationship::Peer, props);
             }
         }
     }
@@ -250,14 +264,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
         });
         for p in chosen {
             let props = link_props(&mut rng, &nodes[i], &nodes[p]);
-            add(
-                &mut edges,
-                &mut degree,
-                AsId(i as u32),
-                AsId(p as u32),
-                Relationship::CustomerOf,
-                props,
-            );
+            add(&mut edges, &mut degree, nodes[i].id, nodes[p].id, Relationship::CustomerOf, props);
         }
     }
 
@@ -273,14 +280,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
             }
             if coin(&mut rng, config.cdn_access_peering) {
                 let props = link_props(&mut rng, &nodes[i], &nodes[j]);
-                add(
-                    &mut edges,
-                    &mut degree,
-                    AsId(i as u32),
-                    AsId(j as u32),
-                    Relationship::Peer,
-                    props,
-                );
+                add(&mut edges, &mut degree, nodes[i].id, nodes[j].id, Relationship::Peer, props);
             }
         }
     }
@@ -319,7 +319,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> Topology {
     ipv6web_obs::gauge_max("topology.nodes", topo.num_ases() as u64);
     ipv6web_obs::gauge_max("topology.edges", topo.edges().len() as u64);
     ipv6web_obs::add("topology.generated", 1);
-    topo
+    Ok(topo)
 }
 
 /// Weighted sample of `k` distinct items from `candidates`.
@@ -508,8 +508,8 @@ fn stitch_v6_islands<R: Rng>(
                 .unwrap_or_else(|| *relays.choose(rng).expect("non-empty"));
             let props = link_props(rng, &nodes[u], &nodes[relay]);
             edges.push(ProtoEdge {
-                a: AsId(u as u32),
-                b: AsId(relay as u32),
+                a: nodes[u].id,
+                b: nodes[relay].id,
                 rel_a: Relationship::CustomerOf,
                 props,
                 v4: false,

@@ -1,9 +1,10 @@
 //! The dual-stack AS graph container.
 
-use crate::asys::{AsId, AsNode};
+use crate::asys::{AsId, AsNode, IdOverflow};
 use crate::link::LinkProps;
 use crate::relationship::Relationship;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Address family of a path, route, or measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -36,6 +37,12 @@ impl EdgeId {
     /// Dense index for vector addressing.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Checked conversion from a dense index; errors instead of silently
+    /// truncating when a generated world outgrows the `u32` id space.
+    pub fn from_index(i: usize) -> Result<Self, IdOverflow> {
+        u32::try_from(i).map(EdgeId).map_err(|_| IdOverflow::new("EdgeId", i))
     }
 }
 
@@ -152,7 +159,7 @@ impl Topology {
         if tunnel.is_some() {
             assert!(v6 && !v4, "tunnel edges are v6-only");
         }
-        let id = EdgeId(self.edges.len() as u32);
+        let id = EdgeId::from_index(self.edges.len()).expect("edge id space overflow");
         let edge = Edge { id, a, b, rel_a, props, v4, v6, tunnel };
         if v4 {
             self.adj_v4[a.index()].push((b, rel_a, id));
@@ -219,6 +226,8 @@ impl Topology {
     /// Panics if a gain's endpoints are not dual-stack, or if a flip would
     /// leave an edge in no family at all.
     pub fn with_v6_flips(&self, gains: &[EdgeId], losses: &[EdgeId]) -> Topology {
+        let gains: HashSet<EdgeId> = gains.iter().copied().collect();
+        let losses: HashSet<EdgeId> = losses.iter().copied().collect();
         let mut t = Topology::new(self.nodes.clone());
         for e in &self.edges {
             let mut v6 = e.v6;

@@ -27,9 +27,9 @@ pub mod link;
 pub mod relationship;
 pub mod stats;
 
-pub use asys::{AsId, AsNode, Region, Tier};
+pub use asys::{AsId, AsNode, IdOverflow, Region, Tier};
 pub use dualstack::DualStackConfig;
-pub use gen::{generate, TopologyConfig};
+pub use gen::{generate, try_generate, TopologyConfig};
 pub use graph::{Edge, EdgeId, Family, Topology};
 pub use link::LinkProps;
 pub use relationship::Relationship;

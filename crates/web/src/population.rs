@@ -19,8 +19,9 @@
 
 use crate::server::ServerProfile;
 use crate::site::{Site, SiteId, SiteV6};
+use ipv6web_dns::NameTable;
 use ipv6web_stats::{coin, derive_rng, lognormal};
-use ipv6web_topology::{AsId, Tier, Topology};
+use ipv6web_topology::{AsId, IdOverflow, Tier, Topology};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -72,6 +73,12 @@ pub struct PopulationConfig {
     /// Cumulative AAAA-publication curve: `(week, cumulative_fraction)`
     /// ascending. Empty = everything published from week 0.
     pub adoption_curve: Vec<(u32, f64)>,
+    /// Caps each Zipf hosting pool to its first N (highest-weight) ASes.
+    /// The internet tier uses this: ~2½k distinct hosting ASes bounds the
+    /// destination set routing tables are built for, matching the paper's
+    /// observation that a million sites concentrate in a few thousand
+    /// destination ASes. `None` = every eligible AS can host.
+    pub hosting_pool_cap: Option<usize>,
 }
 
 impl PopulationConfig {
@@ -97,6 +104,7 @@ impl PopulationConfig {
             total_weeks,
             initial_presence: 0.7,
             adoption_curve: Vec::new(),
+            hosting_pool_cap: None,
         }
     }
 
@@ -169,12 +177,27 @@ fn pick_zipf<R: Rng>(rng: &mut R, pool: &[(AsId, f64)], total: f64) -> AsId {
     pool.last().expect("non-empty pool").0
 }
 
-/// Generates the monitored site population.
+/// Generates the monitored site population and the shared name table its
+/// sites' interned DNS names resolve through.
+///
+/// # Panics
+/// Panics if the topology lacks the AS kinds sites need (see
+/// [`try_generate`]) or the site count overflows the id space.
+pub fn generate(config: &PopulationConfig, topo: &Topology, seed: u64) -> (Vec<Site>, NameTable) {
+    try_generate(config, topo, seed).expect("site id space overflow")
+}
+
+/// Generates the monitored site population, reporting id-space overflow as
+/// a typed error instead of truncating site indices into `u32` ids.
 ///
 /// # Panics
 /// Panics if the topology lacks content ASes, dual-stack content ASes, CDN
 /// ASes, or dual-stack transit ASes (6to4 relays).
-pub fn generate(config: &PopulationConfig, topo: &Topology, seed: u64) -> Vec<Site> {
+pub fn try_generate(
+    config: &PopulationConfig,
+    topo: &Topology,
+    seed: u64,
+) -> Result<(Vec<Site>, NameTable), IdOverflow> {
     let mut rng = derive_rng(seed, "population");
     let content: Vec<AsId> =
         topo.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).collect();
@@ -203,11 +226,20 @@ pub fn generate(config: &PopulationConfig, topo: &Topology, seed: u64) -> Vec<Si
     assert!(!cdns.is_empty(), "topology has no CDN ASes");
     assert!(!relays.is_empty(), "topology has no dual-stack transit ASes (6to4 relays)");
 
-    let all_pool = zipf_pool(&mut rng, &content, config.hosting_zipf_exponent);
+    // The cap truncates *after* the shuffle (keeping the highest positional
+    // weights), so capped and uncapped configs draw the same RNG stream up
+    // to this point.
+    let cap = |mut pool: Vec<(AsId, f64)>| {
+        if let Some(n) = config.hosting_pool_cap {
+            pool.truncate(n.max(1));
+        }
+        pool
+    };
+    let all_pool = cap(zipf_pool(&mut rng, &content, config.hosting_zipf_exponent));
     let all_total: f64 = all_pool.iter().map(|(_, w)| w).sum();
-    let dual_pool = zipf_pool(&mut rng, &dual_content, config.hosting_zipf_exponent);
+    let dual_pool = cap(zipf_pool(&mut rng, &dual_content, config.hosting_zipf_exponent));
     let dual_total: f64 = dual_pool.iter().map(|(_, w)| w).sum();
-    let single_pool = zipf_pool(&mut rng, &single_content, config.hosting_zipf_exponent);
+    let single_pool = cap(zipf_pool(&mut rng, &single_content, config.hosting_zipf_exponent));
     let single_total: f64 = single_pool.iter().map(|(_, w)| w).sum();
     // The real 2011 Internet had a handful of public 6to4 relays and a few
     // dedicated v6 hosting platforms; fixed small pools concentrate the
@@ -225,9 +257,10 @@ pub fn generate(config: &PopulationConfig, topo: &Topology, seed: u64) -> Vec<Si
     };
 
     let mut sites = Vec::with_capacity(config.n_sites);
+    let mut names = NameTable::new();
     for i in 0..config.n_sites {
-        let id = SiteId(i as u32);
-        let rank = i as u32 + 1;
+        let id = SiteId::from_index(i)?;
+        let rank = id.0.checked_add(1).ok_or(IdOverflow::new("SiteId", i + 1))?;
         let page_v4 = lognormal(&mut rng, config.page_median_bytes, config.page_sigma)
             .clamp(2_000.0, 800_000.0) as u64;
 
@@ -332,7 +365,7 @@ pub fn generate(config: &PopulationConfig, topo: &Topology, seed: u64) -> Vec<Si
 
         sites.push(Site {
             id,
-            name: format!("site{i}.web.example"),
+            name: names.intern(&format!("site{i}.web.example")),
             rank,
             page_bytes_v4: page_v4,
             page_bytes_v6: page_v6,
@@ -342,7 +375,7 @@ pub fn generate(config: &PopulationConfig, topo: &Topology, seed: u64) -> Vec<Si
             server,
         });
     }
-    sites
+    Ok((sites, names))
 }
 
 #[cfg(test)]
@@ -353,7 +386,7 @@ mod tests {
     fn world() -> (ipv6web_topology::Topology, Vec<Site>) {
         let topo = gen_topo(&TopologyConfig::test_small(), 5);
         let cfg = PopulationConfig::test_small(60);
-        let sites = generate(&cfg, &topo, 5);
+        let (sites, _names) = generate(&cfg, &topo, 5);
         (topo, sites)
     }
 
@@ -383,6 +416,39 @@ mod tests {
         let topo = gen_topo(&TopologyConfig::test_small(), 5);
         let cfg = PopulationConfig::test_small(60);
         assert_eq!(generate(&cfg, &topo, 9), generate(&cfg, &topo, 9));
+    }
+
+    #[test]
+    fn names_intern_in_site_order() {
+        let topo = gen_topo(&TopologyConfig::test_small(), 5);
+        let (sites, names) = generate(&PopulationConfig::test_small(60), &topo, 5);
+        assert_eq!(names.len(), sites.len());
+        for s in sites.iter().take(50) {
+            assert_eq!(names.get(s.name), format!("site{}.web.example", s.id.0));
+        }
+    }
+
+    #[test]
+    fn hosting_pool_cap_concentrates_destinations() {
+        let topo = gen_topo(&TopologyConfig::test_small(), 5);
+        let mut cfg = PopulationConfig::test_small(60);
+        cfg.hosting_pool_cap = Some(4);
+        let (sites, _) = generate(&cfg, &topo, 5);
+        use std::collections::HashSet;
+        let v4_ases: HashSet<AsId> = sites
+            .iter()
+            .filter(|s| {
+                // CDN-fronted sites pull v4 destinations outside the pools
+                s.v4_as == s.v6.as_ref().map_or(s.v4_as, |v| v.dest_as) || s.v6.is_none()
+            })
+            .map(|s| s.v4_as)
+            .collect();
+        // capped pools: at most 4 per pool (all/dual/single) plus CDN fronts
+        assert!(v4_ases.len() <= 12 + topo.nodes().len() / 100 + 25, "{}", v4_ases.len());
+        let origin_ases: HashSet<AsId> =
+            sites.iter().filter_map(|s| s.v6.as_ref()).map(|v| v.dest_as).collect();
+        // v6 dests: dual pool (≤4) + 3 relays + 3 platforms
+        assert!(origin_ases.len() <= 10, "{}", origin_ases.len());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Monitored web sites.
 
 use crate::server::ServerProfile;
-use ipv6web_topology::{AsId, Family};
+use ipv6web_dns::NameId;
+use ipv6web_topology::{AsId, Family, IdOverflow};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -13,6 +14,12 @@ impl SiteId {
     /// Dense index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Checked conversion from a dense index; errors instead of silently
+    /// truncating when the population outgrows the `u32` id space.
+    pub fn from_index(i: usize) -> Result<Self, IdOverflow> {
+        u32::try_from(i).map(SiteId).map_err(|_| IdOverflow::new("SiteId", i))
     }
 }
 
@@ -52,8 +59,9 @@ pub struct SiteV6 {
 pub struct Site {
     /// Identity.
     pub id: SiteId,
-    /// DNS name, e.g. `site42.web.example`.
-    pub name: String,
+    /// Interned DNS name (e.g. `site42.web.example`), resolvable through
+    /// the population's shared name table or the zone built from it.
+    pub name: NameId,
     /// Popularity rank (1 = most popular). Ties broken by id.
     pub rank: u32,
     /// Main-page size served over IPv4, bytes.
@@ -110,7 +118,7 @@ mod tests {
     fn site(v4_as: u32, v6_as: Option<u32>) -> Site {
         Site {
             id: SiteId(7),
-            name: "site7.web.example".into(),
+            name: NameId(7),
             rank: 42,
             page_bytes_v4: 50_000,
             page_bytes_v6: 50_500,

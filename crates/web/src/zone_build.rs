@@ -1,7 +1,7 @@
 //! Projects a site population into the DNS zone database.
 
 use crate::site::Site;
-use ipv6web_dns::{ZoneDb, ZoneEntry};
+use ipv6web_dns::{NameTable, ZoneDb, ZoneEntry};
 use ipv6web_packet::tunnel::to_6to4;
 use ipv6web_topology::Topology;
 
@@ -14,8 +14,11 @@ pub const DEFAULT_TTL: u32 = 300;
 /// * AAAA record → a host in the origin AS's IPv6 prefix, or the 6to4
 ///   mapping of the site's IPv4 address (RFC 3056) for `via_6to4` sites;
 /// * AAAA publication week carried through for timeline-aware queries.
-pub fn build_zone(topo: &Topology, sites: &[Site]) -> ZoneDb {
-    let mut db = ZoneDb::new();
+///
+/// The zone adopts the population's `names` table, so the interned
+/// [`Site::name`] ids stay valid for id-based lookups against the zone.
+pub fn build_zone(topo: &Topology, sites: &[Site], names: NameTable) -> ZoneDb {
+    let mut db = ZoneDb::with_names(names);
     for site in sites {
         let v4 = topo.node(site.v4_as).v4_host(site.id.0);
         let (v6, v6_from_week) = match &site.v6 {
@@ -29,7 +32,7 @@ pub fn build_zone(topo: &Topology, sites: &[Site]) -> ZoneDb {
             }
             None => (None, 0),
         };
-        db.insert(site.name.clone(), ZoneEntry { v4, v6, v6_from_week, ttl: DEFAULT_TTL });
+        db.insert_id(site.name, ZoneEntry { v4, v6, v6_from_week, ttl: DEFAULT_TTL });
     }
     ipv6web_obs::add("web.zone_entries", db.len() as u64);
     db
@@ -45,8 +48,8 @@ mod tests {
 
     fn setup() -> (ipv6web_topology::Topology, Vec<Site>, ZoneDb) {
         let topo = gen_topo(&TopologyConfig::test_small(), 7);
-        let sites = generate(&PopulationConfig::test_small(60), &topo, 7);
-        let db = build_zone(&topo, &sites);
+        let (sites, names) = generate(&PopulationConfig::test_small(60), &topo, 7);
+        let db = build_zone(&topo, &sites, names);
         (topo, sites, db)
     }
 
@@ -55,8 +58,9 @@ mod tests {
         let (_, sites, db) = setup();
         assert_eq!(db.len(), sites.len());
         for s in sites.iter().take(100) {
-            let ans = db.query(&s.name, RecordType::A, 0).unwrap();
-            assert_eq!(ans.len(), 1, "{}", s.name);
+            let name = db.name_of(s.name);
+            let ans = db.query(name, RecordType::A, 0).unwrap();
+            assert_eq!(ans.len(), 1, "{name}");
         }
     }
 
@@ -64,14 +68,14 @@ mod tests {
     fn a_record_lands_in_v4_as_prefix() {
         let (topo, sites, db) = setup();
         for s in sites.iter().take(200) {
-            let ans = db.query(&s.name, RecordType::A, 0).unwrap();
+            let name = db.name_of(s.name);
+            let ans = db.query(name, RecordType::A, 0).unwrap();
             let ipv6web_dns::RecordData::V4(addr) = ans[0].data else {
                 panic!("A record must carry v4 addr");
             };
             assert!(
                 topo.node(s.v4_as).v4_prefix.contains(addr),
-                "{} addr {addr} outside AS prefix",
-                s.name
+                "{name} addr {addr} outside AS prefix"
             );
         }
     }
@@ -81,8 +85,9 @@ mod tests {
         let (_, sites, db) = setup();
         let late_week = 10_000;
         for s in &sites {
-            let dual = db.is_dual_stack(&s.name, late_week);
-            assert_eq!(dual, s.v6.is_some(), "{}", s.name);
+            let name = db.name_of(s.name);
+            let dual = db.is_dual_stack(name, late_week);
+            assert_eq!(dual, s.v6.is_some(), "{name}");
         }
     }
 
@@ -93,11 +98,12 @@ mod tests {
             sites.iter().filter(|s| s.v6.as_ref().is_some_and(|v| v.via_6to4)).collect();
         assert!(!sixto4.is_empty(), "population must contain 6to4 sites");
         for s in sixto4 {
-            let ans = db.query(&s.name, RecordType::Aaaa, 10_000).unwrap();
+            let name = db.name_of(s.name);
+            let ans = db.query(name, RecordType::Aaaa, 10_000).unwrap();
             let ipv6web_dns::RecordData::V6(addr) = ans[0].data else {
                 panic!("AAAA must carry v6 addr");
             };
-            assert!(is_6to4(addr), "{} should be 2002::/16, got {addr}", s.name);
+            assert!(is_6to4(addr), "{name} should be 2002::/16, got {addr}");
         }
     }
 
@@ -108,13 +114,23 @@ mod tests {
             sites.iter().filter(|s| s.v6.as_ref().is_some_and(|v| !v.via_6to4)).take(100).collect();
         assert!(!native.is_empty());
         for s in native {
-            let ans = db.query(&s.name, RecordType::Aaaa, 10_000).unwrap();
+            let name = db.name_of(s.name);
+            let ans = db.query(name, RecordType::Aaaa, 10_000).unwrap();
             let ipv6web_dns::RecordData::V6(addr) = ans[0].data else {
                 panic!("AAAA must carry v6 addr");
             };
             let origin = s.v6.as_ref().unwrap().dest_as;
             let prefix = topo.node(origin).v6.as_ref().unwrap().prefix;
-            assert!(prefix.contains(addr), "{}: {addr} outside {prefix}", s.name);
+            assert!(prefix.contains(addr), "{name}: {addr} outside {prefix}");
+        }
+    }
+
+    #[test]
+    fn site_name_ids_resolve_in_zone() {
+        let (_, sites, db) = setup();
+        for s in sites.iter().take(50) {
+            assert_eq!(db.name_of(s.name), format!("site{}.web.example", s.id.0));
+            assert!(db.entry_by_id(s.name).is_some());
         }
     }
 }

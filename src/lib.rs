@@ -66,7 +66,8 @@ pub use ipv6web_topology as topology;
 pub use ipv6web_web as web;
 
 pub use ipv6web_core::{
-    run_study, run_study_mode, ExecutionMode, Report, Scenario, StudyError, StudyResult, World,
+    run_study, run_study_mode, ExecutionMode, Report, Scenario, StreamRoutes, StudyError,
+    StudyResult, World,
 };
 
 #[cfg(test)]

@@ -14,15 +14,16 @@ use ipv6web::web::{build_zone, population, PopulationConfig};
 #[test]
 fn dns_query_resolves_into_generated_topology_addresses() {
     let topo = generate(&TopologyConfig::test_small(), 3);
-    let sites = population::generate(&PopulationConfig::test_small(10), &topo, 3);
-    let zone = build_zone(&topo, &sites);
+    let (sites, names) = population::generate(&PopulationConfig::test_small(10), &topo, 3);
+    let zone = build_zone(&topo, &sites, names);
     let mut resolver = Resolver::new();
     let dual = sites
         .iter()
         .find(|s| s.v6.as_ref().is_some_and(|v| v.from_week == 0 && !v.via_6to4))
         .expect("native dual site");
-    let a = resolver.resolve(&zone, &dual.name, RecordType::A, 0, 0).unwrap();
-    let aaaa = resolver.resolve(&zone, &dual.name, RecordType::Aaaa, 0, 0).unwrap();
+    let name = zone.name_of(dual.name);
+    let a = resolver.resolve(&zone, name, RecordType::A, 0, 0).unwrap();
+    let aaaa = resolver.resolve(&zone, name, RecordType::Aaaa, 0, 0).unwrap();
     assert_eq!(a.len(), 1);
     assert_eq!(aaaa.len(), 1);
     // the addresses belong to the right ASes
@@ -109,8 +110,8 @@ fn traceroute_hop_rtts_consistent_with_path_metrics() {
 #[test]
 fn probe_pipeline_runs_outside_the_campaign_driver() {
     let topo = generate(&TopologyConfig::test_small(), 9);
-    let sites = population::generate(&PopulationConfig::test_small(10), &topo, 9);
-    let zone = build_zone(&topo, &sites);
+    let (sites, names) = population::generate(&PopulationConfig::test_small(10), &topo, 9);
+    let zone = build_zone(&topo, &sites, names);
     let vantage =
         topo.nodes().iter().find(|n| n.tier == Tier::Access && n.is_dual_stack()).unwrap().id;
     let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
