@@ -113,6 +113,15 @@ fn main() {
     if checkpoint_dir.is_some() {
         scenario.checkpoint_dir = checkpoint_dir;
     }
+    // A typo'd --checkpoint-dir used to surface only at the first
+    // checkpoint write, after minutes of campaign work. Validate before
+    // doing anything expensive and fail with the usual exit code 2.
+    if let Some(dir) = &scenario.checkpoint_dir {
+        if let Err(e) = ipv6web_monitor::validate_checkpoint_dir(std::path::Path::new(dir)) {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    }
     eprintln!("running study (scale {scale:?}, seed {seed}, {mode:?})...");
     let t0 = std::time::Instant::now();
     let study = run_study_mode(&scenario, mode).unwrap_or_else(|e| {

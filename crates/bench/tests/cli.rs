@@ -1,0 +1,54 @@
+//! `repro` CLI regressions that need a real process boundary.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn bad_checkpoint_dir_fails_fast_with_exit_2() {
+    // A typo'd --checkpoint-dir parent used to surface only at the first
+    // checkpoint write, after the whole world build and part of a
+    // campaign. It must now fail up front, before any study work.
+    let missing = std::env::temp_dir().join("ipv6web-no-such-parent").join("ckpt");
+    assert!(!missing.parent().unwrap().exists(), "parent must not exist for this test");
+    let start = std::time::Instant::now();
+    let out = repro()
+        .args(["all", "--checkpoint-dir", missing.to_str().unwrap()])
+        .output()
+        .expect("run repro");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("cannot be created") && stderr.contains("does not exist"),
+        "expected a readable checkpoint-dir message, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("running study"),
+        "validation must happen before the study starts: {stderr}"
+    );
+    // failing fast is the point: no world build, no campaign
+    assert!(start.elapsed().as_secs() < 30, "took {:?}", start.elapsed());
+}
+
+#[test]
+fn checkpoint_path_that_is_a_file_fails_fast() {
+    let file = std::env::temp_dir().join(format!("ipv6web-ckpt-file-{}", std::process::id()));
+    std::fs::write(&file, b"in the way").unwrap();
+    let out = repro()
+        .args(["all", "--checkpoint-dir", file.to_str().unwrap()])
+        .output()
+        .expect("run repro");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("is not a directory"), "unexpected message: {stderr}");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn unknown_scale_still_exits_2() {
+    let out = repro().args(["all", "--scale", "galactic"]).output().expect("run repro");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scale"));
+}

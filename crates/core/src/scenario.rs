@@ -249,6 +249,35 @@ impl Scenario {
     pub fn total_sites(&self) -> usize {
         self.population.n_sites + self.tail_sites
     }
+
+    /// This scenario with its checkpoint directory cleared — the
+    /// *report-identity* configuration. Two scenarios with equal identity
+    /// configurations produce byte-identical reports (where checkpoints
+    /// land never changes a result, only where a crashed run resumes
+    /// from), so this is what world caches and job stores key on.
+    pub fn identity_scenario(&self) -> Scenario {
+        let mut s = self.clone();
+        s.checkpoint_dir = None;
+        s
+    }
+
+    /// FNV-1a 64-bit hash of the identity scenario's canonical JSON.
+    ///
+    /// The vendored serde serializes struct fields in declaration order,
+    /// so the JSON — and with it this hash — is deterministic across runs
+    /// and processes. Used as the config-hash component of daemon job ids
+    /// and as the world-cache key: equal hashes ⇒ same built world and a
+    /// byte-identical report.
+    pub fn config_hash(&self) -> u64 {
+        let json =
+            serde_json::to_string(&self.identity_scenario()).expect("scenario always serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +335,26 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_ignores_checkpoint_dir() {
+        let a = Scenario::quick(7);
+        let mut b = Scenario::quick(7);
+        assert_eq!(a.config_hash(), b.config_hash(), "same config, same hash");
+        b.checkpoint_dir = Some("/tmp/elsewhere".into());
+        assert_eq!(
+            a.config_hash(),
+            b.config_hash(),
+            "checkpoint location never changes a result, so it never changes the hash"
+        );
+        assert_eq!(b.identity_scenario().checkpoint_dir, None);
+        // anything that *can* change a result changes the hash
+        assert_ne!(Scenario::quick(7).config_hash(), Scenario::quick(8).config_hash());
+        assert_ne!(Scenario::quick(7).config_hash(), Scenario::faults(7).config_hash());
+        let mut c = Scenario::quick(7);
+        c.identity_threshold = 0.07;
+        assert_ne!(a.config_hash(), c.config_hash());
     }
 
     #[test]

@@ -5,9 +5,11 @@ use crate::scenario::Scenario;
 use crate::world::World;
 use ipv6web_analysis::{analyze_vantage_faulted, AnalysisConfig, VantageAnalysis};
 use ipv6web_monitor::{
-    checkpoint_path, run_campaign_resumable, run_ipv6_day_rounds, CampaignError, MonitorDb,
+    checkpoint_path, run_campaign_resumable, run_ipv6_day_rounds, validate_checkpoint_dir,
+    CampaignError, MonitorDb,
 };
 use std::path::Path;
+use std::sync::Arc;
 
 /// Why a study run could not complete.
 #[derive(Debug)]
@@ -44,8 +46,10 @@ impl From<CampaignError> for StudyError {
 
 /// Everything a study run produces.
 pub struct StudyResult {
-    /// The world it ran in.
-    pub world: World,
+    /// The world it ran in. Shared (`Arc`) so a long-running service can
+    /// run several concurrent studies against one built world — including
+    /// its memoized route tables — without rebuilding or copying it.
+    pub world: Arc<World>,
     /// Per-vantage campaign databases, in `world.vantages` order.
     pub dbs: Vec<MonitorDb>,
     /// World IPv6 Day databases for the day-experiment vantage points
@@ -126,12 +130,53 @@ pub fn run_study(scenario: &Scenario) -> Result<StudyResult, StudyError> {
 /// asserts by running both modes against each other.
 pub fn run_study_mode(scenario: &Scenario, mode: ExecutionMode) -> Result<StudyResult, StudyError> {
     scenario.validate().map_err(StudyError::InvalidScenario)?;
+    // Checkpoint-dir problems (a typo'd parent, a file in the way) surface
+    // *before* the world build, not minutes later at the first atomic
+    // temp+rename checkpoint write.
+    let ckpt_dir = scenario.checkpoint_dir.as_deref().map(Path::new);
+    if let Some(dir) = ckpt_dir {
+        validate_checkpoint_dir(dir).map_err(CampaignError::Config)?;
+    }
+    // Mark before the world build so the "world: *" spans land in this
+    // study's phase breakdown (a service reusing a cached world goes
+    // through `run_study_on_world` and deliberately omits them).
+    let mark = ipv6web_obs::span_mark();
+    let world = Arc::new(World::build(scenario));
+    run_study_from_mark(&world, mode, ckpt_dir, mark)
+}
+
+/// Runs the measurement pipeline — campaigns, IPv6-day rounds, analysis,
+/// report — against an already-built (possibly shared) world.
+///
+/// This is the entry point for services that keep worlds alive across
+/// studies: concurrent jobs on the same world seed pass clones of one
+/// `Arc<World>`, sharing its memoized route tables instead of rebuilding
+/// destinations × ASes of next-hop state per job. `checkpoint_dir`
+/// overrides `world.scenario.checkpoint_dir` so the *same* world can back
+/// jobs with different checkpoint locations; the produced report is
+/// byte-identical to [`run_study_mode`] on the equivalent scenario either
+/// way.
+pub fn run_study_on_world(
+    world: &Arc<World>,
+    mode: ExecutionMode,
+    checkpoint_dir: Option<&Path>,
+) -> Result<StudyResult, StudyError> {
     // Collect only the spans this run produces, so back-to-back studies on
     // one thread (e.g. test suites) keep independent phase breakdowns.
     let mark = ipv6web_obs::span_mark();
-    let world = World::build(scenario);
-    let ckpt_dir = scenario.checkpoint_dir.as_deref().map(Path::new);
+    run_study_from_mark(world, mode, checkpoint_dir, mark)
+}
+
+fn run_study_from_mark(
+    world: &Arc<World>,
+    mode: ExecutionMode,
+    checkpoint_dir: Option<&Path>,
+    mark: usize,
+) -> Result<StudyResult, StudyError> {
+    let scenario = &world.scenario;
+    let ckpt_dir = checkpoint_dir;
     if let Some(dir) = ckpt_dir {
+        validate_checkpoint_dir(dir).map_err(CampaignError::Config)?;
         std::fs::create_dir_all(dir).map_err(|source| {
             StudyError::Campaign(CampaignError::Checkpoint { path: dir.to_path_buf(), source })
         })?;
@@ -239,10 +284,10 @@ pub fn run_study_mode(scenario: &Scenario, mode: ExecutionMode) -> Result<StudyR
 
     let report = {
         let _s = ipv6web_obs::span("report assembly");
-        Report::build(&world, &dbs, &analyses, &day_analyses)
+        Report::build(world, &dbs, &analyses, &day_analyses)
     };
     let timings = ipv6web_obs::Timings { phases: ipv6web_obs::take_spans_since(mark) };
-    Ok(StudyResult { world, dbs, day_dbs, analyses, day_analyses, report, timings })
+    Ok(StudyResult { world: world.clone(), dbs, day_dbs, analyses, day_analyses, report, timings })
 }
 
 #[cfg(test)]

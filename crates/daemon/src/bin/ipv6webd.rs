@@ -1,0 +1,77 @@
+//! `ipv6webd` — serve study jobs over HTTP.
+//!
+//! ```sh
+//! ipv6webd --store jobs/                          # 127.0.0.1:8642
+//! ipv6webd --store jobs/ --listen 127.0.0.1:9000 --jobs 4
+//! ```
+//!
+//! Boot replays the store: torn temp files are deleted, corrupt records
+//! quarantined, and every job that was queued or mid-flight when the
+//! previous process died goes back on the queue to resume from its
+//! checkpoints. The bound address is printed on stdout once the daemon
+//! is accepting connections.
+
+use ipv6web_daemon::{api, Daemon};
+use std::net::TcpListener;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ipv6webd --store DIR [--listen ADDR] [--jobs N]\n\
+         \x20 --store DIR    job store directory (created if missing)\n\
+         \x20 --listen ADDR  bind address (default 127.0.0.1:8642; port 0 picks one)\n\
+         \x20 --jobs N       concurrent job slots (default 2)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut store_dir: Option<String> = None;
+    let mut listen = "127.0.0.1:8642".to_string();
+    let mut jobs = 2usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => store_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--listen" => listen = it.next().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(store_dir) = store_dir else { usage() };
+
+    // metrics on from the start: /metrics serves the merged obs state
+    ipv6web_obs::enable();
+
+    let (daemon, boot) = Daemon::open(store_dir.as_ref(), jobs).unwrap_or_else(|e| {
+        eprintln!("ipv6webd: open store {store_dir}: {e}");
+        std::process::exit(2);
+    });
+    if boot != ipv6web_daemon::BootReport::default() {
+        eprintln!(
+            "ipv6webd: store replay: {} resumed, {} requeued, {} quarantined, {} temp files removed",
+            boot.resumed, boot.requeued, boot.quarantined, boot.removed_tmp
+        );
+    }
+    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("ipv6webd: bind {listen}: {e}");
+        std::process::exit(2);
+    });
+    let addr = listener.local_addr().expect("bound address");
+    let handles = daemon.start();
+
+    // stdout, and flushed: launch scripts parse this line for the port
+    println!("ipv6webd listening on http://{addr} (store {store_dir}, {jobs} job slots)");
+    use std::io::Write;
+    std::io::stdout().flush().expect("flush stdout");
+
+    if let Err(e) = api::serve(&daemon, listener) {
+        eprintln!("ipv6webd: serve: {e}");
+    }
+    daemon.shutdown();
+    for h in handles {
+        let _ = h.join();
+    }
+}

@@ -77,7 +77,7 @@ impl CampaignConfig {
 }
 
 /// A campaign configuration the tool refuses to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// `workers == 0`: the pool would never probe anything.
     ZeroWorkers,
@@ -90,6 +90,22 @@ pub enum ConfigError {
         /// The configured cap.
         max_workers: usize,
     },
+    /// The checkpoint directory's parent does not exist — almost always a
+    /// typo'd path. Creating the whole chain silently (what
+    /// `create_dir_all` would do) hides the typo until gigabytes of
+    /// checkpoints land in the wrong place, so it is rejected up front.
+    CheckpointDirMissingParent {
+        /// The requested checkpoint directory.
+        path: PathBuf,
+        /// The parent that would have to exist.
+        parent: PathBuf,
+    },
+    /// The checkpoint path (or its parent) exists but is not a directory,
+    /// so every atomic temp+rename checkpoint write would fail mid-run.
+    CheckpointDirNotADirectory {
+        /// The offending path.
+        path: PathBuf,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -100,11 +116,54 @@ impl std::fmt::Display for ConfigError {
             ConfigError::WorkersExceedCap { workers, max_workers } => {
                 write!(f, "workers ({workers}) exceeds max_workers ({max_workers})")
             }
+            ConfigError::CheckpointDirMissingParent { path, parent } => write!(
+                f,
+                "checkpoint directory {} cannot be created: parent {} does not exist",
+                path.display(),
+                parent.display()
+            ),
+            ConfigError::CheckpointDirNotADirectory { path } => {
+                write!(f, "checkpoint path {} is not a directory", path.display())
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Validates a checkpoint (or job-store) directory **before** any
+/// long-running work starts: the path must either already be a directory,
+/// or be creatable as a single new directory under an existing parent.
+///
+/// `repro --checkpoint-dir` used to accept any string and only fail
+/// minutes later, when the first atomic temp+rename checkpoint write hit
+/// the bad path; callers now get a typed [`ConfigError`] immediately.
+pub fn validate_checkpoint_dir(dir: &Path) -> Result<(), ConfigError> {
+    if dir.exists() {
+        if dir.is_dir() {
+            return Ok(());
+        }
+        return Err(ConfigError::CheckpointDirNotADirectory { path: dir.to_path_buf() });
+    }
+    // Not existing yet is fine — but only one level deep: the parent must
+    // already be there. A relative single-component path ("ckpt") has the
+    // current directory as its implicit, existing parent.
+    let parent = match dir.parent() {
+        None => return Ok(()),
+        Some(p) if p.as_os_str().is_empty() => return Ok(()),
+        Some(p) => p,
+    };
+    if !parent.exists() {
+        return Err(ConfigError::CheckpointDirMissingParent {
+            path: dir.to_path_buf(),
+            parent: parent.to_path_buf(),
+        });
+    }
+    if !parent.is_dir() {
+        return Err(ConfigError::CheckpointDirNotADirectory { path: parent.to_path_buf() });
+    }
+    Ok(())
+}
 
 /// Why a campaign could not run (or stopped).
 #[derive(Debug)]
@@ -422,6 +481,46 @@ pub fn run_ipv6_day_rounds(
 mod tests {
     use super::*;
     use crate::disturbance::{DisturbanceConfig, Disturbances};
+
+    #[test]
+    fn checkpoint_dir_validation() {
+        let base = std::env::temp_dir().join("ipv6web-ckptdir-validate");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+
+        // existing directory: fine
+        assert_eq!(validate_checkpoint_dir(&base), Ok(()));
+        // one missing level under an existing parent: fine
+        assert_eq!(validate_checkpoint_dir(&base.join("fresh")), Ok(()));
+        // bare relative component (implicit cwd parent): fine
+        assert_eq!(validate_checkpoint_dir(Path::new("just-a-name")), Ok(()));
+
+        // missing parent: typed, readable error naming both paths
+        let deep = base.join("no-such-parent").join("ckpt");
+        match validate_checkpoint_dir(&deep) {
+            Err(ConfigError::CheckpointDirMissingParent { path, parent }) => {
+                assert_eq!(path, deep);
+                assert_eq!(parent, base.join("no-such-parent"));
+                let msg = ConfigError::CheckpointDirMissingParent { path, parent }.to_string();
+                assert!(msg.contains("does not exist"), "unreadable message: {msg}");
+            }
+            other => panic!("expected CheckpointDirMissingParent, got {other:?}"),
+        }
+
+        // path exists but is a file
+        let file = base.join("a-file");
+        std::fs::write(&file, b"x").unwrap();
+        assert_eq!(
+            validate_checkpoint_dir(&file),
+            Err(ConfigError::CheckpointDirNotADirectory { path: file.clone() })
+        );
+        // parent exists but is a file
+        assert_eq!(
+            validate_checkpoint_dir(&file.join("ckpt")),
+            Err(ConfigError::CheckpointDirNotADirectory { path: file.clone() })
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
     use crate::probe::ProbeFaults;
     use ipv6web_bgp::BgpTable;
     use ipv6web_faults::{FaultInjector, FaultPlan, RetryPolicy, VantageOutage};

@@ -43,5 +43,6 @@ pub use registry::{
 };
 pub use snapshot::Snapshot;
 pub use span::{
-    attach_spans, record_span, span, span_mark, take_spans_since, Span, SpanRecord, Timings,
+    attach_spans, record_span, set_span_sink, span, span_mark, take_spans_since, Span, SpanRecord,
+    SpanSink, Timings,
 };

@@ -37,6 +37,42 @@ struct SpanLog {
 
 thread_local! {
     static SPAN_LOG: RefCell<SpanLog> = const { RefCell::new(SpanLog { depth: 0, records: Vec::new() }) };
+    static SPAN_SINK: RefCell<Option<SpanSink>> = const { RefCell::new(None) };
+}
+
+/// A live observer of completed spans on one thread; see [`set_span_sink`].
+pub type SpanSink = std::sync::Arc<dyn Fn(&SpanRecord) + Send + Sync>;
+
+/// Installs (or clears) this thread's span sink, returning the previous
+/// one. While installed, every span completed on this thread — dropped
+/// guards, [`record_span`] calls, and subtrees re-homed via
+/// [`attach_spans`] — is also streamed to the sink, *after* it lands in
+/// the thread-local log. This is how a long-running service surfaces
+/// per-phase progress of an in-flight study without waiting for the final
+/// [`Timings`]: the study driver's thread streams each phase as it
+/// completes. The sink runs outside the log borrow, so it may itself open
+/// spans (they are recorded normally but not re-streamed re-entrantly).
+pub fn set_span_sink(sink: Option<SpanSink>) -> Option<SpanSink> {
+    SPAN_SINK.with(|s| std::mem::replace(&mut *s.borrow_mut(), sink))
+}
+
+/// Streams `records` to this thread's sink, if one is installed. Takes the
+/// sink out for the duration so a sink that records spans of its own never
+/// recurses into itself.
+fn stream_to_sink(records: &[SpanRecord]) {
+    if records.is_empty() {
+        return;
+    }
+    let Some(sink) = SPAN_SINK.with(|s| s.borrow_mut().take()) else { return };
+    for r in records {
+        sink(r);
+    }
+    SPAN_SINK.with(|s| {
+        let mut slot = s.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(sink);
+        }
+    });
 }
 
 /// An active span. Records itself into the thread-local log on drop.
@@ -64,24 +100,30 @@ pub fn span(name: impl Into<String>) -> Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let seconds = self.start.elapsed().as_secs_f64();
-        SPAN_LOG.with(|l| {
+        let record = SPAN_LOG.with(|l| {
             let mut l = l.borrow_mut();
             l.depth = l.depth.saturating_sub(1);
             let depth = self.depth;
             let name = std::mem::take(&mut self.name);
-            l.records.push(SpanRecord { name, depth, seconds });
+            let record = SpanRecord { name, depth, seconds };
+            l.records.push(record.clone());
+            record
         });
+        stream_to_sink(std::slice::from_ref(&record));
     }
 }
 
 /// Records an already-measured duration as a completed span at the current
 /// nesting depth (for phases timed manually).
 pub fn record_span(name: impl Into<String>, elapsed: std::time::Duration) {
-    SPAN_LOG.with(|l| {
+    let record = SPAN_LOG.with(|l| {
         let mut l = l.borrow_mut();
         let depth = l.depth;
-        l.records.push(SpanRecord { name: name.into(), depth, seconds: elapsed.as_secs_f64() });
+        let record = SpanRecord { name: name.into(), depth, seconds: elapsed.as_secs_f64() };
+        l.records.push(record.clone());
+        record
     });
+    stream_to_sink(std::slice::from_ref(&record));
 }
 
 /// Splices spans that were recorded on another thread — captured there
@@ -94,15 +136,20 @@ pub fn attach_spans(records: Vec<SpanRecord>) {
     if records.is_empty() {
         return;
     }
-    SPAN_LOG.with(|l| {
+    let adopted = SPAN_LOG.with(|l| {
         let mut l = l.borrow_mut();
         let base = l.depth;
-        let adopted = records.into_iter().map(|mut r| {
-            r.depth += base;
-            r
-        });
-        l.records.extend(adopted);
+        let adopted: Vec<SpanRecord> = records
+            .into_iter()
+            .map(|mut r| {
+                r.depth += base;
+                r
+            })
+            .collect();
+        l.records.extend(adopted.iter().cloned());
+        adopted
     });
+    stream_to_sink(&adopted);
 }
 
 /// Current length of this thread's span log — pass to
@@ -289,6 +336,58 @@ mod tests {
         let m2 = span_mark();
         attach_spans(vec![SpanRecord { name: "flat".into(), depth: 0, seconds: 0.0 }]);
         assert_eq!(take_spans_since(m2)[0].depth, 0);
+    }
+
+    #[test]
+    fn span_sink_streams_completed_spans() {
+        use std::sync::{Arc, Mutex};
+        let mark = span_mark();
+        let seen: Arc<Mutex<Vec<(String, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let seen = seen.clone();
+            Arc::new(move |r: &SpanRecord| seen.lock().unwrap().push((r.name.clone(), r.depth)))
+        };
+        let prev = set_span_sink(Some(sink));
+        {
+            let _outer = span("job");
+            drop(span("job: phase"));
+            record_span("job: manual", std::time::Duration::from_millis(1));
+            attach_spans(vec![SpanRecord { name: "worker".into(), depth: 0, seconds: 0.5 }]);
+        }
+        set_span_sink(prev);
+        drop(span("after-sink-removed"));
+        let streamed = seen.lock().unwrap().clone();
+        assert_eq!(
+            streamed,
+            vec![
+                ("job: phase".to_string(), 1),
+                ("job: manual".to_string(), 1),
+                ("worker".to_string(), 1),
+                ("job".to_string(), 0),
+            ],
+            "sink sees every completion in log order, attach depths re-homed"
+        );
+        // the log itself is unchanged by streaming
+        let names: Vec<String> = take_spans_since(mark).into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["job: phase", "job: manual", "worker", "job", "after-sink-removed"]);
+    }
+
+    #[test]
+    fn span_sink_may_record_spans_without_recursing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let mark = span_mark();
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let prev = set_span_sink(Some(Arc::new(|_r: &SpanRecord| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            // a sink that itself measures: must not re-enter itself
+            drop(span("sink-internal"));
+        })));
+        drop(span("observed"));
+        set_span_sink(prev);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1, "sink fired once, not for its own span");
+        let names: Vec<String> = take_spans_since(mark).into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["observed", "sink-internal"], "sink's own span still logged");
     }
 
     #[test]

@@ -68,9 +68,32 @@ pub fn allowance() -> usize {
 /// Worker `w`'s share when a budget of `budget` is split over `workers`
 /// workers: `⌊budget/workers⌋`, with the first `budget mod workers`
 /// workers taking one extra. Shares sum exactly to `budget` and every
-/// share is ≥ 1 whenever `workers ≤ budget`.
-fn worker_share(budget: usize, workers: usize, w: usize) -> usize {
+/// share is ≥ 1 whenever `workers ≤ budget`. Public so long-lived worker
+/// pools outside this crate (the daemon's job executor) can split the
+/// global budget with the same arithmetic `par_map` uses.
+pub fn worker_share(budget: usize, workers: usize, w: usize) -> usize {
     budget / workers + usize::from(w < budget % workers)
+}
+
+/// Runs `f` with this thread's allowance pinned to `allowance` (clamped to
+/// ≥ 1), restoring the previous allowance afterwards — even on panic.
+///
+/// This is how a worker pool that was *not* spawned by [`par_map`] (e.g. a
+/// daemon executor running several studies concurrently) hands each worker
+/// its share of the global budget: every fan-out `f` performs then borrows
+/// from that share instead of the full `IPV6WEB_THREADS` budget, so
+/// concurrent jobs never oversubscribe in total.
+pub fn with_allowance<R>(allowance: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ALLOWANCE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = ALLOWANCE.with(|c| c.get());
+    let _restore = Restore(prev);
+    ALLOWANCE.with(|c| c.set(allowance.max(1)));
+    f()
 }
 
 /// Applies `f` to every item, possibly in parallel, returning results in
@@ -211,6 +234,39 @@ mod tests {
                 assert!(max - min <= 1);
             }
         }
+    }
+
+    #[test]
+    fn with_allowance_pins_and_restores() {
+        let before = allowance();
+        let seen = with_allowance(2, || {
+            assert_eq!(allowance(), 2);
+            // nested pin shadows, then restores
+            with_allowance(1, || assert_eq!(allowance(), 1));
+            allowance()
+        });
+        assert_eq!(seen, 2);
+        assert_eq!(allowance(), before, "allowance restored after the scope");
+        // zero clamps to one: a share of nothing still lets work run inline
+        with_allowance(0, || assert_eq!(allowance(), 1));
+    }
+
+    #[test]
+    fn with_allowance_bounds_nested_fan_out() {
+        use std::sync::atomic::AtomicUsize;
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        with_allowance(2, || {
+            let items: Vec<u32> = (0..8).collect();
+            par_map(&items, |_, x| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+                *x
+            });
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "fan-out exceeded the pinned allowance");
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! 6% of each other" (Section 3). [`pages_identical`] is that rule; the
 //! request/response builders keep an actual protocol exchange on the wire
 //! so the transaction is more than a number.
+//!
+//! The same layer also serves the *real* wire: [`read_http_request`] /
+//! [`build_http_response`] are the one-connection-per-request HTTP/1.1
+//! substrate the `ipv6webd` study daemon runs its JSON API on. One parser
+//! for both worlds keeps the simulated exchanges and the service honest
+//! about speaking the same protocol.
+
+use std::io::BufRead;
 
 /// Builds the monitor's GET request for a site's main page.
 pub fn build_request(host: &str) -> Vec<u8> {
@@ -75,6 +83,106 @@ pub fn parse_response_len(response: &[u8]) -> Option<(usize, usize)> {
     Some((sep, body_len))
 }
 
+/// A parsed HTTP/1.1 request as read off a live socket by [`read_http_request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target exactly as sent (`/jobs/job-000001-…/report`).
+    pub target: String,
+    /// Header `(name, value)` pairs in wire order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body, sized by `Content-Length` (empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Largest request body [`read_http_request`] will accept; a submitted
+/// scenario is a few KB, so 4 MiB is generous without being a memory hole.
+pub const MAX_REQUEST_BODY: usize = 4 << 20;
+
+/// Reads one HTTP/1.1 request from `r`.
+///
+/// Returns `Ok(None)` on a clean EOF before any bytes (peer closed an idle
+/// connection); malformed request lines, oversized bodies, and torn reads
+/// surface as `InvalidData`/`UnexpectedEof` errors.
+pub fn read_http_request(r: &mut impl BufRead) -> std::io::Result<Option<HttpRequest>> {
+    use std::io::{Error, ErrorKind};
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.trim_end().split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(Error::new(ErrorKind::InvalidData, format!("bad request line: {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(Error::new(ErrorKind::InvalidData, format!("bad HTTP version: {version:?}")));
+    }
+    let request = (method.to_string(), target.to_string());
+    let mut headers = Vec::new();
+    loop {
+        let mut hline = String::new();
+        if r.read_line(&mut hline)? == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "EOF inside headers"));
+        }
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        let (name, value) = hline
+            .split_once(':')
+            .ok_or_else(|| Error::new(ErrorKind::InvalidData, format!("bad header: {hline:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let body_len = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v.parse::<usize>().map_err(|_| {
+            Error::new(ErrorKind::InvalidData, format!("bad Content-Length: {v:?}"))
+        })?,
+    };
+    if body_len > MAX_REQUEST_BODY {
+        return Err(Error::new(ErrorKind::InvalidData, format!("body too large: {body_len}")));
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    Ok(Some(HttpRequest { method: request.0, target: request.1, headers, body }))
+}
+
+/// Builds a complete HTTP/1.1 response for the daemon API: status line,
+/// `Content-Type`/`Content-Length`/`Connection: close` headers, body.
+pub fn build_http_response(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nServer: ipv6webd\r\nContent-Type: {content_type}\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n",
+        reason = status_reason(status),
+        len = body.len(),
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Canonical reason phrase for the status codes the daemon emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
 /// The paper's identity rule: byte counts within `threshold` (paper: 0.06)
 /// of each other, measured relative to the larger page.
 pub fn pages_identical(bytes_a: u64, bytes_b: u64, threshold: f64) -> bool {
@@ -128,6 +236,63 @@ mod tests {
         assert!(!pages_identical(100_000, 93_999, 0.06));
         assert!(pages_identical(0, 0, 0.06));
         assert!(!pages_identical(0, 10, 0.06));
+    }
+
+    #[test]
+    fn read_request_roundtrip() {
+        let wire = b"POST /jobs HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let req = read_http_request(&mut &wire[..]).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/jobs");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn read_request_without_body() {
+        let wire = b"GET /metrics HTTP/1.1\r\n\r\n";
+        let req = read_http_request(&mut &wire[..]).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn read_request_clean_eof_is_none() {
+        assert!(read_http_request(&mut &b""[..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_request_rejects_malformed() {
+        for wire in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        ] {
+            assert!(read_http_request(&mut &wire[..]).is_err(), "accepted {wire:?}");
+        }
+        // torn body: Content-Length promises more than arrives
+        let torn = b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_http_request(&mut &torn[..]).is_err());
+    }
+
+    #[test]
+    fn http_response_parses_with_sim_parser() {
+        // the daemon's responses must satisfy the same parser the
+        // simulated monitor uses — one protocol, both worlds
+        let resp = build_http_response(200, "application/json", b"{\"ok\":true}");
+        let (head, body) = parse_response_len(&resp).unwrap();
+        assert_eq!(body, 11);
+        assert_eq!(resp.len(), head + body);
+        assert_eq!(&resp[head..], b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn status_reasons_cover_daemon_codes() {
+        assert_eq!(status_reason(200), "OK");
+        assert_eq!(status_reason(404), "Not Found");
+        assert_eq!(status_reason(599), "Unknown");
     }
 
     #[test]

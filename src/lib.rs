@@ -50,11 +50,13 @@
 //! | [`monitor`] | `ipv6web-monitor` | the paper's monitoring tool (Fig 2) |
 //! | [`analysis`] | `ipv6web-analysis` | sanitization, SP/DP, H1/H2, tables, figures |
 //! | [`core`] | `ipv6web-core` | scenarios, study driver, the [`Report`] |
+//! | [`daemon`] | `ipv6web-daemon` | `ipv6webd`: HTTP job service with a crash-safe store |
 
 pub use ipv6web_alexa as alexa;
 pub use ipv6web_analysis as analysis;
 pub use ipv6web_bgp as bgp;
 pub use ipv6web_core as core;
+pub use ipv6web_daemon as daemon;
 pub use ipv6web_dns as dns;
 pub use ipv6web_faults as faults;
 pub use ipv6web_monitor as monitor;
@@ -66,8 +68,8 @@ pub use ipv6web_topology as topology;
 pub use ipv6web_web as web;
 
 pub use ipv6web_core::{
-    run_study, run_study_mode, ExecutionMode, Report, Scenario, StreamRoutes, StudyError,
-    StudyResult, World,
+    run_study, run_study_mode, run_study_on_world, ExecutionMode, Report, Scenario, StreamRoutes,
+    StudyError, StudyResult, World,
 };
 
 #[cfg(test)]
@@ -85,6 +87,7 @@ mod tests {
         let _ = crate::faults::FaultPlan::default();
         let _ = crate::monitor::CampaignConfig::test_small();
         let _ = crate::analysis::AnalysisConfig::paper();
+        let _ = crate::daemon::JobSpec::default();
         let _ = crate::Scenario::quick(1);
     }
 }

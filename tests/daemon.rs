@@ -1,0 +1,286 @@
+//! `ipv6webd` end to end: jobs over real sockets, crash recovery, resume,
+//! and the daemon-vs-`repro` report identity the service is held to.
+
+use ipv6web::daemon::{api, Daemon, JobRecord, JobSpec, JobState, JobStore};
+use ipv6web::monitor::run_campaign_resumable;
+use ipv6web::{run_study, Scenario, World};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemons spawn worker pools and the obs registry is process-global, so
+/// these tests run one at a time.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny(seed: u64) -> Scenario {
+    let mut s = Scenario::quick(seed);
+    s.population.n_sites = 600;
+    s.tail_sites = 100;
+    s.campaign.total_weeks = 12;
+    s.timeline.total_weeks = 12;
+    s.timeline.iana_week = 4;
+    s.timeline.ipv6_day_week = 9;
+    s.fig1_from_week = 2;
+    s.analysis.min_paired_samples = 4;
+    s.route_change = Some((6, 0.03, 0.01));
+    s
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ipv6webd-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// What `repro --json` (with `--metrics`, i.e. the pure report) writes for
+/// this scenario — the byte-identity reference for daemon reports.
+fn reference_report_bytes(scenario: &Scenario) -> Vec<u8> {
+    let study = run_study(scenario).expect("valid scenario");
+    serde_json::to_string_pretty(&study.report).expect("report serializes").into_bytes()
+}
+
+/// Waits (with a deadline) until the job reaches a terminal state.
+fn wait_done(daemon: &Arc<Daemon>, id: &str) -> JobRecord {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let rec = daemon.job(id).expect("job exists");
+        match rec.state {
+            JobState::Done => return rec,
+            JobState::Failed => panic!("job {id} failed: {:?}", rec.error),
+            _ if Instant::now() > deadline => panic!("job {id} stuck in {:?}", rec.state),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Minimal HTTP/1.1 client for the daemon API: one request, one
+/// connection, returns `(status, body)`.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let sep = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("header terminator") + 4;
+    let head = std::str::from_utf8(&raw[..sep]).expect("utf8 head");
+    let status: u16 = head.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status code");
+    (status, raw[sep..].to_vec())
+}
+
+#[test]
+fn http_job_report_is_byte_identical_to_repro() {
+    let _g = LOCK.lock().unwrap();
+    let scenario = tiny(23);
+    let reference = reference_report_bytes(&scenario);
+
+    let store_dir = fresh_dir("e2e");
+    let (daemon, boot) = Daemon::open(&store_dir, 2).unwrap();
+    assert_eq!(boot, ipv6web::daemon::BootReport::default());
+    let workers = daemon.start();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let serve_daemon = daemon.clone();
+    let server = std::thread::spawn(move || api::serve(&serve_daemon, listener).expect("serve"));
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_slice()), (200, &b"{\"ok\":true}"[..]));
+
+    // submit the scenario inline, exactly as a client would
+    let spec = JobSpec { scenario: Some(scenario), ..JobSpec::default() };
+    let (status, body) = http(addr, "POST", "/jobs", &serde_json::to_string(&spec).unwrap());
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let accepted: JobRecord = serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+
+    // the report is refused while the job is in flight
+    let (status, _) = http(addr, "GET", &format!("/jobs/{}/report", accepted.id), "");
+    assert!(status == 409 || status == 200, "unexpected status {status}");
+
+    let done = wait_done(&daemon, &accepted.id);
+    assert!(!done.phases.is_empty(), "finished job must carry its phase breakdown");
+    assert!(done.phases.iter().any(|p| p.name.starts_with("campaign: ")));
+
+    // the served record shows the same terminal state
+    let (status, body) = http(addr, "GET", &format!("/jobs/{}", accepted.id), "");
+    assert_eq!(status, 200);
+    assert!(std::str::from_utf8(&body).unwrap().contains("\"state\": \"done\""));
+
+    // and the fetched report matches `repro` byte for byte
+    let (status, report) = http(addr, "GET", &format!("/jobs/{}/report", accepted.id), "");
+    assert_eq!(status, 200);
+    assert_eq!(report, reference, "daemon report must be byte-identical to repro output");
+
+    let (status, listing) = http(addr, "GET", "/jobs", "");
+    assert_eq!(status, 200);
+    assert!(std::str::from_utf8(&listing).unwrap().contains(&accepted.id));
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(std::str::from_utf8(&metrics).unwrap().contains("counters"));
+
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    server.join().unwrap();
+    for h in workers {
+        h.join().unwrap();
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+#[test]
+fn boot_resumes_killed_job_to_identical_report() {
+    let _g = LOCK.lock().unwrap();
+    let scenario = tiny(31);
+    let reference = reference_report_bytes(&scenario);
+
+    // Stage what a SIGKILL mid-job leaves behind: a record persisted as
+    // `running`, and ragged per-vantage checkpoints in the job's
+    // checkpoint directory.
+    let store_dir = fresh_dir("resume");
+    let store = JobStore::open(&store_dir).unwrap();
+    let mut rec = JobRecord::new(1, scenario.clone(), false);
+    rec.state = JobState::Running;
+    store.save(&rec).unwrap();
+
+    let ckpt = store.checkpoint_dir(&rec.id);
+    std::fs::create_dir_all(&ckpt).unwrap();
+    let world = World::build(&scenario);
+    let truncations = [5u32, 8, 0, 11, 3, 7];
+    assert_eq!(world.vantages.len(), truncations.len());
+    for (i, &cut) in truncations.iter().enumerate() {
+        if cut == 0 {
+            continue;
+        }
+        let faults = world.probe_faults(i);
+        let ctx = world.probe_ctx(i, faults.as_ref());
+        let mut cfg = scenario.campaign;
+        cfg.total_weeks = cut.min(scenario.campaign.total_weeks);
+        run_campaign_resumable(
+            &ctx,
+            &world.vantages[i],
+            &world.list,
+            &world.tail_ids,
+            |id| world.sites[id as usize].first_seen_week,
+            &cfg,
+            None,
+            Some(&ckpt),
+        )
+        .expect("partial campaign runs");
+    }
+
+    // boot: the daemon must find the in-flight job and re-queue it
+    let (daemon, boot) = Daemon::open(&store_dir, 1).unwrap();
+    assert_eq!(boot.resumed, 1, "killed job must be picked back up");
+    assert_eq!(boot.requeued, 0);
+    let resumed = daemon.job(&rec.id).expect("job survives the reboot");
+    assert_eq!(resumed.state, JobState::Queued);
+    assert_eq!(resumed.resumes, 1);
+
+    let workers = daemon.start();
+    let done = wait_done(&daemon, &rec.id);
+    assert_eq!(done.resumes, 1);
+    let report = daemon.report_bytes(&rec.id).unwrap().expect("report written");
+    assert_eq!(report, reference, "resumed report must be byte-identical to a clean run");
+
+    daemon.shutdown();
+    for h in workers {
+        h.join().unwrap();
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+#[test]
+fn boot_recovers_store_from_partial_writes() {
+    let _g = LOCK.lock().unwrap();
+    let store_dir = fresh_dir("crash");
+    let store = JobStore::open(&store_dir).unwrap();
+
+    // a healthy finished job (report present) must be left alone
+    let mut finished = JobRecord::new(1, tiny(41), false);
+    finished.state = JobState::Done;
+    store.save(&finished).unwrap();
+    store.save_report(&finished.id, b"{\"report\": true}").unwrap();
+
+    // a crash mid-save leaves a torn temp file — not a job
+    std::fs::write(store_dir.join("job-000002-aaaa.json.tmp"), b"{\"id\": \"job-00").unwrap();
+    // a record truncated on disk is corrupt — quarantined, never half-read
+    std::fs::write(store_dir.join("job-000003-bbbb.json"), b"{\"id\": \"job-000003-bbbb\"")
+        .unwrap();
+    // a job marked done whose report never landed must re-run
+    let mut lost = JobRecord::new(4, tiny(43), true);
+    lost.state = JobState::Done;
+    store.save(&lost).unwrap();
+
+    let (daemon, boot) = Daemon::open(&store_dir, 1).unwrap();
+    assert_eq!(boot.removed_tmp, 1);
+    assert_eq!(boot.quarantined, 1);
+    assert_eq!(boot.resumed, 1, "done-without-report re-runs");
+
+    // the torn and corrupt jobs are cleanly absent
+    assert!(daemon.job("job-000002-aaaa").is_none());
+    assert!(daemon.job("job-000003-bbbb").is_none());
+    assert!(store_dir.join("job-000003-bbbb.json.corrupt").exists());
+    assert!(!store_dir.join("job-000002-aaaa.json.tmp").exists());
+    // the healthy job kept its state and report
+    assert_eq!(daemon.job(&finished.id).unwrap().state, JobState::Done);
+    assert_eq!(daemon.report_bytes(&finished.id).unwrap().unwrap(), b"{\"report\": true}");
+    // the lost-report job is queued again, sequence numbering continues
+    let requeued = daemon.job(&lost.id).unwrap();
+    assert_eq!(requeued.state, JobState::Queued);
+    assert_eq!(requeued.resumes, 1);
+    let next = daemon.submit(&JobSpec::default()).unwrap();
+    assert_eq!(next.seq, 5, "sequence numbers must not collide after recovery");
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+#[test]
+fn concurrent_same_seed_jobs_share_one_world() {
+    let _g = LOCK.lock().unwrap();
+    let scenario = tiny(53);
+
+    // Reference: how much route-table work one clean study costs.
+    ipv6web::obs::enable();
+    ipv6web::obs::flush_thread();
+    let s0 = ipv6web::obs::snapshot();
+    let clean = run_study(&scenario).expect("valid scenario");
+    ipv6web::obs::flush_thread();
+    let s1 = ipv6web::obs::snapshot();
+    let solo_tables = s1.counter("bgp.tables_built") - s0.counter("bgp.tables_built");
+    assert!(solo_tables > 0, "a study must build route tables");
+    let reference =
+        serde_json::to_string_pretty(&clean.report).expect("report serializes").into_bytes();
+
+    // Two workers, two submissions of the same scenario, racing.
+    let store_dir = fresh_dir("shared");
+    let (daemon, _) = Daemon::open(&store_dir, 2).unwrap();
+    let workers = daemon.start();
+    let spec = JobSpec { scenario: Some(scenario), ..JobSpec::default() };
+    let a = daemon.submit(&spec).unwrap();
+    let b = daemon.submit(&spec).unwrap();
+    assert_ne!(a.id, b.id, "same config, distinct jobs");
+    assert_eq!(a.config_hash, b.config_hash);
+    wait_done(&daemon, &a.id);
+    wait_done(&daemon, &b.id);
+    daemon.shutdown();
+    for h in workers {
+        h.join().unwrap(); // workers flush their obs shards on exit
+    }
+    let s2 = ipv6web::obs::snapshot();
+
+    // one build, one reuse — and no duplicated route-table work: the
+    // second job rode the first job's memoized RouteStore
+    assert_eq!(s2.counter("daemon.world.built") - s1.counter("daemon.world.built"), 1);
+    assert_eq!(s2.counter("daemon.world.reused") - s1.counter("daemon.world.reused"), 1);
+    let daemon_tables = s2.counter("bgp.tables_built") - s1.counter("bgp.tables_built");
+    assert_eq!(daemon_tables, solo_tables, "two same-seed jobs must not build route tables twice");
+
+    // …and sharing never compromises output: both reports match repro
+    let ra = daemon.report_bytes(&a.id).unwrap().unwrap();
+    let rb = daemon.report_bytes(&b.id).unwrap().unwrap();
+    assert_eq!(ra, reference);
+    assert_eq!(rb, reference);
+    std::fs::remove_dir_all(&store_dir).ok();
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Byte-compare a reference file against one or more candidates.
+#
+#   tools/ci-compare.sh REFERENCE CANDIDATE [CANDIDATE...]
+#
+# Exits 0 when every candidate is byte-identical to the reference.
+# On mismatch, prints a readable unified diff head for each differing
+# candidate and exits 1. Missing files are reported explicitly (a vanished
+# artifact should never read as "identical").
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 REFERENCE CANDIDATE [CANDIDATE...]" >&2
+  exit 2
+fi
+
+ref="$1"
+shift
+if [ ! -f "$ref" ]; then
+  echo "ci-compare: reference $ref not found" >&2
+  exit 2
+fi
+
+fail=0
+for cand in "$@"; do
+  if [ ! -f "$cand" ]; then
+    echo "ci-compare: candidate $cand not found" >&2
+    fail=1
+    continue
+  fi
+  if cmp -s "$ref" "$cand"; then
+    echo "ci-compare: $cand is byte-identical to $ref"
+  else
+    echo "ci-compare: MISMATCH — $cand differs from $ref:" >&2
+    diff -u "$ref" "$cand" | head -60 >&2 || true
+    fail=1
+  fi
+done
+exit "$fail"
