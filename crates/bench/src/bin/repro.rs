@@ -9,6 +9,7 @@
 //! repro all --fault-plan plan.json --checkpoint-dir ckpt/
 //! repro all --metrics BENCH.json --baseline BENCH_baseline.json
 //! repro all --sequential           # reference pipeline, for byte-comparison
+//! repro sweep sweep.json --store out/ --procs 4   # supervised study sweep
 //! ```
 
 use ipv6web_bench::{check_regression, render_diff, BenchReport, Scale, DEFAULT_TOLERANCE};
@@ -26,6 +27,7 @@ fn usage() -> ! {
          \x20            [--seed N] [--json FILE]\n\
          \x20            [--csv DIR] [--fault-plan FILE] [--checkpoint-dir DIR]\n\
          \x20            [--metrics FILE] [--baseline FILE] [--sequential]\n\
+         \x20      repro sweep <sweep.json> --store DIR [--procs N] [--metrics FILE]\n\
          artifacts: {}",
         ARTIFACTS.join(" ")
     );
@@ -36,6 +38,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    // `repro sweep …` hands the rest of the line to the sweep CLI before
+    // any artifact parsing. The `["sweep"]` prefix makes worker
+    // self-invocations (`current_exe()`) route back through this arm.
+    if args[0] == "sweep" {
+        std::process::exit(ipv6web_sweep::cli::cli_main(&args[1..], &["sweep"]));
     }
     let mut wanted: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;

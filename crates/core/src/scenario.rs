@@ -214,6 +214,38 @@ impl Scenario {
         s
     }
 
+    /// This scenario re-seeded. The sweep axes are built from these
+    /// `with_*` combinators: each returns a fresh scenario differing in
+    /// exactly one knob, so a sweep's study matrix is a pure function of
+    /// its base scenario and axis lists.
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// This scenario with the IPv6 peer-peer parity probability — the
+    /// paper's headline knob — set to `parity`.
+    pub fn with_peering_parity(mut self, parity: f64) -> Scenario {
+        self.topology.dual.peering_parity = parity;
+        self
+    }
+
+    /// This scenario under a different adoption timeline, re-syncing every
+    /// knob [`Scenario::validate`] ties to the calendar: the campaign
+    /// length follows the timeline, and `fig1_from_week` / the
+    /// route-change epoch are clamped back inside a shortened campaign
+    /// (preserving their week when it still fits).
+    pub fn with_timeline(mut self, timeline: AdoptionTimeline) -> Scenario {
+        self.campaign.total_weeks = timeline.total_weeks;
+        self.fig1_from_week = self.fig1_from_week.min(timeline.total_weeks.saturating_sub(1));
+        if let Some((week, gain, loss)) = self.route_change {
+            let clamped = week.clamp(1, timeline.total_weeks.saturating_sub(1).max(1));
+            self.route_change = Some((clamped, gain, loss));
+        }
+        self.timeline = timeline;
+        self
+    }
+
     /// Validates cross-component consistency.
     pub fn validate(&self) -> Result<(), String> {
         self.topology.validate()?;
@@ -355,6 +387,42 @@ mod tests {
         let mut c = Scenario::quick(7);
         c.identity_threshold = 0.07;
         assert_ne!(a.config_hash(), c.config_hash());
+    }
+
+    #[test]
+    fn variant_combinators_change_exactly_the_knob() {
+        let base = Scenario::quick(1);
+        let s = base.clone().with_seed(9);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.with_seed(1), base, "seed was the only difference");
+
+        let p = base.clone().with_peering_parity(0.9);
+        assert_eq!(p.topology.dual.peering_parity, 0.9);
+        assert_ne!(p.config_hash(), base.config_hash(), "parity is part of the identity");
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn with_timeline_resyncs_campaign_and_clamps_weeks() {
+        let base = Scenario::quick(1);
+        // lengthen: campaign follows, nothing needs clamping
+        let mut longer = base.timeline.clone();
+        longer.total_weeks += 10;
+        let s = base.clone().with_timeline(longer.clone());
+        assert_eq!(s.campaign.total_weeks, longer.total_weeks);
+        assert_eq!(s.validate(), Ok(()));
+
+        // shorten below fig1_from_week and the route-change epoch: both
+        // are clamped back inside the campaign
+        let mut shorter = base.timeline.clone();
+        shorter.total_weeks = 10; // below quick's route-change epoch (13)
+        shorter.iana_week = 3;
+        shorter.ipv6_day_week = 8;
+        let s = base.clone().with_timeline(shorter);
+        assert_eq!(s.campaign.total_weeks, 10);
+        assert!(s.fig1_from_week < 10);
+        assert_eq!(s.route_change.map(|(w, _, _)| w), Some(9), "epoch clamped inside campaign");
+        assert_eq!(s.validate(), Ok(()));
     }
 
     #[test]

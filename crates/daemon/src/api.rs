@@ -19,10 +19,17 @@
 
 use crate::daemon::Daemon;
 use crate::job::JobSpec;
-use ipv6web_web::{build_http_response, read_http_request, HttpRequest};
+use ipv6web_web::{build_http_response, read_http_request_deadline, HttpRequest};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget for reading one request off the socket. Control-plane
+/// requests are a few KB; ten seconds is generous for any honest client
+/// and cuts off a slowloris peer (half-sent or drip-fed requests) that
+/// would otherwise pin the accept thread forever.
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(10);
 
 /// One routed response: status + JSON body (already serialized).
 struct Reply {
@@ -94,7 +101,18 @@ fn route(daemon: &Arc<Daemon>, req: &HttpRequest) -> (Reply, bool) {
             },
         },
         ("POST", ["shutdown"]) => {
-            daemon.shutdown();
+            // Graceful drain: running jobs stay `Running` on disk (the
+            // resume marker the next boot replays), queued jobs stay
+            // queued, and the process exits without waiting for studies
+            // to finish — their checkpoints make the wait unnecessary.
+            let draining = daemon.drain();
+            if !draining.is_empty() {
+                eprintln!(
+                    "ipv6webd: drain: {} running job(s) marked for resume: {}",
+                    draining.len(),
+                    draining.join(", ")
+                );
+            }
             return (Reply::ok(), true);
         }
         (_, ["healthz" | "metrics" | "jobs" | "shutdown", ..]) => {
@@ -105,13 +123,24 @@ fn route(daemon: &Arc<Daemon>, req: &HttpRequest) -> (Reply, bool) {
     (reply, false)
 }
 
-/// Handles one connection: parse, route, respond.
-fn handle(daemon: &Arc<Daemon>, stream: TcpStream) -> io::Result<bool> {
+/// Handles one connection: parse (under `read_deadline`), route, respond.
+///
+/// The socket's per-read timeout catches a fully stalled peer (blocked
+/// `read` returns `WouldBlock`/`TimedOut`); the deadline threaded through
+/// [`read_http_request_deadline`] catches the drip-feeding one whose every
+/// individual read succeeds. Both answer 408 and close.
+fn handle(daemon: &Arc<Daemon>, stream: TcpStream, read_deadline: Duration) -> io::Result<bool> {
+    stream.set_read_timeout(Some(read_deadline))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
-    let (reply, stop) = match read_http_request(&mut reader) {
+    let deadline = Some(Instant::now() + read_deadline);
+    let (reply, stop) = match read_http_request_deadline(&mut reader, deadline) {
         Ok(Some(req)) => route(daemon, &req),
         Ok(None) => return Ok(false), // peer closed without a request
+        Err(e) if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) => {
+            ipv6web_obs::inc("api.read_timeouts");
+            (Reply::error(408, "request read timed out"), false)
+        }
         Err(e) => (Reply::error(400, &format!("bad request: {e}")), false),
     };
     stream.write_all(&build_http_response(reply.status, "application/json", &reply.body))?;
@@ -119,20 +148,30 @@ fn handle(daemon: &Arc<Daemon>, stream: TcpStream) -> io::Result<bool> {
     Ok(stop)
 }
 
-/// Serves the API on `listener` until `POST /shutdown` (or a fatal accept
-/// error). Each connection is handled on the accept thread — requests are
-/// tiny control-plane exchanges; the studies themselves run on the worker
-/// pool, never here.
-pub fn serve(daemon: &Arc<Daemon>, listener: TcpListener) -> io::Result<()> {
+/// [`serve`] with an explicit per-request read deadline.
+pub fn serve_with_deadline(
+    daemon: &Arc<Daemon>,
+    listener: TcpListener,
+    read_deadline: Duration,
+) -> io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
-        match handle(daemon, stream) {
+        match handle(daemon, stream, read_deadline) {
             Ok(true) => break,
             Ok(false) => {}
             Err(e) => eprintln!("ipv6webd: connection error: {e}"),
         }
     }
     Ok(())
+}
+
+/// Serves the API on `listener` until `POST /shutdown` (or a fatal accept
+/// error). Each connection is handled on the accept thread — requests are
+/// tiny control-plane exchanges; the studies themselves run on the worker
+/// pool, never here. Requests must arrive within
+/// [`DEFAULT_READ_DEADLINE`].
+pub fn serve(daemon: &Arc<Daemon>, listener: TcpListener) -> io::Result<()> {
+    serve_with_deadline(daemon, listener, DEFAULT_READ_DEADLINE)
 }
 
 #[cfg(test)]

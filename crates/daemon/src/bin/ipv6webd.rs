@@ -70,8 +70,13 @@ fn main() {
     if let Err(e) = api::serve(&daemon, listener) {
         eprintln!("ipv6webd: serve: {e}");
     }
-    daemon.shutdown();
-    for h in handles {
-        let _ = h.join();
-    }
+    // Graceful drain: running jobs are flushed to disk still marked
+    // Running — the resume marker boot replays — and the process exits
+    // without waiting for them. Studies checkpoint as they go, so the
+    // restarted daemon resumes mid-campaign and writes identical bytes.
+    let draining = daemon.drain();
+    eprintln!("ipv6webd: drained ({} job(s) will resume on restart)", draining.len());
+    ipv6web_obs::flush_thread();
+    drop(handles); // crash-only: never block the exit on in-flight studies
+    std::process::exit(0);
 }

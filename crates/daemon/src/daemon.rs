@@ -178,6 +178,32 @@ impl Daemon {
         self.state.lock().expect("daemon state lock").shutdown
     }
 
+    /// Graceful drain for `POST /shutdown`: stops accepting work, wakes
+    /// idle workers, re-persists every running job (its `Running` state
+    /// on disk *is* the resume marker the next boot replays into a
+    /// re-queue), and returns the draining job ids. The process may exit
+    /// immediately afterwards — in-flight studies checkpoint as they go,
+    /// so a restarted daemon resumes them and produces identical bytes.
+    pub fn drain(&self) -> Vec<String> {
+        let mut state = self.state.lock().expect("daemon state lock");
+        state.shutdown = true;
+        let mut draining = Vec::new();
+        for rec in state.jobs.values() {
+            if rec.state == JobState::Running {
+                // flush the record now: drain must not depend on any
+                // later update landing before the process exits
+                if let Err(e) = self.store.save(rec) {
+                    eprintln!("ipv6webd: drain persist {}: {e}", rec.id);
+                }
+                draining.push(rec.id.clone());
+            }
+        }
+        drop(state);
+        self.work.notify_all();
+        ipv6web_obs::flush_thread();
+        draining
+    }
+
     /// Mutates a record under the state lock and persists the result.
     fn update(&self, id: &str, f: impl FnOnce(&mut JobRecord)) {
         let mut state = self.state.lock().expect("daemon state lock");

@@ -123,6 +123,7 @@ impl JobStore {
                 None => {
                     let corrupt = path.with_extension("json.corrupt");
                     std::fs::rename(&path, &corrupt)?;
+                    ipv6web_obs::inc("store.quarantined");
                     out.quarantined.push(corrupt);
                 }
             }

@@ -31,6 +31,40 @@ use std::sync::Mutex;
 /// Environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "IPV6WEB_THREADS";
 
+/// Environment variable carrying the *process-level* tier of the budget:
+/// how many worker **processes** a multi-process driver (the sweep
+/// orchestrator) shards work across. Threads split `IPV6WEB_THREADS`
+/// inside one process; processes split the same budget across address
+/// spaces — the orchestrator hands each child `IPV6WEB_THREADS =
+/// process_share(procs, p)` so `procs × threads` never oversubscribes
+/// the machine, exactly like nested `par_map` fan-outs never do.
+pub const PROCS_ENV: &str = "IPV6WEB_PROCS";
+
+/// Number of worker processes to shard across: `IPV6WEB_PROCS` if set to
+/// a positive integer, else 1 (single-process operation; the thread tier
+/// alone). Callers with an explicit `--procs` flag override this.
+pub fn process_count() -> usize {
+    if let Ok(v) = std::env::var(PROCS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
+/// The `IPV6WEB_THREADS` budget worker process `p` of `procs` should run
+/// under: the same remainder-spreading split as [`worker_share`], applied
+/// to the global thread budget, clamped to ≥ 1 because a process cannot
+/// run on zero threads. Shares sum exactly to [`thread_count`] whenever
+/// `procs ≤ thread_count()`; with more processes than budget the overflow
+/// processes still get one thread each (explicit, bounded
+/// oversubscription — same rule as [`with_allowance`]'s clamp).
+pub fn process_share(procs: usize, p: usize) -> usize {
+    worker_share(thread_count(), procs.max(1), p).max(1)
+}
+
 /// Number of worker threads to use: `IPV6WEB_THREADS` if set to a positive
 /// integer, else the machine's available parallelism, else 1.
 pub fn thread_count() -> usize {
@@ -234,6 +268,67 @@ mod tests {
                 assert!(max - min <= 1);
             }
         }
+    }
+
+    #[test]
+    fn worker_share_more_workers_than_budget() {
+        // Budget 3 over 5 workers: the first three get one thread, the
+        // rest get zero — `with_allowance` clamps a zero share to 1 when
+        // the worker actually runs, but the arithmetic itself must not
+        // inflate the total.
+        let shares: Vec<usize> = (0..5).map(|w| worker_share(3, 5, w)).collect();
+        assert_eq!(shares, vec![1, 1, 1, 0, 0]);
+        assert_eq!(shares.iter().sum::<usize>(), 3);
+        // a zero share still runs inline once pinned
+        with_allowance(worker_share(3, 5, 4), || assert_eq!(allowance(), 1));
+    }
+
+    #[test]
+    fn worker_share_budget_one() {
+        // The smallest budget: exactly one worker gets the thread.
+        for workers in 1..=6 {
+            let shares: Vec<usize> = (0..workers).map(|w| worker_share(1, workers, w)).collect();
+            assert_eq!(shares.iter().sum::<usize>(), 1, "workers = {workers}");
+            assert_eq!(shares[0], 1, "the single thread goes to worker 0");
+        }
+    }
+
+    #[test]
+    fn worker_share_boundary_index() {
+        // The remainder boundary: with budget B over W workers, worker
+        // `B mod W − 1` is the last to take an extra thread and worker
+        // `B mod W` the first without one.
+        for (budget, workers) in [(7usize, 3usize), (10, 4), (9, 4), (5, 2), (13, 5)] {
+            let r = budget % workers;
+            if r == 0 {
+                continue;
+            }
+            assert_eq!(worker_share(budget, workers, r - 1), budget / workers + 1);
+            assert_eq!(worker_share(budget, workers, r), budget / workers);
+        }
+    }
+
+    #[test]
+    fn process_count_defaults_to_one() {
+        // IPV6WEB_PROCS is unset in the test environment; the thread tier
+        // alone is the default.
+        if std::env::var(PROCS_ENV).is_err() {
+            assert_eq!(process_count(), 1);
+        }
+    }
+
+    #[test]
+    fn process_shares_cover_the_thread_budget() {
+        let budget = thread_count();
+        for procs in 1..=budget {
+            let shares: Vec<usize> = (0..procs).map(|p| process_share(procs, p)).collect();
+            assert_eq!(shares.iter().sum::<usize>(), budget, "procs = {procs}");
+            assert!(shares.iter().all(|&s| s >= 1));
+        }
+        // more processes than threads: every process still gets one
+        let shares: Vec<usize> = (0..budget + 3).map(|p| process_share(budget + 3, p)).collect();
+        assert!(shares.iter().all(|&s| s >= 1));
+        assert_eq!(shares.iter().sum::<usize>(), budget + 3, "one thread per overflow process");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Aggregate tables over a sweep's study records.
+//!
+//! The headline query is the paper's headline knob: **H2 loss rate vs
+//! peering parity** — how much of the IPv6 data-plane quality gap
+//! survives as peer-peer parity rises — with Student-t confidence
+//! intervals from `ipv6web-stats` over the per-study loss rates.
+//! Everything here is a pure function of the (index-sorted) record list,
+//! so the rendered text is order-independent on merge and byte-stable
+//! across crash-resume.
+
+use crate::record::{StudyRecord, StudyStatus};
+use ipv6web_stats::{mean_ci, StudentT, Welford};
+
+/// Groups done records by a key, preserving first-seen (index) order.
+fn group_by<'a, K: PartialEq + Clone>(
+    records: &[&'a StudyRecord],
+    key: impl Fn(&StudyRecord) -> K,
+) -> Vec<(K, Vec<&'a StudyRecord>)> {
+    let mut groups: Vec<(K, Vec<&StudyRecord>)> = Vec::new();
+    for r in records {
+        let k = key(r);
+        match groups.iter_mut().find(|(g, _)| *g == k) {
+            Some((_, members)) => members.push(r),
+            None => groups.push((k, vec![r])),
+        }
+    }
+    groups
+}
+
+fn fmt_ci_pct(acc: &Welford) -> String {
+    let ci = mean_ci(acc, StudentT::P95);
+    let half = ci.half_width * 100.0;
+    if half.is_finite() {
+        format!("{:>7.3} ±{:>6.3}", ci.mean * 100.0, half)
+    } else {
+        format!("{:>7.3} ±   n/a", ci.mean * 100.0)
+    }
+}
+
+/// Renders the "H2 loss rate vs peering parity" table: one row per
+/// parity level, mean loss (percent) with a 95% CI over the level's
+/// studies, plus verdict counts.
+pub fn render_parity_table(sorted: &[&StudyRecord]) -> String {
+    let done: Vec<&StudyRecord> =
+        sorted.iter().copied().filter(|r| r.status == StudyStatus::Done).collect();
+    let mut out = String::from("H2 loss rate vs peering parity (mean % ± 95% CI)\n");
+    out.push_str(&format!(
+        "{:<8} {:>4}  {:<16} {:>9} {:>9}\n",
+        "parity", "n", "loss %", "h1 holds", "h2 holds"
+    ));
+    out.push_str(&"-".repeat(52));
+    out.push('\n');
+    for (parity, members) in group_by(&done, |r| r.peering_parity) {
+        let losses: Welford =
+            members.iter().filter_map(|r| r.metrics.as_ref()).map(|m| m.h2_loss_rate).collect();
+        let h1 = members.iter().filter(|r| r.metrics.as_ref().is_some_and(|m| m.h1_holds)).count();
+        let h2 = members.iter().filter(|r| r.metrics.as_ref().is_some_and(|m| m.h2_holds)).count();
+        let n = members.len();
+        out.push_str(&format!(
+            "{parity:<8} {n:>4}  {:<16} {:>9} {:>9}\n",
+            fmt_ci_pct(&losses),
+            format!("{h1}/{n}"),
+            format!("{h2}/{n}"),
+        ));
+    }
+    out
+}
+
+/// Renders verdict stability per timeline and per fault plan.
+pub fn render_stability_table(sorted: &[&StudyRecord]) -> String {
+    let done: Vec<&StudyRecord> =
+        sorted.iter().copied().filter(|r| r.status == StudyStatus::Done).collect();
+    let mut out = String::from("Verdict stability by axis\n");
+    out.push_str(&format!(
+        "{:<10} {:<12} {:>4} {:>9} {:>9} {:>11}\n",
+        "axis", "value", "n", "h1 holds", "h2 holds", "mean loss %"
+    ));
+    out.push_str(&"-".repeat(60));
+    out.push('\n');
+    let mut render_axis = |axis: &str, key: &dyn Fn(&StudyRecord) -> String| {
+        for (value, members) in group_by(&done, key) {
+            let h1 =
+                members.iter().filter(|r| r.metrics.as_ref().is_some_and(|m| m.h1_holds)).count();
+            let h2 =
+                members.iter().filter(|r| r.metrics.as_ref().is_some_and(|m| m.h2_holds)).count();
+            let losses: Welford =
+                members.iter().filter_map(|r| r.metrics.as_ref()).map(|m| m.h2_loss_rate).collect();
+            let n = members.len();
+            out.push_str(&format!(
+                "{axis:<10} {value:<12} {n:>4} {:>9} {:>9} {:>11.3}\n",
+                format!("{h1}/{n}"),
+                format!("{h2}/{n}"),
+                losses.mean() * 100.0,
+            ));
+        }
+    };
+    render_axis("timeline", &|r| r.timeline.clone());
+    render_axis("faults", &|r| r.faults.clone());
+    out
+}
+
+/// Renders the full sweep summary: completion accounting, the parity
+/// table, stability tables, and the quarantine list.
+pub fn render_summary(sorted: &[&StudyRecord]) -> String {
+    let done = sorted.iter().filter(|r| r.status == StudyStatus::Done).count();
+    let quarantined: Vec<&&StudyRecord> =
+        sorted.iter().filter(|r| r.status == StudyStatus::Quarantined).collect();
+    let mut out = String::from("=== ipv6web-sweep summary ===\n\n");
+    out.push_str(&format!(
+        "studies: {} total, {done} done, {} quarantined\n\n",
+        sorted.len(),
+        quarantined.len()
+    ));
+    out.push_str(&render_parity_table(sorted));
+    out.push('\n');
+    out.push_str(&render_stability_table(sorted));
+    if !quarantined.is_empty() {
+        out.push('\n');
+        out.push_str("Quarantined studies (poison records)\n");
+        for r in &quarantined {
+            out.push_str(&format!(
+                "  {}  seed {}  parity {}  timeline {}  faults {}  — {}\n",
+                r.key,
+                r.seed,
+                r.peering_parity,
+                r.timeline,
+                r.faults,
+                r.reason.as_deref().unwrap_or("unknown"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{StudyMetrics, StudyRecord};
+    use crate::spec::SweepSpec;
+
+    fn synthetic(n_seeds: u64) -> Vec<StudyRecord> {
+        let cases = SweepSpec {
+            scale: Some("quick".to_string()),
+            seeds: Some((1..=n_seeds).collect()),
+            peering_parity: Some(vec![0.25, 0.75]),
+            ..SweepSpec::default()
+        }
+        .expand()
+        .unwrap();
+        cases
+            .iter()
+            .map(|c| {
+                if c.index == 3 {
+                    return StudyRecord::quarantined(c, "timed out after 10s");
+                }
+                // Fabricating a full `Report` is overkill; start from a
+                // quarantine record and flip it to a synthetic done state.
+                let mut rec = StudyRecord::quarantined(c, "placeholder");
+                rec.status = crate::record::StudyStatus::Done;
+                rec.reason = None;
+                rec.metrics = Some(StudyMetrics {
+                    h1_holds: true,
+                    h2_holds: c.peering_parity > 0.5,
+                    h1_min_share: 0.9,
+                    h2_min_share: 0.8,
+                    h2_loss_rate: if c.peering_parity > 0.5 { 0.05 } else { 0.20 }
+                        + c.seed as f64 * 0.001,
+                    sites_kept: 100 + c.seed,
+                    dest_ases_v6: 40,
+                });
+                rec
+            })
+            .collect()
+    }
+
+    #[test]
+    fn summary_counts_and_groups() {
+        let recs = synthetic(4);
+        let sorted: Vec<&StudyRecord> = recs.iter().collect();
+        let text = render_summary(&sorted);
+        assert!(text.contains("studies: 8 total, 7 done, 1 quarantined"), "{text}");
+        assert!(text.contains("H2 loss rate vs peering parity"));
+        assert!(text.contains("0.25"));
+        assert!(text.contains("0.75"));
+        assert!(text.contains("Quarantined studies"));
+        assert!(text.contains("timed out after 10s"));
+    }
+
+    #[test]
+    fn parity_table_separates_levels() {
+        let recs = synthetic(4);
+        let sorted: Vec<&StudyRecord> = recs.iter().collect();
+        let table = render_parity_table(&sorted);
+        let low: Vec<&str> = table.lines().filter(|l| l.starts_with("0.25")).collect();
+        let high: Vec<&str> = table.lines().filter(|l| l.starts_with("0.75")).collect();
+        assert_eq!(low.len(), 1);
+        assert_eq!(high.len(), 1);
+        // low parity loses more, and the quarantined study is excluded
+        assert!(low[0].contains(" 3 "), "one of four low-parity studies is poison: {}", low[0]);
+        assert!(high[0].contains(" 4 "), "{}", high[0]);
+        assert!(high[0].contains("4/4"), "h2 holds at high parity: {}", high[0]);
+    }
+
+    #[test]
+    fn rendering_is_input_order_independent_after_sort() {
+        let recs = synthetic(3);
+        let sorted: Vec<&StudyRecord> = recs.iter().collect();
+        let mut reversed: Vec<&StudyRecord> = recs.iter().rev().collect();
+        reversed.sort_by_key(|r| r.index);
+        assert_eq!(render_summary(&sorted), render_summary(&reversed));
+    }
+}

@@ -1,0 +1,6 @@
+//! Standalone sweep binary; `repro sweep` multiplexes to the same CLI.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ipv6web_sweep::cli::cli_main(&args, &[]));
+}

@@ -1,0 +1,172 @@
+//! The ISSUE 8 acceptance run, end to end over real OS processes.
+//!
+//! One 64-study sweep (the `emit-spec` smoke spec, chaos included) is run
+//! twice from the same spec file:
+//!
+//! * a clean reference pass, one worker process at a time (`--procs 1`);
+//! * a chaos pass with two worker processes that is SIGKILLed mid-sweep
+//!   — orchestrator and whatever workers it had in flight — and then
+//!   restarted to completion.
+//!
+//! The spec itself scripts the rest of the required failures: one study
+//! hangs with heartbeats until the wall-clock timeout kills it, one hangs
+//! silently until stall detection kills it (both end quarantined after
+//! `max_attempts`), and one worker SIGABRTs mid-study on its first
+//! attempt and succeeds on retry. The resumed chaos store must merge to
+//! byte-identical `results.json`, `summary.txt`, and per-study records.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const EXE: &str = env!("CARGO_BIN_EXE_ipv6web-sweep");
+
+fn tmp_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ipv6web-sweep-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_to_completion(spec: &Path, store: &Path, procs: usize) {
+    let status = Command::new(EXE)
+        .args(["run"])
+        .arg(spec)
+        .arg("--store")
+        .arg(store)
+        .args(["--procs", &procs.to_string()])
+        .status()
+        .expect("spawn sweep");
+    assert!(status.success(), "sweep run into {} failed: {status}", store.display());
+}
+
+fn record_files(store: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(store).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        if name.starts_with("study-") && name.ends_with(".json") {
+            out.insert(name, std::fs::read(&path).unwrap());
+        }
+    }
+    out
+}
+
+fn read(store: &Path, name: &str) -> Vec<u8> {
+    std::fs::read(store.join(name))
+        .unwrap_or_else(|e| panic!("read {name} in {}: {e}", store.display()))
+}
+
+#[test]
+fn killed_sweep_resumes_to_byte_identical_output() {
+    let root = tmp_root();
+    let spec_path = root.join("sweep.json");
+    let spec = ipv6web_sweep::cli::smoke_spec();
+    let mut json = serde_json::to_string_pretty(&spec).unwrap();
+    json.push('\n');
+    std::fs::write(&spec_path, json).unwrap();
+    let total = spec.expand().unwrap().len();
+    assert!(total >= 64, "acceptance requires a >=64-study sweep, got {total}");
+
+    // --- clean reference: one process at a time, straight through -------
+    let ref_dir = root.join("reference");
+    run_to_completion(&spec_path, &ref_dir, 1);
+    let ref_records = record_files(&ref_dir);
+    assert_eq!(ref_records.len(), total, "reference run must finish every study");
+
+    // --- chaos: two processes, SIGKILL the orchestrator mid-sweep -------
+    let chaos_dir = root.join("chaos");
+    let mut child = Command::new(EXE)
+        .args(["run"])
+        .arg(&spec_path)
+        .arg("--store")
+        .arg(&chaos_dir)
+        .args(["--procs", "2"])
+        .spawn()
+        .expect("spawn chaos sweep");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let done = if chaos_dir.exists() { record_files(&chaos_dir).len() } else { 0 };
+        if done >= 8 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "chaos sweep wrote only {done} records in 120s");
+        match child.try_wait().expect("poll chaos sweep") {
+            Some(status) => panic!("chaos sweep finished before we could kill it: {status}"),
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    child.kill().expect("SIGKILL orchestrator"); // Child::kill is SIGKILL on Unix
+    child.wait().expect("reap orchestrator");
+    // Orphaned workers may still land a few records; the sweep itself
+    // must be visibly incomplete when the restart begins.
+    assert!(
+        record_files(&chaos_dir).len() < total,
+        "orchestrator died but the sweep still completed — kill came too late"
+    );
+
+    // --- restart: resume from the store, finish, merge ------------------
+    run_to_completion(&spec_path, &chaos_dir, 2);
+
+    // --- byte-identity ---------------------------------------------------
+    let chaos_records = record_files(&chaos_dir);
+    assert_eq!(chaos_records.len(), total);
+    assert_eq!(ref_records, chaos_records, "per-study records must be byte-identical");
+    assert_eq!(
+        read(&ref_dir, "results.json"),
+        read(&chaos_dir, "results.json"),
+        "merged results.json must be byte-identical"
+    );
+    assert_eq!(
+        read(&ref_dir, "summary.txt"),
+        read(&chaos_dir, "summary.txt"),
+        "summary.txt must be byte-identical"
+    );
+
+    // --- chaos accounting ------------------------------------------------
+    let results: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&read(&chaos_dir, "results.json")).unwrap())
+            .unwrap();
+    let obj = match &results {
+        serde_json::Value::Obj(fields) => fields,
+        other => panic!("results.json root: {other:?}"),
+    };
+    let quarantined = obj
+        .iter()
+        .find(|(k, _)| k == "quarantined")
+        .map(|(_, v)| match v {
+            serde_json::Value::U64(n) => *n,
+            other => panic!("quarantined: {other:?}"),
+        })
+        .unwrap();
+    assert_eq!(quarantined, 2, "the hang and hang_silent studies end as poison records");
+
+    let summary = String::from_utf8(read(&chaos_dir, "summary.txt")).unwrap();
+    assert!(summary.contains("2 quarantined"), "summary accounts for quarantines:\n{summary}");
+    assert!(summary.contains("timed out after"), "hang quarantine reason:\n{summary}");
+    assert!(summary.contains("heartbeat stalled for"), "stall quarantine reason:\n{summary}");
+
+    // The crash-once chaos worker SIGABRTed mid-study on its first
+    // attempt (the marker is the proof it ran), then completed on retry:
+    // its record must be a Done row, not a quarantine.
+    let chaos_spec = spec.chaos();
+    let crash_case = spec
+        .expand()
+        .unwrap()
+        .into_iter()
+        .find(|c| chaos_spec.crashes_once(c.index))
+        .expect("spec scripts a crash_once study");
+    for dir in [&ref_dir, &chaos_dir] {
+        assert!(
+            dir.join(format!("{}.crashed", crash_case.key())).exists(),
+            "crash_once marker missing in {}",
+            dir.display()
+        );
+        let text =
+            String::from_utf8(read(dir, &format!("study-{}.json", crash_case.key()))).unwrap();
+        assert!(text.contains("\"done\""), "crash_once study must recover to done: {text}");
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+}

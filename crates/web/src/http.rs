@@ -13,6 +13,7 @@
 //! about speaking the same protocol.
 
 use std::io::BufRead;
+use std::time::Instant;
 
 /// Builds the monitor's GET request for a site's main page.
 pub fn build_request(host: &str) -> Vec<u8> {
@@ -107,17 +108,43 @@ impl HttpRequest {
 /// scenario is a few KB, so 4 MiB is generous without being a memory hole.
 pub const MAX_REQUEST_BODY: usize = 4 << 20;
 
-/// Reads one HTTP/1.1 request from `r`.
+/// Reads one HTTP/1.1 request from `r`, with no read deadline.
 ///
 /// Returns `Ok(None)` on a clean EOF before any bytes (peer closed an idle
 /// connection); malformed request lines, oversized bodies, and torn reads
 /// surface as `InvalidData`/`UnexpectedEof` errors.
 pub fn read_http_request(r: &mut impl BufRead) -> std::io::Result<Option<HttpRequest>> {
+    read_http_request_deadline(r, None)
+}
+
+/// Body bytes pulled per read while draining `Content-Length`; bounds how
+/// long one successful read can keep a past-deadline connection alive.
+const BODY_CHUNK: usize = 8 << 10;
+
+/// [`read_http_request`] under a wall-clock `deadline` — the slowloris
+/// guard. A peer drip-feeding one header line (or one body chunk) per
+/// socket-timeout interval passes every *individual* read, so a per-read
+/// timeout alone never fires; the deadline is checked between reads and
+/// cuts the request off as `TimedOut` once its total wall-clock budget is
+/// spent, no matter how lively the drip is.
+pub fn read_http_request_deadline(
+    r: &mut impl BufRead,
+    deadline: Option<Instant>,
+) -> std::io::Result<Option<HttpRequest>> {
     use std::io::{Error, ErrorKind};
+    let check = |what: &str| -> std::io::Result<()> {
+        match deadline {
+            Some(d) if Instant::now() >= d => {
+                Err(Error::new(ErrorKind::TimedOut, format!("read deadline exceeded in {what}")))
+            }
+            _ => Ok(()),
+        }
+    };
     let mut line = String::new();
     if r.read_line(&mut line)? == 0 {
         return Ok(None);
     }
+    check("request line")?;
     let mut parts = line.trim_end().split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
@@ -133,6 +160,7 @@ pub fn read_http_request(r: &mut impl BufRead) -> std::io::Result<Option<HttpReq
         if r.read_line(&mut hline)? == 0 {
             return Err(Error::new(ErrorKind::UnexpectedEof, "EOF inside headers"));
         }
+        check("headers")?;
         let hline = hline.trim_end();
         if hline.is_empty() {
             break;
@@ -151,8 +179,16 @@ pub fn read_http_request(r: &mut impl BufRead) -> std::io::Result<Option<HttpReq
     if body_len > MAX_REQUEST_BODY {
         return Err(Error::new(ErrorKind::InvalidData, format!("body too large: {body_len}")));
     }
+    // Drain the body in bounded chunks, re-checking the deadline between
+    // them — one giant read_exact would let a slow body bypass the guard.
     let mut body = vec![0u8; body_len];
-    r.read_exact(&mut body)?;
+    let mut filled = 0;
+    while filled < body_len {
+        let end = (filled + BODY_CHUNK).min(body_len);
+        r.read_exact(&mut body[filled..end])?;
+        filled = end;
+        check("body")?;
+    }
     Ok(Some(HttpRequest { method: request.0, target: request.1, headers, body }))
 }
 
@@ -177,6 +213,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         500 => "Internal Server Error",
         _ => "Unknown",
@@ -277,6 +314,72 @@ mod tests {
         assert!(read_http_request(&mut &torn[..]).is_err());
     }
 
+    /// A peer that drips `chunk` bytes per read, sleeping first — the
+    /// slowloris shape: every individual read succeeds promptly enough,
+    /// but the request as a whole never finishes.
+    struct Drip<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+        delay: std::time::Duration,
+    }
+
+    impl std::io::Read for Drip<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let avail = self.fill_buf()?;
+            let n = avail.len().min(buf.len());
+            buf[..n].copy_from_slice(&avail[..n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl BufRead for Drip<'_> {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            std::thread::sleep(self.delay);
+            let end = (self.pos + self.chunk).min(self.data.len());
+            Ok(&self.data[self.pos..end])
+        }
+        fn consume(&mut self, n: usize) {
+            self.pos += n;
+        }
+    }
+
+    #[test]
+    fn read_deadline_cuts_off_a_dripped_half_request() {
+        // half-sent request: the header section never terminates, and the
+        // peer drips one byte per 2ms — each read succeeds, so only the
+        // wall-clock deadline can end this
+        let wire = b"POST /jobs HTTP/1.1\r\nHost: localhost\r\nContent-Le";
+        let mut drip =
+            Drip { data: wire, pos: 0, chunk: 1, delay: std::time::Duration::from_millis(2) };
+        let deadline = Some(Instant::now() + std::time::Duration::from_millis(20));
+        let err = read_http_request_deadline(&mut drip, deadline).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+        assert!(drip.pos < wire.len(), "deadline must fire before the drip completes");
+    }
+
+    #[test]
+    fn read_deadline_cuts_off_a_dripped_body() {
+        // headers arrive instantly; the promised body drips forever
+        let mut wire = b"POST /jobs HTTP/1.1\r\nContent-Length: 100000\r\n\r\n".to_vec();
+        wire.extend(std::iter::repeat(b'x').take(100_000));
+        let mut drip =
+            Drip { data: &wire, pos: 0, chunk: 64, delay: std::time::Duration::from_millis(1) };
+        let deadline = Some(Instant::now() + std::time::Duration::from_millis(15));
+        let err = read_http_request_deadline(&mut drip, deadline).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+    }
+
+    #[test]
+    fn well_behaved_requests_pass_a_generous_deadline() {
+        let wire = b"POST /jobs HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let deadline = Some(Instant::now() + std::time::Duration::from_secs(10));
+        let req = read_http_request_deadline(&mut &wire[..], deadline).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
     #[test]
     fn http_response_parses_with_sim_parser() {
         // the daemon's responses must satisfy the same parser the
@@ -292,6 +395,7 @@ mod tests {
     fn status_reasons_cover_daemon_codes() {
         assert_eq!(status_reason(200), "OK");
         assert_eq!(status_reason(404), "Not Found");
+        assert_eq!(status_reason(408), "Request Timeout");
         assert_eq!(status_reason(599), "Unknown");
     }
 

@@ -192,6 +192,132 @@ fn boot_resumes_killed_job_to_identical_report() {
     std::fs::remove_dir_all(&store_dir).ok();
 }
 
+/// Copies a store directory as a SIGKILL-style snapshot: `*.tmp` files
+/// (mid-write) are skipped, files vanishing mid-copy (an atomic rename
+/// winning the race) are ignored — exactly the disk a dead process leaves.
+fn snapshot_dir(src: &PathBuf, dst: &PathBuf) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        if name.to_string_lossy().ends_with(".tmp") {
+            continue;
+        }
+        let from = entry.path();
+        let to = dst.join(&name);
+        if from.is_dir() {
+            snapshot_dir(&from, &to);
+        } else if let Err(e) = std::fs::copy(&from, &to) {
+            assert_eq!(e.kind(), std::io::ErrorKind::NotFound, "copy {from:?}: {e}");
+        }
+    }
+}
+
+#[test]
+fn drained_daemon_restarts_resumed_and_byte_identical() {
+    let _g = LOCK.lock().unwrap();
+    let scenario = tiny(37);
+    let reference = reference_report_bytes(&scenario);
+
+    // live daemon, one worker, one in-flight job
+    let store_dir = fresh_dir("drain");
+    let (daemon, _) = Daemon::open(&store_dir, 1).unwrap();
+    let workers = daemon.start();
+    let spec = JobSpec { scenario: Some(scenario), ..JobSpec::default() };
+    let rec = daemon.submit(&spec).unwrap();
+
+    // wait until the study is genuinely mid-flight: running, with at
+    // least one per-vantage checkpoint on disk for resume to build on
+    let ckpt = daemon.store().checkpoint_dir(&rec.id);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let running = daemon.job(&rec.id).unwrap().state == JobState::Running;
+        let checkpointed =
+            ckpt.exists() && std::fs::read_dir(&ckpt).map(|d| d.count() > 0).unwrap_or(false);
+        if running && checkpointed {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never got mid-flight");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // graceful drain: the running job is flushed still-Running (the
+    // resume marker) and reported as draining
+    let draining = daemon.drain();
+    assert_eq!(draining, vec![rec.id.clone()]);
+    assert!(daemon.is_shutdown());
+    let on_disk: JobRecord = serde_json::from_str(
+        &std::fs::read_to_string(store_dir.join(format!("{}.json", rec.id))).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(on_disk.state, JobState::Running, "drain must leave the resume marker");
+
+    // snapshot the store as the exiting process would leave it, and
+    // restart a daemon on the snapshot — the drained job must resume
+    let restart_dir = fresh_dir("drain-restart");
+    snapshot_dir(&store_dir, &restart_dir);
+    let (restarted, boot) = Daemon::open(&restart_dir, 1).unwrap();
+    assert!(boot.resumed >= 1, "drained job must be picked back up: {boot:?}");
+    let resumed = restarted.job(&rec.id).unwrap();
+    assert_eq!(resumed.state, JobState::Queued);
+    assert!(resumed.resumes >= 1);
+    let restarted_workers = restarted.start();
+    let done = wait_done(&restarted, &rec.id);
+    assert!(done.resumes >= 1);
+    let report = restarted.report_bytes(&rec.id).unwrap().expect("report written");
+    assert_eq!(report, reference, "drained-and-restarted report must be byte-identical");
+
+    restarted.shutdown();
+    for h in restarted_workers {
+        h.join().unwrap();
+    }
+    // the original worker is still finishing its study (drain does not
+    // wait); join before deleting its store out from under it
+    for h in workers {
+        h.join().unwrap();
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+    std::fs::remove_dir_all(&restart_dir).ok();
+}
+
+#[test]
+fn half_sent_request_gets_408_and_frees_the_accept_thread() {
+    let _g = LOCK.lock().unwrap();
+    let store_dir = fresh_dir("slowloris");
+    let (daemon, _) = Daemon::open(&store_dir, 1).unwrap();
+    // no workers: this is purely about the API surface
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let serve_daemon = daemon.clone();
+    let read_deadline = Duration::from_millis(300);
+    let server = std::thread::spawn(move || {
+        api::serve_with_deadline(&serve_daemon, listener, read_deadline).expect("serve")
+    });
+
+    // a slowloris peer: half a request, then silence with the socket open
+    let t0 = Instant::now();
+    let mut slow = TcpStream::connect(addr).expect("connect");
+    slow.write_all(b"POST /jobs HTTP/1.1\r\nHost: localhost\r\nContent-Le").unwrap();
+    let mut raw = Vec::new();
+    slow.read_to_end(&mut raw).expect("read response");
+    let head = String::from_utf8_lossy(&raw);
+    assert!(head.starts_with("HTTP/1.1 408 "), "expected 408, got: {head}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "deadline must cut the connection promptly, took {:?}",
+        t0.elapsed()
+    );
+
+    // the accept thread is free again: an honest client is served
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_slice()), (200, &b"{\"ok\":true}"[..]));
+
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    server.join().unwrap();
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
 #[test]
 fn boot_recovers_store_from_partial_writes() {
     let _g = LOCK.lock().unwrap();
