@@ -201,6 +201,7 @@ pub(crate) mod tests {
             white_listed: false,
             kind: VantageKind::Academic,
             external_inputs: false,
+            stack: ipv6web_xlat::ClientStack::DualStack,
         };
         let ctx = ProbeContext {
             topo: &topo,
@@ -218,6 +219,8 @@ pub(crate) mod tests {
             white_listed: false,
             v6_epoch: None,
             faults: None,
+            stack: ipv6web_xlat::ClientStack::DualStack,
+            xlat: None,
         };
         let mut ccfg = CampaignConfig::test_small();
         ccfg.total_weeks = 26;

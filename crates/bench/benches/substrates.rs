@@ -77,11 +77,11 @@ fn bench_dataplane(c: &mut Criterion) {
     let dests: Vec<AsId> =
         topo.nodes().iter().filter(|n| n.tier == Tier::Content).map(|n| n.id).take(10).collect();
     let table = BgpTable::build(&topo, vantage, Family::V4, &dests);
-    let route = table.iter().next().unwrap().clone();
+    let route = table.iter().next().unwrap();
     let dp = DataPlane::new(&topo);
-    c.bench_function("path_metrics", |b| b.iter(|| black_box(dp.metrics(&route, Family::V4))));
+    c.bench_function("path_metrics", |b| b.iter(|| black_box(dp.metrics(route, Family::V4))));
 
-    let metrics = dp.metrics(&route, Family::V4);
+    let metrics = dp.metrics(route, Family::V4);
     let cfg = TcpConfig::paper();
     let mut rng = derive_rng(1, "bench");
     c.bench_function("tcp_download_60kB", |b| {

@@ -5,6 +5,7 @@
 //! repro tab8 fig1                # specific artifacts
 //! repro all --scale paper        # full-scale run (minutes)
 //! repro all --scale faults       # quick scale under the demo fault plan
+//! repro all --scale nat64        # quick scale with NAT64/DNS64/464XLAT vantages
 //! repro all --seed 7 --json out.json
 //! repro all --fault-plan plan.json --checkpoint-dir ckpt/
 //! repro all --metrics BENCH.json --baseline BENCH_baseline.json
@@ -23,7 +24,7 @@ const ARTIFACTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <artifact...|all> [--scale quick|paper|faults|internet|internet-smoke]\n\
+        "usage: repro <artifact...|all> [--scale quick|paper|faults|internet|internet-smoke|nat64]\n\
          \x20            [--seed N] [--json FILE]\n\
          \x20            [--csv DIR] [--fault-plan FILE] [--checkpoint-dir DIR]\n\
          \x20            [--metrics FILE] [--baseline FILE] [--sequential]\n\
@@ -63,7 +64,7 @@ fn main() {
                 scale = Scale::parse(&v).unwrap_or_else(|| {
                     eprintln!(
                         "repro: unknown scale `{v}` \
-                         (expected quick, paper, faults, internet, or internet-smoke)"
+                         (expected quick, paper, faults, internet, internet-smoke, or nat64)"
                     );
                     usage()
                 });
@@ -160,7 +161,16 @@ fn main() {
             "tab11" => r.table11.to_string(),
             "tab12" => r.table12.to_string(),
             "tab13" => r.table13.to_string(),
-            "verdicts" => format!("{}\n{}\n{}", r.better_v6, r.h1.summary, r.h2.summary),
+            "verdicts" => {
+                let mut t = format!("{}\n{}\n{}", r.better_v6, r.h1.summary, r.h2.summary);
+                // scenarios without a translation plane keep the exact
+                // historical bytes; nat64 runs get the per-stack tables
+                if r.xlat.is_some() {
+                    t.push('\n');
+                    t.push_str(&r.render_xlat());
+                }
+                t
+            }
             "compare" => ipv6web_bench::render_comparison(r),
             _ => unreachable!("filtered above"),
         };

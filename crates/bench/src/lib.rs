@@ -24,11 +24,15 @@ pub enum Scale {
     /// Downsized internet tier for CI smoke runs (~5k ASes, 50k sites),
     /// exercising the same streamed/interned pipeline.
     InternetSmoke,
+    /// The quick world with the NAT64/DNS64/464XLAT transition plane:
+    /// three translator gateways, two v6-only vantage points behind DNS64
+    /// and two 464XLAT clients.
+    Nat64,
 }
 
 impl Scale {
     /// Parses `quick` / `paper` / `faults` / `internet` /
-    /// `internet-smoke`.
+    /// `internet-smoke` / `nat64`.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "quick" => Some(Scale::Quick),
@@ -36,6 +40,7 @@ impl Scale {
             "faults" => Some(Scale::Faults),
             "internet" => Some(Scale::Internet),
             "internet-smoke" => Some(Scale::InternetSmoke),
+            "nat64" => Some(Scale::Nat64),
             _ => None,
         }
     }
@@ -49,6 +54,7 @@ impl Scale {
             Scale::Faults => "faults",
             Scale::Internet => "internet",
             Scale::InternetSmoke => "internet-smoke",
+            Scale::Nat64 => "nat64",
         }
     }
 
@@ -60,6 +66,7 @@ impl Scale {
             Scale::Faults => Scenario::faults(seed),
             Scale::Internet => Scenario::internet(seed),
             Scale::InternetSmoke => Scenario::internet_smoke(seed),
+            Scale::Nat64 => Scenario::nat64(seed),
         }
     }
 }
@@ -80,7 +87,15 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("faults"), Some(Scale::Faults));
+        assert_eq!(Scale::parse("nat64"), Some(Scale::Nat64));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn nat64_scale_activates_the_translation_plane() {
+        let s = Scale::Nat64.scenario(1);
+        assert!(s.xlat.is_active());
+        assert_eq!(Scale::Nat64.name(), "nat64");
     }
 
     #[test]

@@ -50,5 +50,10 @@ fn checkpoint_path_that_is_a_file_fails_fast() {
 fn unknown_scale_still_exits_2() {
     let out = repro().args(["all", "--scale", "galactic"]).output().expect("run repro");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scale"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scale"));
+    // the error enumerates every accepted scale, nat64 included
+    for scale in ["quick", "paper", "faults", "internet", "internet-smoke", "nat64"] {
+        assert!(stderr.contains(scale), "error must offer `{scale}`: {stderr}");
+    }
 }

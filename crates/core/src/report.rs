@@ -11,10 +11,16 @@ use ipv6web_analysis::{
 };
 use ipv6web_monitor::{MonitorDb, VantagePoint};
 use ipv6web_web::SiteId;
-use serde::{Deserialize, Serialize};
+use ipv6web_xlat::ClientStack;
+use serde::{Deserialize, Serialize, Value};
 
 /// Every artifact of the paper's evaluation section.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: the `xlat` section is emitted only when
+/// the scenario ran a translation plane, so reports from classic
+/// (zero-gateway) scenarios stay byte-identical to those written before
+/// the transition tier existed.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct Report {
     /// Table 1 metadata (vantage points).
     pub vantages: Vec<VantagePoint>,
@@ -61,6 +67,157 @@ pub struct Report {
     /// attribution ("64 out of 283 for Penn ... the result of a path
     /// change"). Empty when the scenario schedules no route change.
     pub transition_path_changes: Vec<(String, usize, usize)>,
+    /// Translated-path comparison, present only when the scenario placed
+    /// NAT64 gateways.
+    pub xlat: Option<XlatReport>,
+}
+
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("vantages".to_string(), self.vantages.to_value()),
+            ("vantage_start_labels".to_string(), self.vantage_start_labels.to_value()),
+            ("table2".to_string(), self.table2.to_value()),
+            ("table3".to_string(), self.table3.to_value()),
+            ("table4".to_string(), self.table4.to_value()),
+            ("table5".to_string(), self.table5.to_value()),
+            ("table6".to_string(), self.table6.to_value()),
+            ("table7".to_string(), self.table7.to_value()),
+            ("table8".to_string(), self.table8.to_value()),
+            ("table9".to_string(), self.table9.to_value()),
+            ("table10".to_string(), self.table10.to_value()),
+            ("table11".to_string(), self.table11.to_value()),
+            ("table12".to_string(), self.table12.to_value()),
+            ("table13".to_string(), self.table13.to_value()),
+            ("fig1".to_string(), self.fig1.to_value()),
+            ("fig3a".to_string(), self.fig3a.to_value()),
+            ("fig3b".to_string(), self.fig3b.to_value()),
+            ("h1".to_string(), self.h1.to_value()),
+            ("h2".to_string(), self.h2.to_value()),
+            ("better_v6".to_string(), self.better_v6.to_value()),
+            ("transition_path_changes".to_string(), self.transition_path_changes.to_value()),
+        ];
+        if let Some(x) = &self.xlat {
+            fields.push(("xlat".to_string(), x.to_value()));
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// One vantage point's translated-path summary: for a v6-only host the
+/// "v4 slot" samples in its database traveled v6-to-the-gateway then
+/// v4-onward through the stateful translator (plus the on-host CLAT for
+/// 464XLAT clients), so comparing them against the native-v6 samples — and
+/// against the dual-stack vantages' rows — is the transition-technology
+/// counterpart of the paper's v4-vs-v6 question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XlatVantageRow {
+    /// Vantage point name.
+    pub vantage: String,
+    /// Client stack ("dual-stack", "v6-only", "v6-only-clat").
+    pub stack: String,
+    /// Sites ever monitored.
+    pub monitored: usize,
+    /// Sites observed dual-stack (native AAAA; translator-only sites are
+    /// classified v4-only and never reach here).
+    pub dual_sites: usize,
+    /// Same-week (v4 slot, v6) sample pairs.
+    pub paired_samples: usize,
+    /// Mean speed over all v4-slot samples (native v4, or the translated
+    /// path on a v6-only host).
+    pub mean_v4_slot_kbps: f64,
+    /// Mean speed over all native-v6 samples.
+    pub mean_v6_kbps: f64,
+    /// Share of same-week pairs where the v6 download was faster.
+    pub v6_faster_share: f64,
+    /// Rounds lost to injected faults (NAT64 outages included).
+    pub faulted_rounds: u64,
+}
+
+/// The report's transition-technology section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XlatReport {
+    /// NAT64 gateways the world placed.
+    pub gateways: usize,
+    /// One row per vantage point, in Table 1 order.
+    pub per_vantage: Vec<XlatVantageRow>,
+    /// H1 re-run per client stack over that stack's `AS_PATH` vantages.
+    pub h1_by_stack: Vec<(String, HypothesisVerdict)>,
+    /// H2 re-run per client stack over that stack's `AS_PATH` vantages.
+    pub h2_by_stack: Vec<(String, HypothesisVerdict)>,
+}
+
+/// Builds the transition-technology section; `None` without gateways.
+fn xlat_report(
+    world: &World,
+    dbs: &[MonitorDb],
+    analyses: &[VantageAnalysis],
+) -> Option<XlatReport> {
+    let x = world.xlat.as_ref()?;
+    let per_vantage = world
+        .vantages
+        .iter()
+        .zip(dbs)
+        .map(|(v, db)| {
+            let mut dual_sites = 0usize;
+            let mut paired = 0usize;
+            let mut v6_faster = 0usize;
+            let (mut sum4, mut n4, mut sum6, mut n6) = (0.0f64, 0usize, 0.0f64, 0usize);
+            let mut faulted_rounds = 0u64;
+            for (_, rec) in db.iter() {
+                if rec.dual_since.is_some() {
+                    dual_sites += 1;
+                }
+                faulted_rounds += u64::from(rec.faulted_rounds);
+                sum4 += rec.samples_v4.iter().map(|s| s.speed_kbps).sum::<f64>();
+                n4 += rec.samples_v4.len();
+                sum6 += rec.samples_v6.iter().map(|s| s.speed_kbps).sum::<f64>();
+                n6 += rec.samples_v6.len();
+                // same-week pairs, first sample of each family per week
+                for s4 in &rec.samples_v4 {
+                    let Some(s6) = rec.samples_v6.iter().find(|s| s.week == s4.week) else {
+                        continue;
+                    };
+                    paired += 1;
+                    if s6.speed_kbps > s4.speed_kbps {
+                        v6_faster += 1;
+                    }
+                }
+            }
+            let mean = |sum: f64, n: usize| if n == 0 { 0.0 } else { sum / n as f64 };
+            XlatVantageRow {
+                vantage: v.name.clone(),
+                stack: v.stack.name().to_string(),
+                monitored: db.len(),
+                dual_sites,
+                paired_samples: paired,
+                mean_v4_slot_kbps: mean(sum4, n4),
+                mean_v6_kbps: mean(sum6, n6),
+                v6_faster_share: mean(v6_faster as f64, paired),
+                faulted_rounds,
+            }
+        })
+        .collect();
+    let by_stack = |verdict: fn(&[VantageAnalysis]) -> HypothesisVerdict| {
+        let mut out = Vec::new();
+        for stack in [ClientStack::DualStack, ClientStack::V6Only, ClientStack::V6OnlyClat] {
+            let group: Vec<VantageAnalysis> = analyses
+                .iter()
+                .filter(|a| world.vantages.iter().any(|v| v.name == a.vantage && v.stack == stack))
+                .cloned()
+                .collect();
+            if !group.is_empty() {
+                out.push((stack.name().to_string(), verdict(&group)));
+            }
+        }
+        out
+    };
+    Some(XlatReport {
+        gateways: x.wiring.gateways.len(),
+        per_vantage,
+        h1_by_stack: by_stack(h1_verdict),
+        h2_by_stack: by_stack(h2_verdict),
+    })
 }
 
 /// Clones the subset of `db` covering ranked-list sites only (Fig 1 tracks
@@ -165,7 +322,50 @@ impl Report {
             h2: h2_verdict(analyses),
             better_v6: better_v6_profile(&world.topo, analyses),
             transition_path_changes,
+            xlat: xlat_report(world, dbs, analyses),
         }
+    }
+
+    /// Renders the transition-technology section; empty without gateways.
+    pub fn render_xlat(&self) -> String {
+        let Some(x) = &self.xlat else { return String::new() };
+        let mut out = format!(
+            "Transition technologies: {} NAT64 gateway(s), DNS64 + 464XLAT clients.\n",
+            x.gateways
+        );
+        out.push_str(&format!(
+            "{:<16} {:<13} {:>6} {:>6} {:>7} {:>12} {:>9} {:>10}\n",
+            "Vantage Point",
+            "Stack",
+            "Sites",
+            "Dual",
+            "Paired",
+            "v4-slot kbps",
+            "v6 kbps",
+            "v6 faster"
+        ));
+        out.push_str(&"-".repeat(86));
+        out.push('\n');
+        for r in &x.per_vantage {
+            out.push_str(&format!(
+                "{:<16} {:<13} {:>6} {:>6} {:>7} {:>12.1} {:>9.1} {:>9.1}%\n",
+                r.vantage,
+                r.stack,
+                r.monitored,
+                r.dual_sites,
+                r.paired_samples,
+                r.mean_v4_slot_kbps,
+                r.mean_v6_kbps,
+                100.0 * r.v6_faster_share,
+            ));
+        }
+        for (title, verdicts) in [("H1", &x.h1_by_stack), ("H2", &x.h2_by_stack)] {
+            out.push_str(&format!("{title} by client stack:\n"));
+            for (stack, v) in verdicts {
+                out.push_str(&format!("  {stack}: {}\n", v.summary));
+            }
+        }
+        out
     }
 
     /// Renders Table 1.
@@ -257,6 +457,10 @@ impl Report {
             for (v, transitions, changed) in &self.transition_path_changes {
                 out.push_str(&format!("  {v}: {changed} of {transitions}\n"));
             }
+            out.push('\n');
+        }
+        if self.xlat.is_some() {
+            out.push_str(&self.render_xlat());
             out.push('\n');
         }
         out.push_str(&self.better_v6.to_string());

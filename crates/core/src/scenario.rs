@@ -8,6 +8,7 @@ use ipv6web_netsim::TcpConfig;
 use ipv6web_stats::RelativeCiRule;
 use ipv6web_topology::TopologyConfig;
 use ipv6web_web::PopulationConfig;
+use ipv6web_xlat::{ClientStack, XlatConfig};
 use serde::{Deserialize, Serialize};
 
 /// Whether BGP tables are built by streaming per-destination route
@@ -86,6 +87,13 @@ pub struct Scenario {
     /// Stream route tables instead of retaining a `RouteStore` (see
     /// [`StreamRoutes`]). On only in the internet tier.
     pub stream_routes: StreamRoutes,
+    /// The NAT64/DNS64/464XLAT transition plane: gateway placement, the
+    /// stateful-translation cost model, and the per-vantage client-stack
+    /// assignment. The default (zero gateways, all vantages dual-stack)
+    /// runs the classic pipeline bit-identically; scenario files written
+    /// before the transition tier carry no `xlat` key and deserialize to
+    /// that default.
+    pub xlat: XlatConfig,
 }
 
 impl Scenario {
@@ -113,6 +121,7 @@ impl Scenario {
             faults: FaultPlan::default(),
             checkpoint_dir: None,
             stream_routes: StreamRoutes(false),
+            xlat: XlatConfig::default(),
         }
     }
 
@@ -150,6 +159,7 @@ impl Scenario {
             faults: FaultPlan::default(),
             checkpoint_dir: None,
             stream_routes: StreamRoutes(false),
+            xlat: XlatConfig::default(),
         }
     }
 
@@ -190,6 +200,7 @@ impl Scenario {
             faults: FaultPlan::default(),
             checkpoint_dir: None,
             stream_routes: StreamRoutes(true),
+            xlat: XlatConfig::default(),
         }
     }
 
@@ -211,6 +222,28 @@ impl Scenario {
     pub fn faults(seed: u64) -> Self {
         let mut s = Scenario::quick(seed);
         s.faults = FaultPlan::demo(s.timeline.total_weeks);
+        s
+    }
+
+    /// [`Scenario::quick`] with the NAT64/DNS64/464XLAT transition plane
+    /// active: three translator gateways in the provider core, two
+    /// vantage points re-homed as v6-only hosts behind DNS64 (Go6 and
+    /// Loughborough — early v6-only deployers in practice) and two as
+    /// 464XLAT clients with an on-host CLAT (Tsinghua and UPC Broadband).
+    /// Comcast and Penn stay dual-stack, anchoring the native baseline the
+    /// translated paths are compared against in the report's xlat section.
+    pub fn nat64(seed: u64) -> Self {
+        let mut s = Scenario::quick(seed);
+        s.xlat = XlatConfig {
+            gateways: 3,
+            stacks: vec![
+                ("Go6-Slovenia".into(), ClientStack::V6Only),
+                ("Loughborough U.".into(), ClientStack::V6Only),
+                ("Tsinghua U.".into(), ClientStack::V6OnlyClat),
+                ("UPC Broadband".into(), ClientStack::V6OnlyClat),
+            ],
+            ..XlatConfig::default()
+        };
         s
     }
 
@@ -274,6 +307,14 @@ impl Scenario {
         }
         self.campaign.validate().map_err(|e| format!("campaign: {e}"))?;
         self.faults.validate(self.timeline.total_weeks).map_err(|e| format!("fault plan: {e}"))?;
+        self.xlat.validate().map_err(|e| format!("xlat: {e}"))?;
+        const VANTAGES: [&str; 6] =
+            ["Comcast", "Go6-Slovenia", "Loughborough U.", "Penn", "Tsinghua U.", "UPC Broadband"];
+        for (name, _) in &self.xlat.stacks {
+            if !VANTAGES.contains(&name.as_str()) {
+                return Err(format!("xlat: unknown vantage point {name:?} in stack assignment"));
+            }
+        }
         Ok(())
     }
 
@@ -430,6 +471,46 @@ mod tests {
         let s = Scenario::faults(1);
         assert_eq!(s.validate(), Ok(()));
         assert!(!s.faults.is_empty());
+    }
+
+    #[test]
+    fn nat64_preset_validates_and_hashes_apart() {
+        let s = Scenario::nat64(1);
+        assert_eq!(s.validate(), Ok(()));
+        assert!(s.xlat.is_active());
+        assert_eq!(s.xlat.gateways, 3);
+        assert_ne!(s.config_hash(), Scenario::quick(1).config_hash());
+        // two dual-stack anchors remain for the native baseline
+        assert_eq!(s.xlat.stack_of("Comcast"), ClientStack::DualStack);
+        assert_eq!(s.xlat.stack_of("Penn"), ClientStack::DualStack);
+        assert_eq!(s.xlat.stack_of("Go6-Slovenia"), ClientStack::V6Only);
+        assert_eq!(s.xlat.stack_of("Tsinghua U."), ClientStack::V6OnlyClat);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn xlat_misconfiguration_rejected() {
+        let mut s = Scenario::nat64(1);
+        s.xlat.stacks.push(("Hogwarts".into(), ClientStack::V6Only));
+        assert!(s.validate().unwrap_err().contains("Hogwarts"));
+        let mut s = Scenario::quick(1);
+        s.xlat.stacks.push(("Penn".into(), ClientStack::V6Only));
+        assert!(
+            s.validate().unwrap_err().contains("gateway"),
+            "a v6-only vantage without gateways cannot reach the v4 web"
+        );
+    }
+
+    #[test]
+    fn pre_xlat_scenario_json_still_deserializes() {
+        let mut v = serde_json::to_value(&Scenario::quick(7)).unwrap();
+        if let serde_json::Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "xlat");
+        }
+        let back: Scenario = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, Scenario::quick(7), "omitted xlat defaults to the classic pipeline");
     }
 
     #[test]

@@ -368,6 +368,41 @@ mod tests {
     }
 
     #[test]
+    fn classic_report_has_no_xlat_bytes() {
+        let s = study();
+        assert!(s.report.xlat.is_none());
+        let json = serde_json::to_string(&s.report).unwrap();
+        assert!(!json.contains("\"xlat\""), "classic reports must not grow an xlat key");
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s.report);
+    }
+
+    #[test]
+    fn nat64_study_reports_translated_paths() {
+        let mut sc = Scenario::nat64(3);
+        sc.population.n_sites = 400;
+        sc.tail_sites = 60;
+        let s = run_study(&sc).expect("nat64 study runs");
+        let x = s.report.xlat.as_ref().expect("nat64 study must carry an xlat section");
+        assert_eq!(x.gateways, 3);
+        assert_eq!(x.per_vantage.len(), 6);
+        let go6 = x.per_vantage.iter().find(|r| r.vantage == "Go6-Slovenia").unwrap();
+        assert_eq!(go6.stack, "v6-only");
+        assert!(go6.paired_samples > 0, "translated v4-slot samples must pair with native v6");
+        let comcast = x.per_vantage.iter().find(|r| r.vantage == "Comcast").unwrap();
+        assert_eq!(comcast.stack, "dual-stack");
+        assert!(!x.h1_by_stack.is_empty(), "per-stack H1 verdicts");
+        assert!(!x.h2_by_stack.is_empty(), "per-stack H2 verdicts");
+        let text = s.report.render();
+        assert!(text.contains("Transition technologies"), "render carries the section");
+        // serde roundtrip with the optional section present
+        let json = serde_json::to_string(&s.report).unwrap();
+        assert!(json.contains("\"xlat\""));
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s.report);
+    }
+
+    #[test]
     fn invalid_scenario_is_a_typed_error() {
         let mut s = Scenario::quick(1);
         s.campaign.workers = 0;

@@ -4,7 +4,7 @@ use crate::scenario::Scenario;
 use ipv6web_alexa::TopList;
 use ipv6web_bgp::{BgpTable, RouteStore};
 use ipv6web_faults::FaultInjector;
-use ipv6web_monitor::{Disturbances, ProbeContext, ProbeFaults, VantagePoint};
+use ipv6web_monitor::{Disturbances, ProbeContext, ProbeFaults, ProbeXlat, VantagePoint};
 use ipv6web_stats::derive_rng;
 use ipv6web_topology::{
     generate as generate_topology, AsId, EdgeId, Family, Region, Tier, Topology,
@@ -48,6 +48,20 @@ pub struct World {
     /// Empty when the plan is empty (then `v6_epoch` alone carries the
     /// scenario epoch, exactly as before fault injection existed).
     pub fault_epochs: Vec<(u32, Vec<BgpTable>)>,
+    /// The NAT64 translation plane, when the scenario places gateways.
+    pub xlat: Option<XlatWorld>,
+}
+
+/// The built NAT64/DNS64 plane: where the translators sit, what each one
+/// costs, their onward v4 tables, and every vantage point's gateway
+/// preference order.
+pub struct XlatWorld {
+    /// Gateway placement, per-gateway cost model, and per-gateway IPv4
+    /// route tables toward every site.
+    pub wiring: ipv6web_xlat::XlatWiring,
+    /// Per-vantage gateway indices, nearest (shortest week-0 IPv6
+    /// `AS_PATH`) first — the order a v6-only host fails over in.
+    pub pref: Vec<Vec<usize>>,
 }
 
 /// Picks six dual-stack access ASes for the vantage points, preferring the
@@ -139,12 +153,23 @@ impl World {
             .into_iter()
             .map(|mut v| {
                 v.start_week = v.start_week * scenario.campaign.total_weeks / 52;
+                v.stack = scenario.xlat.stack_of(&v.name);
                 v
             })
             .collect();
 
+        let xlat_gateways = if scenario.xlat.gateways > 0 {
+            ipv6web_xlat::place_gateways(&topo, scenario.seed, scenario.xlat.gateways)
+        } else {
+            Vec::new()
+        };
+
         let mut dests: Vec<AsId> = sites.iter().map(|s| s.v4_as).collect();
         dests.extend(sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
+        // the v6 tables must also reach the translators (the v6 leg of a
+        // translated path); with zero gateways this adds nothing and the
+        // destination set — hence every table — is exactly the classic one
+        dests.extend(xlat_gateways.iter().copied());
         dests.sort();
         dests.dedup();
         // Per-destination route computations are shared: one RouteStore per
@@ -295,6 +320,39 @@ impl World {
             (v6_epoch, topo_late, Some(injector), fault_epochs)
         };
 
+        // The translation plane: per-gateway cost draws, each gateway's
+        // onward v4 table, and every vantage point's failover order
+        // (nearest gateway by week-0 IPv6 AS_PATH length first).
+        let xlat = if xlat_gateways.is_empty() {
+            None
+        } else {
+            let _s = ipv6web_obs::span("world: xlat wiring");
+            let costs =
+                ipv6web_xlat::gateway_costs(&scenario.xlat, scenario.seed, xlat_gateways.len());
+            let gw_tables: Vec<BgpTable> = xlat_gateways
+                .iter()
+                .map(|&g| BgpTable::build(&topo, g, Family::V4, &dests))
+                .collect();
+            let pref: Vec<Vec<usize>> = tables
+                .iter()
+                .map(|(_, t6)| {
+                    let mut order: Vec<usize> = (0..xlat_gateways.len()).collect();
+                    order.sort_by_key(|&i| {
+                        (t6.route(xlat_gateways[i]).map_or(usize::MAX, |r| r.as_path.hops()), i)
+                    });
+                    order
+                })
+                .collect();
+            Some(XlatWorld {
+                wiring: ipv6web_xlat::XlatWiring {
+                    gateways: xlat_gateways,
+                    costs,
+                    tables: gw_tables,
+                },
+                pref,
+            })
+        };
+
         let disturbances = Disturbances::generate(
             &scenario.disturbances,
             sites.len(),
@@ -316,6 +374,7 @@ impl World {
             disturbances,
             injector,
             fault_epochs,
+            xlat,
         }
     }
 
@@ -361,6 +420,12 @@ impl World {
             white_listed: self.vantages[vantage_idx].white_listed,
             v6_epoch: self.v6_epoch.as_ref().map(|(week, tables)| (*week, &tables[vantage_idx])),
             faults,
+            stack: self.vantages[vantage_idx].stack,
+            xlat: self.xlat.as_ref().map(|x| ProbeXlat {
+                wiring: &x.wiring,
+                pref: &x.pref[vantage_idx],
+                clat_ms: s.xlat.clat_ms,
+            }),
         }
     }
 
@@ -454,5 +519,50 @@ mod tests {
         let b = World::build(&Scenario::quick(5));
         assert_eq!(a.sites, b.sites);
         assert_eq!(a.vantages, b.vantages);
+    }
+
+    #[test]
+    fn quick_world_has_no_xlat_plane() {
+        let w = world();
+        assert!(w.xlat.is_none());
+        assert!(w.vantages.iter().all(|v| v.stack == ipv6web_xlat::ClientStack::DualStack));
+    }
+
+    #[test]
+    fn nat64_world_wires_gateways_and_stacks() {
+        let w = World::build(&Scenario::nat64(11));
+        let x = w.xlat.as_ref().expect("nat64 scenario builds a translation plane");
+        assert_eq!(x.wiring.gateways.len(), 3);
+        assert_eq!(x.wiring.costs.len(), 3);
+        assert_eq!(x.wiring.tables.len(), 3);
+        assert_eq!(x.pref.len(), 6, "one preference order per vantage");
+        for (vi, pref) in x.pref.iter().enumerate() {
+            let mut sorted = pref.clone();
+            sorted.sort();
+            assert_eq!(sorted, vec![0, 1, 2], "vantage {vi} must rank every gateway once");
+            // every vantage's v6 table reaches its first-choice gateway
+            let t6 = &w.tables[vi].1;
+            assert!(t6.route(x.wiring.gateways[pref[0]]).is_some());
+        }
+        // gateways sit in the provider core and are dual-stack
+        for &g in &x.wiring.gateways {
+            let node = w.topo.node(g);
+            assert!(matches!(node.tier, Tier::Tier1 | Tier::Transit), "{:?}", node.tier);
+            assert!(node.is_dual_stack());
+        }
+        // the stack axis landed on the right vantage points
+        let stacks: Vec<_> = w.vantages.iter().map(|v| (v.name.as_str(), v.stack)).collect();
+        use ipv6web_xlat::ClientStack::*;
+        assert_eq!(
+            stacks,
+            vec![
+                ("Comcast", DualStack),
+                ("Go6-Slovenia", V6Only),
+                ("Loughborough U.", V6Only),
+                ("Penn", DualStack),
+                ("Tsinghua U.", V6OnlyClat),
+                ("UPC Broadband", V6OnlyClat),
+            ]
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! encodes a query, the zone side builds a response, and both are parsed
 //! back — keeping the codec on the hot path.
 
-use crate::records::{Record, RecordType};
+use crate::records::{Record, RecordData, RecordType};
 use crate::wire::{DnsMessage, RCODE_NXDOMAIN};
 use crate::zone::ZoneDb;
 use serde::{Deserialize, Serialize};
@@ -64,6 +64,7 @@ pub struct Resolver {
     negative: HashMap<String, u64>,
     stats: ResolverStats,
     next_id: u16,
+    dns64: bool,
 }
 
 impl Default for Resolver {
@@ -80,7 +81,23 @@ impl Resolver {
             negative: HashMap::new(),
             stats: ResolverStats::default(),
             next_id: 1,
+            dns64: false,
         }
+    }
+
+    /// Fresh resolver in DNS64 mode (RFC 6147): an AAAA query that would
+    /// return NODATA against a v4-only name instead answers with addresses
+    /// synthesized into the NAT64 well-known prefix `64:ff9b::/96`, built
+    /// from the name's A records and passed through the real wire codec
+    /// like any authoritative answer. Names with a genuine AAAA are never
+    /// rewritten, and NXDOMAIN stays NXDOMAIN.
+    pub fn dns64() -> Self {
+        Resolver { dns64: true, ..Self::new() }
+    }
+
+    /// Whether this resolver synthesizes AAAA answers (DNS64 mode).
+    pub fn is_dns64(&self) -> bool {
+        self.dns64
     }
 
     /// Current statistics.
@@ -169,15 +186,65 @@ impl Resolver {
             self.negative.insert(name.to_string(), now_s + NEGATIVE_TTL_S);
             return None;
         }
-        let records: Vec<Record> = parsed_r
+        let mut records: Vec<Record> = parsed_r
             .answers
             .iter()
             .map(|a| Record { name: a.name.clone(), data: a.data, ttl: a.ttl })
             .collect();
+        if self.dns64 && qtype == RecordType::Aaaa {
+            if records.is_empty() {
+                if let Some(synth) = self.synthesize_aaaa(&parsed_q, zone, week) {
+                    records = synth;
+                }
+            } else {
+                ipv6web_obs::inc("dns64.native_aaaa_skipped");
+            }
+        }
         let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(60);
         self.cache
             .insert(key, CacheLine { records: records.clone(), expires_at: now_s + ttl as u64 });
         Some(records)
+    }
+
+    /// RFC 6147 AAAA synthesis: embeds each of the name's A records in the
+    /// well-known prefix and runs the result through the same wire round
+    /// trip as an authoritative answer, so synthesized responses exercise
+    /// the codec bit-for-bit. Returns `None` when the name has no A
+    /// records either — genuine NODATA stays NODATA.
+    fn synthesize_aaaa(
+        &mut self,
+        parsed_q: &DnsMessage,
+        zone: &ZoneDb,
+        week: u32,
+    ) -> Option<Vec<Record>> {
+        let name = &parsed_q.questions[0].name;
+        let a_records = zone.query(name, RecordType::A, week)?;
+        let synth: Vec<Record> = a_records
+            .iter()
+            .filter_map(|r| match r.data {
+                RecordData::V4(v4) => {
+                    Some(Record::aaaa(r.name.clone(), ipv6web_xlat::synthesize(v4), r.ttl))
+                }
+                RecordData::V6(_) => None,
+            })
+            .collect();
+        if synth.is_empty() {
+            return None;
+        }
+        let rwire = DnsMessage::response(parsed_q, &synth, false).to_vec();
+        let Ok(parsed_r) = DnsMessage::decode(&rwire) else {
+            ipv6web_obs::inc("dns.codec_errors");
+            return None;
+        };
+        ipv6web_obs::inc("dns64.synthesized");
+        ipv6web_obs::observe("dns.wire_bytes", rwire.len() as u64);
+        Some(
+            parsed_r
+                .answers
+                .iter()
+                .map(|a| Record { name: a.name.clone(), data: a.data, ttl: a.ttl })
+                .collect(),
+        )
     }
 
     /// [`Resolver::resolve`] with an optional injected fault. `fault: None`
@@ -357,6 +424,76 @@ mod tests {
         let legal = vec!["a"; 32].join(".");
         assert_eq!(r.resolve(&db, &legal, RecordType::A, 0, 0), None, "NXDOMAIN, not a panic");
         assert_eq!(r.stats().nxdomain, 1);
+    }
+
+    #[test]
+    fn dns64_synthesizes_only_without_native_aaaa() {
+        let db = zone();
+        let mut r = Resolver::dns64();
+        // Before week 5 the name is v4-only: the AAAA answer is synthesized
+        // from its A record, carrying the A TTL.
+        let ans = r.resolve(&db, "a.example", RecordType::Aaaa, 0, 0).unwrap();
+        assert_eq!(ans.len(), 1);
+        let RecordData::V6(v6) = ans[0].data else { panic!("expected AAAA data") };
+        assert!(ipv6web_xlat::is_synthesized(v6));
+        assert_eq!(ipv6web_xlat::extract(v6), Some(Ipv4Addr::new(192, 0, 2, 1)));
+        assert_eq!(ans[0].ttl, 100, "synthesized AAAA carries the A TTL");
+        // Cached like any answer: the second query is a hit.
+        let again = r.resolve(&db, "a.example", RecordType::Aaaa, 0, 50).unwrap();
+        assert_eq!(again, ans);
+        assert_eq!(r.stats().cache_hits, 1);
+        // From week 5 a genuine AAAA exists and passes through untouched.
+        r.flush();
+        let native = r.resolve(&db, "a.example", RecordType::Aaaa, 5, 0).unwrap();
+        let RecordData::V6(v6) = native[0].data else { panic!("expected AAAA data") };
+        assert!(!ipv6web_xlat::is_synthesized(v6), "native AAAA must never be rewritten");
+    }
+
+    #[test]
+    fn dns64_nxdomain_stays_nxdomain() {
+        let db = zone();
+        let mut r = Resolver::dns64();
+        assert_eq!(r.resolve(&db, "nope.example", RecordType::Aaaa, 0, 0), None);
+        assert_eq!(r.stats().nxdomain, 1);
+        assert_eq!(r.cache_len(), 0, "nothing synthesized for a nonexistent name");
+    }
+
+    #[test]
+    fn dns64_wire_roundtrip_every_v4_form() {
+        // Synthesized answers ride the real codec; the embedded address must
+        // survive encode/decode bit-exact for edge-case v4 forms.
+        let forms = [
+            Ipv4Addr::new(0, 0, 0, 0),
+            Ipv4Addr::new(0, 0, 0, 1),
+            Ipv4Addr::new(127, 255, 255, 255),
+            Ipv4Addr::new(128, 0, 0, 0),
+            Ipv4Addr::new(192, 0, 2, 200),
+            Ipv4Addr::new(255, 255, 255, 255),
+        ];
+        let mut db = ZoneDb::new();
+        for (i, v4) in forms.iter().enumerate() {
+            db.insert(
+                format!("v4only{i}.example"),
+                ZoneEntry { v4: *v4, v6: None, v6_from_week: 0, ttl: 60 },
+            );
+        }
+        let mut r = Resolver::dns64();
+        for (i, v4) in forms.iter().enumerate() {
+            let name = format!("v4only{i}.example");
+            let ans = r.resolve(&db, &name, RecordType::Aaaa, 0, 0).unwrap();
+            assert_eq!(ans.len(), 1, "{name}");
+            let RecordData::V6(v6) = ans[0].data else { panic!("expected AAAA data") };
+            assert_eq!(ipv6web_xlat::extract(v6), Some(*v4), "{name} must embed bit-exact");
+        }
+    }
+
+    #[test]
+    fn plain_resolver_never_synthesizes() {
+        let db = zone();
+        let mut r = Resolver::new();
+        assert!(!r.is_dns64());
+        let ans = r.resolve(&db, "a.example", RecordType::Aaaa, 0, 0).unwrap();
+        assert!(ans.is_empty(), "NODATA stays NODATA without DNS64");
     }
 
     #[test]

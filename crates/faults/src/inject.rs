@@ -160,6 +160,23 @@ impl FaultInjector {
             .any(|o| o.vantage == vantage && week >= o.from_week && week < o.from_week + o.weeks)
     }
 
+    /// True when NAT64 gateway `gateway` (by gateway index, not AS id) is
+    /// down in `week`. Per-gateway outage membership is sampled once per
+    /// spec and gateway — stable across the whole window and every probe —
+    /// so a dead gateway stays dead until its scheduled recovery. Pure; the
+    /// caller records `faults.injected.xlat` when a translated path
+    /// actually hits the dead gateway.
+    pub fn xlat_out(&self, gateway: usize, week: u32) -> bool {
+        self.plan.xlat_outages.iter().enumerate().any(|(i, o)| {
+            week >= o.from_week
+                && week < o.from_week + o.weeks
+                && coin(
+                    &mut derive_rng(self.seed, &format!("fault:xlat:{i}:{gateway}")),
+                    o.gateway_frac,
+                )
+        })
+    }
+
     /// Materializes the plan's BGP flaps against a topology: for each flap,
     /// samples eligible edges (same eligibility rules as the scenario's
     /// scheduled route-change event) into concrete gain/loss sets. Returns
@@ -203,7 +220,9 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{DnsDisruption, HttpDisruption, LinkFlap, LossBurst, VantageOutage};
+    use crate::plan::{
+        DnsDisruption, HttpDisruption, LinkFlap, LossBurst, VantageOutage, XlatOutage,
+    };
 
     fn plan_with_dns(prob: f64) -> FaultPlan {
         let mut p = FaultPlan::default();
@@ -325,6 +344,24 @@ mod tests {
         assert!(!impact.down);
         let expect = 1.0 - 0.9f64 * 0.9;
         assert!((impact.extra_loss - expect).abs() < 1e-12, "got {}", impact.extra_loss);
+    }
+
+    #[test]
+    fn xlat_outage_is_stable_per_gateway_and_recovers() {
+        let mut p = FaultPlan::default();
+        p.xlat_outages.push(XlatOutage { gateway_frac: 0.5, from_week: 4, weeks: 2 });
+        let inj = FaultInjector::new(p, 21);
+        let down4: Vec<bool> = (0..32).map(|g| inj.xlat_out(g, 4)).collect();
+        let down5: Vec<bool> = (0..32).map(|g| inj.xlat_out(g, 5)).collect();
+        assert_eq!(down4, down5, "membership stable across the window");
+        assert!(down4.iter().any(|d| *d) && down4.iter().any(|d| !*d), "half-fraction splits");
+        assert!((0..32).all(|g| !inj.xlat_out(g, 3)), "before the window");
+        assert!((0..32).all(|g| !inj.xlat_out(g, 6)), "scheduled recovery");
+        // certainty and never
+        let mut all = FaultPlan::default();
+        all.xlat_outages.push(XlatOutage { gateway_frac: 1.0, from_week: 0, weeks: 1 });
+        assert!(FaultInjector::new(all, 1).xlat_out(7, 0));
+        assert!(!FaultInjector::new(FaultPlan::default(), 1).xlat_out(7, 0));
     }
 
     #[test]

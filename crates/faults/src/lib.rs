@@ -33,7 +33,7 @@ pub use clock::{FaultClock, RetryPolicy};
 pub use inject::{FaultInjector, LinkImpact};
 pub use plan::{
     BgpFlap, DnsDisruption, DnsFaultKind, FaultPlan, HttpDisruption, HttpFaultKind, LinkFlap,
-    LossBurst, VantageOutage,
+    LossBurst, VantageOutage, XlatOutage,
 };
 
 /// Records one injected fault: increments the given `faults.injected.*`

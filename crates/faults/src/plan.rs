@@ -108,6 +108,22 @@ pub struct VantageOutage {
     pub weeks: u32,
 }
 
+/// A window of weeks during which a fraction of NAT64 gateways is down:
+/// translated paths through a dead gateway fail over to the next gateway
+/// in the vantage's preference order (or fail outright if none is left),
+/// and recover when the window closes. Has no effect on scenarios without
+/// a translation plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XlatOutage {
+    /// Fraction of gateways down (sampled per gateway, stable for the
+    /// window).
+    pub gateway_frac: f64,
+    /// First affected week.
+    pub from_week: u32,
+    /// Window length, weeks (gateways recover afterwards).
+    pub weeks: u32,
+}
+
 /// Everything that goes wrong in one campaign, plus how probes retry
 /// through it. An empty (default) plan injects nothing and leaves every
 /// output byte-identical to a run without fault support.
@@ -131,6 +147,8 @@ pub struct FaultPlan {
     pub http_faults: Vec<HttpDisruption>,
     /// Whole-vantage outages.
     pub vantage_outages: Vec<VantageOutage>,
+    /// NAT64 gateway outages.
+    pub xlat_outages: Vec<XlatOutage>,
 }
 
 impl Deserialize for FaultPlan {
@@ -155,6 +173,7 @@ impl Deserialize for FaultPlan {
             dns_faults: list(v, "dns_faults")?,
             http_faults: list(v, "http_faults")?,
             vantage_outages: list(v, "vantage_outages")?,
+            xlat_outages: list(v, "xlat_outages")?,
         })
     }
 
@@ -194,6 +213,7 @@ impl FaultPlan {
             && self.dns_faults.is_empty()
             && self.http_faults.is_empty()
             && self.vantage_outages.is_empty()
+            && self.xlat_outages.is_empty()
     }
 
     /// Checks every window and probability against a campaign of
@@ -235,6 +255,10 @@ impl FaultPlan {
             if f.vantage.is_empty() {
                 return Err(format!("vantage_outages[{i}]: vantage name must not be empty"));
             }
+        }
+        for (i, f) in self.xlat_outages.iter().enumerate() {
+            window_ok(f.from_week, f.weeks, total_weeks, &format!("xlat_outages[{i}]"))?;
+            frac_ok(f.gateway_frac, &format!("xlat_outages[{i}].gateway_frac"))?;
         }
         Ok(())
     }
@@ -308,6 +332,9 @@ impl FaultPlan {
                 from_week: mid,
                 weeks: 2.min(total_weeks - mid),
             }],
+            // gateway outages only bite nat64-tier scenarios; the demo plan
+            // runs on the classic dual-stack tiers
+            xlat_outages: vec![],
         }
     }
 
@@ -328,6 +355,9 @@ impl FaultPlan {
             out.push((f.week, f.week + 1));
         }
         for f in &self.vantage_outages {
+            out.push((f.from_week, f.from_week + f.weeks));
+        }
+        for f in &self.xlat_outages {
             out.push((f.from_week, f.from_week + f.weeks));
         }
         out.sort_unstable();
@@ -389,10 +419,26 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let p = FaultPlan::demo(26);
+        let mut p = FaultPlan::demo(26);
+        p.xlat_outages.push(XlatOutage { gateway_frac: 0.5, from_week: 3, weeks: 2 });
         let json = serde_json::to_string(&p).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn xlat_outage_validated_like_any_window() {
+        let mut p = FaultPlan::default();
+        p.xlat_outages.push(XlatOutage { gateway_frac: 0.5, from_week: 8, weeks: 5 });
+        assert!(!p.is_empty());
+        assert!(p.validate(12).is_err(), "window spills past the campaign");
+        assert!(p.validate(13).is_ok());
+        assert_eq!(p.disruption_windows(), vec![(8, 13)]);
+        p.xlat_outages[0].gateway_frac = 1.5;
+        assert!(p.validate(13).is_err(), "fraction out of range");
+        // a pre-xlat plan file still parses, with no gateway outages
+        let old: FaultPlan = serde_json::from_str("{\"link_flaps\": []}").unwrap();
+        assert!(old.xlat_outages.is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod vantage;
 
 pub use db::{MonitorDb, PerfSample, SiteRecord};
 pub use disturbance::{Disturbance, DisturbanceConfig, DisturbanceKind, Disturbances};
-pub use probe::{probe_site, ProbeContext, ProbeFaults, ProbeOutcome};
+pub use probe::{probe_site, ProbeContext, ProbeFaults, ProbeOutcome, ProbeXlat};
 pub use round::{
     checkpoint_path, run_campaign, run_campaign_resumable, run_ipv6_day_rounds,
     validate_checkpoint_dir, CampaignConfig, CampaignError, ConfigError, RoundError,

@@ -13,10 +13,10 @@
 
 use crate::db::PerfSample;
 use crate::disturbance::Disturbances;
-use ipv6web_bgp::BgpTable;
-use ipv6web_dns::{DnsError, Record, RecordType, Resolver, ZoneDb};
+use ipv6web_bgp::{BgpTable, RouteRef};
+use ipv6web_dns::{DnsError, Record, RecordData, RecordType, Resolver, ZoneDb};
 use ipv6web_faults::{DnsFaultKind, FaultClock, FaultInjector, HttpFaultKind, RetryPolicy};
-use ipv6web_netsim::{download_time, DataPlane, PathMetrics, TcpConfig};
+use ipv6web_netsim::{download_time, translated_metrics, DataPlane, PathMetrics, TcpConfig};
 use ipv6web_stats::ci::SamplingDecision;
 use ipv6web_stats::{derive_rng, lognormal, mean_ci, RelativeCiRule, StudentT, Welford};
 use ipv6web_topology::{Family, Topology};
@@ -24,6 +24,7 @@ use ipv6web_web::{
     build_request, build_response_header, pages_identical, parse_response_len, truncate_response,
     Site, SiteId,
 };
+use ipv6web_xlat::{ClientStack, XlatWiring};
 use rand::Rng;
 
 /// Per-campaign fault wiring, shared read-only by every probe of one
@@ -40,6 +41,21 @@ pub struct ProbeFaults<'a> {
     /// [`ProbeContext::v6_epoch`]: a probe uses the latest epoch whose week
     /// has arrived, falling back to [`ProbeContext::table_v6`].
     pub v6_epochs: Vec<(u32, &'a BgpTable)>,
+}
+
+/// The translation plane as one vantage's probes see it: the world's
+/// gateway wiring plus this vantage's gateway preference order. Present
+/// only on v6-only vantages of a scenario with NAT64 gateways.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeXlat<'a> {
+    /// Gateway placement, cost draws, and per-gateway v4 tables.
+    pub wiring: &'a XlatWiring,
+    /// Gateway indices in this vantage's preference order (nearest first
+    /// by v6 AS-path length).
+    pub pref: &'a [usize],
+    /// Host-side CLAT per-exchange latency, ms (charged by 464XLAT
+    /// vantages on every translated exchange; ignored by plain v6-only).
+    pub clat_ms: f64,
 }
 
 /// Everything a probe needs, shared read-only across worker threads.
@@ -80,6 +96,12 @@ pub struct ProbeContext<'a> {
     pub v6_epoch: Option<(u32, &'a BgpTable)>,
     /// Fault injection wiring; `None` runs the fault-free pipeline.
     pub faults: Option<&'a ProbeFaults<'a>>,
+    /// The vantage host's client stack. [`ClientStack::DualStack`] runs
+    /// the classic pipeline bit-for-bit; the v6-only stacks reach the v4
+    /// side of every site through `xlat`.
+    pub stack: ClientStack,
+    /// The translation plane, when this vantage needs one.
+    pub xlat: Option<ProbeXlat<'a>>,
 }
 
 /// What one probe of one site produced.
@@ -183,18 +205,25 @@ fn probe_site_inner(
         ipv6web_obs::inc("monitor.outcome.v4_only");
         return ProbeOutcome::V4Only;
     }
+    if ctx.stack.translates_v4() {
+        // A v6-only monitor's DNS64 resolver synthesized every one of these
+        // AAAA records: the site has no native v6 presence and is reachable
+        // only through the translator. Keep the classic classification (the
+        // reachability tables count native dual-stack) and count it for the
+        // xlat report.
+        let all_synthesized = !aaaa.is_empty()
+            && aaaa.iter().all(|r| match r.data {
+                RecordData::V6(v6) => ipv6web_xlat::is_synthesized(v6),
+                RecordData::V4(_) => false,
+            });
+        if all_synthesized {
+            ipv6web_obs::inc("xlat.translator_only");
+            ipv6web_obs::inc("monitor.outcome.v4_only");
+            return ProbeOutcome::V4Only;
+        }
+    }
 
     // --- phase 2: routability + one download per family --------------------
-    let Some(route4) = ctx.table_v4.route(site.v4_as) else {
-        ipv6web_obs::inc("monitor.outcome.unroutable");
-        return ProbeOutcome::Unroutable(Family::V4);
-    };
-    // An AAAA answer without site v6 metadata cannot happen through the
-    // simulated zone; treat it defensively as v4-only rather than panicking.
-    let Some(site_v6) = site.v6.as_ref() else {
-        ipv6web_obs::inc("monitor.outcome.v4_only");
-        return ProbeOutcome::V4Only;
-    };
     let v6_table = match fs.as_ref() {
         Some(s) => s
             .faults
@@ -208,6 +237,60 @@ fn probe_site_inner(
             _ => ctx.table_v6,
         },
     };
+    // The v4-family slot: a dual-stack host routes natively; a v6-only host
+    // reaches the site's v4 presence through the first live NAT64 gateway in
+    // its preference order (v6 leg to the gateway, v4 leg onward).
+    enum V4Slot<'r> {
+        Native(RouteRef<'r>),
+        Translated { leg6: RouteRef<'r>, leg4: RouteRef<'r>, gw: usize },
+    }
+    let v4_slot = if ctx.stack.translates_v4() {
+        let Some(x) = ctx.xlat else {
+            // a v6-only host without a translation plane has no path to
+            // the v4 side at all
+            ipv6web_obs::inc("monitor.outcome.unroutable");
+            return ProbeOutcome::Unroutable(Family::V4);
+        };
+        let mut live = None;
+        for &gw in x.pref {
+            if fs.as_ref().is_some_and(|s| s.faults.injector.xlat_out(gw, week)) {
+                ipv6web_faults::record_injection("faults.injected.xlat");
+                continue;
+            }
+            live = Some(gw);
+            break;
+        }
+        let Some(gw) = live else {
+            // every gateway dark: the translated side black-holes and the
+            // probe spends its retry budget against it
+            if let Some(s) = fs.as_mut() {
+                s.burn_retries();
+            }
+            ipv6web_obs::inc("monitor.outcome.timed_out");
+            return ProbeOutcome::TimedOut(Family::V4);
+        };
+        let Some(leg6) = v6_table.route(x.wiring.gateways[gw]) else {
+            ipv6web_obs::inc("monitor.outcome.unroutable");
+            return ProbeOutcome::Unroutable(Family::V4);
+        };
+        let Some(leg4) = x.wiring.tables[gw].route(site.v4_as) else {
+            ipv6web_obs::inc("monitor.outcome.unroutable");
+            return ProbeOutcome::Unroutable(Family::V4);
+        };
+        V4Slot::Translated { leg6, leg4, gw }
+    } else {
+        let Some(route4) = ctx.table_v4.route(site.v4_as) else {
+            ipv6web_obs::inc("monitor.outcome.unroutable");
+            return ProbeOutcome::Unroutable(Family::V4);
+        };
+        V4Slot::Native(route4)
+    };
+    // An AAAA answer without site v6 metadata cannot happen through the
+    // simulated zone; treat it defensively as v4-only rather than panicking.
+    let Some(site_v6) = site.v6.as_ref() else {
+        ipv6web_obs::inc("monitor.outcome.v4_only");
+        return ProbeOutcome::V4Only;
+    };
     let Some(route6) = v6_table.route(site_v6.dest_as) else {
         ipv6web_obs::inc("monitor.outcome.unroutable");
         return ProbeOutcome::Unroutable(Family::V6);
@@ -215,12 +298,25 @@ fn probe_site_inner(
 
     // Injected link faults: a down link on the path black-holes the family
     // (connects keep timing out until the retry budget is spent); loss
-    // bursts degrade the measured path instead.
+    // bursts degrade the measured path instead. A translated v4 slot is
+    // down if either of its legs is, and composes both legs' loss bursts.
     let mut extra_loss = [0.0f64; 2];
     if let Some(s) = fs.as_mut() {
-        for (slot, family, route) in [(0usize, Family::V4, &route4), (1usize, Family::V6, &route6)]
+        let v4_slot_impact = match &v4_slot {
+            V4Slot::Native(route4) => s.faults.injector.link_impact(week, Family::V4, route4.edges),
+            V4Slot::Translated { leg6, leg4, .. } => {
+                let i6 = s.faults.injector.link_impact(week, Family::V6, leg6.edges);
+                let i4 = s.faults.injector.link_impact(week, Family::V4, leg4.edges);
+                ipv6web_faults::LinkImpact {
+                    down: i6.down || i4.down,
+                    extra_loss: 1.0 - (1.0 - i6.extra_loss) * (1.0 - i4.extra_loss),
+                }
+            }
+        };
+        let v6_impact = s.faults.injector.link_impact(week, Family::V6, route6.edges);
+        for (slot, family, impact) in
+            [(0usize, Family::V4, v4_slot_impact), (1usize, Family::V6, v6_impact)]
         {
-            let impact = s.faults.injector.link_impact(week, family, route.edges);
             if impact.down {
                 s.burn_retries();
                 ipv6web_obs::inc("monitor.outcome.timed_out");
@@ -398,7 +494,23 @@ fn probe_site_inner(
     };
 
     // "first for IPv4 and then IPv6"
-    let mut m4 = dp.metrics(route4, Family::V4);
+    let mut m4 = match &v4_slot {
+        V4Slot::Native(route4) => dp.metrics(*route4, Family::V4),
+        V4Slot::Translated { leg6, leg4, gw } => {
+            ipv6web_obs::inc("xlat.translated_paths");
+            let mut m = translated_metrics(
+                &dp.metrics(*leg6, Family::V6),
+                &dp.metrics(*leg4, Family::V4),
+                &ctx.xlat.expect("translated slot implies xlat plane").wiring.costs[*gw],
+            );
+            if ctx.stack.has_clat() {
+                // the CLAT on the host stateless-translates in both
+                // directions before the packet ever reaches the PLAT
+                m.rtt_ms += 2.0 * ctx.xlat.expect("translated slot implies xlat plane").clat_ms;
+            }
+            m
+        }
+    };
     if extra_loss[0] > 0.0 {
         m4 = m4.with_extra_loss(extra_loss[0]);
     }
@@ -544,7 +656,7 @@ fn resolve_through_faults(
 mod tests {
     use super::*;
     use crate::disturbance::{DisturbanceConfig, Disturbances};
-    use ipv6web_faults::{DnsDisruption, FaultPlan, HttpDisruption, LinkFlap};
+    use ipv6web_faults::{DnsDisruption, FaultPlan, HttpDisruption, LinkFlap, XlatOutage};
     use ipv6web_topology::{generate as gen_topo, AsId, Tier, TopologyConfig};
     use ipv6web_web::{build_zone, population, PopulationConfig};
 
@@ -592,6 +704,8 @@ mod tests {
             white_listed: false,
             v6_epoch: None,
             faults: None,
+            stack: ClientStack::DualStack,
+            xlat: None,
         }
     }
 
@@ -785,6 +899,7 @@ mod tests {
             from_week: 0,
             weeks: 52,
         });
+        plan.xlat_outages.push(XlatOutage { gateway_frac: 0.0, from_week: 0, weeks: 52 });
         let injector = FaultInjector::new(plan, c.seed);
         let pf =
             ProbeFaults { injector: &injector, retry: RetryPolicy::paper(), v6_epochs: vec![] };
@@ -797,6 +912,129 @@ mod tests {
                 probe_site(&c_faulted, &mut r2, sid, 50, 0, false),
                 "zero-probability faults must not perturb the probe stream"
             );
+        }
+    }
+
+    /// Owned tables/wiring for a NAT64-enabled vantage: the v6 table also
+    /// carries routes to the gateway ASes, and each gateway owns a v4 table
+    /// toward every site.
+    struct XlatFixture {
+        v6_table: BgpTable,
+        wiring: ipv6web_xlat::XlatWiring,
+        pref: Vec<usize>,
+        clat_ms: f64,
+    }
+
+    fn xlat_fixture(w: &World) -> XlatFixture {
+        let cfg = ipv6web_xlat::XlatConfig { gateways: 2, ..Default::default() };
+        let gateways = ipv6web_xlat::place_gateways(&w.topo, 21, cfg.gateways);
+        assert_eq!(gateways.len(), 2, "test topology must offer two gateway sites");
+        let costs = ipv6web_xlat::gateway_costs(&cfg, 21, gateways.len());
+        let mut dests: Vec<AsId> = w.sites.iter().map(|s| s.v4_as).collect();
+        dests.extend(w.sites.iter().filter_map(|s| s.v6.as_ref().map(|v| v.dest_as)));
+        dests.extend(gateways.iter().copied());
+        dests.sort();
+        dests.dedup();
+        let v6_table = BgpTable::build(&w.topo, w.vantage, Family::V6, &dests);
+        let tables =
+            gateways.iter().map(|&g| BgpTable::build(&w.topo, g, Family::V4, &dests)).collect();
+        let pref = (0..gateways.len()).collect();
+        XlatFixture {
+            v6_table,
+            wiring: ipv6web_xlat::XlatWiring { gateways, costs, tables },
+            pref,
+            clat_ms: cfg.clat_ms,
+        }
+    }
+
+    fn xlat_ctx<'a>(w: &'a World, f: &'a XlatFixture, stack: ClientStack) -> ProbeContext<'a> {
+        ProbeContext {
+            table_v6: &f.v6_table,
+            stack,
+            xlat: Some(ProbeXlat { wiring: &f.wiring, pref: &f.pref, clat_ms: f.clat_ms }),
+            ..ctx(w)
+        }
+    }
+
+    fn healthy_dual_site(w: &World) -> SiteId {
+        find_site(w, |s| {
+            s.v6.as_ref().is_some_and(|v| v.from_week == 0)
+                && pages_identical(s.page_bytes_v4, s.page_bytes_v6, 0.06)
+        })
+    }
+
+    #[test]
+    fn v6_only_vantage_measures_dual_site_through_translator() {
+        let w = world();
+        let f = xlat_fixture(&w);
+        let sid = healthy_dual_site(&w);
+        let mut rd = Resolver::new();
+        let native = match probe_site(&ctx(&w), &mut rd, sid, 50, 0, false) {
+            ProbeOutcome::Measured { v4, .. } => v4,
+            other => panic!("expected native Measured, got {other:?}"),
+        };
+        for stack in [ClientStack::V6Only, ClientStack::V6OnlyClat] {
+            let c = xlat_ctx(&w, &f, stack);
+            let mut r = Resolver::dns64();
+            match probe_site(&c, &mut r, sid, 50, 0, false) {
+                ProbeOutcome::Measured { v4, v6 } => {
+                    assert!(v6.speed_kbps > 1.0, "native v6 leg still measured");
+                    assert!(
+                        v4.speed_kbps < native.speed_kbps,
+                        "{stack}: the stateful translator must cost throughput \
+                         (translated {} vs native {})",
+                        v4.speed_kbps,
+                        native.speed_kbps
+                    );
+                }
+                other => panic!("{stack}: expected Measured, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn translator_only_site_is_v4_only_on_v6_only_host() {
+        let w = world();
+        let f = xlat_fixture(&w);
+        let c = xlat_ctx(&w, &f, ClientStack::V6Only);
+        let mut r = Resolver::dns64();
+        let sid = find_site(&w, |s| s.v6.is_none());
+        // DNS64 synthesizes AAAA from the A records, but every one of them
+        // is a translator address: classified v4-only, like a dual host.
+        assert_eq!(probe_site(&c, &mut r, sid, 50, 0, false), ProbeOutcome::V4Only);
+    }
+
+    #[test]
+    fn v6_only_host_without_xlat_plane_is_unroutable_v4() {
+        let w = world();
+        let c = ProbeContext { stack: ClientStack::V6Only, ..ctx(&w) };
+        let mut r = Resolver::dns64();
+        let sid = healthy_dual_site(&w);
+        assert_eq!(probe_site(&c, &mut r, sid, 50, 0, false), ProbeOutcome::Unroutable(Family::V4));
+    }
+
+    #[test]
+    fn total_gateway_outage_blackholes_the_translated_slot() {
+        let w = world();
+        let f = xlat_fixture(&w);
+        let mut plan = FaultPlan::default();
+        plan.xlat_outages.push(XlatOutage { gateway_frac: 1.0, from_week: 40, weeks: 20 });
+        let injector = FaultInjector::new(plan, 99);
+        let pf =
+            ProbeFaults { injector: &injector, retry: RetryPolicy::paper(), v6_epochs: vec![] };
+        let base = xlat_ctx(&w, &f, ClientStack::V6Only);
+        let c = ProbeContext { faults: Some(&pf), ..base };
+        let sid = healthy_dual_site(&w);
+        let mut r = Resolver::dns64();
+        assert_eq!(
+            probe_site(&c, &mut r, sid, 50, 0, false),
+            ProbeOutcome::TimedOut(Family::V4),
+            "every gateway down inside the window black-holes the v4 slot"
+        );
+        let mut r = Resolver::dns64();
+        match probe_site(&c, &mut r, sid, 10, 0, false) {
+            ProbeOutcome::Measured { .. } => {}
+            other => panic!("outside the window the translator recovers, got {other:?}"),
         }
     }
 

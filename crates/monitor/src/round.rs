@@ -283,6 +283,16 @@ fn apply_outcome(
 /// order, plus the number of probes whose outcome never arrived (zero
 /// unless a worker died mid-round). `workers` must already be validated
 /// ([`CampaignConfig::validate`]).
+/// A v6-only monitor runs behind a DNS64 recursive; everything else keeps
+/// the plain resolver (and its byte-identical answer stream).
+fn resolver_for(ctx: &ProbeContext<'_>) -> Resolver {
+    if ctx.stack.translates_v4() {
+        Resolver::dns64()
+    } else {
+        Resolver::new()
+    }
+}
+
 fn run_pool(
     ctx: &ProbeContext<'_>,
     sites: &[SiteId],
@@ -300,7 +310,7 @@ fn run_pool(
     ipv6web_obs::inc("monitor.rounds");
     ipv6web_obs::gauge_max("monitor.peak_workers", workers as u64);
     if workers == 1 {
-        let mut resolver = Resolver::new();
+        let mut resolver = resolver_for(ctx);
         let mut out: Vec<(SiteId, ProbeOutcome)> = sites
             .iter()
             .map(|&s| (s, probe_site(ctx, &mut resolver, s, week, salt, ipv6_day_mode)))
@@ -328,7 +338,7 @@ fn run_pool(
             scope.spawn(move || {
                 // each worker keeps its own caching resolver, like each of
                 // the paper's monitoring threads resolving independently
-                let mut resolver = Resolver::new();
+                let mut resolver = resolver_for(ctx);
                 while let Ok(site) = work_rx.recv() {
                     let outcome = probe_site(ctx, &mut resolver, site, week, salt, ipv6_day_mode);
                     if res_tx.send((site, outcome)).is_err() {
@@ -565,6 +575,7 @@ mod tests {
             white_listed: false,
             kind: crate::vantage::VantageKind::Academic,
             external_inputs: false,
+            stack: ipv6web_xlat::ClientStack::DualStack,
         };
         World { topo, sites, zone, table_v4, table_v6, disturbances, list, vantage }
     }
@@ -586,6 +597,8 @@ mod tests {
             white_listed: false,
             v6_epoch: None,
             faults: None,
+            stack: ipv6web_xlat::ClientStack::DualStack,
+            xlat: None,
         }
     }
 

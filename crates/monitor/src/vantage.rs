@@ -1,7 +1,8 @@
 //! Vantage points (Table 1).
 
 use ipv6web_topology::AsId;
-use serde::{Deserialize, Serialize};
+use ipv6web_xlat::ClientStack;
+use serde::{Deserialize, Serialize, Value};
 
 /// Academic or commercial network (Table 1's "Type" column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,7 +23,12 @@ impl std::fmt::Display for VantageKind {
 }
 
 /// One monitoring vantage point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: the `stack` field is emitted only when it
+/// differs from [`ClientStack::DualStack`], so snapshots of classic
+/// dual-stack studies stay byte-identical to those written before the
+/// client-stack axis existed (and deserialize with the same meaning).
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct VantagePoint {
     /// Short name ("Penn", "Comcast", …).
     pub name: String,
@@ -42,6 +48,29 @@ pub struct VantagePoint {
     /// Whether this vantage point imports extra sites beyond the ranked
     /// list (Penn's DNS-cache tail, Fig 3b).
     pub external_inputs: bool,
+    /// What address families the monitor's host actually holds. The
+    /// paper's vantages are all dual-stack; the nat64 tier marks some as
+    /// v6-only (with or without a CLAT).
+    pub stack: ClientStack,
+}
+
+impl Serialize for VantagePoint {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("location".to_string(), self.location.to_value()),
+            ("as_id".to_string(), self.as_id.to_value()),
+            ("start_week".to_string(), self.start_week.to_value()),
+            ("has_as_path".to_string(), self.has_as_path.to_value()),
+            ("white_listed".to_string(), self.white_listed.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("external_inputs".to_string(), self.external_inputs.to_value()),
+        ];
+        if self.stack != ClientStack::DualStack {
+            fields.push(("stack".to_string(), self.stack.to_value()));
+        }
+        Value::Obj(fields)
+    }
 }
 
 impl VantagePoint {
@@ -71,6 +100,7 @@ impl VantagePoint {
             white_listed,
             kind,
             external_inputs,
+            stack: ClientStack::DualStack,
         };
         vec![
             // 2/4/11 → week 25
@@ -167,5 +197,20 @@ mod tests {
     #[should_panic(expected = "six")]
     fn wrong_as_count_panics() {
         VantagePoint::paper_table1(&[AsId(1)]);
+    }
+
+    #[test]
+    fn stack_serialized_only_when_not_dual() {
+        let mut vp = VantagePoint::paper_table1(&ids()).swap_remove(0);
+        assert_eq!(vp.stack, ClientStack::DualStack);
+        let json = serde_json::to_string(&vp).unwrap();
+        assert!(!json.contains("stack"), "dual-stack must serialize as before: {json}");
+        let back: VantagePoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, vp, "missing field deserializes to dual-stack");
+        vp.stack = ClientStack::V6OnlyClat;
+        let json = serde_json::to_string(&vp).unwrap();
+        assert!(json.contains("v6-only-clat"), "{json}");
+        let back: VantagePoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stack, ClientStack::V6OnlyClat);
     }
 }

@@ -55,6 +55,7 @@ fn campaign_snapshot_and_central_merge() {
             white_listed: false,
             kind: VantageKind::Academic,
             external_inputs: false,
+            stack: ipv6web_xlat::ClientStack::DualStack,
         };
         let ctx = ProbeContext {
             topo: &topo,
@@ -72,6 +73,8 @@ fn campaign_snapshot_and_central_merge() {
             white_listed: false,
             v6_epoch: None,
             faults: None,
+            stack: ipv6web_xlat::ClientStack::DualStack,
+            xlat: None,
         };
         let cfg =
             CampaignConfig { total_weeks: 10, workers: 4, max_workers: 25, ipv6_day_rounds: 2 };

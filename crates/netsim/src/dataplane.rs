@@ -2,6 +2,7 @@
 
 use ipv6web_bgp::RouteRef;
 use ipv6web_topology::{Family, Topology};
+use ipv6web_xlat::GatewayCost;
 use serde::{Deserialize, Serialize};
 
 /// Performance-relevant summary of one forwarding path.
@@ -50,6 +51,32 @@ impl PathMetrics {
         let extra = extra.clamp(0.0, 1.0);
         self.loss = 1.0 - (1.0 - self.loss) * (1.0 - extra);
         self
+    }
+}
+
+/// Composes a NAT64-translated path from its two native legs: the IPv6 leg
+/// from the v6-only client to the gateway and the IPv4 leg from the gateway
+/// to the destination, joined by the gateway's stateful-translation costs.
+///
+/// The translator adds its session-setup latency once per exchange, a
+/// header-rewrite delay in each direction, a capacity cap on the bottleneck,
+/// and its own loss process (independent of both legs). The gateway itself
+/// appears as one extra hop in both the apparent and true hop counts; the
+/// v6 leg's tunnels and forwarding factors carry through unchanged.
+pub fn translated_metrics(
+    v6_leg: &PathMetrics,
+    v4_leg: &PathMetrics,
+    cost: &GatewayCost,
+) -> PathMetrics {
+    PathMetrics {
+        rtt_ms: v6_leg.rtt_ms + v4_leg.rtt_ms + cost.setup_ms + 2.0 * cost.per_exchange_ms,
+        bottleneck_kbps: v6_leg.bottleneck_kbps.min(v4_leg.bottleneck_kbps).min(cost.capacity_kbps),
+        loss: 1.0
+            - (1.0 - v6_leg.loss) * (1.0 - v4_leg.loss) * (1.0 - cost.extra_loss.clamp(0.0, 1.0)),
+        as_hops: v6_leg.as_hops + v4_leg.as_hops + 1,
+        true_hops: v6_leg.true_hops + v4_leg.true_hops + 1,
+        tunneled: v6_leg.tunneled || v4_leg.tunneled,
+        forwarding_factor: v6_leg.forwarding_factor * v4_leg.forwarding_factor,
     }
 }
 
@@ -237,6 +264,46 @@ mod tests {
         let table = any_table(&t, Family::V6);
         let m = dp.metrics(table.iter().next().unwrap(), Family::V6);
         assert_eq!(m.forwarding_factor, 1.0, "H1: data-plane parity");
+    }
+
+    #[test]
+    fn translated_path_composes_both_legs_and_the_gateway() {
+        let v6 = PathMetrics {
+            rtt_ms: 40.0,
+            bottleneck_kbps: 800.0,
+            loss: 0.01,
+            as_hops: 3,
+            true_hops: 5,
+            tunneled: true,
+            forwarding_factor: 0.9,
+        };
+        let v4 = PathMetrics {
+            rtt_ms: 30.0,
+            bottleneck_kbps: 1200.0,
+            loss: 0.02,
+            as_hops: 2,
+            true_hops: 2,
+            tunneled: false,
+            forwarding_factor: 1.0,
+        };
+        let cost = GatewayCost {
+            setup_ms: 10.0,
+            per_exchange_ms: 1.5,
+            capacity_kbps: 500.0,
+            extra_loss: 0.001,
+        };
+        let m = translated_metrics(&v6, &v4, &cost);
+        assert_eq!(m.rtt_ms, 40.0 + 30.0 + 10.0 + 3.0);
+        assert_eq!(m.bottleneck_kbps, 500.0, "translator capacity caps the flow");
+        let expected_loss = 1.0 - 0.99 * 0.98 * 0.999;
+        assert!((m.loss - expected_loss).abs() < 1e-12);
+        assert_eq!(m.as_hops, 6, "gateway is one apparent hop");
+        assert_eq!(m.true_hops, 8);
+        assert!(m.tunneled, "v6 leg's tunnel carries through");
+        assert_eq!(m.forwarding_factor, 0.9);
+        // a roomy translator leaves the native bottleneck in charge
+        let roomy = GatewayCost { capacity_kbps: 1e9, ..cost };
+        assert_eq!(translated_metrics(&v6, &v4, &roomy).bottleneck_kbps, 800.0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::dataplane::PathMetrics;
 use ipv6web_stats::{coin, lognormal};
 use ipv6web_topology::Family;
+use ipv6web_xlat::ClientStack;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +141,23 @@ pub fn race<R: Rng>(
     }
 }
 
+/// [`race`] with client-stack awareness. A v6-only host holds no native
+/// IPv4 address, so IPv4 is never raced no matter what routes exist — any
+/// reach into the v4 Internet is an IPv6 flow to a NAT64 gateway and rides
+/// the `v6` slot upstream of this call. Dual-stack hosts race exactly as
+/// [`race`] always has.
+pub fn race_with_stack<R: Rng>(
+    rng: &mut R,
+    stack: ClientStack,
+    v6: Option<&PathMetrics>,
+    v4: Option<&PathMetrics>,
+    v6_broken: bool,
+    cfg: &HappyEyeballsConfig,
+) -> Option<RaceOutcome> {
+    let v4 = if stack.translates_v4() { None } else { v4 };
+    race(rng, v6, v4, v6_broken, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +254,56 @@ mod tests {
     fn nothing_routes_nothing_connects() {
         let mut rng = derive_rng(6, "he");
         assert_eq!(race(&mut rng, None, None, false, &HappyEyeballsConfig::rfc6555()), None);
+    }
+
+    #[test]
+    fn v6_only_host_never_races_v4() {
+        let cfg = HappyEyeballsConfig::rfc6555();
+        for stack in [ClientStack::V6Only, ClientStack::V6OnlyClat] {
+            // Slow, lossy v6 against a pristine v4: a dual-stack host would
+            // fall back, a v6-only host cannot.
+            let mut rng = derive_rng(8, "he");
+            for _ in 0..200 {
+                let out = race_with_stack(
+                    &mut rng,
+                    stack,
+                    Some(&metrics(600.0, 0.2)),
+                    Some(&metrics(40.0, 0.0)),
+                    false,
+                    &cfg,
+                );
+                if let Some(out) = out {
+                    assert_eq!(out.winner, Family::V6, "{stack}: v4 must never win");
+                    assert!(!out.v6_lost_on_timer);
+                }
+            }
+            // Broken v6 means no connection at all — there is no v4 to save it.
+            let mut rng = derive_rng(9, "he");
+            assert_eq!(
+                race_with_stack(
+                    &mut rng,
+                    stack,
+                    Some(&metrics(80.0, 0.0)),
+                    Some(&metrics(40.0, 0.0)),
+                    true,
+                    &cfg
+                ),
+                None,
+                "{stack}: broken v6 cannot fall back to v4"
+            );
+        }
+        // Dual-stack through the same entry point behaves exactly like race().
+        let mut rng = derive_rng(10, "he");
+        let out = race_with_stack(
+            &mut rng,
+            ClientStack::DualStack,
+            Some(&metrics(600.0, 0.0)),
+            Some(&metrics(50.0, 0.0)),
+            false,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.winner, Family::V4);
     }
 
     #[test]

@@ -27,9 +27,11 @@ pub mod ping;
 pub mod tcp;
 pub mod traceroute;
 
-pub use dataplane::{DataPlane, PathMetrics};
-pub use happy_eyeballs::{race, HappyEyeballsConfig, RaceOutcome};
-pub use mtu::{discover_pmtud, path_mtu, Pmtud, PmtudConfig};
+pub use dataplane::{translated_metrics, DataPlane, PathMetrics};
+pub use happy_eyeballs::{race, race_with_stack, HappyEyeballsConfig, RaceOutcome};
+pub use mtu::{
+    discover_pmtud, path_mtu, translate_ptb_mtu, translated_path_mtu, Pmtud, PmtudConfig,
+};
 pub use ping::{ping, PingConfig, PingOutcome};
 pub use tcp::{download_time, DownloadOutcome, TcpConfig};
 pub use traceroute::{traceroute, Traceroute, TracerouteConfig, TracerouteHop};

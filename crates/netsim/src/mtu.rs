@@ -23,6 +23,30 @@ use serde::{Deserialize, Serialize};
 /// Conventional Ethernet MTU, the starting point of discovery.
 pub const BASE_MTU: u16 = 1500;
 
+/// IPv6 minimum link MTU (RFC 8200 §5).
+pub const V6_MIN_MTU: u16 = 1280;
+
+/// Header growth across a NAT64 translator: the 40-byte IPv6 header
+/// replaces a 20-byte IPv4 header, so a translated packet is 20 bytes
+/// larger on the v6 side of the gateway.
+pub const XLAT_HEADER_DELTA: u16 = 20;
+
+/// Translates an ICMPv4 "Fragmentation Needed" MTU arriving at a NAT64
+/// gateway into the MTU the gateway's ICMPv6 Packet Too Big advertises to
+/// the v6-only sender (RFC 7915 §4.2): a v6 packet shrinks by
+/// [`XLAT_HEADER_DELTA`] when translated, so the v6-side limit is the v4
+/// MTU plus that delta, never below the IPv6 minimum MTU.
+pub fn translate_ptb_mtu(v4_mtu: u16) -> u16 {
+    v4_mtu.saturating_add(XLAT_HEADER_DELTA).max(V6_MIN_MTU)
+}
+
+/// The effective path MTU a v6-only sender sees across a NAT64 gateway:
+/// the v6 leg's own MTU (tunnels and all), capped by the v4 leg's MTU as
+/// the translator reports it back through [`translate_ptb_mtu`].
+pub fn translated_path_mtu(topo: &Topology, v6_leg: RouteRef<'_>, v4_leg: RouteRef<'_>) -> u16 {
+    path_mtu(topo, v6_leg).min(translate_ptb_mtu(path_mtu(topo, v4_leg)))
+}
+
 /// PMTUD behaviour knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PmtudConfig {
@@ -201,6 +225,46 @@ mod tests {
             Pmtud::Discovered(BASE_MTU),
             "nothing to constrict, nothing to filter"
         );
+    }
+
+    #[test]
+    fn ptb_through_translator_regression() {
+        // RFC 7915 §4.2: v4 MTU + header delta, floored at the v6 minimum.
+        assert_eq!(translate_ptb_mtu(1500), 1520);
+        assert_eq!(translate_ptb_mtu(1480), 1500);
+        assert_eq!(translate_ptb_mtu(1260), 1280);
+        assert_eq!(translate_ptb_mtu(576), V6_MIN_MTU);
+        assert_eq!(translate_ptb_mtu(u16::MAX), u16::MAX, "saturates, never wraps");
+        // The translated PTB rides the real ICMPv6 codec bit-exact, from a
+        // synthesized source the way a gateway-originated error would.
+        let src: std::net::Ipv6Addr = "64:ff9b::c000:201".parse().unwrap();
+        let dst: std::net::Ipv6Addr = "2001:db8::1".parse().unwrap();
+        for v4_mtu in [68u16, 576, 1400, 1480, 1500] {
+            let v6_mtu = translate_ptb_mtu(v4_mtu);
+            let ptb = Icmpv6Message::packet_too_big(v6_mtu as u32, &[0u8; 64]);
+            let parsed = Icmpv6Message::decode(&ptb.to_vec(src, dst), src, dst).unwrap();
+            assert_eq!(parsed.mtu(), Some(v6_mtu as u32), "v4 MTU {v4_mtu}");
+        }
+    }
+
+    #[test]
+    fn translated_path_mtu_takes_the_tighter_side() {
+        for seed in 0..20u64 {
+            let (topo, v6_table) = routes(Family::V6, seed);
+            let Some(v6_route) =
+                v6_table.iter().find(|r| r.edges.iter().any(|&e| topo.edge(e).tunnel.is_some()))
+            else {
+                continue;
+            };
+            let (_, v4_table) = routes(Family::V4, seed);
+            let v4_route = v4_table.iter().next().unwrap();
+            // v4 paths carry no tunnels, so the translator reports
+            // 1500 + 20 and the tunneled v6 leg stays the constriction.
+            let m = translated_path_mtu(&topo, v6_route, v4_route);
+            assert_eq!(m, BASE_MTU - TUNNEL_OVERHEAD as u16);
+            return;
+        }
+        panic!("no tunneled v6 route found across 20 seeds");
     }
 
     #[test]

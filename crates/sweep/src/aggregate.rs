@@ -96,6 +96,7 @@ pub fn render_stability_table(sorted: &[&StudyRecord]) -> String {
     };
     render_axis("timeline", &|r| r.timeline.clone());
     render_axis("faults", &|r| r.faults.clone());
+    render_axis("xlat", &|r| r.xlat.clone());
     out
 }
 
@@ -119,12 +120,13 @@ pub fn render_summary(sorted: &[&StudyRecord]) -> String {
         out.push_str("Quarantined studies (poison records)\n");
         for r in &quarantined {
             out.push_str(&format!(
-                "  {}  seed {}  parity {}  timeline {}  faults {}  — {}\n",
+                "  {}  seed {}  parity {}  timeline {}  faults {}  xlat {}  — {}\n",
                 r.key,
                 r.seed,
                 r.peering_parity,
                 r.timeline,
                 r.faults,
+                r.xlat,
                 r.reason.as_deref().unwrap_or("unknown"),
             ));
         }

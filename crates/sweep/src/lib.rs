@@ -30,5 +30,5 @@ pub mod store;
 
 pub use orchestrator::{backoff_delay, run_sweep, run_worker, SweepConfig, SweepSummary};
 pub use record::{StudyMetrics, StudyRecord, StudyStatus, SWEEP_SCHEMA};
-pub use spec::{ChaosSpec, StudyCase, Supervision, SupervisionSpec, SweepSpec};
+pub use spec::{ChaosSpec, StudyCase, Supervision, SupervisionSpec, SweepSpec, XlatAxis};
 pub use store::{ResultStore, ScanOutcome};

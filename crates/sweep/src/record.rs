@@ -129,6 +129,8 @@ pub struct StudyRecord {
     pub timeline: String,
     /// Fault-axis label.
     pub faults: String,
+    /// Xlat-axis label.
+    pub xlat: String,
     /// Terminal state.
     pub status: StudyStatus,
     /// Deterministic failure classification when quarantined (e.g.
@@ -148,6 +150,7 @@ impl StudyRecord {
             peering_parity: case.peering_parity,
             timeline: case.timeline.clone(),
             faults: case.faults.clone(),
+            xlat: case.xlat.clone(),
             status: StudyStatus::Done,
             reason: None,
             metrics: None,

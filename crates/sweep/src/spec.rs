@@ -1,10 +1,11 @@
 //! The serde-able sweep specification and its deterministic expansion.
 //!
 //! A [`SweepSpec`] names a base scenario (a scale tier or a full inline
-//! [`Scenario`]) and up to four axes — seeds, peering-parity levels,
-//! adoption-timeline variants, fault plans. [`SweepSpec::expand`] takes
-//! their cross product in a fixed order (parity × timeline × faults ×
-//! seeds, seeds innermost), so the study matrix — indices, scenarios, and
+//! [`Scenario`]) and up to five axes — seeds, peering-parity levels,
+//! adoption-timeline variants, fault plans, translation-plane configs.
+//! [`SweepSpec::expand`] takes their cross product in a fixed order
+//! (parity × timeline × faults × xlat × seeds, seeds innermost), so the
+//! study matrix — indices, scenarios, and
 //! with them every [`StudyCase::key`] — is a pure function of the spec.
 //! The orchestrator and every worker process expand the same spec
 //! independently and agree on the matrix without any coordination.
@@ -12,6 +13,7 @@
 use ipv6web_alexa::AdoptionTimeline;
 use ipv6web_core::{ExecutionMode, Scenario};
 use ipv6web_faults::FaultPlan;
+use ipv6web_xlat::XlatConfig;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -102,6 +104,49 @@ impl FaultAxis {
                  (expected base, none, or demo)"
             )),
         }
+    }
+}
+
+/// One value of the translation-plane axis: a named builtin (`base`
+/// keeps the base scenario's config, `none` turns the plane off,
+/// `nat64` is the [`Scenario::nat64`] preset) or a full inline
+/// [`XlatConfig`]. `gateways` overrides the resolved gateway count, so a
+/// spec can sweep translator capacity without spelling out whole
+/// configs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct XlatAxis {
+    /// Axis label, carried into study records and aggregate tables.
+    pub name: String,
+    /// Inline config; when present it wins over the builtin names.
+    pub config: Option<XlatConfig>,
+    /// Override applied after resolution: NAT64 gateway count.
+    pub gateways: Option<usize>,
+}
+
+impl XlatAxis {
+    /// Resolves to a concrete translation-plane config.
+    pub fn resolve(&self, base: &XlatConfig) -> Result<XlatConfig, String> {
+        let mut cfg = if let Some(cfg) = &self.config {
+            cfg.clone()
+        } else {
+            match self.name.as_str() {
+                "base" => base.clone(),
+                "none" => XlatConfig::default(),
+                // the preset's xlat block is seed-independent, so any
+                // seed picks out the same config
+                "nat64" => Scenario::nat64(0).xlat,
+                other => {
+                    return Err(format!(
+                        "xlat axis `{other}` has no inline config and is not a builtin \
+                         (expected base, none, or nat64)"
+                    ))
+                }
+            }
+        };
+        if let Some(n) = self.gateways {
+            cfg.gateways = n;
+        }
+        Ok(cfg)
     }
 }
 
@@ -198,7 +243,7 @@ impl ChaosSpec {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SweepSpec {
     /// Named base scale: `quick`, `paper`, `faults`, `internet`,
-    /// `internet-smoke`. Mutually exclusive with `scenario`.
+    /// `internet-smoke`, `nat64`. Mutually exclusive with `scenario`.
     pub scale: Option<String>,
     /// Base seed for a named scale (default 42); the seed axis overrides
     /// it per study.
@@ -214,6 +259,9 @@ pub struct SweepSpec {
     pub timelines: Option<Vec<TimelineTweak>>,
     /// Fault-plan axis; absent means the base scenario's plan.
     pub faults: Option<Vec<FaultAxis>>,
+    /// Translation-plane axis (NAT64 gateway count / client-stack mix);
+    /// absent means the base scenario's config.
+    pub xlat: Option<Vec<XlatAxis>>,
     /// Run every study through the reference sequential pipeline (reports
     /// are byte-identical either way; this only trades speed).
     pub sequential: Option<bool>,
@@ -236,6 +284,8 @@ pub struct StudyCase {
     pub timeline: String,
     /// The fault-axis label.
     pub faults: String,
+    /// The xlat-axis label.
+    pub xlat: String,
     /// The fully resolved, validated scenario.
     pub scenario: Scenario,
     /// Execution mode for the study.
@@ -286,10 +336,11 @@ impl SweepSpec {
                     "faults" => Scenario::faults(seed),
                     "internet" => Scenario::internet(seed),
                     "internet-smoke" => Scenario::internet_smoke(seed),
+                    "nat64" => Scenario::nat64(seed),
                     other => {
                         return Err(format!(
                             "unknown scale `{other}` (expected quick, paper, faults, \
-                             internet, or internet-smoke)"
+                             internet, internet-smoke, or nat64)"
                         ))
                     }
                 }
@@ -312,10 +363,10 @@ impl SweepSpec {
 
     /// Expands the spec into the deterministic study matrix.
     ///
-    /// Axis order is parity × timeline × faults × seeds with seeds
-    /// innermost; indices number the cells in that order. Every expanded
-    /// scenario is validated — one bad cell fails the whole expansion,
-    /// before any process is spawned.
+    /// Axis order is parity × timeline × faults × xlat × seeds with
+    /// seeds innermost; indices number the cells in that order. Every
+    /// expanded scenario is validated — one bad cell fails the whole
+    /// expansion, before any process is spawned.
     pub fn expand(&self) -> Result<Vec<StudyCase>, String> {
         let base = self.base_scenario()?;
         let seeds = match &self.seeds {
@@ -338,10 +389,16 @@ impl SweepSpec {
             Some(_) => return Err("`faults` axis is explicitly empty".into()),
             None => vec![FaultAxis { name: "base".to_string(), plan: None }],
         };
+        let xlats = match &self.xlat {
+            Some(x) if !x.is_empty() => x.clone(),
+            Some(_) => return Err("`xlat` axis is explicitly empty".into()),
+            None => vec![XlatAxis { name: "base".to_string(), config: None, gateways: None }],
+        };
         let sequential = self.sequential.unwrap_or(false);
 
-        let mut cases =
-            Vec::with_capacity(parities.len() * timelines.len() * faults.len() * seeds.len());
+        let mut cases = Vec::with_capacity(
+            parities.len() * timelines.len() * faults.len() * xlats.len() * seeds.len(),
+        );
         for parity in &parities {
             for tweak in &timelines {
                 let timeline = tweak.apply(&base.timeline);
@@ -350,24 +407,29 @@ impl SweepSpec {
                     let plan = fx.resolve(&base.faults, variant.timeline.total_weeks)?;
                     let mut with_faults = variant.clone();
                     with_faults.faults = plan;
-                    for seed in &seeds {
-                        let scenario = with_faults.clone().with_seed(*seed);
-                        scenario.validate().map_err(|e| {
-                            format!(
-                                "case (parity {parity}, timeline {}, faults {}, seed {seed}) \
-                                 is invalid: {e}",
-                                tweak.name, fx.name
-                            )
-                        })?;
-                        cases.push(StudyCase {
-                            index: cases.len(),
-                            seed: *seed,
-                            peering_parity: *parity,
-                            timeline: tweak.name.clone(),
-                            faults: fx.name.clone(),
-                            scenario,
-                            sequential,
-                        });
+                    for xa in &xlats {
+                        let mut with_xlat = with_faults.clone();
+                        with_xlat.xlat = xa.resolve(&base.xlat)?;
+                        for seed in &seeds {
+                            let scenario = with_xlat.clone().with_seed(*seed);
+                            scenario.validate().map_err(|e| {
+                                format!(
+                                    "case (parity {parity}, timeline {}, faults {}, \
+                                     xlat {}, seed {seed}) is invalid: {e}",
+                                    tweak.name, fx.name, xa.name
+                                )
+                            })?;
+                            cases.push(StudyCase {
+                                index: cases.len(),
+                                seed: *seed,
+                                peering_parity: *parity,
+                                timeline: tweak.name.clone(),
+                                faults: fx.name.clone(),
+                                xlat: xa.name.clone(),
+                                scenario,
+                                sequential,
+                            });
+                        }
                     }
                 }
             }
@@ -419,6 +481,57 @@ mod tests {
         assert_eq!(cases[0].scenario, Scenario::quick(42));
         assert_eq!(cases[0].timeline, "base");
         assert_eq!(cases[0].faults, "base");
+        assert_eq!(cases[0].xlat, "base");
+        assert!(!cases[0].scenario.xlat.is_active(), "quick base has no translation plane");
+    }
+
+    #[test]
+    fn xlat_axis_expands_and_overrides_gateways() {
+        let spec = SweepSpec {
+            scale: Some("quick".to_string()),
+            xlat: Some(vec![
+                XlatAxis { name: "none".to_string(), config: None, gateways: None },
+                XlatAxis { name: "nat64".to_string(), config: None, gateways: None },
+                XlatAxis { name: "nat64-wide".to_string(), config: None, gateways: Some(5) },
+            ]),
+            ..SweepSpec::default()
+        };
+        // the gateways override alone can't resolve a label that is not a
+        // builtin — it still needs a config to override
+        assert!(spec.expand().unwrap_err().contains("nat64-wide"));
+
+        let mut wide = Scenario::nat64(0).xlat;
+        wide.gateways = 1; // overridden below
+        let spec = SweepSpec {
+            xlat: Some(vec![
+                XlatAxis { name: "none".to_string(), config: None, gateways: None },
+                XlatAxis { name: "nat64".to_string(), config: None, gateways: None },
+                XlatAxis { name: "nat64-wide".to_string(), config: Some(wide), gateways: Some(5) },
+            ]),
+            ..spec
+        };
+        let cases = spec.expand().unwrap();
+        assert_eq!(cases.len(), 3);
+        assert_eq!(
+            cases.iter().map(|c| c.xlat.as_str()).collect::<Vec<_>>(),
+            ["none", "nat64", "nat64-wide"]
+        );
+        assert!(!cases[0].scenario.xlat.is_active());
+        assert_eq!(cases[1].scenario.xlat.gateways, Scenario::nat64(0).xlat.gateways);
+        assert_eq!(cases[2].scenario.xlat.gateways, 5, "gateways override applies");
+        // distinct translation planes must hash apart, or resumed sweeps
+        // could mistake one cell's record for another's
+        assert_ne!(cases[0].key()[6..], cases[1].key()[6..]);
+        assert_ne!(cases[1].key()[6..], cases[2].key()[6..]);
+    }
+
+    #[test]
+    fn nat64_scale_is_a_valid_sweep_base() {
+        let spec = SweepSpec { scale: Some("nat64".to_string()), ..SweepSpec::default() };
+        let cases = spec.expand().unwrap();
+        assert_eq!(cases.len(), 1);
+        assert!(cases[0].scenario.xlat.is_active());
+        assert_eq!(cases[0].scenario, Scenario::nat64(42));
     }
 
     #[test]
@@ -476,6 +589,13 @@ mod tests {
             ..SweepSpec::default()
         };
         assert!(bad_fault.expand().unwrap_err().contains("mystery"));
+
+        let bad_xlat = SweepSpec {
+            xlat: Some(vec![XlatAxis { name: "teredo".to_string(), config: None, gateways: None }]),
+            ..SweepSpec::default()
+        };
+        let err = bad_xlat.expand().unwrap_err();
+        assert!(err.contains("teredo") && err.contains("nat64"), "{err}");
     }
 
     #[test]

@@ -185,6 +185,7 @@ fn merged_results_json(sorted: &[&StudyRecord]) -> String {
         ("peering_parity".to_string(), col(sorted, |r| Value::F64(r.peering_parity))),
         ("timeline".to_string(), col(sorted, |r| Value::Str(r.timeline.clone()))),
         ("faults".to_string(), col(sorted, |r| Value::Str(r.faults.clone()))),
+        ("xlat".to_string(), col(sorted, |r| Value::Str(r.xlat.clone()))),
         ("status".to_string(), col(sorted, |r| r.status.to_value())),
         (
             "reason".to_string(),

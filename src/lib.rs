@@ -44,6 +44,7 @@
 //! | [`bgp`] | `ipv6web-bgp` | Gao–Rexford routing, `AS_PATH` tables |
 //! | [`netsim`] | `ipv6web-netsim` | path metrics, TCP download model, traceroute |
 //! | [`dns`] | `ipv6web-dns` | zones, resolver, wire codec |
+//! | [`xlat`] | `ipv6web-xlat` | NAT64/DNS64/464XLAT transition plane, client stacks |
 //! | [`web`] | `ipv6web-web` | sites, servers, CDNs, population generator |
 //! | [`alexa`] | `ipv6web-alexa` | ranked lists, churn, adoption timeline |
 //! | [`faults`] | `ipv6web-faults` | deterministic fault-injection plans and injector |
@@ -66,6 +67,7 @@ pub use ipv6web_packet as packet;
 pub use ipv6web_stats as stats;
 pub use ipv6web_topology as topology;
 pub use ipv6web_web as web;
+pub use ipv6web_xlat as xlat;
 
 pub use ipv6web_core::{
     run_study, run_study_mode, run_study_on_world, ExecutionMode, Report, Scenario, StreamRoutes,

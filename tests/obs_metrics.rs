@@ -78,6 +78,50 @@ fn counters_identical_across_thread_and_worker_counts() {
 }
 
 #[test]
+fn nat64_counters_identical_across_thread_and_worker_counts() {
+    // Same scheduling-invariance contract, but for the translation-plane
+    // counters: DNS64 synthesis and NAT64 path selection run inside the
+    // probe workers, so any scheduling dependence would show up here.
+    let _g = OBS_LOCK.lock().unwrap();
+
+    let tiny_nat64 = |seed: u64| {
+        let mut s = Scenario::nat64(seed);
+        s.population.n_sites = 400;
+        s.tail_sites = 60;
+        s.campaign.total_weeks = 12;
+        s.timeline.total_weeks = 12;
+        s.timeline.iana_week = 4;
+        s.timeline.ipv6_day_week = 9;
+        s.fig1_from_week = 2;
+        s.analysis.min_paired_samples = 4;
+        s.route_change = Some((6, 0.03, 0.01));
+        s
+    };
+    let run = |threads: &str, workers: usize| {
+        obs::reset();
+        obs::enable();
+        std::env::set_var("IPV6WEB_THREADS", threads);
+        let mut s = tiny_nat64(31);
+        s.campaign.workers = workers;
+        let _study = run_study(&s).expect("valid scenario");
+        std::env::remove_var("IPV6WEB_THREADS");
+        obs::disable();
+        obs::flush_thread();
+        let snap = obs::snapshot();
+        obs::reset();
+        snap
+    };
+
+    let serial = run("1", 1);
+    let parallel = run("4", 8);
+    assert_eq!(serial.counters, parallel.counters, "xlat counters must not depend on scheduling");
+    assert_eq!(serial.histograms, parallel.histograms, "histograms must not depend on scheduling");
+    // sanity: the translation plane actually fired
+    assert!(serial.counter("dns64.synthesized") > 0, "DNS64 synthesized AAAAs");
+    assert!(serial.counter("xlat.translated_paths") > 0, "probes crossed a NAT64 gateway");
+}
+
+#[test]
 fn worker_budget_is_never_exceeded() {
     // Two-level fan-out: six campaigns race at the top, each opening a
     // probe pool below. The peak concurrency observed at EITHER level must

@@ -137,6 +137,8 @@ fn probe_pipeline_runs_outside_the_campaign_driver() {
         white_listed: false,
         v6_epoch: None,
         faults: None,
+        stack: ipv6web::xlat::ClientStack::DualStack,
+        xlat: None,
     };
     let mut resolver = Resolver::new();
     let mut measured = 0;
