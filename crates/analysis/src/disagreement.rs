@@ -1,0 +1,181 @@
+//! Cross-vantage disagreement: are H1/H2 conclusions stable, or artifacts
+//! of vantage placement?
+//!
+//! "The Blind Men and the Internet" argues conclusions drawn from a
+//! handful of monitors can flip with placement. With a generated vantage
+//! population this module re-asks each hypothesis **per vantage** (the
+//! verdict a study would have reached had that monitor been the only
+//! one), measures how often solo verdicts agree, and reports which pooled
+//! conclusions flip for some placements.
+
+use crate::hypotheses::{h1_verdict, h2_verdict, HypothesisVerdict};
+use crate::types::VantageAnalysis;
+use ipv6web_stats::{mean_ci, ConfidenceInterval, StudentT, Welford};
+use serde::{Deserialize, Serialize};
+
+/// How the solo (single-vantage) verdicts on one hypothesis spread around
+/// the pooled verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictSpread {
+    /// "H1" or "H2".
+    pub hypothesis: String,
+    /// The verdict over the pooled panel — what the study concludes.
+    pub pooled_holds: bool,
+    /// Solo verdicts that hold.
+    pub holds: usize,
+    /// Vantages with enough evidence for a solo verdict (H1 needs SP
+    /// groups; H2 needs both SP and DP groups).
+    pub evidential: usize,
+    /// Share of solo verdicts agreeing with the majority solo verdict,
+    /// with a 95% Student-t confidence interval.
+    pub agreement: ConfidenceInterval,
+    /// Whether any placement's solo verdict contradicts the pooled one —
+    /// the conclusion flips depending on where you look.
+    pub flips: bool,
+    /// Vantages whose solo verdict contradicts the pooled one (capped at
+    /// twelve in the rendered table; the full list is in the JSON).
+    pub dissenters: Vec<String>,
+}
+
+/// The report's cross-vantage disagreement section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanelReport {
+    /// Vantage points in the panel.
+    pub vantages: usize,
+    /// How many entered the path-correlated analysis (`AS_PATH` feeds).
+    pub analyzed: usize,
+    /// H1 spread: IPv6 deficits mostly not network-attributable.
+    pub h1: VerdictSpread,
+    /// H2 spread: routing choices behind poorer IPv6 performance.
+    pub h2: VerdictSpread,
+}
+
+fn spread(
+    hypothesis: &str,
+    analyses: &[VantageAnalysis],
+    evidential: impl Fn(&VantageAnalysis) -> bool,
+    verdict: impl Fn(&[VantageAnalysis]) -> HypothesisVerdict,
+) -> VerdictSpread {
+    let pooled_holds = verdict(analyses).holds;
+    // solo verdict per evidential vantage: the conclusion this monitor
+    // alone supports
+    let solos: Vec<(&str, bool)> = analyses
+        .iter()
+        .filter(|a| evidential(a))
+        .map(|a| (a.vantage.as_str(), verdict(std::slice::from_ref(a)).holds))
+        .collect();
+    let holds = solos.iter().filter(|(_, h)| *h).count();
+    let majority_holds = 2 * holds >= solos.len();
+    let mut agree = Welford::new();
+    for (_, h) in &solos {
+        agree.push(if *h == majority_holds { 1.0 } else { 0.0 });
+    }
+    let dissenters: Vec<String> =
+        solos.iter().filter(|(_, h)| *h != pooled_holds).map(|(v, _)| v.to_string()).collect();
+    VerdictSpread {
+        hypothesis: hypothesis.to_string(),
+        pooled_holds,
+        holds,
+        evidential: solos.len(),
+        agreement: mean_ci(&agree, StudentT::P95),
+        flips: !dissenters.is_empty(),
+        dissenters,
+    }
+}
+
+/// Builds the disagreement section from the per-vantage analyses of a
+/// generated-population study. `vantages` is the full panel size
+/// (including monitors without `AS_PATH` feeds, which carry no verdict).
+pub fn panel_report(analyses: &[VantageAnalysis], vantages: usize) -> PanelReport {
+    PanelReport {
+        vantages,
+        analyzed: analyses.len(),
+        h1: spread("H1", analyses, |a| !a.sp_groups.is_empty(), h1_verdict),
+        h2: spread(
+            "H2",
+            analyses,
+            |a| !a.sp_groups.is_empty() && !a.dp_groups.is_empty(),
+            h2_verdict,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AsCategory, AsGroup};
+    use ipv6web_topology::AsId;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn group(dest: AsId, category: AsCategory, v4: f64, v6: f64) -> AsGroup {
+        AsGroup { dest, site_idx: vec![0], v4_mean: v4, v6_mean: v6, category, sites_at_zero: 0 }
+    }
+
+    fn analysis(name: &str, sp_cat: AsCategory, dp_cat: AsCategory) -> VantageAnalysis {
+        let mut sp_groups = BTreeMap::new();
+        sp_groups.insert(AsId(5), group(AsId(5), sp_cat, 100.0, 99.0));
+        let mut dp_groups = BTreeMap::new();
+        dp_groups.insert(AsId(9), group(AsId(9), dp_cat, 100.0, 40.0));
+        VantageAnalysis {
+            vantage: name.to_string(),
+            sites_total: 1,
+            kept: vec![],
+            removed: vec![],
+            dest_ases_v4: BTreeSet::new(),
+            dest_ases_v6: BTreeSet::new(),
+            crossed_v4: BTreeSet::new(),
+            crossed_v6: BTreeSet::new(),
+            sp_groups,
+            dp_groups,
+            dp_v6_paths: BTreeMap::new(),
+            good_v6_paths: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn unanimous_panel_has_full_agreement_and_no_flips() {
+        let panel: Vec<VantageAnalysis> = (0..5)
+            .map(|i| analysis(&format!("VP-{i:03}"), AsCategory::Comparable, AsCategory::Bad))
+            .collect();
+        let r = panel_report(&panel, 8);
+        assert_eq!(r.vantages, 8);
+        assert_eq!(r.analyzed, 5);
+        assert_eq!(r.h1.evidential, 5);
+        assert_eq!(r.h1.holds, 5);
+        assert!(r.h1.pooled_holds);
+        assert!(!r.h1.flips);
+        assert!(r.h1.dissenters.is_empty());
+        assert!((r.h1.agreement.mean - 1.0).abs() < 1e-12);
+        assert_eq!(r.h1.agreement.n, 5);
+        assert!(r.h2.pooled_holds, "similar SP vs dissimilar DP supports H2");
+    }
+
+    #[test]
+    fn dissenting_vantage_is_reported_as_a_flip() {
+        let mut panel: Vec<VantageAnalysis> = (0..4)
+            .map(|i| analysis(&format!("VP-{i:03}"), AsCategory::Comparable, AsCategory::Bad))
+            .collect();
+        // one placement sees an unexplained SP deficit: its solo H1 fails,
+        // and (H1 requiring *every* vantage to clear 90%) it drags the
+        // pooled verdict down with it
+        panel.push(analysis("VP-004", AsCategory::Bad, AsCategory::Bad));
+        let r = panel_report(&panel, 5);
+        assert_eq!(r.h1.evidential, 5);
+        assert_eq!(r.h1.holds, 4);
+        assert!(!r.h1.pooled_holds, "one bad placement rejects pooled H1");
+        assert!(r.h1.flips, "most placements alone would have concluded otherwise");
+        assert_eq!(r.h1.dissenters.len(), 4, "the four holding vantages dissent from pooled");
+        assert!((r.h1.agreement.mean - 0.8).abs() < 1e-12, "4/5 agree with the majority");
+    }
+
+    #[test]
+    fn vantages_without_evidence_are_skipped() {
+        let mut a = analysis("VP-000", AsCategory::Comparable, AsCategory::Bad);
+        a.sp_groups.clear();
+        a.dp_groups.clear();
+        let with_evidence = analysis("VP-001", AsCategory::Comparable, AsCategory::Bad);
+        let r = panel_report(&[a, with_evidence], 2);
+        assert_eq!(r.h1.evidential, 1, "empty SP set carries no H1 evidence");
+        assert_eq!(r.h2.evidential, 1);
+    }
+}

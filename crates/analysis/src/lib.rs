@@ -23,6 +23,7 @@
 //! so the `repro` harness regenerates the paper's exact artifact list.
 
 pub mod classify;
+pub mod disagreement;
 pub mod export;
 pub mod figures;
 pub mod hypotheses;
@@ -32,6 +33,7 @@ pub mod tables;
 pub mod types;
 
 pub use classify::{analyze_vantage, analyze_vantage_faulted};
+pub use disagreement::{panel_report, PanelReport, VerdictSpread};
 pub use export::{fig1_csv, fig3a_csv, hop_table_csv, kept_sites_csv, table11_csv, table8_csv};
 pub use figures::{fig1_series, fig3a_series, fig3b_series};
 pub use hypotheses::{h1_verdict, h2_verdict, HypothesisVerdict};

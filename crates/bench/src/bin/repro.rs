@@ -6,6 +6,7 @@
 //! repro all --scale paper        # full-scale run (minutes)
 //! repro all --scale faults       # quick scale under the demo fault plan
 //! repro all --scale nat64        # quick scale with NAT64/DNS64/464XLAT vantages
+//! repro all --scale panel        # 200 generated vantage points, disagreement section
 //! repro all --seed 7 --json out.json
 //! repro all --fault-plan plan.json --checkpoint-dir ckpt/
 //! repro all --metrics BENCH.json --baseline BENCH_baseline.json
@@ -24,7 +25,7 @@ const ARTIFACTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <artifact...|all> [--scale quick|paper|faults|internet|internet-smoke|nat64]\n\
+        "usage: repro <artifact...|all> [--scale quick|paper|faults|internet|internet-smoke|nat64|panel]\n\
          \x20            [--seed N] [--json FILE]\n\
          \x20            [--csv DIR] [--fault-plan FILE] [--checkpoint-dir DIR]\n\
          \x20            [--metrics FILE] [--baseline FILE] [--sequential]\n\
@@ -64,7 +65,7 @@ fn main() {
                 scale = Scale::parse(&v).unwrap_or_else(|| {
                     eprintln!(
                         "repro: unknown scale `{v}` \
-                         (expected quick, paper, faults, internet, internet-smoke, or nat64)"
+                         (expected quick, paper, faults, internet, internet-smoke, nat64, or panel)"
                     );
                     usage()
                 });
@@ -168,6 +169,10 @@ fn main() {
                 if r.xlat.is_some() {
                     t.push('\n');
                     t.push_str(&r.render_xlat());
+                }
+                if r.panel.is_some() {
+                    t.push('\n');
+                    t.push_str(&r.render_panel());
                 }
                 t
             }

@@ -28,11 +28,14 @@ pub enum Scale {
     /// three translator gateways, two v6-only vantage points behind DNS64
     /// and two 464XLAT clients.
     Nat64,
+    /// A generated vantage population (200 monitors on a 2k-AS topology)
+    /// with the cross-vantage disagreement section.
+    Panel,
 }
 
 impl Scale {
     /// Parses `quick` / `paper` / `faults` / `internet` /
-    /// `internet-smoke` / `nat64`.
+    /// `internet-smoke` / `nat64` / `panel`.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "quick" => Some(Scale::Quick),
@@ -41,6 +44,7 @@ impl Scale {
             "internet" => Some(Scale::Internet),
             "internet-smoke" => Some(Scale::InternetSmoke),
             "nat64" => Some(Scale::Nat64),
+            "panel" => Some(Scale::Panel),
             _ => None,
         }
     }
@@ -55,6 +59,7 @@ impl Scale {
             Scale::Internet => "internet",
             Scale::InternetSmoke => "internet-smoke",
             Scale::Nat64 => "nat64",
+            Scale::Panel => "panel",
         }
     }
 
@@ -67,6 +72,7 @@ impl Scale {
             Scale::Internet => Scenario::internet(seed),
             Scale::InternetSmoke => Scenario::internet_smoke(seed),
             Scale::Nat64 => Scenario::nat64(seed),
+            Scale::Panel => Scenario::panel(seed),
         }
     }
 }
@@ -88,7 +94,15 @@ mod tests {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("faults"), Some(Scale::Faults));
         assert_eq!(Scale::parse("nat64"), Some(Scale::Nat64));
+        assert_eq!(Scale::parse("panel"), Some(Scale::Panel));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn panel_scale_carries_a_vantage_population() {
+        let s = Scale::Panel.scenario(1);
+        assert_eq!(s.vantage_population.as_ref().map(|p| p.count), Some(200));
+        assert_eq!(Scale::Panel.name(), "panel");
     }
 
     #[test]

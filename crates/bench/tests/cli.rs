@@ -52,8 +52,8 @@ fn unknown_scale_still_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown scale"));
-    // the error enumerates every accepted scale, nat64 included
-    for scale in ["quick", "paper", "faults", "internet", "internet-smoke", "nat64"] {
+    // the error enumerates every accepted scale, nat64 and panel included
+    for scale in ["quick", "paper", "faults", "internet", "internet-smoke", "nat64", "panel"] {
         assert!(stderr.contains(scale), "error must offer `{scale}`: {stderr}");
     }
 }

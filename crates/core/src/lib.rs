@@ -33,4 +33,4 @@ pub use scenario::{Scenario, StreamRoutes};
 pub use study::{
     run_study, run_study_mode, run_study_on_world, ExecutionMode, StudyError, StudyResult,
 };
-pub use world::World;
+pub use world::{World, WorldError};

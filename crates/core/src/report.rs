@@ -70,6 +70,9 @@ pub struct Report {
     /// Translated-path comparison, present only when the scenario placed
     /// NAT64 gateways.
     pub xlat: Option<XlatReport>,
+    /// Cross-vantage disagreement, present only when the scenario generated
+    /// a vantage population (spec-less runs stay byte-identical).
+    pub panel: Option<ipv6web_analysis::PanelReport>,
 }
 
 impl Serialize for Report {
@@ -99,6 +102,9 @@ impl Serialize for Report {
         ];
         if let Some(x) = &self.xlat {
             fields.push(("xlat".to_string(), x.to_value()));
+        }
+        if let Some(p) = &self.panel {
+            fields.push(("panel".to_string(), p.to_value()));
         }
         Value::Obj(fields)
     }
@@ -323,7 +329,57 @@ impl Report {
             better_v6: better_v6_profile(&world.topo, analyses),
             transition_path_changes,
             xlat: xlat_report(world, dbs, analyses),
+            panel: world
+                .scenario
+                .vantage_population
+                .as_ref()
+                .map(|_| ipv6web_analysis::panel_report(analyses, world.vantages.len())),
         }
+    }
+
+    /// Renders the cross-vantage disagreement section; empty without a
+    /// generated vantage population.
+    pub fn render_panel(&self) -> String {
+        let Some(p) = &self.panel else { return String::new() };
+        let mut out = format!(
+            "Cross-vantage disagreement: {} vantage points, {} with AS_PATH feeds.\n",
+            p.vantages, p.analyzed
+        );
+        out.push_str(&format!(
+            "{:<4} {:<8} {:>6}/{:<11} {:>18} {:>6}\n",
+            "", "pooled", "holds", "evidential", "solo agreement", "flips"
+        ));
+        for s in [&p.h1, &p.h2] {
+            out.push_str(&format!(
+                "{:<4} {:<8} {:>6}/{:<11} {:>10.3} ±{:>5.3} {:>6}\n",
+                s.hypothesis,
+                if s.pooled_holds { "HOLDS" } else { "REJECTED" },
+                s.holds,
+                s.evidential,
+                s.agreement.mean,
+                s.agreement.half_width,
+                if s.flips { "yes" } else { "no" },
+            ));
+        }
+        for s in [&p.h1, &p.h2] {
+            if s.dissenters.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "{} dissenters ({} of {} solo verdicts contradict the pooled one):",
+                s.hypothesis,
+                s.dissenters.len(),
+                s.evidential
+            ));
+            for name in s.dissenters.iter().take(12) {
+                out.push_str(&format!(" {name}"));
+            }
+            if s.dissenters.len() > 12 {
+                out.push_str(&format!(" … ({} more)", s.dissenters.len() - 12));
+            }
+            out.push('\n');
+        }
+        out
     }
 
     /// Renders the transition-technology section; empty without gateways.
@@ -461,6 +517,10 @@ impl Report {
         }
         if self.xlat.is_some() {
             out.push_str(&self.render_xlat());
+            out.push('\n');
+        }
+        if self.panel.is_some() {
+            out.push_str(&self.render_panel());
             out.push('\n');
         }
         out.push_str(&self.better_v6.to_string());

@@ -3,7 +3,7 @@
 use ipv6web_alexa::AdoptionTimeline;
 use ipv6web_analysis::AnalysisConfig;
 use ipv6web_faults::FaultPlan;
-use ipv6web_monitor::{CampaignConfig, DisturbanceConfig};
+use ipv6web_monitor::{CampaignConfig, DisturbanceConfig, VantagePopulation};
 use ipv6web_netsim::TcpConfig;
 use ipv6web_stats::RelativeCiRule;
 use ipv6web_topology::TopologyConfig;
@@ -94,6 +94,11 @@ pub struct Scenario {
     /// before the transition tier carry no `xlat` key and deserialize to
     /// that default.
     pub xlat: XlatConfig,
+    /// Generated vantage population: count, region mix, access-type
+    /// split, white-list fraction, client-stack mix. `None` (the default,
+    /// and what scenario files written before this field deserialize to)
+    /// keeps the paper's Table 1 six, byte-identically.
+    pub vantage_population: Option<VantagePopulation>,
 }
 
 impl Scenario {
@@ -122,6 +127,7 @@ impl Scenario {
             checkpoint_dir: None,
             stream_routes: StreamRoutes(false),
             xlat: XlatConfig::default(),
+            vantage_population: None,
         }
     }
 
@@ -160,6 +166,7 @@ impl Scenario {
             checkpoint_dir: None,
             stream_routes: StreamRoutes(false),
             xlat: XlatConfig::default(),
+            vantage_population: None,
         }
     }
 
@@ -201,6 +208,7 @@ impl Scenario {
             checkpoint_dir: None,
             stream_routes: StreamRoutes(true),
             xlat: XlatConfig::default(),
+            vantage_population: None,
         }
     }
 
@@ -244,6 +252,27 @@ impl Scenario {
             ],
             ..XlatConfig::default()
         };
+        s
+    }
+
+    /// The vantage-panel tier: 200 generated vantage points (instead of
+    /// Table 1's six) drawn from a ~2000-AS topology with elevated access
+    /// adoption so the panel fits, monitoring a reduced site list at
+    /// quick-world cost per campaign. The report gains a cross-vantage
+    /// disagreement section: per-vantage H1/H2 verdicts, agreement rates
+    /// with 95% CIs, and which conclusions flip with placement.
+    pub fn panel(seed: u64) -> Self {
+        let mut s = Scenario::quick(seed);
+        s.topology = TopologyConfig::scaled(2_000);
+        // the quick tier's elevated adoption, and enough dual-stack
+        // access ASes to host hundreds of monitors
+        s.topology.dual.access_adoption = 0.6;
+        s.population.n_sites = 800;
+        s.tail_sites = 200;
+        // 200 vantages × participants makes per-vantage day rounds the
+        // dominant cost; two rounds keep the event analyzable
+        s.campaign.ipv6_day_rounds = 2;
+        s.vantage_population = Some(VantagePopulation { count: 200, ..Default::default() });
         s
     }
 
@@ -308,11 +337,36 @@ impl Scenario {
         self.campaign.validate().map_err(|e| format!("campaign: {e}"))?;
         self.faults.validate(self.timeline.total_weeks).map_err(|e| format!("fault plan: {e}"))?;
         self.xlat.validate().map_err(|e| format!("xlat: {e}"))?;
-        const VANTAGES: [&str; 6] =
-            ["Comcast", "Go6-Slovenia", "Loughborough U.", "Penn", "Tsinghua U.", "UPC Broadband"];
-        for (name, _) in &self.xlat.stacks {
-            if !VANTAGES.contains(&name.as_str()) {
-                return Err(format!("xlat: unknown vantage point {name:?} in stack assignment"));
+        match &self.vantage_population {
+            None => {
+                const VANTAGES: [&str; 6] = [
+                    "Comcast",
+                    "Go6-Slovenia",
+                    "Loughborough U.",
+                    "Penn",
+                    "Tsinghua U.",
+                    "UPC Broadband",
+                ];
+                for (name, _) in &self.xlat.stacks {
+                    if !VANTAGES.contains(&name.as_str()) {
+                        return Err(format!(
+                            "xlat: unknown vantage point {name:?} in stack assignment"
+                        ));
+                    }
+                }
+            }
+            Some(pop) => {
+                pop.validate().map_err(|e| format!("vantage_population: {e}"))?;
+                if !self.xlat.stacks.is_empty() {
+                    return Err("vantage_population and xlat.stacks are mutually exclusive; \
+                                put the client-stack mix on the population spec"
+                        .into());
+                }
+                if pop.has_translating_stacks() && self.xlat.gateways == 0 {
+                    return Err("vantage_population stack mix assigns translating stacks \
+                                but xlat.gateways is 0"
+                        .into());
+                }
             }
         }
         Ok(())
@@ -524,5 +578,41 @@ mod tests {
         let json = serde_json::to_string(&v).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back, Scenario::quick(7), "omitted fields default to the no-fault pipeline");
+    }
+
+    #[test]
+    fn pre_panel_scenario_json_still_deserializes() {
+        // scenario files written before vantage populations carry no
+        // `vantage_population` key
+        let mut v = serde_json::to_value(&Scenario::quick(7)).unwrap();
+        if let serde_json::Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "vantage_population");
+        }
+        let back: Scenario = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, Scenario::quick(7), "omitted population keeps the Table 1 six");
+    }
+
+    #[test]
+    fn panel_scenario_validates() {
+        let s = Scenario::panel(5);
+        s.validate().unwrap();
+        assert_eq!(s.vantage_population.as_ref().unwrap().count, 200);
+
+        // population + named xlat stacks is a contradiction
+        let mut bad = Scenario::panel(5);
+        bad.xlat.stacks = vec![("Penn".into(), ipv6web_xlat::ClientStack::V6Only)];
+        bad.xlat.gateways = 1;
+        assert!(bad.validate().unwrap_err().contains("mutually exclusive"));
+
+        // translating stacks in the mix need gateways
+        let mut bad = Scenario::panel(5);
+        bad.vantage_population.as_mut().unwrap().stacks =
+            vec![(ipv6web_xlat::ClientStack::V6Only, 1.0)];
+        assert!(bad.validate().unwrap_err().contains("gateways"));
+
+        // a broken spec is caught at validation, not at build
+        let mut bad = Scenario::panel(5);
+        bad.vantage_population.as_mut().unwrap().count = 0;
+        assert!(bad.validate().unwrap_err().contains("vantage_population"));
     }
 }

@@ -18,6 +18,9 @@ pub enum StudyError {
     InvalidScenario(String),
     /// A campaign aborted (bad config, or a checkpoint write/read failed).
     Campaign(CampaignError),
+    /// The world could not be built (e.g. the topology is too small for
+    /// the vantage population).
+    World(crate::world::WorldError),
 }
 
 impl std::fmt::Display for StudyError {
@@ -25,6 +28,7 @@ impl std::fmt::Display for StudyError {
         match self {
             StudyError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
             StudyError::Campaign(e) => write!(f, "{e}"),
+            StudyError::World(e) => write!(f, "{e}"),
         }
     }
 }
@@ -34,6 +38,7 @@ impl std::error::Error for StudyError {
         match self {
             StudyError::InvalidScenario(_) => None,
             StudyError::Campaign(e) => Some(e),
+            StudyError::World(e) => Some(e),
         }
     }
 }
@@ -41,6 +46,12 @@ impl std::error::Error for StudyError {
 impl From<CampaignError> for StudyError {
     fn from(e: CampaignError) -> Self {
         StudyError::Campaign(e)
+    }
+}
+
+impl From<crate::world::WorldError> for StudyError {
+    fn from(e: crate::world::WorldError) -> Self {
+        StudyError::World(e)
     }
 }
 
@@ -141,7 +152,7 @@ pub fn run_study_mode(scenario: &Scenario, mode: ExecutionMode) -> Result<StudyR
     // study's phase breakdown (a service reusing a cached world goes
     // through `run_study_on_world` and deliberately omits them).
     let mark = ipv6web_obs::span_mark();
-    let world = Arc::new(World::build(scenario));
+    let world = Arc::new(World::try_build(scenario)?);
     run_study_from_mark(&world, mode, ckpt_dir, mark)
 }
 
@@ -180,6 +191,11 @@ fn run_study_from_mark(
         std::fs::create_dir_all(dir).map_err(|source| {
             StudyError::Campaign(CampaignError::Checkpoint { path: dir.to_path_buf(), source })
         })?;
+        // Refuse to resume a directory stamped by a different vantage
+        // population — per-vantage checkpoints are keyed by name slug
+        // only, so a mismatched resume would misattribute rounds.
+        ipv6web_monitor::check_population_stamp(dir, &world.vantages)
+            .map_err(StudyError::Campaign)?;
     }
 
     // --- weekly campaigns ---------------------------------------------------

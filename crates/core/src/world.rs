@@ -4,7 +4,10 @@ use crate::scenario::Scenario;
 use ipv6web_alexa::TopList;
 use ipv6web_bgp::{BgpTable, RouteStore};
 use ipv6web_faults::FaultInjector;
-use ipv6web_monitor::{Disturbances, ProbeContext, ProbeFaults, ProbeXlat, VantagePoint};
+use ipv6web_monitor::{
+    Disturbances, PopulationError, ProbeContext, ProbeFaults, ProbeXlat, VantageCountError,
+    VantagePoint,
+};
 use ipv6web_stats::derive_rng;
 use ipv6web_topology::{
     generate as generate_topology, AsId, EdgeId, Family, Region, Tier, Topology,
@@ -64,11 +67,69 @@ pub struct XlatWorld {
     pub pref: Vec<Vec<usize>>,
 }
 
+/// Typed error from [`World::try_build`]: everything that can go wrong
+/// between a validated scenario and a built world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldError {
+    /// The scenario failed [`Scenario::validate`].
+    InvalidScenario(String),
+    /// The topology has fewer eligible (dual-stack access) ASes than the
+    /// vantage population needs — `found` of the `needed` monitors could
+    /// be placed.
+    InsufficientVantageAses {
+        /// How many vantage ASes the scenario asks for.
+        needed: usize,
+        /// How many eligible ASes the topology has.
+        found: usize,
+    },
+    /// Table 1 wiring received the wrong number of access ASes.
+    VantageTable(VantageCountError),
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            WorldError::InsufficientVantageAses { needed, found } => write!(
+                f,
+                "not enough dual-stack access ASes for {needed} vantage points \
+                 (topology has {found}); grow the topology or shrink the population"
+            ),
+            WorldError::VantageTable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorldError::VantageTable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VantageCountError> for WorldError {
+    fn from(e: VantageCountError) -> Self {
+        WorldError::VantageTable(e)
+    }
+}
+
+impl From<PopulationError> for WorldError {
+    fn from(e: PopulationError) -> Self {
+        match e {
+            PopulationError::InsufficientAses { needed, found } => {
+                WorldError::InsufficientVantageAses { needed, found }
+            }
+        }
+    }
+}
+
 /// Picks six dual-stack access ASes for the vantage points, preferring the
 /// paper's regional spread (Table 1: two North America, three Europe, one
 /// Asia) and falling back to any dual-stack access AS when a region runs
 /// dry.
-fn pick_vantage_ases(topo: &Topology) -> [AsId; 6] {
+fn pick_vantage_ases(topo: &Topology) -> Result<[AsId; 6], WorldError> {
     let wanted = [
         Region::NorthAmerica, // Comcast
         Region::Europe,       // Go6 (Slovenia)
@@ -85,6 +146,11 @@ fn pick_vantage_ases(topo: &Topology) -> [AsId; 6] {
             rel == ipv6web_topology::Relationship::CustomerOf && topo.edge(eid).tunnel.is_none()
         })
     };
+    let eligible =
+        topo.nodes().iter().filter(|n| n.tier == Tier::Access && n.is_dual_stack()).count();
+    if eligible < wanted.len() {
+        return Err(WorldError::InsufficientVantageAses { needed: wanted.len(), found: eligible });
+    }
     let mut picked: Vec<AsId> = Vec::with_capacity(6);
     for want in wanted {
         let candidate = |region_bound: bool| {
@@ -104,10 +170,10 @@ fn pick_vantage_ases(topo: &Topology) -> [AsId; 6] {
                     n.tier == Tier::Access && n.is_dual_stack() && !picked.contains(&n.id)
                 })
             })
-            .unwrap_or_else(|| panic!("not enough dual-stack access ASes for 6 vantage points"));
+            .ok_or(WorldError::InsufficientVantageAses { needed: 6, found: eligible })?;
         picked.push(found.id);
     }
-    picked.try_into().expect("exactly six")
+    Ok(picked.try_into().expect("exactly six"))
 }
 
 impl World {
@@ -119,9 +185,18 @@ impl World {
     ///
     /// # Panics
     /// Panics when the scenario fails validation or the topology cannot
-    /// host six vantage points.
+    /// host the vantage population; production callers should use
+    /// [`World::try_build`].
     pub fn build(scenario: &Scenario) -> World {
-        scenario.validate().expect("invalid scenario");
+        World::try_build(scenario).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`World::build`]: returns a typed [`WorldError`] instead
+    /// of panicking — in particular
+    /// [`WorldError::InsufficientVantageAses`] when the topology is too
+    /// small for the (fixed six or generated) vantage population.
+    pub fn try_build(scenario: &Scenario) -> Result<World, WorldError> {
+        scenario.validate().map_err(WorldError::InvalidScenario)?;
         let topo = {
             let _s = ipv6web_obs::span("world: topology");
             generate_topology(&scenario.topology, scenario.seed)
@@ -145,18 +220,29 @@ impl World {
         );
         let tail_ids: Vec<u32> = (n_list as u32..scenario.total_sites() as u32).collect();
 
-        let vantage_ases = pick_vantage_ases(&topo);
-        let vantages = VantagePoint::paper_table1(&vantage_ases);
-        // Start weeks in Table 1 are calibrated to a 52-week campaign;
-        // rescale for shorter scenarios.
-        let vantages: Vec<VantagePoint> = vantages
-            .into_iter()
-            .map(|mut v| {
-                v.start_week = v.start_week * scenario.campaign.total_weeks / 52;
-                v.stack = scenario.xlat.stack_of(&v.name);
-                v
-            })
-            .collect();
+        let vantages: Vec<VantagePoint> = match &scenario.vantage_population {
+            // generated population: sampled straight from the topology,
+            // stacks from the spec's mix (validation rejects named
+            // xlat.stacks alongside a population)
+            Some(pop) => {
+                let _s = ipv6web_obs::span("world: vantage population");
+                pop.generate(&topo, scenario.seed, scenario.campaign.total_weeks)?
+            }
+            // the paper's Table 1 six. Start weeks in Table 1 are
+            // calibrated to a 52-week campaign; rescale for shorter
+            // scenarios.
+            None => {
+                let vantage_ases = pick_vantage_ases(&topo)?;
+                VantagePoint::try_paper_table1(&vantage_ases)?
+                    .into_iter()
+                    .map(|mut v| {
+                        v.start_week = v.start_week * scenario.campaign.total_weeks / 52;
+                        v.stack = scenario.xlat.stack_of(&v.name);
+                        v
+                    })
+                    .collect()
+            }
+        };
 
         let xlat_gateways = if scenario.xlat.gateways > 0 {
             ipv6web_xlat::place_gateways(&topo, scenario.seed, scenario.xlat.gateways)
@@ -360,7 +446,7 @@ impl World {
             scenario.seed,
         );
 
-        World {
+        Ok(World {
             scenario: scenario.clone(),
             topo,
             sites,
@@ -375,7 +461,7 @@ impl World {
             injector,
             fault_epochs,
             xlat,
-        }
+        })
     }
 
     /// Sites participating in World IPv6 Day that are dual-stack and
@@ -519,6 +605,53 @@ mod tests {
         let b = World::build(&Scenario::quick(5));
         assert_eq!(a.sites, b.sites);
         assert_eq!(a.vantages, b.vantages);
+    }
+
+    #[test]
+    fn too_small_topology_is_a_typed_error() {
+        // classic six: no dual-stack access ASes at all
+        let mut s = Scenario::quick(3);
+        s.topology.dual.access_adoption = 0.0;
+        match World::try_build(&s) {
+            Err(WorldError::InsufficientVantageAses { needed: 6, found }) => {
+                assert_eq!(found, 0)
+            }
+            other => panic!("expected InsufficientVantageAses, got {:?}", other.err()),
+        }
+        // generated population bigger than the whole access tier
+        let mut s = Scenario::quick(3);
+        s.vantage_population =
+            Some(ipv6web_monitor::VantagePopulation { count: 500, ..Default::default() });
+        match World::try_build(&s) {
+            Err(WorldError::InsufficientVantageAses { needed: 500, found }) => {
+                assert!(found < 500, "quick topology cannot host 500 monitors")
+            }
+            other => panic!("expected InsufficientVantageAses, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn population_world_builds_generated_vantages() {
+        let mut s = Scenario::quick(11);
+        s.topology = ipv6web_topology::TopologyConfig::scaled(700);
+        s.topology.dual.access_adoption = 0.6;
+        s.population.n_sites = 400;
+        s.tail_sites = 100;
+        s.vantage_population =
+            Some(ipv6web_monitor::VantagePopulation { count: 50, ..Default::default() });
+        let w = World::build(&s);
+        assert_eq!(w.vantages.len(), 50);
+        assert_eq!(w.tables.len(), 50, "one table pair per vantage");
+        let mut seen = std::collections::BTreeSet::new();
+        for (v, (t4, t6)) in w.vantages.iter().zip(&w.tables) {
+            assert!(seen.insert(v.as_id), "vantage ASes must be distinct");
+            assert_eq!(t4.vantage_as, v.as_id);
+            assert_eq!(t6.vantage_as, v.as_id);
+            assert!(v.start_week < s.campaign.total_weeks);
+        }
+        // the anchor plays the Penn role
+        assert_eq!(w.vantages[0].start_week, 0);
+        assert!(w.vantages[0].external_inputs);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct JobSpec {
     /// Named scale: `quick`, `paper`, `faults`, `internet`,
-    /// `internet-smoke`, `nat64`.
+    /// `internet-smoke`, `nat64`, `panel`.
     pub scale: Option<String>,
     /// Seed for a named scale (default 42). Rejected alongside an inline
     /// scenario, which carries its own seed.
@@ -58,7 +58,7 @@ impl JobSpec {
                 let scale = Scale::parse(name).ok_or_else(|| {
                     format!(
                         "unknown scale `{name}` (expected quick, paper, faults, \
-                         internet, internet-smoke, or nat64)"
+                         internet, internet-smoke, nat64, or panel)"
                     )
                 })?;
                 scale.scenario(self.seed.unwrap_or(42))

@@ -26,15 +26,18 @@
 
 pub mod db;
 pub mod disturbance;
+pub mod population;
 pub mod probe;
 pub mod round;
 pub mod vantage;
 
 pub use db::{MonitorDb, PerfSample, SiteRecord};
 pub use disturbance::{Disturbance, DisturbanceConfig, DisturbanceKind, Disturbances};
+pub use population::{PopulationError, VantagePopulation};
 pub use probe::{probe_site, ProbeContext, ProbeFaults, ProbeOutcome, ProbeXlat};
 pub use round::{
-    checkpoint_path, run_campaign, run_campaign_resumable, run_ipv6_day_rounds,
-    validate_checkpoint_dir, CampaignConfig, CampaignError, ConfigError, RoundError,
+    check_population_stamp, checkpoint_path, population_hash, run_campaign, run_campaign_resumable,
+    run_ipv6_day_rounds, validate_checkpoint_dir, CampaignConfig, CampaignError, ConfigError,
+    RoundError,
 };
-pub use vantage::{VantageKind, VantagePoint};
+pub use vantage::{VantageCountError, VantageKind, VantagePoint};

@@ -177,6 +177,20 @@ pub enum CampaignError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// The checkpoint directory was stamped by a study with a different
+    /// vantage population; resuming would silently misattribute rounds.
+    PopulationMismatch {
+        /// The stamp file.
+        path: PathBuf,
+        /// Vantage count recorded in the stamp.
+        stamped_count: usize,
+        /// Population hash recorded in the stamp.
+        stamped_hash: u64,
+        /// Vantage count of the current study.
+        count: usize,
+        /// Population hash of the current study.
+        hash: u64,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -185,6 +199,22 @@ impl std::fmt::Display for CampaignError {
             CampaignError::Config(e) => write!(f, "invalid campaign config: {e}"),
             CampaignError::Checkpoint { path, source } => {
                 write!(f, "checkpoint {} failed: {source}", path.display())
+            }
+            CampaignError::PopulationMismatch {
+                path,
+                stamped_count,
+                stamped_hash,
+                count,
+                hash,
+            } => {
+                write!(
+                    f,
+                    "checkpoint dir was written for a different vantage population \
+                     ({} records {stamped_count} vantages, hash {stamped_hash:016x}; \
+                     this study has {count} vantages, hash {hash:016x}) — resume with \
+                     the matching scenario or use a fresh --checkpoint-dir",
+                    path.display()
+                )
             }
         }
     }
@@ -195,6 +225,7 @@ impl std::error::Error for CampaignError {
         match self {
             CampaignError::Config(e) => Some(e),
             CampaignError::Checkpoint { source, .. } => Some(source),
+            CampaignError::PopulationMismatch { .. } => None,
         }
     }
 }
@@ -385,6 +416,76 @@ fn checkpoint(db: &MonitorDb, dir: Option<&Path>) -> Result<(), CampaignError> {
     let Some(dir) = dir else { return Ok(()) };
     let path = checkpoint_path(dir, &db.vantage);
     db.save_json(&path).map_err(|source| CampaignError::Checkpoint { path, source })
+}
+
+/// FNV-1a hash over the serialized vantage list — the identity a checkpoint
+/// directory is stamped with. Captures count, names, AS placement, start
+/// weeks, and client stacks, so any population change flips it.
+pub fn population_hash(vantages: &[VantagePoint]) -> u64 {
+    let json = serde_json::to_string(&vantages.to_vec()).expect("vantages serialize");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// On-disk population stamp (`population.stamp.json` inside the
+/// checkpoint directory).
+#[derive(Serialize, Deserialize)]
+struct PopulationStamp {
+    count: usize,
+    hash: u64,
+}
+
+/// Validates (or creates) the checkpoint directory's population stamp.
+///
+/// Vantage checkpoints are keyed by name slug only, so resuming a
+/// directory written under one vantage population with a study that has
+/// another would silently misattribute rounds. The first study to
+/// checkpoint into `dir` writes `population.stamp.json`; every later study
+/// must match it or gets a typed
+/// [`CampaignError::PopulationMismatch`]. Directories written before the
+/// stamp existed are accepted and stamped in place (legacy checkpoints
+/// were always the Table 1 six).
+pub fn check_population_stamp(dir: &Path, vantages: &[VantagePoint]) -> Result<(), CampaignError> {
+    let path = dir.join("population.stamp.json");
+    let count = vantages.len();
+    let hash = population_hash(vantages);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let stamp: PopulationStamp =
+                serde_json::from_str(&text).map_err(|e| CampaignError::Checkpoint {
+                    path: path.clone(),
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("corrupt population stamp: {e}"),
+                    ),
+                })?;
+            if stamp.count != count || stamp.hash != hash {
+                return Err(CampaignError::PopulationMismatch {
+                    path,
+                    stamped_count: stamp.count,
+                    stamped_hash: stamp.hash,
+                    count,
+                    hash,
+                });
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // atomic temp + rename, same discipline as checkpoints
+            let tmp = path.with_extension("json.tmp");
+            let write = || -> std::io::Result<()> {
+                let stamp = PopulationStamp { count, hash };
+                std::fs::write(&tmp, serde_json::to_string(&stamp).expect("stamp serializes"))?;
+                std::fs::rename(&tmp, &path)
+            };
+            write().map_err(|source| CampaignError::Checkpoint { path, source })
+        }
+        Err(source) => Err(CampaignError::Checkpoint { path, source }),
+    }
 }
 
 /// Runs a full weekly campaign for one vantage point.
@@ -790,6 +891,37 @@ mod tests {
         let snap = MonitorDb::load_json(dir.join("testvp.json")).unwrap();
         assert_eq!(snap, db, "final checkpoint equals the returned database");
         std::fs::remove_file(dir.join("testvp.json")).ok();
+    }
+
+    #[test]
+    fn population_stamp_detects_mismatch() {
+        use crate::vantage::VantagePoint;
+        let dir = std::env::temp_dir().join("ipv6web-popstamp-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let ids: Vec<ipv6web_topology::AsId> = (0..6).map(ipv6web_topology::AsId).collect();
+        let six = VantagePoint::paper_table1(&ids);
+        // legacy dir without a stamp: accepted, stamped in place
+        check_population_stamp(&dir, &six).unwrap();
+        assert!(dir.join("population.stamp.json").exists());
+        // the same population resumes fine
+        check_population_stamp(&dir, &six).unwrap();
+        // a dir written with 6 must reject a resume with 200
+        let mut big = Vec::new();
+        for i in 0..200u32 {
+            let mut v = six[0].clone();
+            v.name = format!("VP-{i:03}");
+            v.as_id = ipv6web_topology::AsId(1000 + i);
+            big.push(v);
+        }
+        match check_population_stamp(&dir, &big) {
+            Err(CampaignError::PopulationMismatch { stamped_count, count, .. }) => {
+                assert_eq!(stamped_count, 6);
+                assert_eq!(count, 200);
+            }
+            other => panic!("expected PopulationMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -73,6 +73,28 @@ impl Serialize for VantagePoint {
     }
 }
 
+/// Error from [`VantagePoint::try_paper_table1`]: Table 1 wires exactly six
+/// access ASes, one per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VantageCountError {
+    /// How many AS ids Table 1 needs.
+    pub expected: usize,
+    /// How many were supplied.
+    pub found: usize,
+}
+
+impl std::fmt::Display for VantageCountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Table 1 has six vantage points ({} expected) but {} access ASes were supplied",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for VantageCountError {}
+
 impl VantagePoint {
     /// The paper's six vantage points (Table 1), with start weeks mapped
     /// onto the simulated campaign calendar (week 0 = 2010-08-12; start
@@ -81,9 +103,18 @@ impl VantagePoint {
     /// Comcast, Go6, Loughborough, Penn, Tsinghua, UPCB.
     ///
     /// # Panics
-    /// Panics unless exactly six AS ids are supplied.
+    /// Panics unless exactly six AS ids are supplied; production callers
+    /// should use [`VantagePoint::try_paper_table1`].
     pub fn paper_table1(as_ids: &[AsId]) -> Vec<VantagePoint> {
-        assert_eq!(as_ids.len(), 6, "Table 1 has six vantage points");
+        Self::try_paper_table1(as_ids).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`VantagePoint::paper_table1`]: returns a typed error
+    /// instead of panicking when the slice is not exactly six ASes long.
+    pub fn try_paper_table1(as_ids: &[AsId]) -> Result<Vec<VantagePoint>, VantageCountError> {
+        if as_ids.len() != 6 {
+            return Err(VantageCountError { expected: 6, found: as_ids.len() });
+        }
         let mk = |name: &str,
                   location: &str,
                   as_id: AsId,
@@ -102,7 +133,7 @@ impl VantagePoint {
             external_inputs,
             stack: ClientStack::DualStack,
         };
-        vec![
+        Ok(vec![
             // 2/4/11 → week 25
             mk("Comcast", "Denver, CO", as_ids[0], 25, true, false, VantageKind::Commercial, false),
             // 5/19/11 → week 40
@@ -142,7 +173,7 @@ impl VantagePoint {
                 VantageKind::Commercial,
                 false,
             ),
-        ]
+        ])
     }
 
     /// The subset with `AS_PATH` data, i.e. the four columns of Tables 2-9.
@@ -197,6 +228,14 @@ mod tests {
     #[should_panic(expected = "six")]
     fn wrong_as_count_panics() {
         VantagePoint::paper_table1(&[AsId(1)]);
+    }
+
+    #[test]
+    fn wrong_as_count_is_a_typed_error() {
+        let err = VantagePoint::try_paper_table1(&[AsId(1)]).unwrap_err();
+        assert_eq!(err, VantageCountError { expected: 6, found: 1 });
+        assert!(err.to_string().contains("six vantage points"));
+        assert_eq!(VantagePoint::try_paper_table1(&ids()).unwrap().len(), 6);
     }
 
     #[test]

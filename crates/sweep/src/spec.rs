@@ -243,7 +243,8 @@ impl ChaosSpec {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SweepSpec {
     /// Named base scale: `quick`, `paper`, `faults`, `internet`,
-    /// `internet-smoke`, `nat64`. Mutually exclusive with `scenario`.
+    /// `internet-smoke`, `nat64`, `panel`. Mutually exclusive with
+    /// `scenario`.
     pub scale: Option<String>,
     /// Base seed for a named scale (default 42); the seed axis overrides
     /// it per study.
@@ -337,10 +338,11 @@ impl SweepSpec {
                     "internet" => Scenario::internet(seed),
                     "internet-smoke" => Scenario::internet_smoke(seed),
                     "nat64" => Scenario::nat64(seed),
+                    "panel" => Scenario::panel(seed),
                     other => {
                         return Err(format!(
                             "unknown scale `{other}` (expected quick, paper, faults, \
-                             internet, internet-smoke, or nat64)"
+                             internet, internet-smoke, nat64, or panel)"
                         ))
                     }
                 }

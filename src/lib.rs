@@ -71,7 +71,7 @@ pub use ipv6web_xlat as xlat;
 
 pub use ipv6web_core::{
     run_study, run_study_mode, run_study_on_world, ExecutionMode, Report, Scenario, StreamRoutes,
-    StudyError, StudyResult, World,
+    StudyError, StudyResult, World, WorldError,
 };
 
 #[cfg(test)]
